@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation of the CouplingPredictor's two design choices (beyond the
+ * paper's evaluation; DESIGN.md Sec. 6):
+ *
+ *  - CP-nocoupling: the downstream-penalty term removed (reduces CP
+ *    to a row-restricted Predictive) — isolates how much of CP's
+ *    high-load gain comes from coupling awareness;
+ *  - CP-global: candidates searched over all idle sockets instead of
+ *    one random row — isolates the cost of the paper's cheap
+ *    random-row mechanic at low load.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace densim;
+using namespace densim::bench;
+
+int
+main()
+{
+    std::cout << "=== CP ablation: coupling term and row restriction "
+                 "===\n\n";
+
+    std::vector<double> loads;
+    if (std::getenv("DENSIM_BENCH_FAST"))
+        loads = {0.3, 0.8};
+    else
+        loads = {0.2, 0.4, 0.6, 0.8, 0.9};
+
+    const std::vector<std::string> variants{
+        "CF", "Predictive", "CP", "CP-nocoupling", "CP-global"};
+    const auto grid = runAveragedGrid(
+        variants, WorkloadSet::Computation, loads, "CF");
+
+    std::vector<std::string> headers{"Variant"};
+    for (double load : loads)
+        headers.push_back(formatFixed(100 * load, 0) + "%");
+    TableWriter table(std::move(headers));
+    for (const std::string &variant : variants) {
+        table.newRow().cell(variant);
+        for (double load : loads)
+            table.cell(grid.at(variant).at(load).perfVsBaseline, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: CP minus CP-nocoupling = value of the "
+                 "downstream term;\nCP-global minus CP = cost of the "
+                 "random-row restriction.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared configuration for the experiment benches.
+ *
+ * Every SUT bench uses the Table III configuration with two scaled
+ * knobs so a bench finishes in seconds rather than the paper's
+ * 30-minute runs: the socket time constant is scaled 30 s -> 3 s and
+ * the horizon to ~6 s with a 3 s warmup past a steady-state warm
+ * start. The steady thermal field — which determines all load-
+ * dependent behaviour — is independent of the time-constant scaling
+ * (see DESIGN.md Sec. 5). Paper-length runs are available by editing
+ * these two numbers.
+ *
+ * Set DENSIM_BENCH_FAST=1 in the environment to shrink the sweeps
+ * for smoke-testing.
+ */
+
+#ifndef DENSIM_BENCH_BENCH_COMMON_HH
+#define DENSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+
+namespace densim::bench {
+
+/** Seeds averaged by the scheduler benches. */
+inline std::vector<std::uint64_t>
+benchSeeds()
+{
+    if (std::getenv("DENSIM_BENCH_FAST"))
+        return {42};
+    return {42, 1234};
+}
+
+/** The bench SUT configuration at one load/workload. */
+inline SimConfig
+sutBenchConfig(double load, WorkloadSet set)
+{
+    SimConfig config;
+    config.workload = set;
+    config.load = load;
+    config.socketTauS = 3.0;
+    config.simTimeS = std::getenv("DENSIM_BENCH_FAST") ? 4.0 : 6.0;
+    config.warmupS = config.simTimeS / 2.0;
+    return config;
+}
+
+/** Run one (scheduler, set, load) cell averaged across seeds. */
+struct AveragedCell
+{
+    double perfVsBaseline = 0.0; //!< RE_base / RE_scheme, averaged.
+    double ed2VsBaseline = 0.0;  //!< ED2_scheme / ED2_base, averaged.
+    double avgRelFreq = 0.0;
+    double boostFrac = 0.0;
+    double workFront = 0.0;
+    double workEven = 0.0;
+    double freqFront = 0.0;
+    double freqBack = 0.0;
+};
+
+/**
+ * Run the (schedulers x loads) grid for one workload set, averaged
+ * across benchSeeds(), normalized per-seed against @p baseline.
+ * Result[scheduler][load] -> AveragedCell.
+ */
+inline std::map<std::string, std::map<double, AveragedCell>>
+runAveragedGrid(const std::vector<std::string> &schedulers,
+                WorkloadSet set, const std::vector<double> &loads,
+                const std::string &baseline)
+{
+    const auto seeds = benchSeeds();
+    std::vector<RunSpec> specs;
+    for (std::uint64_t seed : seeds) {
+        for (const std::string &scheduler : schedulers) {
+            for (double load : loads) {
+                RunSpec spec;
+                spec.scheduler = scheduler;
+                spec.config = sutBenchConfig(load, set);
+                spec.config.seed = seed;
+                specs.push_back(spec);
+            }
+        }
+    }
+    const auto results = runAll(specs);
+
+    // Index per seed for baseline normalization.
+    std::map<std::string, std::map<double, AveragedCell>> grid;
+    const std::size_t block = schedulers.size() * loads.size();
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+        // Locate the baseline metrics of this seed per load.
+        std::map<double, const SimMetrics *> base;
+        for (std::size_t i = 0; i < block; ++i) {
+            const auto &r = results[k * block + i];
+            if (r.spec.scheduler == baseline)
+                base[r.spec.config.load] = &r.metrics;
+        }
+        for (std::size_t i = 0; i < block; ++i) {
+            const auto &r = results[k * block + i];
+            const SimMetrics &m = r.metrics;
+            AveragedCell &cell =
+                grid[r.spec.scheduler][r.spec.config.load];
+            const SimMetrics &b = *base.at(r.spec.config.load);
+            const double n = static_cast<double>(seeds.size());
+            cell.perfVsBaseline += relativePerformance(m, b) / n;
+            cell.ed2VsBaseline += relativeEd2(m, b) / n;
+            cell.avgRelFreq += m.avgRelFreq() / n;
+            cell.boostFrac += m.boostFraction() / n;
+            cell.workFront += m.workFraction(m.front) / n;
+            cell.workEven += m.workFraction(m.even) / n;
+            cell.freqFront += m.front.avgRelFreq() / n;
+            cell.freqBack += m.back.avgRelFreq() / n;
+        }
+    }
+    return grid;
+}
+
+} // namespace densim::bench
+
+#endif // DENSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 2 — CFD model of the dense server cartridge: air heats up
+ * left to right over the sockets.
+ *
+ * Paper: with all four sockets of the 2x2 M700-class cartridge at
+ * 15 W, the measured average air temperature difference between the
+ * left (upstream) and right (downstream) sockets is 8 C. densim's
+ * advection coupling model replaces the Ansys Icepak CFD (DESIGN.md
+ * substitution #1); this bench prints the entry-temperature profile
+ * it produces for the same configuration.
+ */
+
+#include <iostream>
+
+#include "thermal/coupling_map.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main()
+{
+    std::cout << "=== Figure 2: cartridge air temperatures, 4 x 15 W, "
+                 "18 C inlet ===\n\n";
+
+    // The 2x2 cartridge: two sockets side by side at each of two
+    // streamwise stations, sharing a 12.7 CFM duct.
+    const std::vector<SocketSite> sites{{0.0, 0, 12.7},
+                                        {0.0, 0, 12.7},
+                                        {1.6, 0, 12.7},
+                                        {1.6, 0, 12.7}};
+    const CouplingMap map(sites, CouplingParams{});
+    const std::vector<double> powers(4, 15.0);
+
+    const auto entry = map.entryTemps(powers, 18.0);
+    const auto ambient = map.ambientTemps(powers, 18.0);
+
+    TableWriter table({"Socket", "Position", "Entry T (C)",
+                       "Ambient T (C)"});
+    const char *pos[] = {"upstream-A", "upstream-B", "downstream-A",
+                         "downstream-B"};
+    for (std::size_t s = 0; s < 4; ++s) {
+        table.newRow()
+            .cell(static_cast<long long>(s))
+            .cell(pos[s])
+            .cell(entry[s], 2)
+            .cell(ambient[s], 2);
+    }
+    table.print(std::cout);
+
+    const double diff = entry[2] - entry[0];
+    std::cout << "\nLeft->right air temperature difference: "
+              << formatFixed(diff, 2) << " C (paper CFD: ~8 C)\n";
+    return 0;
+}

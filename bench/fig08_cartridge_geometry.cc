@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8 / Figure 12 — the modeled cartridge geometry and the zone
+ * organization of the SUT: 15 rows x 3 cartridges x 2 zones x 2
+ * sockets, zones 1-6 along the airflow, 18-fin sinks on odd zones and
+ * 30-fin on even, 1.6 in intra-cartridge and 3 in inter-cartridge
+ * spacing.
+ */
+
+#include <iostream>
+
+#include "server/sut.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main()
+{
+    std::cout << "=== Figures 8 & 12: SUT geometry and zones ===\n\n";
+
+    const ServerTopology sut = makeSutTopology();
+    std::cout << "Sockets: " << sut.numSockets() << " ("
+              << sut.numRows() << " rows x " << sut.socketsPerRow()
+              << ")\nDegree of coupling (sockets per duct): "
+              << sut.degreeOfCoupling() << "\nPer-socket airflow: "
+              << formatFixed(sut.spec().perSocketCfm, 2)
+              << " CFM, duct " << formatFixed(sut.zoneCfm(), 2)
+              << " CFM\n\n";
+
+    TableWriter table({"Zone", "Cartridge", "Stream pos (in)",
+                       "Heat sink", "Half", "Sockets"});
+    for (int zone = 1; zone <= sut.zonesPerRow(); ++zone) {
+        const auto sockets = sut.socketsInZone(zone);
+        const std::size_t probe = sockets.front();
+        table.newRow()
+            .cell(static_cast<long long>(zone))
+            .cell(static_cast<long long>((zone - 1) / 2 + 1))
+            .cell(sut.streamPosOf(probe), 1)
+            .cell(sut.sinkOf(probe).name)
+            .cell(sut.inFrontHalf(probe) ? "front" : "back")
+            .cell(static_cast<long long>(sockets.size()));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSide view of one row (airflow left to right):\n  "
+                 "inlet -> ";
+    for (int zone = 1; zone <= sut.zonesPerRow(); ++zone) {
+        std::cout << "[z" << zone
+                  << (zone % 2 == 1 ? ":18fin" : ":30fin") << "] ";
+        if (zone % 2 == 0 && zone < sut.zonesPerRow())
+            std::cout << "|gap| ";
+    }
+    std::cout << "-> outlet\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11 — average runtime expansion versus CF for the existing
+ * thermal-aware schemes at 30% and 70% load, Computation workload
+ * (lower is better; the paper plots expansion, this bench prints both
+ * expansion and the equivalent relative performance).
+ *
+ * Paper shapes: at 30% load most schemes are at or worse than CF,
+ * with HF and MinHR clearly the worst and Predictive the only scheme
+ * ahead. At the higher load the ordering inverts: HF and MinHR become
+ * the best schemes while Predictive loses its advantage. densim's
+ * crossover sits slightly higher on the load axis (see
+ * EXPERIMENTS.md), so the high-load column here uses 80% where the
+ * inversion is fully developed.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sched/factory.hh"
+#include "util/table.hh"
+
+using namespace densim;
+using namespace densim::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 11: existing schemes vs CF, Computation "
+                 "===\n\n";
+
+    const std::vector<double> loads{0.3, 0.7, 0.8};
+    const auto grid = runAveragedGrid(existingSchedulerNames(),
+                                      WorkloadSet::Computation, loads,
+                                      "CF");
+
+    TableWriter table({"Scheme", "Expansion@30%", "Expansion@70%",
+                       "Expansion@80%"});
+    for (const std::string &scheme : existingSchedulerNames()) {
+        table.newRow().cell(scheme);
+        for (double load : loads)
+            table.cell(1.0 / grid.at(scheme).at(load).perfVsBaseline,
+                       3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(Expansion > 1 means slower than CF; paper: HF/"
+                 "MinHR ~1.04-1.05 at 30%, best at high load; "
+                 "Predictive best at 30%, no advantage at high "
+                 "load)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 13 — average frequency and share of work performed in the
+ * front half, back half and even (better-sink) zones of the SUT for
+ * each scheme at 30% and 70% load.
+ *
+ * Paper shapes at 30%: everything except Random/HF/MinHR does most of
+ * its work in the front half at high frequency; Predictive does ~80%
+ * of its work in the front and ~50% on even zones (i.e. mostly
+ * zone 2). At 70% the back half is used heavily by all schemes and
+ * its frequency drops; HF/MinHR do more work on even zones.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sched/factory.hh"
+#include "util/table.hh"
+
+using namespace densim;
+using namespace densim::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 13: zone behaviour, Computation ===\n";
+
+    const std::vector<double> loads{0.3, 0.7};
+    const auto grid = runAveragedGrid(allSchedulerNames(),
+                                      WorkloadSet::Computation, loads,
+                                      "CF");
+
+    for (double load : loads) {
+        std::cout << "\n(" << (load == 0.3 ? "a" : "b") << ") "
+                  << load * 100 << "% load:\n";
+        TableWriter table({"Scheme", "FreqFront", "FreqBack",
+                           "Work Front%", "Work Back%", "Work Even%",
+                           "Boost%"});
+        for (const std::string &scheme : allSchedulerNames()) {
+            const AveragedCell &cell = grid.at(scheme).at(load);
+            table.newRow()
+                .cell(scheme)
+                .cell(cell.freqFront, 3)
+                .cell(cell.freqBack, 3)
+                .cell(100 * cell.workFront, 1)
+                .cell(100 * (1.0 - cell.workFront), 1)
+                .cell(100 * cell.workEven, 1)
+                .cell(100 * cell.boostFrac, 1);
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 15 — ED^2 (energy x delay^2) relative to CF across loads and
+ * schemes for the three workloads (values < 1 mean better
+ * energy-delay behaviour than CF).
+ *
+ * Paper shapes: CP's ED^2 tracks Predictive at low loads and MinHR at
+ * high loads — performance gains come with no energy penalty; for
+ * Computation ED^2 drops to ~0.7x around 80% load.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sched/factory.hh"
+#include "util/table.hh"
+
+using namespace densim;
+using namespace densim::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 15: ED^2 vs CF across loads ===\n";
+
+    std::vector<double> loads;
+    if (std::getenv("DENSIM_BENCH_FAST"))
+        loads = {0.3, 0.8};
+    else
+        loads = {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0};
+
+    const std::vector<std::string> schemes{
+        "CF", "HF", "Random", "MinHR", "Predictive", "CP"};
+
+    for (WorkloadSet set : allWorkloadSets()) {
+        std::cout << "\n--- " << workloadSetName(set) << " ---\n";
+        const auto grid = runAveragedGrid(schemes, set, loads, "CF");
+
+        std::vector<std::string> headers{"Scheme"};
+        for (double load : loads)
+            headers.push_back(formatFixed(100 * load, 0) + "%");
+        TableWriter table(std::move(headers));
+        for (const std::string &scheme : schemes) {
+            table.newRow().cell(scheme);
+            for (double load : loads)
+                table.cell(grid.at(scheme).at(load).ed2VsBaseline, 3);
+        }
+        table.print(std::cout);
+
+        double cp_min = 1e9;
+        for (double load : loads)
+            cp_min = std::min(cp_min,
+                              grid.at("CP").at(load).ed2VsBaseline);
+        std::cout << "CP best ED^2 vs CF: " << formatFixed(cp_min, 2)
+                  << "x (paper: Computation ~0.7x, GP ~0.8x, Storage "
+                     "~0.85x)\n";
+    }
+    return 0;
+}

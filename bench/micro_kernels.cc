@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for densim's hot kernels: the
+ * coupling-map field evaluation (once per 1 ms epoch), the RC-network
+ * steady solve (Fig. 9/10 machinery), scheduler decisions, and a full
+ * simulated server-second — the numbers that determine how long the
+ * experiment benches take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/dense_server_sim.hh"
+#include "power/leakage.hh"
+#include "sched/factory.hh"
+#include "server/sut.hh"
+#include "thermal/hotspot_model.hh"
+#include "workload/curves.hh"
+
+using namespace densim;
+
+namespace {
+
+void
+BM_CouplingAmbientField(benchmark::State &state)
+{
+    const ServerTopology sut = makeSutTopology();
+    const CouplingMap map =
+        makeCouplingMap(sut, defaultCouplingParams());
+    std::vector<double> powers(sut.numSockets(), 13.6);
+    for (auto _ : state) {
+        auto temps = map.ambientTemps(powers, 18.0);
+        benchmark::DoNotOptimize(temps);
+    }
+}
+BENCHMARK(BM_CouplingAmbientField);
+
+void
+BM_RcNetworkSteadySolve(benchmark::State &state)
+{
+    ChipStackParams params;
+    params.grid = static_cast<int>(state.range(0));
+    const HotSpotModel model(params, HeatSink::fin30());
+    const PowerMap map = PowerMap::uniform(params.grid);
+    for (auto _ : state) {
+        auto field = model.steady(15.0, map, 40.0);
+        benchmark::DoNotOptimize(field);
+    }
+}
+BENCHMARK(BM_RcNetworkSteadySolve)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_DvfsDecision(benchmark::State &state)
+{
+    const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),
+                          95.0, 0.10);
+    const auto &curve = freqCurveFor(WorkloadSet::Computation);
+    double amb = 30.0;
+    for (auto _ : state) {
+        amb = 30.0 + (amb > 60.0 ? -30.0 : 0.01);
+        auto d = pm.chooseAtAmbient(curve, LeakageModel::x2150(), amb,
+                                    HeatSink::fin18());
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DvfsDecision);
+
+void
+BM_SchedulerDecision(benchmark::State &state)
+{
+    // One placement decision on a half-busy SUT.
+    const char *names[] = {"CF", "Predictive", "CP"};
+    const char *name = names[state.range(0)];
+    state.SetLabel(name);
+
+    const ServerTopology topo = makeSutTopology();
+    const CouplingMap coupling =
+        makeCouplingMap(topo, defaultCouplingParams());
+    const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),
+                          95.0, 0.10);
+    Rng rng(1);
+    const std::size_t n = topo.numSockets();
+    std::vector<double> chip(n, 40.0), hist(n, 40.0), amb(n, 35.0),
+        credit(n, 2.0), power(n, 2.2), freq(n, 0.0);
+    std::vector<WorkloadSet> sets(n, WorkloadSet::Computation);
+    std::vector<bool> busy(n, false);
+    std::vector<std::size_t> idle;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (s % 2 == 0) {
+            busy[s] = true;
+            freq[s] = 1500.0;
+            power[s] = 13.6;
+        } else {
+            idle.push_back(s);
+            chip[s] = 30.0 + static_cast<double>(s % 17);
+        }
+    }
+    SchedContext ctx;
+    ctx.topo = &topo;
+    ctx.coupling = &coupling;
+    ctx.pm = &pm;
+    ctx.leak = &LeakageModel::x2150();
+    ctx.inletC = 18.0;
+    ctx.idle = &idle;
+    ctx.chipTempC = &chip;
+    ctx.histTempC = &hist;
+    ctx.ambientC = &amb;
+    ctx.boostCreditS = &credit;
+    ctx.powerW = &power;
+    ctx.freqMhz = &freq;
+    ctx.runningSet = &sets;
+    ctx.busy = &busy;
+    ctx.rng = &rng;
+
+    auto policy = makeScheduler(name);
+    Job job{0, 0, WorkloadSet::Computation, 0.0, 5e-3};
+    for (auto _ : state) {
+        auto pick = policy->pick(job, ctx);
+        benchmark::DoNotOptimize(pick);
+    }
+}
+BENCHMARK(BM_SchedulerDecision)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_SimulatedServerSecond(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimConfig config;
+        config.load = 0.7;
+        config.simTimeS = 1.0;
+        config.warmupS = 0.2;
+        config.socketTauS = 3.0;
+        DenseServerSim sim(config, makeScheduler("CP"));
+        auto metrics = sim.run();
+        benchmark::DoNotOptimize(metrics);
+    }
+}
+BENCHMARK(BM_SimulatedServerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace

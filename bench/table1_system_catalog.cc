@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I — recent density-optimized systems: organization, socket
+ * counts, density, TDP and degree of thermal coupling.
+ */
+
+#include <iostream>
+
+#include "server/catalog.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main()
+{
+    std::cout << "=== Table I: density optimized systems ===\n\n";
+
+    TableWriter table({"Organization", "System", "Details", "Domain",
+                       "U", "Layout", "Sockets", "Sockets/U", "TDP(W)",
+                       "CPU", "Coupling"});
+    for (const SystemRecord &r : densityOptimizedSystems()) {
+        table.newRow()
+            .cell(r.organization)
+            .cell(r.system)
+            .cell(r.details)
+            .cell(r.domain)
+            .cell(static_cast<long long>(r.dimensionsU))
+            .cell(r.organization2)
+            .cell(static_cast<long long>(r.totalSockets))
+            .cell(r.socketsPerU(), 2)
+            .cell(r.socketTdpW, 1)
+            .cell(r.cpu)
+            .cell(static_cast<long long>(r.degreeOfCoupling));
+    }
+    table.print(std::cout);
+    std::cout << "\nDensity spans "
+              << formatFixed(densityOptimizedSystems()[2].socketsPerU(), 0)
+              << " to 72 sockets/U; coupling degree 1 to "
+              << maxCatalogCoupling() << ".\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table II — airflow requirements per 1U for a 20 C inlet-to-outlet
+ * rise across server classes, from the first law of thermodynamics.
+ *
+ * Paper values: 1U 18.30 CFM, 2U 12.94, Other 10.03, Blade 37.05,
+ * DensityOpt 51.74.
+ */
+
+#include <iostream>
+
+#include "airflow/first_law.hh"
+#include "survey/survey.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main()
+{
+    std::cout << "=== Table II: airflow requirements (DeltaT = 20 C) "
+                 "===\n\n";
+
+    TableWriter table({"Server Size", "Power per 1U (W)",
+                       "Airflow (CFM) per 1U", "Paper CFM"});
+    const std::vector<double> paper{18.30, 12.94, 10.03, 37.05, 51.74};
+    std::size_t i = 0;
+    for (const ClassModel &m : fig1ClassModels()) {
+        table.newRow()
+            .cell(serverClassName(m.cls))
+            .cell(m.meanPowerPerU, 0)
+            .cell(requiredAirflow(m.meanPowerPerU, 20.0), 2)
+            .cell(paper[i++], 2);
+    }
+    table.print(std::cout);
+    std::cout << "\nFirst-law constant: "
+              << formatFixed(kCelsiusPerWattPerCfm, 3)
+              << " C*CFM/W (industry ~1.76)\n";
+    return 0;
+}

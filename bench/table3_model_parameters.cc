@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table III — the overall simulation model parameters, printed from
+ * the live configuration objects so the table can never drift from
+ * the code.
+ */
+
+#include <iostream>
+
+#include "core/sim_config.hh"
+#include "power/leakage.hh"
+#include "power/pstate.hh"
+#include "thermal/heatsink.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main()
+{
+    std::cout << "=== Table III: simulation model parameters ===\n\n";
+
+    const SimConfig config;
+    const auto &pstates = PStateTable::x2150();
+
+    TableWriter table({"Parameter", "Value", "Source"});
+    table.newRow()
+        .cell("Frequency range")
+        .cell(formatFixed(pstates.slowest().freqMhz, 0) + " - " +
+              formatFixed(pstates.fastest().freqMhz, 0) + " MHz")
+        .cell("Product data sheet [2]");
+    table.newRow()
+        .cell("Boost states")
+        .cell("1700, 1900 MHz (dwell-limited)")
+        .cell("BKDG Family 16h [36]");
+    table.newRow()
+        .cell("Temperature limit")
+        .cell(formatFixed(config.tLimitC, 0) + " C")
+        .cell("Typical");
+    table.newRow()
+        .cell("Frequency change interval")
+        .cell(formatFixed(config.pmEpochS * 1e3, 0) + " ms")
+        .cell("[64]");
+    table.newRow()
+        .cell("On-chip thermal time constant")
+        .cell(formatFixed(config.chipTauS * 1e3, 0) + " ms")
+        .cell("Typical");
+    table.newRow()
+        .cell("Socket thermal time constant")
+        .cell(formatFixed(config.socketTauS, 0) + " s")
+        .cell("[67]");
+    table.newRow()
+        .cell("Server inlet temperature")
+        .cell(formatFixed(config.topo.inletC, 0) + " C")
+        .cell("Typical");
+    table.newRow()
+        .cell("Airflow at sockets")
+        .cell(formatFixed(config.topo.perSocketCfm, 2) + " CFM")
+        .cell("Icepak substitute (DESIGN.md)");
+    table.newRow()
+        .cell("R_Int")
+        .cell(formatFixed(config.rIntCW, 3) + " C/W")
+        .cell("Hotspot [75]");
+    table.newRow()
+        .cell("R_Ext 18-fin")
+        .cell(formatFixed(HeatSink::fin18().rExt, 3) + " C/W")
+        .cell("Hotspot [75]");
+    table.newRow()
+        .cell("R_Ext 30-fin")
+        .cell(formatFixed(HeatSink::fin30().rExt, 3) + " C/W")
+        .cell("Hotspot [75]");
+    table.newRow()
+        .cell("theta(P, 18-fin)")
+        .cell(formatFixed(HeatSink::fin18().theta.c0, 2) + " " +
+              formatFixed(HeatSink::fin18().theta.c1, 4) + " * P")
+        .cell("Modeled");
+    table.newRow()
+        .cell("theta(P, 30-fin)")
+        .cell(formatFixed(HeatSink::fin30().theta.c0, 2) + " " +
+              formatFixed(HeatSink::fin30().theta.c1, 4) + " * P")
+        .cell("Modeled");
+    table.newRow()
+        .cell("Gated socket power")
+        .cell(formatFixed(100 * config.gatedFracTdp, 0) + "% of TDP")
+        .cell("Assumed (paper Sec. III-D)");
+    table.newRow()
+        .cell("Leakage at 90 C")
+        .cell(formatFixed(LeakageModel::x2150().atRef(), 2) + " W (30% TDP)")
+        .cell("Estimated (Sec. III-A)");
+    table.newRow()
+        .cell("Coupling: kappaLocal")
+        .cell(formatFixed(config.coupling.kappaLocal, 2) + " C/W")
+        .cell("Calibrated (DESIGN.md 3.1)");
+    table.newRow()
+        .cell("Coupling: wakeFactor")
+        .cell(formatFixed(config.coupling.wakeFactor, 2))
+        .cell("Calibrated (DESIGN.md 3.1)");
+    table.newRow()
+        .cell("Coupling: mixFactor")
+        .cell(formatFixed(config.coupling.mixFactor, 2))
+        .cell("Fig. 2 calibration");
+    table.newRow()
+        .cell("Boost refill / burst")
+        .cell(formatFixed(config.boostRefillRate, 2) + " /s, " +
+              formatFixed(config.boostBurstS, 1) + " s")
+        .cell("Calibrated ([36])");
+    table.print(std::cout);
+    return 0;
+}

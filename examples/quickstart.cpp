@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: simulate the 180-socket SUT at one load under three
+ * scheduling policies and compare performance.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart [load] [workload]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "sched/factory.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+int
+main(int argc, char **argv)
+{
+    double load = argc > 1 ? std::atof(argv[1]) : 0.7;
+    std::string set_name = argc > 2 ? argv[2] : "Computation";
+
+    WorkloadSet set = WorkloadSet::Computation;
+    for (WorkloadSet candidate : allWorkloadSets()) {
+        if (set_name == workloadSetName(candidate))
+            set = candidate;
+    }
+
+    SimConfig base;
+    base.workload = set;
+    base.load = load;
+    // The steady thermal field is independent of the socket time
+    // constant; scaling tau 30 s -> 3 s lets a seconds-long run
+    // measure the same steady behaviour a paper-length (30 min) run
+    // would.
+    base.socketTauS = 3.0;
+    base.simTimeS = 6.0;
+    base.warmupS = 3.0;
+
+    std::cout << "densim quickstart: 180-socket M700-class SUT, "
+              << workloadSetName(set) << " workload at "
+              << load * 100 << "% load\n\n";
+
+    const std::vector<std::string> schemes{"CF", "HF", "Predictive",
+                                           "CP"};
+    std::vector<RunSpec> specs =
+        makeGrid(schemes, set, {load}, base);
+    std::vector<RunResult> results = runAll(specs);
+
+    const SimMetrics &cf = results[0].metrics;
+    TableWriter table({"Scheme", "Jobs", "RuntimeExp", "Perf vs CF",
+                       "AvgFreq", "Boost%", "ED2 vs CF",
+                       "MaxChipT(C)"});
+    for (const RunResult &r : results) {
+        table.newRow()
+            .cell(r.spec.scheduler)
+            .cell(static_cast<long long>(r.metrics.jobsCompleted))
+            .cell(r.metrics.runtimeExpansion.mean(), 3)
+            .cell(relativePerformance(r.metrics, cf), 3)
+            .cell(r.metrics.avgRelFreq(), 3)
+            .cell(100.0 * r.metrics.boostFraction(), 1)
+            .cell(relativeEd2(r.metrics, cf), 3)
+            .cell(r.metrics.maxChipTempC, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * VDI daily-load scenario: the SUT hosts virtual desktops whose
+ * demand follows an office day — quiet overnight, a morning logon
+ * ramp, sustained mid-day load with a lunch dip, and an evening
+ * tail. The example sweeps that profile and compares the CF baseline
+ * against the paper's CouplingPredictor at each phase, showing where
+ * in the day coupling-aware placement pays off (the heavily loaded
+ * hours).
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/vdi_daily_load
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/table.hh"
+
+using namespace densim;
+
+namespace {
+
+struct Phase
+{
+    const char *name;
+    double load;
+    WorkloadSet mix;
+};
+
+} // namespace
+
+int
+main()
+{
+    // A compressed office day on the 180-socket VDI server.
+    const std::vector<Phase> day{
+        {"overnight", 0.10, WorkloadSet::Storage},
+        {"logon ramp", 0.60, WorkloadSet::GeneralPurpose},
+        {"morning peak", 0.75, WorkloadSet::Computation},
+        {"lunch dip", 0.40, WorkloadSet::GeneralPurpose},
+        {"afternoon peak", 0.80, WorkloadSet::Computation},
+        {"evening tail", 0.30, WorkloadSet::GeneralPurpose},
+    };
+
+    std::cout << "VDI day on the M700-class SUT: CF vs "
+                 "CouplingPredictor\n\n";
+
+    std::vector<RunSpec> specs;
+    for (const Phase &phase : day) {
+        for (const char *scheme : {"CF", "CP"}) {
+            RunSpec spec;
+            spec.scheduler = scheme;
+            spec.config.workload = phase.mix;
+            spec.config.load = phase.load;
+            spec.config.socketTauS = 3.0;
+            spec.config.simTimeS = 6.0;
+            spec.config.warmupS = 3.0;
+            specs.push_back(spec);
+        }
+    }
+    const auto results = runAll(specs);
+
+    TableWriter table({"Phase", "Load", "Mix", "CF expansion",
+                       "CP expansion", "CP gain", "CP energy (kJ)"});
+    double worst_gain = 1e9, best_gain = 0.0;
+    for (std::size_t i = 0; i < day.size(); ++i) {
+        const SimMetrics &cf = results[2 * i].metrics;
+        const SimMetrics &cp = results[2 * i + 1].metrics;
+        const double gain = relativePerformance(cp, cf);
+        worst_gain = std::min(worst_gain, gain);
+        best_gain = std::max(best_gain, gain);
+        table.newRow()
+            .cell(day[i].name)
+            .cell(day[i].load, 2)
+            .cell(workloadSetName(day[i].mix))
+            .cell(cf.runtimeExpansion.mean(), 3)
+            .cell(cp.runtimeExpansion.mean(), 3)
+            .cell(formatFixed(100 * (gain - 1), 1) + "%")
+            .cell(cp.energyJ / 1e3, 1);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCP tracks CF at light load and wins "
+              << formatFixed(100 * (best_gain - 1), 1)
+              << "% at the day's peaks — the robustness across load "
+                 "the paper argues for.\n";
+    return 0;
+}

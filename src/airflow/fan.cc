@@ -1,0 +1,73 @@
+#include "airflow/fan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+Fan::Fan(FanSpec spec, int count) : spec_(std::move(spec)), count_(count)
+{
+    if (count_ < 1)
+        fatal("Fan bank needs at least one unit, got ", count_);
+    if (spec_.maxCfm <= 0.0 || spec_.maxPowerW <= 0.0)
+        fatal("Fan spec '", spec_.name, "' has non-positive capacity");
+    if (spec_.pressureDerate <= 0.0 || spec_.pressureDerate > 1.0)
+        fatal("Fan spec '", spec_.name, "' pressure derate ",
+              spec_.pressureDerate, " outside (0, 1]");
+    if (spec_.minSpeedFrac < 0.0 || spec_.minSpeedFrac > 1.0)
+        fatal("Fan spec '", spec_.name, "' min speed fraction ",
+              spec_.minSpeedFrac, " outside [0, 1]");
+}
+
+FanSpec
+Fan::activeCoolSpec()
+{
+    // The HP BladeSystem Active Cool story [29] describes ~100 CFM
+    // class fans; a 4U Moonshot-class chassis uses a bank of five to
+    // deliver the 400 CFM server total of Table III against dense
+    // cartridge back-pressure.
+    return FanSpec{"ActiveCool", 100.0, 35.0, 0.15, 0.80};
+}
+
+double
+Fan::deliveredCfm(double s) const
+{
+    s = std::clamp(s, 0.0, 1.0);
+    return spec_.maxCfm * spec_.pressureDerate * s * count_;
+}
+
+double
+Fan::electricalPowerW(double s) const
+{
+    s = std::clamp(s, 0.0, 1.0);
+    return spec_.maxPowerW * s * s * s * count_;
+}
+
+double
+Fan::speedForCfm(double cfm) const
+{
+    if (cfm < 0.0)
+        fatal("Fan::speedForCfm: negative airflow ", cfm);
+    const double cap = maxDeliveredCfm();
+    if (cfm > cap)
+        fatal("Fan bank '", spec_.name, "' cannot deliver ", cfm,
+              " CFM (capacity ", cap, ")");
+    const double s = cfm / cap;
+    return std::max(s, spec_.minSpeedFrac);
+}
+
+double
+Fan::powerForCfm(double cfm) const
+{
+    return electricalPowerW(speedForCfm(cfm));
+}
+
+double
+Fan::maxDeliveredCfm() const
+{
+    return spec_.maxCfm * spec_.pressureDerate * count_;
+}
+
+} // namespace densim

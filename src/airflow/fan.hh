@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Server fan model based on the classic fan affinity laws.
+ *
+ * The SUT uses ActiveCool-class fans [29] whose published behaviour is
+ * summarized by a maximum delivered airflow at maximum electrical
+ * power. Between idle and full speed the affinity laws apply:
+ * airflow scales linearly with speed and electrical power with the
+ * cube of speed. The model also applies a static-pressure derating
+ * factor for the dense chassis (a fraction of free-air CFM actually
+ * reaches the cartridges).
+ */
+
+#ifndef DENSIM_AIRFLOW_FAN_HH
+#define DENSIM_AIRFLOW_FAN_HH
+
+#include <string>
+
+namespace densim {
+
+/** Static description of one fan model. */
+struct FanSpec
+{
+    std::string name;      //!< Marketing/model name.
+    double maxCfm;         //!< Free-air airflow at 100 % speed.
+    double maxPowerW;      //!< Electrical power at 100 % speed.
+    double minSpeedFrac;   //!< Lowest controllable speed fraction.
+    double pressureDerate; //!< Fraction of free-air CFM delivered
+                           //!< against chassis back-pressure.
+};
+
+/**
+ * A fan (or bank of identical fans) controlled by a speed fraction.
+ */
+class Fan
+{
+  public:
+    /** Construct from a spec and a count of identical units. */
+    explicit Fan(FanSpec spec, int count = 1);
+
+    /** ActiveCool-class high-end server fan [29]. */
+    static FanSpec activeCoolSpec();
+
+    /** Delivered (derated) airflow at speed fraction @p s in [0,1]. */
+    double deliveredCfm(double s) const;
+
+    /** Electrical power at speed fraction @p s (cube law). */
+    double electricalPowerW(double s) const;
+
+    /**
+     * Lowest speed fraction delivering at least @p cfm, clamped to
+     * [minSpeedFrac, 1]. Fails if the requirement exceeds capacity.
+     */
+    double speedForCfm(double cfm) const;
+
+    /** Electrical power needed to deliver @p cfm. */
+    double powerForCfm(double cfm) const;
+
+    /** Maximum delivered airflow of the whole bank. */
+    double maxDeliveredCfm() const;
+
+    const FanSpec &spec() const { return spec_; }
+    int count() const { return count_; }
+
+  private:
+    FanSpec spec_;
+    int count_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_AIRFLOW_FAN_HH

@@ -1,0 +1,39 @@
+#include "airflow/first_law.hh"
+
+#include "util/logging.hh"
+
+namespace densim {
+
+double
+airTemperatureRise(double watts, double cfm)
+{
+    if (cfm <= 0.0)
+        fatal("airTemperatureRise: airflow must be positive, got ", cfm);
+    if (watts < 0.0)
+        fatal("airTemperatureRise: negative power ", watts);
+    return kCelsiusPerWattPerCfm * watts / cfm;
+}
+
+double
+requiredAirflow(double watts, double delta_t_celsius)
+{
+    if (delta_t_celsius <= 0.0)
+        fatal("requiredAirflow: temperature rise must be positive, got ",
+              delta_t_celsius);
+    if (watts < 0.0)
+        fatal("requiredAirflow: negative power ", watts);
+    return kCelsiusPerWattPerCfm * watts / delta_t_celsius;
+}
+
+double
+absorbableHeat(double cfm, double delta_t_celsius)
+{
+    if (cfm <= 0.0)
+        fatal("absorbableHeat: airflow must be positive, got ", cfm);
+    if (delta_t_celsius < 0.0)
+        fatal("absorbableHeat: negative temperature rise ",
+              delta_t_celsius);
+    return cfm * delta_t_celsius / kCelsiusPerWattPerCfm;
+}
+
+} // namespace densim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * First-law-of-thermodynamics airflow/heat relations.
+ *
+ * This is the paper's "standardized total cooling requirements
+ * formulation of the first law of thermodynamics" [25] used to build
+ * Table II and the analytical socket-entry-temperature model of
+ * Sec. II-B. For air moving at a volumetric rate V (CFM) absorbing P
+ * watts, the steady temperature rise is
+ *
+ *     dT = P / (rho * cp * V)  =  kCelsiusPerWattPerCfm * P / V_cfm
+ *
+ * with rho and cp of air near room temperature. The industry constant
+ * works out to ~1.76 C*CFM/W, which reproduces Table II exactly
+ * (e.g. 208 W/U at dT = 20 C -> 18.30 CFM).
+ */
+
+#ifndef DENSIM_AIRFLOW_FIRST_LAW_HH
+#define DENSIM_AIRFLOW_FIRST_LAW_HH
+
+namespace densim {
+
+/** One cubic foot per minute in cubic metres per second. */
+inline constexpr double kCfmToM3PerS = 4.71947e-4;
+
+/** Density of air, kg/m^3, at ~21 C and 1 atm. */
+inline constexpr double kAirDensity = 1.19795;
+
+/** Specific heat of air at constant pressure, J/(kg*K). */
+inline constexpr double kAirSpecificHeat = 1005.0;
+
+/**
+ * Combined first-law constant: temperature rise in Celsius produced by
+ * 1 W carried by 1 CFM of air. Evaluates to ~1.76 C*CFM/W.
+ */
+inline constexpr double kCelsiusPerWattPerCfm =
+    1.0 / (kAirDensity * kAirSpecificHeat * kCfmToM3PerS);
+
+/**
+ * Steady air temperature rise (C) when @p cfm of airflow absorbs
+ * @p watts of heat. Fails for non-positive airflow.
+ */
+double airTemperatureRise(double watts, double cfm);
+
+/**
+ * Airflow (CFM) required to remove @p watts with at most
+ * @p delta_t_celsius inlet-to-outlet rise — the Table II calculation.
+ */
+double requiredAirflow(double watts, double delta_t_celsius);
+
+/**
+ * Heat (W) a flow of @p cfm can absorb within @p delta_t_celsius —
+ * the inverse budget question (how much power fits in a duct).
+ */
+double absorbableHeat(double cfm, double delta_t_celsius);
+
+} // namespace densim
+
+#endif // DENSIM_AIRFLOW_FIRST_LAW_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Distribution of the server's total airflow across parallel ducts.
+ *
+ * A density-optimized chassis pushes one total airflow (Table III:
+ * 400 CFM for the SUT) through many parallel row ducts; each duct's
+ * share then passes over the sockets of that row in series. FlowBudget
+ * captures that split and answers "how much air does each socket see"
+ * (Table III: 6.35 CFM/socket for the SUT) and "how much duct flow is
+ * shared by one zone".
+ */
+
+#ifndef DENSIM_AIRFLOW_FLOW_BUDGET_HH
+#define DENSIM_AIRFLOW_FLOW_BUDGET_HH
+
+namespace densim {
+
+/**
+ * Airflow split for a chassis with @c ducts parallel ducts, each
+ * containing @c socketsPerZone sockets side by side (sharing the duct
+ * cross-section at one streamwise station).
+ */
+class FlowBudget
+{
+  public:
+    /**
+     * @param total_cfm Total chassis airflow.
+     * @param ducts Number of parallel ducts (rows).
+     * @param sockets_per_zone Sockets sharing one streamwise station.
+     * @param leakage_frac Fraction of flow bypassing the cartridges
+     *     (gaps, cable paths); defaults to the SUT calibration such
+     *     that 400 CFM / 15 rows / 2-wide yields 6.35 CFM per socket.
+     */
+    FlowBudget(double total_cfm, int ducts, int sockets_per_zone,
+               double leakage_frac = 0.0);
+
+    /** Airflow through one duct after leakage. */
+    double ductCfm() const;
+
+    /** Airflow share attributed to a single socket. */
+    double perSocketCfm() const;
+
+    /** Flow shared by the sockets of one zone (= ductCfm). */
+    double zoneCfm() const { return ductCfm(); }
+
+    double totalCfm() const { return totalCfm_; }
+    int ducts() const { return ducts_; }
+    int socketsPerZone() const { return socketsPerZone_; }
+    double leakageFrac() const { return leakageFrac_; }
+
+    /**
+     * SUT budget from Table III: 400 CFM total, 15 row ducts, 2
+     * sockets per zone, leakage calibrated to per-socket 6.35 CFM.
+     */
+    static FlowBudget sutBudget();
+
+  private:
+    double totalCfm_;
+    int ducts_;
+    int socketsPerZone_;
+    double leakageFrac_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_AIRFLOW_FLOW_BUDGET_HH

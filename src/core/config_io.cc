@@ -1,0 +1,271 @@
+#include "core/config_io.hh"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    std::size_t used = 0;
+    double out = 0.0;
+    try {
+        out = std::stod(value, &used);
+    } catch (const std::exception &) {
+        fatal("config: cannot parse '", value, "' for key '", key,
+              "'");
+    }
+    if (used != value.size())
+        fatal("config: trailing junk in '", value, "' for key '", key,
+              "'");
+    return out;
+}
+
+int
+parseInt(const std::string &key, const std::string &value)
+{
+    const double d = parseDouble(key, value);
+    const int i = static_cast<int>(d);
+    if (static_cast<double>(i) != d)
+        fatal("config: key '", key, "' needs an integer, got '", value,
+              "'");
+    return i;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    fatal("config: key '", key, "' needs a boolean, got '", value,
+          "'");
+}
+
+WorkloadSet
+parseWorkload(const std::string &key, const std::string &value)
+{
+    for (WorkloadSet set : allWorkloadSets()) {
+        if (value == workloadSetName(set))
+            return set;
+    }
+    fatal("config: key '", key, "' needs one of Computation/GP/"
+          "Storage, got '",
+          value, "'");
+}
+
+/** One settable key: apply and serialize. */
+struct KeyOps
+{
+    std::function<void(SimConfig &, const std::string &,
+                       const std::string &)>
+        apply;
+    std::function<std::string(const SimConfig &)> print;
+};
+
+const std::map<std::string, KeyOps> &
+keyTable()
+{
+    auto dbl = [](double SimConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.*field = parseDouble(k, v);
+            },
+            [field](const SimConfig &c) {
+                std::ostringstream os;
+                os << c.*field;
+                return os.str();
+            },
+        };
+    };
+    auto intf = [](int SimConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) { c.*field = parseInt(k, v); },
+            [field](const SimConfig &c) {
+                return std::to_string(c.*field);
+            },
+        };
+    };
+    auto boolf = [](bool SimConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.*field = parseBool(k, v);
+            },
+            [field](const SimConfig &c) {
+                return c.*field ? "true" : "false";
+            },
+        };
+    };
+    auto topo_int = [](int TopologySpec::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.topo.*field = parseInt(k, v);
+            },
+            [field](const SimConfig &c) {
+                return std::to_string(c.topo.*field);
+            },
+        };
+    };
+    auto topo_dbl = [](double TopologySpec::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.topo.*field = parseDouble(k, v);
+            },
+            [field](const SimConfig &c) {
+                std::ostringstream os;
+                os << c.topo.*field;
+                return os.str();
+            },
+        };
+    };
+    auto coup_dbl = [](double CouplingParams::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.coupling.*field = parseDouble(k, v);
+            },
+            [field](const SimConfig &c) {
+                std::ostringstream os;
+                os << c.coupling.*field;
+                return os.str();
+            },
+        };
+    };
+
+    static const std::map<std::string, KeyOps> table{
+        {"workload",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.workload = parseWorkload(k, v);
+          },
+          [](const SimConfig &c) {
+              return std::string(workloadSetName(c.workload));
+          }}},
+        {"load", dbl(&SimConfig::load)},
+        {"simTimeS", dbl(&SimConfig::simTimeS)},
+        {"warmupS", dbl(&SimConfig::warmupS)},
+        {"drainFactor", dbl(&SimConfig::drainFactor)},
+        {"pmEpochS", dbl(&SimConfig::pmEpochS)},
+        {"chipTauS", dbl(&SimConfig::chipTauS)},
+        {"socketTauS", dbl(&SimConfig::socketTauS)},
+        {"histTauS", dbl(&SimConfig::histTauS)},
+        {"tLimitC", dbl(&SimConfig::tLimitC)},
+        {"rIntCW", dbl(&SimConfig::rIntCW)},
+        {"gatedFracTdp", dbl(&SimConfig::gatedFracTdp)},
+        {"boostRefillRate", dbl(&SimConfig::boostRefillRate)},
+        {"boostBurstS", dbl(&SimConfig::boostBurstS)},
+        {"migrationEnabled", boolf(&SimConfig::migrationEnabled)},
+        {"migrationIntervalS", dbl(&SimConfig::migrationIntervalS)},
+        {"migrationCostS", dbl(&SimConfig::migrationCostS)},
+        {"migrationMinRemainingS",
+         dbl(&SimConfig::migrationMinRemainingS)},
+        {"migrationMaxPerPass", intf(&SimConfig::migrationMaxPerPass)},
+        {"fanPowerW", dbl(&SimConfig::fanPowerW)},
+        {"sensorNoiseC", dbl(&SimConfig::sensorNoiseC)},
+        {"sensorQuantC", dbl(&SimConfig::sensorQuantC)},
+        {"timelineSampleS", dbl(&SimConfig::timelineSampleS)},
+        {"warmStart", boolf(&SimConfig::warmStart)},
+        {"seed",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.seed = static_cast<std::uint64_t>(parseDouble(k, v));
+          },
+          [](const SimConfig &c) { return std::to_string(c.seed); }}},
+        {"topo.rows", topo_int(&TopologySpec::rows)},
+        {"topo.cartridgesPerRow",
+         topo_int(&TopologySpec::cartridgesPerRow)},
+        {"topo.zonesPerCartridge",
+         topo_int(&TopologySpec::zonesPerCartridge)},
+        {"topo.socketsPerZone", topo_int(&TopologySpec::socketsPerZone)},
+        {"topo.intraZoneSpacingInch",
+         topo_dbl(&TopologySpec::intraZoneSpacingInch)},
+        {"topo.interCartridgeGapInch",
+         topo_dbl(&TopologySpec::interCartridgeGapInch)},
+        {"topo.perSocketCfm", topo_dbl(&TopologySpec::perSocketCfm)},
+        {"topo.inletC", topo_dbl(&TopologySpec::inletC)},
+        {"coupling.mixFactor", coup_dbl(&CouplingParams::mixFactor)},
+        {"coupling.decayLengthInch",
+         coup_dbl(&CouplingParams::decayLengthInch)},
+        {"coupling.wakeFactor", coup_dbl(&CouplingParams::wakeFactor)},
+        {"coupling.kappaLocal", coup_dbl(&CouplingParams::kappaLocal)},
+        {"coupling.verticalLeak",
+         coup_dbl(&CouplingParams::verticalLeak)},
+    };
+    return table;
+}
+
+} // namespace
+
+void
+applyConfigKey(SimConfig &config, const std::string &key,
+               const std::string &value)
+{
+    const std::string k = trim(key);
+    const auto it = keyTable().find(k);
+    if (it == keyTable().end())
+        fatal("config: unknown key '", k, "'");
+    it->second.apply(config, k, trim(value));
+}
+
+void
+loadConfig(SimConfig &config, std::istream &in)
+{
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        const std::string body = trim(line);
+        if (body.empty())
+            continue;
+        const auto eq = body.find('=');
+        if (eq == std::string::npos)
+            fatal("config: line ", lineno, " is not 'key = value': '",
+                  body, "'");
+        applyConfigKey(config, body.substr(0, eq), body.substr(eq + 1));
+    }
+}
+
+void
+loadConfigFile(SimConfig &config, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open '", path, "'");
+    loadConfig(config, in);
+}
+
+std::string
+saveConfig(const SimConfig &config)
+{
+    std::ostringstream os;
+    os << "# densim simulation configuration\n";
+    for (const auto &[key, ops] : keyTable())
+        os << key << " = " << ops.print(config) << "\n";
+    return os.str();
+}
+
+} // namespace densim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text configuration I/O for SimConfig.
+ *
+ * Experiments should be reproducible from an artifact, not a command
+ * line lost to shell history. The format is line-oriented
+ * `key = value` with `#` comments; keys mirror the SimConfig field
+ * names (dotted for nested structs, e.g. `topo.rows`,
+ * `coupling.wakeFactor`). Unknown keys are fatal — a typo must not
+ * silently run the default experiment.
+ */
+
+#ifndef DENSIM_CORE_CONFIG_IO_HH
+#define DENSIM_CORE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/sim_config.hh"
+
+namespace densim {
+
+/**
+ * Apply one `key = value` assignment to @p config. Fatal on unknown
+ * keys or unparsable values. Returns the (trimmed) key applied.
+ */
+void applyConfigKey(SimConfig &config, const std::string &key,
+                    const std::string &value);
+
+/** Parse a config stream into @p config (on top of its defaults). */
+void loadConfig(SimConfig &config, std::istream &in);
+
+/** Parse a config file; fatal if it cannot be opened. */
+void loadConfigFile(SimConfig &config, const std::string &path);
+
+/** Serialize every supported key of @p config. */
+std::string saveConfig(const SimConfig &config);
+
+} // namespace densim
+
+#endif // DENSIM_CORE_CONFIG_IO_HH

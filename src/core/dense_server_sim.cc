@@ -1,0 +1,618 @@
+#include "core/dense_server_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "power/leakage.hh"
+#include "power/pstate.hh"
+#include "util/logging.hh"
+#include "workload/curves.hh"
+
+namespace densim {
+
+DenseServerSim::DenseServerSim(const SimConfig &sim_config,
+                               std::unique_ptr<Scheduler> sim_policy)
+    : config_(sim_config), topo_(sim_config.topo),
+      coupling_(topo_.sites(), sim_config.coupling),
+      peak_(sim_config.rIntCW),
+      pm_(PStateTable::x2150(), peak_, sim_config.tLimitC,
+          sim_config.gatedFracTdp),
+      leak_(LeakageModel::x2150()), policy_(std::move(sim_policy)),
+      policyRng_(sim_config.seed ^ 0xdeadbeefcafef00dULL),
+      sensorRng_(sim_config.seed ^ 0x5ca1ab1e0ddba11ULL)
+{
+    config_.validate();
+    if (!policy_)
+        fatal("DenseServerSim: no scheduling policy supplied");
+
+    const std::size_t n = topo_.numSockets();
+    isFront_.resize(n);
+    isEven_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        isFront_[s] = topo_.inFrontHalf(s);
+        isEven_[s] = topo_.inEvenZone(s);
+    }
+    zoneSockets_.resize(topo_.zonesPerRow());
+    for (std::size_t s = 0; s < n; ++s)
+        zoneSockets_[topo_.zoneIndexOf(s)].push_back(s);
+}
+
+DenseServerSim::~DenseServerSim() = default;
+
+double
+DenseServerSim::rateOf(std::size_t socket) const
+{
+    // Progress is measured in nominal (highest-sustained-frequency)
+    // seconds: boost states advance a job faster than 1x. This is the
+    // design point of the SUT — 100% load is exactly sustainable at
+    // 1500 MHz (Sec. III-D).
+    const SocketState &st = sockets_[socket];
+    const auto &curve = freqCurveFor(st.set);
+    const std::size_t sustained =
+        PStateTable::x2150().highestSustainedIndex();
+    return curve.perfRel[st.pstate] / curve.perfRel[sustained];
+}
+
+double
+DenseServerSim::relFreqOf(std::size_t socket) const
+{
+    return PStateTable::x2150().relativeFreq(sockets_[socket].pstate);
+}
+
+void
+DenseServerSim::resetState()
+{
+    const std::size_t n = topo_.numSockets();
+    sockets_.assign(n, SocketState{});
+    powerW_.assign(n, pm_.gatedPower(leak_));
+    freqMhz_.assign(n, 0.0);
+    chipTempC_.assign(n, config_.topo.inletC);
+    sensedTempC_.assign(n, config_.topo.inletC);
+    histTempC_.assign(n, config_.topo.inletC);
+    runningSet_.assign(n, config_.workload);
+    busyFlag_.assign(n, false);
+
+    ambTracker_.clear();
+    chipRise_.clear();
+    histTracker_.clear();
+    ambTracker_.reserve(n);
+    chipRise_.reserve(n);
+    histTracker_.reserve(n);
+    const double gated = pm_.gatedPower(leak_);
+    const std::vector<double> amb0 =
+        coupling_.ambientTemps(powerW_, config_.topo.inletC);
+    ambientC_ = amb0;
+    for (std::size_t s = 0; s < n; ++s) {
+        const HeatSink &sink = topo_.sinkOf(s);
+        ambTracker_.emplace_back(config_.socketTauS, amb0[s]);
+        chipRise_.emplace_back(config_.chipTauS,
+                               gated * (peak_.rInt() + sink.rExt) +
+                                   sink.theta(gated));
+        chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
+        histTracker_.emplace_back(config_.histTauS, chipTempC_[s]);
+        histTempC_[s] = chipTempC_[s];
+    }
+
+    boostCreditS_.assign(n, config_.boostBurstS);
+
+    queue_.clear();
+    metrics_ = SimMetrics{};
+    decisions_ = 0;
+    tCursor_ = 0.0;
+    nextSampleS_ = 0.0;
+    policy_->reset();
+    policyRng_ = Rng(config_.seed ^ 0xdeadbeefcafef00dULL);
+    sensorRng_ = Rng(config_.seed ^ 0x5ca1ab1e0ddba11ULL);
+    rebuildScalars();
+}
+
+void
+DenseServerSim::warmStart()
+{
+    // Expected average socket power at the configured load: busy at
+    // the highest sustained frequency a fraction `load` of the time,
+    // gated otherwise. The slow (30 s) ambient field is set to the
+    // coupling-map steady state of that power field so short runs
+    // start in a representative thermal regime.
+    const auto &curve = freqCurveFor(config_.workload);
+    const std::size_t sustained =
+        PStateTable::x2150().highestSustainedIndex();
+    const double busy_power = curve.totalPowerAt90C[sustained];
+    const double gated = pm_.gatedPower(leak_);
+    const double expected =
+        config_.load * busy_power + (1.0 - config_.load) * gated;
+
+    const std::size_t n = topo_.numSockets();
+    const std::vector<double> amb = coupling_.ambientTemps(
+        std::vector<double>(n, expected), config_.topo.inletC);
+    for (std::size_t s = 0; s < n; ++s) {
+        ambTracker_[s].reset(amb[s]);
+        ambientC_[s] = amb[s];
+        const double chip = ambientC_[s] + chipRise_[s].value();
+        histTracker_[s].reset(chip);
+        chipTempC_[s] = chip;
+        histTempC_[s] = chip;
+    }
+}
+
+SimMetrics
+DenseServerSim::run()
+{
+    JobGenerator gen(config_.workload, config_.load,
+                     static_cast<int>(topo_.numSockets()), config_.seed);
+    return runJobs(gen.generateUntil(config_.simTimeS));
+}
+
+SimMetrics
+DenseServerSim::run(const std::vector<Job> &jobs)
+{
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+        if (jobs[i].arrivalS < jobs[i - 1].arrivalS)
+            fatal("DenseServerSim: job arrivals must be sorted");
+    }
+    return runJobs(jobs);
+}
+
+SimMetrics
+DenseServerSim::runJobs(const std::vector<Job> &jobs)
+{
+    resetState();
+    if (config_.warmStart)
+        warmStart();
+
+    const double epoch = config_.pmEpochS;
+    const double hard_stop = config_.simTimeS * config_.drainFactor;
+    std::size_t next_job = 0;
+
+    double t0 = 0.0;
+    while (t0 < hard_stop) {
+        const bool arrivals_left = next_job < jobs.size();
+        if (!arrivals_left && queue_.empty() && busyTotal_ == 0)
+            break;
+
+        thermalStep(epoch);
+        if (config_.timelineSampleS > 0.0 && t0 >= nextSampleS_) {
+            metrics_.timelineS.push_back(t0);
+            std::vector<double> zones;
+            zones.reserve(zoneSockets_.size());
+            for (const auto &members : zoneSockets_) {
+                double acc = 0.0;
+                for (std::size_t s : members)
+                    acc += ambientC_[s];
+                zones.push_back(acc /
+                                static_cast<double>(members.size()));
+            }
+            metrics_.zoneAmbientC.push_back(std::move(zones));
+            nextSampleS_ += config_.timelineSampleS;
+        }
+        powerManage(t0);
+        if (config_.migrationEnabled) {
+            const auto stride = static_cast<std::size_t>(
+                config_.migrationIntervalS / epoch);
+            const auto tick =
+                static_cast<std::size_t>(t0 / epoch + 0.5);
+            if (stride <= 1 || tick % stride == 0)
+                attemptMigrations(t0);
+        }
+        processWindow(jobs, next_job, t0, t0 + epoch);
+        t0 += epoch;
+    }
+    accumulate(t0);
+
+    metrics_.measuredS = std::max(t0 - config_.warmupS, 0.0);
+    metrics_.jobsUnfinished = queue_.size() + busyTotal_;
+    return metrics_;
+}
+
+void
+DenseServerSim::thermalStep(double dt)
+{
+    // The ambient field lags the power field with the 30 s socket
+    // time constant; the chip's own Eq. (1) rise follows with the
+    // 5 ms chip time constant.
+    const std::vector<double> targets =
+        coupling_.ambientTemps(powerW_, config_.topo.inletC);
+    const std::size_t n = topo_.numSockets();
+    const bool measure = tCursor_ >= config_.warmupS;
+    for (std::size_t s = 0; s < n; ++s) {
+        // Boost-dwell accounting: drain while boosting, refill
+        // otherwise (busy-sustained or idle).
+        if (busyFlag_[s] && sockets_[s].boost) {
+            boostCreditS_[s] = std::max(0.0, boostCreditS_[s] - dt);
+        } else {
+            boostCreditS_[s] =
+                std::min(config_.boostBurstS,
+                         boostCreditS_[s] +
+                             config_.boostRefillRate * dt);
+        }
+        const HeatSink &sink = topo_.sinkOf(s);
+        const double p = powerW_[s];
+        ambientC_[s] = ambTracker_[s].step(targets[s], dt);
+        chipRise_[s].step(
+            p * (peak_.rInt() + sink.rExt) + sink.theta(p), dt);
+        chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
+        // What the scheduler's sensor reports: noisy, quantized.
+        double sensed = chipTempC_[s];
+        if (config_.sensorNoiseC > 0.0)
+            sensed += sensorRng_.normal(0.0, config_.sensorNoiseC);
+        if (config_.sensorQuantC > 0.0) {
+            sensed = config_.sensorQuantC *
+                     std::floor(sensed / config_.sensorQuantC + 0.5);
+        }
+        sensedTempC_[s] = sensed;
+        histTempC_[s] = histTracker_[s].step(sensed, dt);
+        if (measure && busyFlag_[s]) {
+            metrics_.chipTempC.add(chipTempC_[s]);
+            metrics_.maxChipTempC =
+                std::max(metrics_.maxChipTempC, chipTempC_[s]);
+        }
+    }
+}
+
+void
+DenseServerSim::powerManage(double now)
+{
+    const std::size_t n = topo_.numSockets();
+    bool changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (!busyFlag_[s])
+            continue;
+        syncProgress(s, now);
+        const std::size_t cap =
+            boostCreditS_[s] > 0.0
+                ? PStateTable::x2150().size() - 1
+                : PStateTable::x2150().highestSustainedIndex();
+        const DvfsDecision d = pm_.chooseAtAmbientCapped(
+            freqCurveFor(sockets_[s].set), leak_, ambientC_[s],
+            topo_.sinkOf(s), cap);
+        setSocketRate(s, d.pstate, d.powerW, now);
+        changed = true;
+    }
+    if (changed)
+        rebuildScalars();
+}
+
+void
+DenseServerSim::processWindow(const std::vector<Job> &jobs,
+                              std::size_t &next_job, double t0, double t1)
+{
+    (void)t0;
+    const double inf = std::numeric_limits<double>::infinity();
+    for (;;) {
+        const double next_arrival =
+            next_job < jobs.size() ? jobs[next_job].arrivalS : inf;
+
+        double next_completion = inf;
+        std::size_t completing = 0;
+        for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
+            if (busyFlag_[s] &&
+                sockets_[s].completionS < next_completion) {
+                next_completion = sockets_[s].completionS;
+                completing = s;
+            }
+        }
+
+        const double t_event = std::min(next_arrival, next_completion);
+        if (t_event >= t1) {
+            accumulate(t1);
+            return;
+        }
+        accumulate(std::max(t_event, tCursor_));
+
+        if (next_completion <= next_arrival) {
+            completeJob(completing, next_completion);
+        } else {
+            ++metrics_.jobsArrived;
+            queue_.push_back(jobs[next_job]);
+            ++next_job;
+            tryScheduleQueue(next_arrival);
+        }
+    }
+}
+
+void
+DenseServerSim::syncProgress(std::size_t socket, double now)
+{
+    SocketState &st = sockets_[socket];
+    if (!st.busy)
+        return;
+    const double dt = now - st.lastSyncS;
+    if (dt > 0.0) {
+        st.remainingS =
+            std::max(0.0, st.remainingS - dt * rateOf(socket));
+        st.lastSyncS = now;
+    }
+}
+
+void
+DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
+                              double power_w, double now)
+{
+    SocketState &st = sockets_[socket];
+    st.pstate = new_pstate;
+    st.boost = PStateTable::x2150().at(new_pstate).boost;
+    freqMhz_[socket] = PStateTable::x2150().at(new_pstate).freqMhz;
+    powerW_[socket] = power_w;
+    const double rate = rateOf(socket);
+    if (rate <= 0.0)
+        panic("socket ", socket, " has non-positive progress rate");
+    st.completionS = now + st.remainingS / rate;
+}
+
+void
+DenseServerSim::setIdlePower(std::size_t socket)
+{
+    powerW_[socket] = pm_.gatedPower(leak_);
+    freqMhz_[socket] = 0.0;
+}
+
+void
+DenseServerSim::tryScheduleQueue(double now)
+{
+    bool placed = false;
+    while (!queue_.empty()) {
+        std::vector<std::size_t> idle;
+        idle.reserve(topo_.numSockets() - busyTotal_);
+        for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
+            if (!busyFlag_[s])
+                idle.push_back(s);
+        }
+        if (idle.empty())
+            break;
+
+        SchedContext ctx;
+        ctx.topo = &topo_;
+        ctx.coupling = &coupling_;
+        ctx.pm = &pm_;
+        ctx.leak = &leak_;
+        ctx.inletC = config_.topo.inletC;
+        ctx.idle = &idle;
+        ctx.chipTempC = &sensedTempC_;
+        ctx.histTempC = &histTempC_;
+        ctx.ambientC = &ambientC_;
+        ctx.boostCreditS = &boostCreditS_;
+        ctx.powerW = &powerW_;
+        ctx.freqMhz = &freqMhz_;
+        ctx.runningSet = &runningSet_;
+        ctx.busy = &busyFlag_;
+        ctx.rng = &policyRng_;
+
+        const Job &job = queue_.front();
+        const std::size_t pick = policy_->pick(job, ctx);
+        ++decisions_;
+        if (pick >= topo_.numSockets() || busyFlag_[pick])
+            panic("policy '", policy_->name(),
+                  "' picked an invalid socket ", pick);
+        placeJob(pick, job, now);
+        queue_.pop_front();
+        placed = true;
+    }
+    if (placed)
+        rebuildScalars();
+}
+
+void
+DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
+{
+    SocketState &st = sockets_[socket];
+    st.busy = true;
+    st.set = job.set;
+    st.benchmark = job.benchmark;
+    st.arrivalS = job.arrivalS;
+    st.startS = now;
+    st.nominalS = job.nominalS;
+    st.remainingS = job.nominalS;
+    st.lastSyncS = now;
+    busyFlag_[socket] = true;
+    runningSet_[socket] = job.set;
+
+    // A freshly placed job gets its frequency immediately (the power
+    // manager would confirm it within at most one epoch anyway).
+    const std::size_t cap =
+        boostCreditS_[socket] > 0.0
+            ? PStateTable::x2150().size() - 1
+            : PStateTable::x2150().highestSustainedIndex();
+    const DvfsDecision d = pm_.chooseAtAmbientCapped(
+        freqCurveFor(job.set), leak_, ambientC_[socket],
+        topo_.sinkOf(socket), cap);
+    setSocketRate(socket, d.pstate, d.powerW, now);
+
+    if (job.arrivalS >= config_.warmupS)
+        metrics_.queueDelayS.add(now - job.arrivalS);
+}
+
+void
+DenseServerSim::completeJob(std::size_t socket, double now)
+{
+    SocketState &st = sockets_[socket];
+    syncProgress(socket, now);
+    if (st.arrivalS >= config_.warmupS) {
+        ++metrics_.jobsCompleted;
+        metrics_.runtimeExpansion.add((now - st.arrivalS) /
+                                      st.nominalS);
+        metrics_.serviceExpansion.add((now - st.startS) / st.nominalS);
+    }
+    metrics_.makespanS = now;
+
+    st.busy = false;
+    busyFlag_[socket] = false;
+    setIdlePower(socket);
+    rebuildScalars();
+    tryScheduleQueue(now);
+}
+
+void
+DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
+{
+    SocketState &src = sockets_[from];
+    SocketState &dst = sockets_[to];
+
+    dst = src;
+    dst.lastSyncS = now;
+    // The move costs work: checkpoint/transfer/warm-up, expressed in
+    // nominal seconds.
+    dst.remainingS += config_.migrationCostS;
+    busyFlag_[to] = true;
+    runningSet_[to] = dst.set;
+
+    src = SocketState{};
+    busyFlag_[from] = false;
+    setIdlePower(from);
+
+    const std::size_t cap =
+        boostCreditS_[to] > 0.0
+            ? PStateTable::x2150().size() - 1
+            : PStateTable::x2150().highestSustainedIndex();
+    const DvfsDecision d = pm_.chooseAtAmbientCapped(
+        freqCurveFor(dst.set), leak_, ambientC_[to], topo_.sinkOf(to),
+        cap);
+    setSocketRate(to, d.pstate, d.powerW, now);
+    ++metrics_.migrations;
+}
+
+void
+DenseServerSim::attemptMigrations(double now)
+{
+    // Move long-running, throttled jobs to sockets where the active
+    // policy would place them now — if that destination actually runs
+    // faster. This is the paper's Sec. VI suggestion of reusing the
+    // placement policy for migration decisions.
+    const std::size_t sustained =
+        PStateTable::x2150().highestSustainedIndex();
+    int moved = 0;
+    bool changed = false;
+    for (std::size_t s = 0;
+         s < topo_.numSockets() && moved < config_.migrationMaxPerPass;
+         ++s) {
+        if (!busyFlag_[s] || sockets_[s].pstate >= sustained)
+            continue;
+        syncProgress(s, now);
+        if (sockets_[s].remainingS < config_.migrationMinRemainingS)
+            continue;
+
+        std::vector<std::size_t> idle;
+        for (std::size_t i = 0; i < topo_.numSockets(); ++i) {
+            if (!busyFlag_[i])
+                idle.push_back(i);
+        }
+        if (idle.empty())
+            break;
+
+        SchedContext ctx;
+        ctx.topo = &topo_;
+        ctx.coupling = &coupling_;
+        ctx.pm = &pm_;
+        ctx.leak = &leak_;
+        ctx.inletC = config_.topo.inletC;
+        ctx.idle = &idle;
+        ctx.chipTempC = &sensedTempC_;
+        ctx.histTempC = &histTempC_;
+        ctx.ambientC = &ambientC_;
+        ctx.boostCreditS = &boostCreditS_;
+        ctx.powerW = &powerW_;
+        ctx.freqMhz = &freqMhz_;
+        ctx.runningSet = &runningSet_;
+        ctx.busy = &busyFlag_;
+        ctx.rng = &policyRng_;
+
+        Job remainder;
+        remainder.id = 0;
+        remainder.benchmark = sockets_[s].benchmark;
+        remainder.set = sockets_[s].set;
+        remainder.arrivalS = sockets_[s].arrivalS;
+        remainder.nominalS = sockets_[s].remainingS;
+        const std::size_t dest = policy_->pick(remainder, ctx);
+        if (dest >= topo_.numSockets() || busyFlag_[dest])
+            panic("policy '", policy_->name(),
+                  "' picked an invalid migration target ", dest);
+
+        const std::size_t cap =
+            boostCreditS_[dest] > 0.0
+                ? PStateTable::x2150().size() - 1
+                : sustained;
+        const DvfsDecision d = pm_.chooseAtAmbientCapped(
+            freqCurveFor(sockets_[s].set), leak_, ambientC_[dest],
+            topo_.sinkOf(dest), cap);
+        if (d.pstate <= sockets_[s].pstate)
+            continue; // Not actually faster there.
+
+        migrateJob(s, dest, now);
+        ++moved;
+        changed = true;
+    }
+    if (changed)
+        rebuildScalars();
+}
+
+void
+DenseServerSim::rebuildScalars()
+{
+    totalPowerW_ = 0.0;
+    workRateTotal_ = workRateFront_ = workRateBack_ = workRateEven_ =
+        0.0;
+    relFreqSumTotal_ = relFreqSumFront_ = relFreqSumBack_ =
+        relFreqSumEven_ = 0.0;
+    busyTotal_ = busyFront_ = busyBack_ = busyEven_ = busyBoost_ = 0;
+
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
+        totalPowerW_ += powerW_[s];
+        if (!busyFlag_[s])
+            continue;
+        const double rate = rateOf(s);
+        const double rel = relFreqOf(s);
+        ++busyTotal_;
+        workRateTotal_ += rate;
+        relFreqSumTotal_ += rel;
+        if (sockets_[s].boost)
+            ++busyBoost_;
+        if (isFront_[s]) {
+            ++busyFront_;
+            workRateFront_ += rate;
+            relFreqSumFront_ += rel;
+        } else {
+            ++busyBack_;
+            workRateBack_ += rate;
+            relFreqSumBack_ += rel;
+        }
+        if (isEven_[s]) {
+            ++busyEven_;
+            workRateEven_ += rate;
+            relFreqSumEven_ += rel;
+        }
+    }
+}
+
+void
+DenseServerSim::accumulate(double to)
+{
+    // Split any interval straddling the warmup boundary so only the
+    // post-warmup part is measured.
+    if (tCursor_ < config_.warmupS)
+        tCursor_ = std::min(to, config_.warmupS);
+    const double dt = to - tCursor_;
+    if (dt <= 0.0)
+        return;
+    {
+        metrics_.energyJ += (totalPowerW_ + config_.fanPowerW) * dt;
+        metrics_.totalBusyTime += busyTotal_ * dt;
+        metrics_.totalFreqTime += relFreqSumTotal_ * dt;
+        metrics_.totalWork += workRateTotal_ * dt;
+        metrics_.boostTimeS += busyBoost_ * dt;
+
+        metrics_.front.busyTimeS += busyFront_ * dt;
+        metrics_.front.freqTime += relFreqSumFront_ * dt;
+        metrics_.front.workDone += workRateFront_ * dt;
+
+        metrics_.back.busyTimeS += busyBack_ * dt;
+        metrics_.back.freqTime += relFreqSumBack_ * dt;
+        metrics_.back.workDone += workRateBack_ * dt;
+
+        metrics_.even.busyTimeS += busyEven_ * dt;
+        metrics_.even.freqTime += relFreqSumEven_ * dt;
+        metrics_.even.workDone += workRateEven_ * dt;
+    }
+    tCursor_ = to;
+}
+
+} // namespace densim

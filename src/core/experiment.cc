@@ -1,0 +1,75 @@
+#include "core/experiment.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sched/factory.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    DenseServerSim sim(spec.config, makeScheduler(spec.scheduler));
+    RunResult result;
+    result.spec = spec;
+    result.metrics = sim.run();
+    return result;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<RunSpec> &specs, unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(threads, specs.size());
+
+    std::vector<RunResult> results(specs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            results[i] = runOne(specs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<RunSpec>
+makeGrid(const std::vector<std::string> &schedulers, WorkloadSet set,
+         const std::vector<double> &loads, const SimConfig &base)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(schedulers.size() * loads.size());
+    for (const std::string &scheduler : schedulers) {
+        for (double load : loads) {
+            RunSpec spec;
+            spec.scheduler = scheduler;
+            spec.config = base;
+            spec.config.workload = set;
+            spec.config.load = load;
+            specs.push_back(spec);
+        }
+    }
+    return specs;
+}
+
+std::map<std::string, std::map<double, SimMetrics>>
+indexResults(const std::vector<RunResult> &results)
+{
+    std::map<std::string, std::map<double, SimMetrics>> index;
+    for (const RunResult &r : results)
+        index[r.spec.scheduler][r.spec.config.load] = r.metrics;
+    return index;
+}
+
+} // namespace densim

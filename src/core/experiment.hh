@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment harness: run (scheduler x workload x load) grids, in
+ * parallel, and normalize against the CF baseline — the machinery
+ * behind the Fig. 11/13/14/15 benches.
+ */
+
+#ifndef DENSIM_CORE_EXPERIMENT_HH
+#define DENSIM_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dense_server_sim.hh"
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+
+namespace densim {
+
+/** One cell of an experiment grid. */
+struct RunSpec
+{
+    std::string scheduler;   //!< Policy name (factory.hh).
+    SimConfig config;        //!< Full configuration (load, set, ...).
+};
+
+/** Result of one cell. */
+struct RunResult
+{
+    RunSpec spec;
+    SimMetrics metrics;
+};
+
+/** Run one cell synchronously. */
+RunResult runOne(const RunSpec &spec);
+
+/**
+ * Run all cells, using up to @p threads worker threads (0 = hardware
+ * concurrency). Results are returned in input order; execution order
+ * is unspecified but each run is independently seeded and
+ * deterministic.
+ */
+std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
+                              unsigned threads = 0);
+
+/**
+ * Build the full grid of @p schedulers x @p loads for one workload
+ * set on a base configuration.
+ */
+std::vector<RunSpec> makeGrid(const std::vector<std::string> &schedulers,
+                              WorkloadSet set,
+                              const std::vector<double> &loads,
+                              const SimConfig &base);
+
+/**
+ * Index results as map[scheduler][load] for normalization against a
+ * baseline scheme.
+ */
+std::map<std::string, std::map<double, SimMetrics>>
+indexResults(const std::vector<RunResult> &results);
+
+} // namespace densim
+
+#endif // DENSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,50 @@
+#include "core/metrics.hh"
+
+#include "util/logging.hh"
+
+namespace densim {
+
+double
+SimMetrics::ed2() const
+{
+    const double d = runtimeExpansion.mean();
+    return energyJ * d * d;
+}
+
+double
+SimMetrics::avgRelFreq() const
+{
+    return totalBusyTime > 0.0 ? totalFreqTime / totalBusyTime : 0.0;
+}
+
+double
+SimMetrics::workFraction(const RegionMetrics &region) const
+{
+    return totalWork > 0.0 ? region.workDone / totalWork : 0.0;
+}
+
+double
+SimMetrics::boostFraction() const
+{
+    return totalBusyTime > 0.0 ? boostTimeS / totalBusyTime : 0.0;
+}
+
+double
+relativePerformance(const SimMetrics &scheme, const SimMetrics &baseline)
+{
+    const double re = scheme.runtimeExpansion.mean();
+    if (re <= 0.0)
+        fatal("relativePerformance: scheme completed no jobs");
+    return baseline.runtimeExpansion.mean() / re;
+}
+
+double
+relativeEd2(const SimMetrics &scheme, const SimMetrics &baseline)
+{
+    const double base = baseline.ed2();
+    if (base <= 0.0)
+        fatal("relativeEd2: baseline has no energy/delay data");
+    return scheme.ed2() / base;
+}
+
+} // namespace densim

@@ -1,0 +1,83 @@
+#include "core/metrics_io.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace densim {
+
+namespace {
+
+void
+field(std::ostringstream &os, const char *name, double value,
+      bool first = false)
+{
+    if (!first)
+        os << ",";
+    os << "\"" << name << "\":" << value;
+}
+
+void
+field(std::ostringstream &os, const char *name, std::size_t value)
+{
+    os << ",\"" << name << "\":" << value;
+}
+
+} // namespace
+
+std::string
+metricsToJson(const SimMetrics &m)
+{
+    std::ostringstream os;
+    os << std::setprecision(10) << "{";
+    field(os, "jobsArrived", static_cast<double>(m.jobsArrived), true);
+    field(os, "jobsCompleted", m.jobsCompleted);
+    field(os, "jobsUnfinished", m.jobsUnfinished);
+    field(os, "migrations", m.migrations);
+    field(os, "runtimeExpansionMean", m.runtimeExpansion.mean());
+    field(os, "runtimeExpansionMax", m.runtimeExpansion.max());
+    field(os, "serviceExpansionMean", m.serviceExpansion.mean());
+    field(os, "queueDelayMeanS", m.queueDelayS.mean());
+    field(os, "energyJ", m.energyJ);
+    field(os, "ed2", m.ed2());
+    field(os, "measuredS", m.measuredS);
+    field(os, "makespanS", m.makespanS);
+    field(os, "avgRelFreq", m.avgRelFreq());
+    field(os, "boostFraction", m.boostFraction());
+    field(os, "workFront", m.workFraction(m.front));
+    field(os, "workBack", m.workFraction(m.back));
+    field(os, "workEven", m.workFraction(m.even));
+    field(os, "freqFront", m.front.avgRelFreq());
+    field(os, "freqBack", m.back.avgRelFreq());
+    field(os, "chipTempMeanC", m.chipTempC.mean());
+    field(os, "maxChipTempC", m.maxChipTempC);
+    os << "}";
+    return os.str();
+}
+
+std::string
+metricsCsvHeader()
+{
+    return "scheduler,workload,load,jobsCompleted,runtimeExpansion,"
+           "serviceExpansion,energyJ,ed2,avgRelFreq,boostFraction,"
+           "workFront,workEven,freqFront,freqBack,maxChipTempC,"
+           "migrations";
+}
+
+std::string
+metricsToCsvRow(const std::string &scheduler,
+                const std::string &workload, double load,
+                const SimMetrics &m)
+{
+    std::ostringstream os;
+    os << std::setprecision(10) << scheduler << "," << workload << ","
+       << load << "," << m.jobsCompleted << ","
+       << m.runtimeExpansion.mean() << "," << m.serviceExpansion.mean()
+       << "," << m.energyJ << "," << m.ed2() << "," << m.avgRelFreq()
+       << "," << m.boostFraction() << "," << m.workFraction(m.front)
+       << "," << m.workFraction(m.even) << "," << m.front.avgRelFreq()
+       << "," << m.back.avgRelFreq() << "," << m.maxChipTempC << ","
+       << m.migrations;
+    return os.str();
+}
+
+} // namespace densim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Machine-readable export of simulation results: a JSON object per
+ * run and CSV rows for sweeps — what a downstream user pipes into
+ * their plotting stack.
+ */
+
+#ifndef DENSIM_CORE_METRICS_IO_HH
+#define DENSIM_CORE_METRICS_IO_HH
+
+#include <string>
+
+#include "core/metrics.hh"
+
+namespace densim {
+
+/** Serialize @p metrics as a single JSON object (no trailing \n). */
+std::string metricsToJson(const SimMetrics &metrics);
+
+/** Header row matching metricsToCsvRow(). */
+std::string metricsCsvHeader();
+
+/**
+ * One CSV row of the headline metrics, prefixed by the given
+ * scheduler/workload/load identification columns.
+ */
+std::string metricsToCsvRow(const std::string &scheduler,
+                            const std::string &workload, double load,
+                            const SimMetrics &metrics);
+
+} // namespace densim
+
+#endif // DENSIM_CORE_METRICS_IO_HH

@@ -1,0 +1,40 @@
+#include "core/sim_config.hh"
+
+#include "util/logging.hh"
+
+namespace densim {
+
+void
+SimConfig::validate() const
+{
+    if (load <= 0.0 || load > 1.0)
+        fatal("SimConfig: load ", load, " outside (0, 1]");
+    if (simTimeS <= 0.0)
+        fatal("SimConfig: simTimeS must be positive");
+    if (warmupS < 0.0 || warmupS >= simTimeS)
+        fatal("SimConfig: warmup ", warmupS,
+              " must lie inside the simulation window ", simTimeS);
+    if (drainFactor < 1.0)
+        fatal("SimConfig: drain factor must be >= 1");
+    if (pmEpochS <= 0.0 || chipTauS <= 0.0 || socketTauS <= 0.0 ||
+        histTauS <= 0.0) {
+        fatal("SimConfig: time constants must be positive");
+    }
+    if (tLimitC <= 0.0 || rIntCW <= 0.0)
+        fatal("SimConfig: thermal parameters must be positive");
+    if (gatedFracTdp < 0.0 || gatedFracTdp > 1.0)
+        fatal("SimConfig: gated power fraction outside [0, 1]");
+    if (boostRefillRate < 0.0 || boostBurstS < 0.0)
+        fatal("SimConfig: boost governor parameters must be "
+              "non-negative");
+    if (sensorNoiseC < 0.0 || sensorQuantC < 0.0)
+        fatal("SimConfig: sensor parameters must be non-negative");
+    if (fanPowerW < 0.0)
+        fatal("SimConfig: fan power must be non-negative");
+    if (migrationIntervalS <= 0.0 || migrationCostS < 0.0 ||
+        migrationMinRemainingS < 0.0 || migrationMaxPerPass < 0) {
+        fatal("SimConfig: invalid migration parameters");
+    }
+}
+
+} // namespace densim

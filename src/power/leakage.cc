@@ -1,0 +1,41 @@
+#include "power/leakage.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+LeakageModel::LeakageModel(double tdp_w, double frac_at_ref, double ref_c,
+                           double slope_per_c)
+    : tdpW_(tdp_w), refLeakW_(tdp_w * frac_at_ref), refC_(ref_c),
+      slopePerC_(slope_per_c)
+{
+    if (tdpW_ <= 0.0)
+        fatal("LeakageModel: TDP must be positive, got ", tdpW_);
+    if (frac_at_ref < 0.0 || frac_at_ref >= 1.0)
+        fatal("LeakageModel: leakage fraction ", frac_at_ref,
+              " outside [0, 1)");
+    if (slope_per_c < 0.0)
+        fatal("LeakageModel: negative temperature slope ", slope_per_c);
+}
+
+const LeakageModel &
+LeakageModel::x2150()
+{
+    static const LeakageModel model(22.0);
+    return model;
+}
+
+double
+LeakageModel::at(double t_c) const
+{
+    const double scaled =
+        refLeakW_ * (1.0 + slopePerC_ * (t_c - refC_));
+    // Leakage never vanishes entirely; floor at 20 % of the reference
+    // value (reached ~65 C below the reference, outside operating
+    // range anyway).
+    return std::max(scaled, 0.2 * refLeakW_);
+}
+
+} // namespace densim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Temperature-dependent leakage power.
+ *
+ * The paper's methodology (Sec. III-A) estimates leakage as 30 % of
+ * TDP at the 90 C characterization temperature and compensates power
+ * for chip temperature elsewhere. We model leakage as linear in
+ * temperature around that reference — adequate over the 50–95 C range
+ * the simulator operates in — with a floor at a small fraction of the
+ * reference value.
+ */
+
+#ifndef DENSIM_POWER_LEAKAGE_HH
+#define DENSIM_POWER_LEAKAGE_HH
+
+namespace densim {
+
+/** Leakage model anchored at a reference temperature. */
+class LeakageModel
+{
+  public:
+    /**
+     * @param tdp_w Socket TDP (X2150: 22 W).
+     * @param frac_at_ref Leakage as a fraction of TDP at the
+     *        reference temperature (paper: 0.30).
+     * @param ref_c Reference temperature (paper: 90 C).
+     * @param slope_per_c Relative leakage growth per Celsius
+     *        (typical planar bulk: ~1.2 %/C).
+     */
+    LeakageModel(double tdp_w, double frac_at_ref = 0.30,
+                 double ref_c = 90.0, double slope_per_c = 0.012);
+
+    /** X2150 leakage: 30 % of 22 W TDP at 90 C. */
+    static const LeakageModel &x2150();
+
+    /** Leakage power at chip temperature @p t_c. */
+    double at(double t_c) const;
+
+    /** Leakage at the reference temperature. */
+    double atRef() const { return refLeakW_; }
+
+    double tdp() const { return tdpW_; }
+    double refTemperature() const { return refC_; }
+
+  private:
+    double tdpW_;
+    double refLeakW_;
+    double refC_;
+    double slopePerC_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_POWER_LEAKAGE_HH

@@ -1,0 +1,192 @@
+#include "power/power_manager.hh"
+
+#include "util/logging.hh"
+
+namespace densim {
+
+PowerManager::PowerManager(const PStateTable &pstate_table,
+                           SimplePeakModel peak_model, double t_limit_c,
+                           double gated_frac_tdp)
+    : table_(pstate_table), peak_(peak_model), tLimitC_(t_limit_c),
+      gatedFracTdp_(gated_frac_tdp)
+{
+    if (tLimitC_ <= 0.0)
+        fatal("PowerManager: temperature limit must be positive, got ",
+              tLimitC_);
+    if (gatedFracTdp_ < 0.0 || gatedFracTdp_ > 1.0)
+        fatal("PowerManager: gated power fraction ", gatedFracTdp_,
+              " outside [0, 1]");
+}
+
+void
+PowerManager::checkCurve(const FreqCurve &curve) const
+{
+    if (curve.totalPowerAt90C.size() != table_.size() ||
+        curve.perfRel.size() != table_.size()) {
+        panic("FreqCurve has ", curve.totalPowerAt90C.size(), "/",
+              curve.perfRel.size(), " entries for ", table_.size(),
+              " P-states");
+    }
+}
+
+double
+PowerManager::dynamicPower(const FreqCurve &curve,
+                           const LeakageModel &leak, std::size_t i) const
+{
+    checkCurve(curve);
+    if (i >= table_.size())
+        panic("P-state index ", i, " out of range");
+    const double dyn =
+        curve.totalPowerAt90C[i] - leak.at(leak.refTemperature());
+    if (dyn < 0.0)
+        fatal("FreqCurve power at state ", i, " (",
+              curve.totalPowerAt90C[i],
+              " W) is below reference leakage (",
+              leak.at(leak.refTemperature()), " W)");
+    return dyn;
+}
+
+double
+PowerManager::totalPower(const FreqCurve &curve, const LeakageModel &leak,
+                         std::size_t i, double chip_c) const
+{
+    return dynamicPower(curve, leak, i) + leak.at(chip_c);
+}
+
+DvfsDecision
+PowerManager::chooseAtAmbient(const FreqCurve &curve,
+                              const LeakageModel &leak, double ambient_c,
+                              const HeatSink &sink) const
+{
+    return chooseAtAmbientCapped(curve, leak, ambient_c, sink,
+                                 table_.size() - 1);
+}
+
+DvfsDecision
+PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
+                                    const LeakageModel &leak,
+                                    double ambient_c,
+                                    const HeatSink &sink,
+                                    std::size_t max_pstate) const
+{
+    checkCurve(curve);
+    if (max_pstate >= table_.size())
+        panic("chooseAtAmbientCapped: max P-state ", max_pstate,
+              " out of range");
+    DvfsDecision decision{};
+    for (std::size_t idx = max_pstate + 1; idx-- > 0;) {
+        // Two-pass leakage compensation: estimate the peak at the
+        // 90 C-characterized power, correct leakage for the estimated
+        // temperature, and re-estimate.
+        const double p90 = curve.totalPowerAt90C[idx];
+        const double t1 = peak_.peak(ambient_c, p90, sink);
+        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double t2 = peak_.peak(ambient_c, p2, sink);
+        if (t2 <= tLimitC_ || idx == 0) {
+            decision.pstate = idx;
+            decision.freqMhz = table_.at(idx).freqMhz;
+            decision.powerW = p2;
+            decision.predictedPeakC = t2;
+            decision.feasible = t2 <= tLimitC_;
+            return decision;
+        }
+    }
+    panic("unreachable: P-state loop fell through");
+}
+
+DvfsDecision
+PowerManager::chooseSteady(const FreqCurve &curve,
+                           const LeakageModel &leak, double entry_c,
+                           double kappa_local,
+                           const HeatSink &sink) const
+{
+    checkCurve(curve);
+    DvfsDecision decision{};
+    for (std::size_t idx = table_.size(); idx-- > 0;) {
+        const double p90 = curve.totalPowerAt90C[idx];
+        // First pass: ambient from the 90 C-characterized power.
+        const double t1 =
+            peak_.peak(entry_c + kappa_local * p90, p90, sink);
+        // Second pass: leakage-corrected power, self-consistent
+        // ambient.
+        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double t2 =
+            peak_.peak(entry_c + kappa_local * p2, p2, sink);
+        if (t2 <= tLimitC_ || idx == 0) {
+            decision.pstate = idx;
+            decision.freqMhz = table_.at(idx).freqMhz;
+            decision.powerW = p2;
+            decision.predictedPeakC = t2;
+            decision.feasible = t2 <= tLimitC_;
+            return decision;
+        }
+    }
+    panic("unreachable: P-state loop fell through");
+}
+
+DvfsDecision
+PowerManager::chooseWithSinkState(const FreqCurve &curve,
+                                  const LeakageModel &leak,
+                                  double ambient_c, double sink_rise_c,
+                                  const HeatSink &sink) const
+{
+    checkCurve(curve);
+    const double base = ambient_c + sink_rise_c;
+    auto instant_peak = [&](double p) {
+        return base + p * peak_.rInt() + sink.theta(p);
+    };
+    DvfsDecision decision{};
+    for (std::size_t idx = table_.size(); idx-- > 0;) {
+        const double p90 = curve.totalPowerAt90C[idx];
+        const double t1 = instant_peak(p90);
+        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double t2 = instant_peak(p2);
+        if (t2 <= tLimitC_ || idx == 0) {
+            decision.pstate = idx;
+            decision.freqMhz = table_.at(idx).freqMhz;
+            decision.powerW = p2;
+            decision.predictedPeakC = t2;
+            decision.feasible = t2 <= tLimitC_;
+            return decision;
+        }
+    }
+    panic("unreachable: P-state loop fell through");
+}
+
+DvfsDecision
+PowerManager::chooseResponsive(const FreqCurve &curve,
+                               const LeakageModel &leak, double entry_c,
+                               double kappa_local, double sink_rise_c,
+                               const HeatSink &sink) const
+{
+    checkCurve(curve);
+    const double base = entry_c + sink_rise_c;
+    auto instant_peak = [&](double p) {
+        return base + kappa_local * p + p * peak_.rInt() +
+               sink.theta(p);
+    };
+    DvfsDecision decision{};
+    for (std::size_t idx = table_.size(); idx-- > 0;) {
+        const double p90 = curve.totalPowerAt90C[idx];
+        const double t1 = instant_peak(p90);
+        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double t2 = instant_peak(p2);
+        if (t2 <= tLimitC_ || idx == 0) {
+            decision.pstate = idx;
+            decision.freqMhz = table_.at(idx).freqMhz;
+            decision.powerW = p2;
+            decision.predictedPeakC = t2;
+            decision.feasible = t2 <= tLimitC_;
+            return decision;
+        }
+    }
+    panic("unreachable: P-state loop fell through");
+}
+
+double
+PowerManager::gatedPower(const LeakageModel &leak) const
+{
+    return gatedFracTdp_ * leak.tdp();
+}
+
+} // namespace densim

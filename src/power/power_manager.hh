@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Socket-level power management: DVFS under a temperature limit plus
+ * idle power gating.
+ *
+ * The paper's policy (Table III / Sec. III-D) emphasizes
+ * responsiveness: every 1 ms each socket is set to the highest
+ * frequency whose predicted peak temperature stays below the 95 C
+ * limit, with the two top states being opportunistic boost. Sockets
+ * idle for a whole power-management epoch are power gated and still
+ * draw 10 % of TDP.
+ *
+ * Frequency/power behaviour of the running job is supplied as a
+ * FreqCurve (per-P-state total power at the 90 C characterization
+ * point and relative performance), which the workload library
+ * provides per benchmark set (Fig. 7).
+ */
+
+#ifndef DENSIM_POWER_POWER_MANAGER_HH
+#define DENSIM_POWER_POWER_MANAGER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/leakage.hh"
+#include "power/pstate.hh"
+#include "thermal/heatsink.hh"
+#include "thermal/simple_peak_model.hh"
+
+namespace densim {
+
+/**
+ * Power and performance versus frequency for one workload class,
+ * indexed by P-state (same order as the PStateTable).
+ */
+struct FreqCurve
+{
+    std::vector<double> totalPowerAt90C; //!< W at chip temp 90 C.
+    std::vector<double> perfRel;         //!< Throughput vs fastest.
+};
+
+/** Outcome of a DVFS decision. */
+struct DvfsDecision
+{
+    std::size_t pstate;     //!< Chosen P-state index.
+    double freqMhz;         //!< Chosen frequency.
+    double powerW;          //!< Predicted total socket power.
+    double predictedPeakC;  //!< Predicted peak chip temperature.
+    bool feasible;          //!< False if even the slowest state
+                            //!< violates the limit (we still run at
+                            //!< the slowest state then).
+};
+
+/** DVFS + gating policy engine. */
+class PowerManager
+{
+  public:
+    /**
+     * @param table P-state table.
+     * @param peak Eq. (1) evaluator.
+     * @param t_limit_c Junction temperature limit (Table III: 95 C).
+     * @param gated_frac_tdp Power of a gated socket as a fraction of
+     *        TDP (paper: 0.10).
+     */
+    PowerManager(const PStateTable &table, SimplePeakModel peak,
+                 double t_limit_c = 95.0, double gated_frac_tdp = 0.10);
+
+    /**
+     * Pick the highest feasible P-state given the *current* socket
+     * ambient temperature, assuming the heatsink has fully soaked
+     * (steady P * (R_int + R_ext) rise) — a conservative decision
+     * used where no sink-state tracking exists.
+     */
+    DvfsDecision chooseAtAmbient(const FreqCurve &curve,
+                                 const LeakageModel &leak,
+                                 double ambient_c,
+                                 const HeatSink &sink) const;
+
+    /**
+     * chooseAtAmbient restricted to P-states at or below
+     * @p max_pstate — used by the boost-dwell governor: when a
+     * socket's boost-residency budget is exhausted the search is
+     * capped at the highest sustained state ([36]: a fully loaded
+     * X2150 sustains only the highest non-boost frequency).
+     */
+    DvfsDecision chooseAtAmbientCapped(const FreqCurve &curve,
+                                       const LeakageModel &leak,
+                                       double ambient_c,
+                                       const HeatSink &sink,
+                                       std::size_t max_pstate) const;
+
+    /**
+     * Pick the highest P-state whose *instantaneous* peak stays under
+     * the limit given the current ambient and the current heatsink
+     * thermal rise @p sink_rise_c (the slow 30 s state):
+     *
+     *   T = T_amb + sinkRise + P * R_int + theta(P, sink)
+     *
+     * This is the responsive per-epoch governor: a cold sink grants
+     * boost, and the socket throttles as the sink soaks toward
+     * P * R_ext.
+     */
+    DvfsDecision chooseWithSinkState(const FreqCurve &curve,
+                                     const LeakageModel &leak,
+                                     double ambient_c,
+                                     double sink_rise_c,
+                                     const HeatSink &sink) const;
+
+    /**
+     * The simulator's per-epoch governor: like chooseWithSinkState,
+     * but the ambient is decomposed into the upstream part
+     * @p entry_c plus the self-recirculation kappa * P, which depends
+     * on the candidate power and is therefore resolved inside the
+     * P-state search:
+     *
+     *   T(P) = entry + kappa * P + sinkRise + P * R_int + theta(P)
+     */
+    DvfsDecision chooseResponsive(const FreqCurve &curve,
+                                  const LeakageModel &leak,
+                                  double entry_c, double kappa_local,
+                                  double sink_rise_c,
+                                  const HeatSink &sink) const;
+
+    /**
+     * Pick the highest feasible P-state for the *steady state* a job
+     * would reach on a socket whose air entry temperature is
+     * @p entry_c, accounting for the local-recirculation ambient rise
+     * kappa * P. This is the prediction the Predictive and
+     * CouplingPredictor schedulers use (Sec. IV-C: estimate
+     * temperature, compensate leakage, re-estimate).
+     */
+    DvfsDecision chooseSteady(const FreqCurve &curve,
+                              const LeakageModel &leak, double entry_c,
+                              double kappa_local,
+                              const HeatSink &sink) const;
+
+    /** Total power at state @p i for chip temperature @p chip_c. */
+    double totalPower(const FreqCurve &curve, const LeakageModel &leak,
+                      std::size_t i, double chip_c) const;
+
+    /** Dynamic (leakage-free) power at state @p i. */
+    double dynamicPower(const FreqCurve &curve,
+                        const LeakageModel &leak, std::size_t i) const;
+
+    /** Power drawn by a power-gated idle socket. */
+    double gatedPower(const LeakageModel &leak) const;
+
+    const PStateTable &pstates() const { return table_; }
+    double temperatureLimit() const { return tLimitC_; }
+    const SimplePeakModel &peakModel() const { return peak_; }
+
+  private:
+    void checkCurve(const FreqCurve &curve) const;
+
+    const PStateTable &table_;
+    SimplePeakModel peak_;
+    double tLimitC_;
+    double gatedFracTdp_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_POWER_POWER_MANAGER_HH

@@ -1,0 +1,49 @@
+#include "sched/adaptive_random.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+AdaptiveRandom::AdaptiveRandom(double band_c) : bandC_(band_c)
+{
+    if (bandC_ < 0.0)
+        fatal("AdaptiveRandom: band must be non-negative, got ", bandC_);
+}
+
+std::size_t
+AdaptiveRandom::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    const auto &now = *ctx.chipTempC;
+    const auto &hist = *ctx.histTempC;
+
+    double min_now = std::numeric_limits<double>::infinity();
+    for (std::size_t s : *ctx.idle)
+        min_now = std::min(min_now, now[s]);
+
+    double min_hist = std::numeric_limits<double>::infinity();
+    for (std::size_t s : *ctx.idle) {
+        if (now[s] <= min_now + bandC_)
+            min_hist = std::min(min_hist, hist[s]);
+    }
+
+    std::size_t n = 0;
+    for (std::size_t s : *ctx.idle) {
+        if (now[s] <= min_now + bandC_ && hist[s] <= min_hist + bandC_)
+            ++n;
+    }
+    std::size_t chosen = ctx.rng->nextBounded(n);
+    for (std::size_t s : *ctx.idle) {
+        if (now[s] <= min_now + bandC_ &&
+            hist[s] <= min_hist + bandC_) {
+            if (chosen == 0)
+                return s;
+            --chosen;
+        }
+    }
+    panic("A-Random candidate scan fell through");
+}
+
+} // namespace densim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Adaptive-Random (A-Random) [54] (Sec. IV-A): a CF variant with
+ * memory. Among the idle sockets whose instantaneous temperature is
+ * within a small band of the minimum, restrict further to those whose
+ * *historical* (exponentially averaged) temperature is near-minimal —
+ * weeding out locations that are consistently hot — and pick randomly
+ * within that set.
+ */
+
+#ifndef DENSIM_SCHED_ADAPTIVE_RANDOM_HH
+#define DENSIM_SCHED_ADAPTIVE_RANDOM_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Adaptive-random policy. */
+class AdaptiveRandom : public Scheduler
+{
+  public:
+    /**
+     * @param band_c Temperature band (C) counted as a tie for both
+     *        the instantaneous and historical filters.
+     */
+    explicit AdaptiveRandom(double band_c = 1.0);
+
+    const char *name() const override { return "A-Random"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+
+  private:
+    double bandC_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_ADAPTIVE_RANDOM_HH

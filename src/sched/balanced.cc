@@ -1,0 +1,42 @@
+#include "sched/balanced.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace densim {
+
+Balanced::Balanced(double row_pitch_inch) : rowPitchInch_(row_pitch_inch)
+{
+}
+
+std::size_t
+Balanced::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    const auto &topo = *ctx.topo;
+    const auto &temp = *ctx.chipTempC;
+
+    // Locate the hottest point in the server (busy or not).
+    std::size_t hottest = 0;
+    for (std::size_t s = 1; s < temp.size(); ++s) {
+        if (temp[s] > temp[hottest])
+            hottest = s;
+    }
+    const double hx = topo.streamPosOf(hottest);
+    const double hy = topo.rowOf(hottest) * rowPitchInch_;
+
+    double best_dist = -1.0;
+    std::size_t best = (*ctx.idle)[0];
+    for (std::size_t s : *ctx.idle) {
+        const double dx = topo.streamPosOf(s) - hx;
+        const double dy = topo.rowOf(s) * rowPitchInch_ - hy;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist > best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace densim

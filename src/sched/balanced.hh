@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Balanced scheduling [54][55] (Sec. IV-A): maintain a uniform
+ * temperature profile by scheduling work away from hot spots — the
+ * job goes to the idle socket physically furthest from the hottest
+ * point in the server.
+ */
+
+#ifndef DENSIM_SCHED_BALANCED_HH
+#define DENSIM_SCHED_BALANCED_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Balanced (hot-spot avoiding) policy. */
+class Balanced : public Scheduler
+{
+  public:
+    /**
+     * @param row_pitch_inch Vertical distance between adjacent row
+     *        ducts, used in the distance metric (15 rows in a 4U
+     *        chassis: ~0.47 in).
+     */
+    explicit Balanced(double row_pitch_inch = 0.47);
+
+    const char *name() const override { return "Balanced"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+
+  private:
+    double rowPitchInch_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_BALANCED_HH

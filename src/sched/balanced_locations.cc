@@ -1,0 +1,18 @@
+#include "sched/balanced_locations.hh"
+
+namespace densim {
+
+std::size_t
+BalancedLocations::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    if (cachedFor_ != ctx.topo) {
+        pos_.resize(ctx.topo->numSockets());
+        for (std::size_t s = 0; s < pos_.size(); ++s)
+            pos_[s] = ctx.topo->streamPosOf(s);
+        cachedFor_ = ctx.topo;
+    }
+    return pickMinBy(ctx, pos_, 1e-9, true);
+}
+
+} // namespace densim

@@ -1,0 +1,12 @@
+#include "sched/coolest_first.hh"
+
+namespace densim {
+
+std::size_t
+CoolestFirst::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    return pickMinBy(ctx, *ctx.chipTempC, 1e-9, false);
+}
+
+} // namespace densim

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Coolest First (CF) — the classic data-center temperature-aware
+ * policy [63][76][80]: place the job on the idle socket with the
+ * lowest instantaneous chip temperature, adding heat to cool areas.
+ * The baseline all the paper's results are normalized against.
+ */
+
+#ifndef DENSIM_SCHED_COOLEST_FIRST_HH
+#define DENSIM_SCHED_COOLEST_FIRST_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Coolest First policy. */
+class CoolestFirst : public Scheduler
+{
+  public:
+    const char *name() const override { return "CF"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_COOLEST_FIRST_HH

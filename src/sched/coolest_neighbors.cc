@@ -1,0 +1,43 @@
+#include "sched/coolest_neighbors.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+std::size_t
+CoolestNeighbors::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    const auto &topo = *ctx.topo;
+    const auto &temp = *ctx.chipTempC;
+
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best = (*ctx.idle)[0];
+    for (std::size_t s : *ctx.idle) {
+        const int row = topo.rowOf(s);
+        const int zone = topo.zoneIndexOf(s);
+        double acc = 0.0;
+        int count = 0;
+        for (std::size_t other : topo.socketsInRow(row)) {
+            if (other == s)
+                continue;
+            const int dz = topo.zoneIndexOf(other) - zone;
+            // Same-zone partner or directly adjacent zone.
+            if (dz >= -1 && dz <= 1) {
+                acc += temp[other];
+                ++count;
+            }
+        }
+        const double score =
+            temp[s] + (count ? acc / count : 0.0);
+        if (score < best_score) {
+            best_score = score;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace densim

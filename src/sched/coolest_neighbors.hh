@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Coolest Neighbors (CN) [54] (Sec. IV-A): a chip-level CF variant
+ * that scores each candidate by its own temperature plus the mean
+ * temperature of its physical neighbours, accounting for lateral
+ * heat transfer. Neighbours of a socket are its same-zone partner(s)
+ * and the sockets one zone up/downstream in the same row.
+ */
+
+#ifndef DENSIM_SCHED_COOLEST_NEIGHBORS_HH
+#define DENSIM_SCHED_COOLEST_NEIGHBORS_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Coolest-neighbors policy. */
+class CoolestNeighbors : public Scheduler
+{
+  public:
+    const char *name() const override { return "CN"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_COOLEST_NEIGHBORS_HH

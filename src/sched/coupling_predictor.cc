@@ -1,0 +1,89 @@
+#include "sched/coupling_predictor.hh"
+
+#include <limits>
+
+#include "sched/prediction.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+CouplingPredictor::CouplingPredictor(double downstream_weight,
+                                     bool global_search)
+    : downstreamWeight_(downstream_weight), globalSearch_(global_search)
+{
+    if (downstreamWeight_ < 0.0)
+        fatal("CouplingPredictor: downstream weight must be "
+              "non-negative, got ",
+              downstreamWeight_);
+}
+
+std::size_t
+CouplingPredictor::pickWithin(const Job &job, const SchedContext &ctx,
+                              const std::vector<std::size_t> &candidates)
+{
+    double best_score = -std::numeric_limits<double>::infinity();
+    double best_peak = std::numeric_limits<double>::infinity();
+    std::size_t best = candidates[0];
+    std::size_t n_best = 0;
+    for (std::size_t s : candidates) {
+        const DvfsDecision d = predictPlacement(ctx, s, job.set);
+        const double penalty =
+            downstreamWeight_ == 0.0
+                ? 0.0
+                : downstreamWeight_ *
+                      downstreamPenaltyMhz(ctx, s, d.powerW);
+        const double score = d.freqMhz - penalty;
+        // Primary: net frequency benefit. Secondary: most thermal
+        // headroom (the placement keeps its frequency longest).
+        // Remaining ties: uniform random.
+        if (score > best_score + 1e-9 ||
+            (score > best_score - 1e-9 &&
+             d.predictedPeakC < best_peak - 1e-9)) {
+            best_score = score;
+            best_peak = d.predictedPeakC;
+            best = s;
+            n_best = 1;
+        } else if (score > best_score - 1e-9 &&
+                   d.predictedPeakC < best_peak + 1e-9) {
+            ++n_best;
+            if (ctx.rng->nextBounded(n_best) == 0)
+                best = s;
+        }
+    }
+    return best;
+}
+
+std::size_t
+CouplingPredictor::pick(const Job &job, const SchedContext &ctx)
+{
+    if (globalSearch_)
+        return pickWithin(job, ctx, *ctx.idle);
+
+    // Paper mechanics: choose a row with idle sockets at random, then
+    // evaluate only that row's idle sockets.
+    const auto &idle = *ctx.idle;
+    std::vector<int> rows;
+    rows.reserve(8);
+    int last_row = -1;
+    for (std::size_t s : idle) {
+        const int row = ctx.topo->rowOf(s);
+        if (row != last_row) {
+            // Idle ids ascend, so sockets of one row are contiguous.
+            rows.push_back(row);
+            last_row = row;
+        }
+    }
+    const int row = rows[ctx.rng->nextBounded(rows.size())];
+
+    std::vector<std::size_t> candidates;
+    candidates.reserve(ctx.topo->socketsPerRow());
+    for (std::size_t s : idle) {
+        if (ctx.topo->rowOf(s) == row)
+            candidates.push_back(s);
+    }
+    if (candidates.empty())
+        panic("CP: selected row has no idle sockets");
+    return pickWithin(job, ctx, candidates);
+}
+
+} // namespace densim

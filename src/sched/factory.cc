@@ -1,0 +1,68 @@
+#include "sched/factory.hh"
+
+#include "sched/adaptive_random.hh"
+#include "sched/balanced.hh"
+#include "sched/balanced_locations.hh"
+#include "sched/coolest_first.hh"
+#include "sched/coolest_neighbors.hh"
+#include "sched/coupling_predictor.hh"
+#include "sched/hottest_first.hh"
+#include "sched/min_hr.hh"
+#include "sched/predictive.hh"
+#include "sched/random_sched.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+const std::vector<std::string> &
+allSchedulerNames()
+{
+    static const std::vector<std::string> names{
+        "CF",       "HF",         "Random",     "MinHR",
+        "CN",       "Balanced",   "Balanced-L", "A-Random",
+        "Predictive", "CP",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+existingSchedulerNames()
+{
+    static const std::vector<std::string> names{
+        "CF",       "HF",         "Random",   "MinHR",    "CN",
+        "Balanced", "Balanced-L", "A-Random", "Predictive",
+    };
+    return names;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &scheduler_name)
+{
+    if (scheduler_name == "CF")
+        return std::make_unique<CoolestFirst>();
+    if (scheduler_name == "HF")
+        return std::make_unique<HottestFirst>();
+    if (scheduler_name == "Random")
+        return std::make_unique<RandomSched>();
+    if (scheduler_name == "MinHR")
+        return std::make_unique<MinHr>();
+    if (scheduler_name == "CN")
+        return std::make_unique<CoolestNeighbors>();
+    if (scheduler_name == "Balanced")
+        return std::make_unique<Balanced>();
+    if (scheduler_name == "Balanced-L")
+        return std::make_unique<BalancedLocations>();
+    if (scheduler_name == "A-Random")
+        return std::make_unique<AdaptiveRandom>();
+    if (scheduler_name == "Predictive")
+        return std::make_unique<Predictive>();
+    if (scheduler_name == "CP")
+        return std::make_unique<CouplingPredictor>();
+    if (scheduler_name == "CP-nocoupling")
+        return std::make_unique<CouplingPredictor>(0.0, false);
+    if (scheduler_name == "CP-global")
+        return std::make_unique<CouplingPredictor>(1.0, true);
+    fatal("unknown scheduler '", scheduler_name, "'");
+}
+
+} // namespace densim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Construction of scheduling policies by their paper names.
+ */
+
+#ifndef DENSIM_SCHED_FACTORY_HH
+#define DENSIM_SCHED_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/**
+ * All policy names in the paper's reporting order:
+ * CF, HF, Random, MinHR, CN, Balanced, Balanced-L, A-Random,
+ * Predictive, CP.
+ */
+const std::vector<std::string> &allSchedulerNames();
+
+/** Existing-scheme subset (everything but CP). */
+const std::vector<std::string> &existingSchedulerNames();
+
+/** Create a policy by name; fails on unknown names. */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &name);
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_FACTORY_HH

@@ -1,0 +1,12 @@
+#include "sched/hottest_first.hh"
+
+namespace densim {
+
+std::size_t
+HottestFirst::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    return pickMaxBy(ctx, *ctx.chipTempC, 1e-9, false);
+}
+
+} // namespace densim

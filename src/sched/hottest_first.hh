@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hottest First (HF) — the deliberate inverse of CF (Sec. IV-A):
+ * place the job on the *hottest* idle socket. Counter-intuitively
+ * competitive in thermally coupled servers because it concentrates
+ * work downwind, leaving upstream sockets cool (Fig. 3).
+ */
+
+#ifndef DENSIM_SCHED_HOTTEST_FIRST_HH
+#define DENSIM_SCHED_HOTTEST_FIRST_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Hottest First policy. */
+class HottestFirst : public Scheduler
+{
+  public:
+    const char *name() const override { return "HF"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_HOTTEST_FIRST_HH

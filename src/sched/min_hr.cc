@@ -1,0 +1,39 @@
+#include "sched/min_hr.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace densim {
+
+std::size_t
+MinHr::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    if (cachedFor_ != ctx.coupling) {
+        // The offline profiling pass: one fixed map per server.
+        impact_.resize(ctx.coupling->size());
+        for (std::size_t s = 0; s < impact_.size(); ++s)
+            impact_[s] = ctx.coupling->downstreamImpact(s);
+        cachedFor_ = ctx.coupling;
+    }
+
+    // Least recirculation first; among equal-impact candidates (one
+    // zone spans many rows) take the coolest, so the zone's sockets
+    // rotate instead of roasting one of them.
+    double best_impact = std::numeric_limits<double>::infinity();
+    for (std::size_t s : *ctx.idle)
+        best_impact = std::min(best_impact, impact_[s]);
+    double best_temp = std::numeric_limits<double>::infinity();
+    std::size_t best = (*ctx.idle)[0];
+    for (std::size_t s : *ctx.idle) {
+        if (impact_[s] > best_impact + 1e-12)
+            continue;
+        if ((*ctx.chipTempC)[s] < best_temp) {
+            best_temp = (*ctx.chipTempC)[s];
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace densim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Recirculation Minimize Heat (MinHR) [63] (Sec. IV-A): assign jobs
+ * so as to minimize heat recirculation. The original builds an
+ * offline heat-recirculation map by running reference workloads and
+ * measuring temperatures across the room; densim's equivalent is the
+ * CouplingMap's per-socket total downstream impact (sum of coupling
+ * coefficients), which is exactly a fixed heat-transfer map of the
+ * dense server. At run time the job goes to the idle socket with the
+ * least total downstream coupling, with random tie-breaking across
+ * rows (all rows are physically identical).
+ */
+
+#ifndef DENSIM_SCHED_MIN_HR_HH
+#define DENSIM_SCHED_MIN_HR_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Minimize-heat-recirculation policy. */
+class MinHr : public Scheduler
+{
+  public:
+    const char *name() const override { return "MinHR"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+
+  private:
+    std::vector<double> impact_; //!< Cached offline map.
+    const CouplingMap *cachedFor_ = nullptr;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_MIN_HR_HH

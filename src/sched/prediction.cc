@@ -1,0 +1,87 @@
+#include "sched/prediction.hh"
+
+#include <algorithm>
+
+#include "power/pstate.hh"
+#include "workload/curves.hh"
+
+namespace densim {
+
+DvfsDecision
+predictPlacement(const SchedContext &ctx, std::size_t socket,
+                 WorkloadSet set)
+{
+    // The prediction horizon is one (millisecond-scale) job while the
+    // ambient field moves with the 30 s socket time constant, so the
+    // job's future temperature is Eq. (1) evaluated at the *current*
+    // ambient — exactly the paper's "estimate an initial chip
+    // temperature using equation 1" step. Leakage compensation is the
+    // second pass inside chooseAtAmbient.
+    const auto &table = ctx.pm->pstates();
+    const std::size_t cap = (*ctx.boostCreditS)[socket] > 0.0
+                                ? table.size() - 1
+                                : table.highestSustainedIndex();
+    return ctx.pm->chooseAtAmbientCapped(freqCurveFor(set), *ctx.leak,
+                                         (*ctx.ambientC)[socket],
+                                         ctx.topo->sinkOf(socket), cap);
+}
+
+double
+mhzPerCelsius(const SchedContext &ctx, WorkloadSet set,
+              const HeatSink &sink)
+{
+    // Consecutive P-state feasibility edges in ambient space are
+    // separated by dP * (R_int + R_ext); crossing one costs 200 MHz.
+    const auto &table = ctx.pm->pstates();
+    const auto &curve = freqCurveFor(set);
+    const double p_span =
+        curve.totalPowerAt90C.back() - curve.totalPowerAt90C.front();
+    const double f_span =
+        table.fastest().freqMhz - table.slowest().freqMhz;
+    const double r_total = ctx.pm->peakModel().rInt() + sink.rExt;
+    return f_span / (p_span * r_total);
+}
+
+double
+downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
+                     double job_power_w)
+{
+    const double extra = job_power_w - (*ctx.powerW)[socket];
+    if (extra <= 0.0)
+        return 0.0;
+
+    double penalty = 0.0;
+    for (std::size_t d : ctx.coupling->downstream(socket)) {
+        if (!(*ctx.busy)[d])
+            continue;
+        // Table lookup (Sec. IV-C): the placement's extra heat will
+        // raise the downstream socket's ambient by coeff * dP once
+        // the field settles.
+        const double dt = ctx.coupling->coeff(socket, d) * extra;
+        const double amb_new = (*ctx.ambientC)[d] + dt;
+        const auto &table = ctx.pm->pstates();
+        const std::size_t cap = (*ctx.boostCreditS)[d] > 0.0
+                                    ? table.size() - 1
+                                    : table.highestSustainedIndex();
+        const WorkloadSet set = (*ctx.runningSet)[d];
+        const HeatSink &sink = ctx.topo->sinkOf(d);
+        const DvfsDecision decision = ctx.pm->chooseAtAmbientCapped(
+            freqCurveFor(set), *ctx.leak, amb_new, sink, cap);
+        const double discrete =
+            std::max(0.0, (*ctx.freqMhz)[d] - decision.freqMhz);
+        if (discrete > 0.0) {
+            penalty += discrete;
+        } else if (decision.freqMhz <
+                   table.fastest().freqMhz - 1e-9) {
+            // No edge crossed right now != no damage: once the
+            // downstream socket is off the boost plateau, charge the
+            // time-averaged expectation so upstream heat always has
+            // a price. Sockets still boosting after the added heat
+            // have genuine headroom and cost nothing.
+            penalty += dt * mhzPerCelsius(ctx, set, sink);
+        }
+    }
+    return penalty;
+}
+
+} // namespace densim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Placement prediction services shared by the Predictive and
+ * CouplingPredictor policies.
+ *
+ * Both policies reason about what frequency a job would settle at if
+ * placed on a candidate socket. Per Sec. IV-C the prediction uses the
+ * simple linear machinery only: entry temperature from the coupling
+ * table, Eq. (1) with two-pass leakage compensation (chooseSteady),
+ * never the detailed models used to evaluate the research.
+ */
+
+#ifndef DENSIM_SCHED_PREDICTION_HH
+#define DENSIM_SCHED_PREDICTION_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/**
+ * Steady-state DVFS decision predicted for placing a job of @p set on
+ * idle socket @p socket, given the other sockets' current powers.
+ */
+DvfsDecision predictPlacement(const SchedContext &ctx,
+                              std::size_t socket, WorkloadSet set);
+
+/**
+ * Predicted aggregate frequency loss (MHz) across sockets downstream
+ * of @p socket if a job drawing @p job_power_w were placed there.
+ * For each busy downstream socket the job's extra heat raises the
+ * ambient by coeff * (P_job - P_current); if the re-predicted
+ * frequency drops below the current one, that discrete loss is
+ * charged. When the extra heat does not cross a P-state edge *right
+ * now*, the expected marginal loss is charged instead:
+ * dT * (200 MHz / edge spacing) — the time-average of the discrete
+ * loss as the downstream socket's ambient drifts across edges. Idle
+ * downstream sockets contribute nothing (nothing to slow down).
+ */
+double downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
+                            double job_power_w);
+
+/**
+ * Expected frequency sensitivity of a socket with heat sink @p sink
+ * running workload @p set: MHz lost per degree of ambient rise,
+ * averaged across the P-state ladder.
+ */
+double mhzPerCelsius(const SchedContext &ctx, WorkloadSet set,
+                     const HeatSink &sink);
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_PREDICTION_HH

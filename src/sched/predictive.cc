@@ -1,0 +1,36 @@
+#include "sched/predictive.hh"
+
+#include "sched/prediction.hh"
+
+namespace densim {
+
+std::size_t
+Predictive::pick(const Job &job, const SchedContext &ctx)
+{
+    double best_freq = -1.0;
+    double best_peak = 1e300;
+    std::size_t best = (*ctx.idle)[0];
+    std::size_t n_best = 0;
+    for (std::size_t s : *ctx.idle) {
+        const DvfsDecision d = predictPlacement(ctx, s, job.set);
+        // Primary: fastest predicted frequency. Secondary: most
+        // thermal headroom. Remaining ties: uniform random (reservoir
+        // sampling) so equivalent rows share load.
+        if (d.freqMhz > best_freq + 1e-9 ||
+            (d.freqMhz > best_freq - 1e-9 &&
+             d.predictedPeakC < best_peak - 1e-9)) {
+            best_freq = d.freqMhz;
+            best_peak = d.predictedPeakC;
+            best = s;
+            n_best = 1;
+        } else if (d.freqMhz > best_freq - 1e-9 &&
+                   d.predictedPeakC < best_peak + 1e-9) {
+            ++n_best;
+            if (ctx.rng->nextBounded(n_best) == 0)
+                best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace densim

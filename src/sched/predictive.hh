@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Predictive scheduling [81][43] (Sec. IV-A): for every idle socket,
+ * predict the temperature the socket would reach with the job on it,
+ * derive the frequency it could sustain under the limit, and place
+ * the job where it runs fastest. No awareness of what the placement
+ * does to sockets downstream — that blind spot is what
+ * CouplingPredictor fixes.
+ */
+
+#ifndef DENSIM_SCHED_PREDICTIVE_HH
+#define DENSIM_SCHED_PREDICTIVE_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Fastest-predicted-socket policy. */
+class Predictive : public Scheduler
+{
+  public:
+    const char *name() const override { return "Predictive"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_PREDICTIVE_HH

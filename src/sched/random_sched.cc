@@ -1,0 +1,13 @@
+#include "sched/random_sched.hh"
+
+namespace densim {
+
+std::size_t
+RandomSched::pick(const Job &job, const SchedContext &ctx)
+{
+    (void)job;
+    const auto &idle = *ctx.idle;
+    return idle[ctx.rng->nextBounded(idle.size())];
+}
+
+} // namespace densim

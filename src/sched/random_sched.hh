@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Random placement [63][76]: uniform choice among idle sockets,
+ * approximating uniform power/thermal distribution (Sec. IV-A).
+ */
+
+#ifndef DENSIM_SCHED_RANDOM_SCHED_HH
+#define DENSIM_SCHED_RANDOM_SCHED_HH
+
+#include "sched/scheduler.hh"
+
+namespace densim {
+
+/** Uniform-random policy. */
+class RandomSched : public Scheduler
+{
+  public:
+    const char *name() const override { return "Random"; }
+    std::size_t pick(const Job &job, const SchedContext &ctx) override;
+};
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_RANDOM_SCHED_HH

@@ -1,0 +1,68 @@
+#include "sched/scheduler.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+namespace {
+
+std::size_t
+pickExtremeBy(const SchedContext &ctx, const std::vector<double> &key,
+              double tie_eps, bool random_tiebreak, bool want_max)
+{
+    const auto &idle = *ctx.idle;
+    if (idle.empty())
+        panic("scheduler invoked with no idle sockets");
+
+    double best = want_max ? -std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::infinity();
+    for (std::size_t s : idle) {
+        const double v = key[s];
+        if (want_max ? v > best : v < best)
+            best = v;
+    }
+    if (!random_tiebreak) {
+        for (std::size_t s : idle) {
+            const double v = key[s];
+            if (want_max ? v >= best - tie_eps : v <= best + tie_eps)
+                return s;
+        }
+        panic("tie scan found no candidate");
+    }
+    std::size_t n_ties = 0;
+    for (std::size_t s : idle) {
+        const double v = key[s];
+        if (want_max ? v >= best - tie_eps : v <= best + tie_eps)
+            ++n_ties;
+    }
+    std::size_t chosen = ctx.rng->nextBounded(n_ties);
+    for (std::size_t s : idle) {
+        const double v = key[s];
+        if (want_max ? v >= best - tie_eps : v <= best + tie_eps) {
+            if (chosen == 0)
+                return s;
+            --chosen;
+        }
+    }
+    panic("random tie-break fell through");
+}
+
+} // namespace
+
+std::size_t
+pickMinBy(const SchedContext &ctx, const std::vector<double> &key,
+          double tie_eps, bool random_tiebreak)
+{
+    return pickExtremeBy(ctx, key, tie_eps, random_tiebreak, false);
+}
+
+std::size_t
+pickMaxBy(const SchedContext &ctx, const std::vector<double> &key,
+          double tie_eps, bool random_tiebreak)
+{
+    return pickExtremeBy(ctx, key, tie_eps, random_tiebreak, true);
+}
+
+} // namespace densim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scheduler interface and the read-only view of server state that
+ * policies are allowed to consult.
+ *
+ * The paper's centralized job controller (Sec. III-D) keeps a FIFO
+ * job queue and, whenever a job and at least one idle socket exist,
+ * asks the active scheduling policy to pick the socket. Policies see
+ * instantaneous and historical temperatures, socket powers and
+ * frequencies, physical location, the coupling map, and the DVFS
+ * prediction machinery — everything Sec. IV's schemes require — but
+ * can mutate nothing.
+ */
+
+#ifndef DENSIM_SCHED_SCHEDULER_HH
+#define DENSIM_SCHED_SCHEDULER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/leakage.hh"
+#include "power/power_manager.hh"
+#include "server/topology.hh"
+#include "thermal/coupling_map.hh"
+#include "util/rng.hh"
+#include "workload/job_generator.hh"
+
+namespace densim {
+
+/**
+ * Snapshot of simulator state offered to a policy for one decision.
+ * All vectors are indexed by socket id. Pointers are non-owning and
+ * valid only for the duration of the pick() call.
+ */
+struct SchedContext
+{
+    const ServerTopology *topo;
+    const CouplingMap *coupling;
+    const PowerManager *pm;
+    const LeakageModel *leak;
+    double inletC;
+
+    /** Idle sockets, ascending ids; never empty during pick(). */
+    const std::vector<std::size_t> *idle;
+
+    const std::vector<double> *chipTempC;  //!< Instantaneous chip T.
+    const std::vector<double> *histTempC;  //!< Exponentially averaged.
+    const std::vector<double> *ambientC;   //!< Current (slow, 30 s)
+                                           //!< socket ambient field.
+    const std::vector<double> *boostCreditS; //!< Remaining boost-dwell
+                                             //!< credit per socket, s.
+    const std::vector<double> *powerW;     //!< Current socket power.
+    const std::vector<double> *freqMhz;    //!< 0 when idle.
+    const std::vector<WorkloadSet> *runningSet; //!< Valid when busy.
+    const std::vector<bool> *busy;
+
+    Rng *rng; //!< Policy-visible randomness (deterministic per run).
+};
+
+/** Base class for all scheduling policies. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Short policy name as used in the paper ("CF", "CP", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose one socket from ctx.idle for @p job. Must return an
+     * element of *ctx.idle.
+     */
+    virtual std::size_t pick(const Job &job,
+                             const SchedContext &ctx) = 0;
+
+    /** Reset internal state between runs (default: nothing). */
+    virtual void reset() {}
+};
+
+/**
+ * Helpers shared by several policies: pick the extreme-valued idle
+ * socket with deterministic (lowest-id) or random tie-breaking.
+ */
+std::size_t pickMinBy(const SchedContext &ctx,
+                      const std::vector<double> &key, double tie_eps,
+                      bool random_tiebreak);
+std::size_t pickMaxBy(const SchedContext &ctx,
+                      const std::vector<double> &key, double tie_eps,
+                      bool random_tiebreak);
+
+} // namespace densim
+
+#endif // DENSIM_SCHED_SCHEDULER_HH

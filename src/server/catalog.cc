@@ -1,0 +1,63 @@
+#include "server/catalog.hh"
+
+#include <algorithm>
+
+namespace densim {
+
+const std::vector<SystemRecord> &
+densityOptimizedSystems()
+{
+    // Table I of the paper, verbatim.
+    static const std::vector<SystemRecord> systems{
+        {"QCT/Facebook", "Rackgo X", "Open compute server",
+         "General purpose", 2, "2 tray x 3 blade x 2 socket", 12, 45.0,
+         "Intel Xeon D-1500", 1},
+        {"AMD", "AMD SeaMicro", "SM15000e-OP", "Scale-out applications",
+         10, "4 row x 16 card x 1 socket", 64, 140.0,
+         "AMD Opteron 6300", 1},
+        {"Cisco", "UCS M4308", "M2814", "Scale-out applications", 2,
+         "2 row x 2 card x 2 socket", 8, 120.0, "Intel Xeon E5", 1},
+        {"HP Enterprise", "Moonshot", "ProLiant M710P",
+         "Big data analytics", 4, "15 row x 3 cartridge x 1 socket",
+         45, 69.0, "Intel Xeon E3", 2},
+        {"Dell", "Copper", "Prototype system", "Scale-out applications",
+         3, "12 sled x 4 socket", 48, 15.0, "32-bit ARM", 3},
+        {"Mitac", "Datun project", "Prototype system",
+         "Scale-out applications", 1, "2 row x 4 socket", 8, 50.0,
+         "Applied Micro X-Gene", 3},
+        {"Seamicro", "SeaMicro", "SM15000-64", "Scale-out applications",
+         10, "4 row x 16 card x 4 socket", 256, 8.5,
+         "Intel Atom N570", 3},
+        {"HP Enterprise", "Moonshot", "ProLiant M350", "Web hosting", 4,
+         "15 row x 3 cartridge x 4 socket", 180, 20.0,
+         "Intel Atom C2750", 5},
+        {"HP Enterprise", "Moonshot", "ProLiant M700",
+         "Virtual desktop (VDI)", 4,
+         "15 row x 3 cartridge x 4 socket", 180, 22.0,
+         "AMD Opteron X2150", 5},
+        {"HP Enterprise", "Moonshot", "ProLiant M800",
+         "Digital signal processing", 4,
+         "15 row x 3 cartridge x 4 socket", 180, 14.0,
+         "TI Keystone II", 5},
+        {"HP", "Redstone", "Development server",
+         "Scale-out applications", 4,
+         "4 tray x 6 row x 3 cartridge x 4 socket", 288, 5.0,
+         "Calxeda EnergyCore", 11},
+    };
+    return systems;
+}
+
+int
+maxCatalogCoupling()
+{
+    const auto &systems = densityOptimizedSystems();
+    return std::max_element(systems.begin(), systems.end(),
+                            [](const SystemRecord &a,
+                               const SystemRecord &b) {
+                                return a.degreeOfCoupling <
+                                       b.degreeOfCoupling;
+                            })
+        ->degreeOfCoupling;
+}
+
+} // namespace densim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Catalog of recently released density-optimized server systems —
+ * the data of Table I, used by the Table I bench and by the design-
+ * space helpers (socket density, degree of coupling).
+ */
+
+#ifndef DENSIM_SERVER_CATALOG_HH
+#define DENSIM_SERVER_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+namespace densim {
+
+/** One row of Table I. */
+struct SystemRecord
+{
+    std::string organization; //!< Vendor.
+    std::string system;       //!< Family name.
+    std::string details;      //!< Specific product.
+    std::string domain;       //!< Application domain.
+    int dimensionsU;          //!< Chassis height in rack units.
+    std::string organization2; //!< Physical organization string.
+    int totalSockets;         //!< Sockets in the chassis.
+    double socketTdpW;        //!< Per-socket TDP.
+    std::string cpu;          //!< Processor used.
+    int degreeOfCoupling;     //!< Sockets sharing one airflow path.
+
+    /** Sockets per rack unit. */
+    double socketsPerU() const
+    {
+        return static_cast<double>(totalSockets) / dimensionsU;
+    }
+};
+
+/** The eleven systems of Table I, in the paper's order. */
+const std::vector<SystemRecord> &densityOptimizedSystems();
+
+/** Largest degree of coupling across the catalog (Redstone: 11). */
+int maxCatalogCoupling();
+
+} // namespace densim
+
+#endif // DENSIM_SERVER_CATALOG_HH

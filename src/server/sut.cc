@@ -1,0 +1,48 @@
+#include "server/sut.hh"
+
+namespace densim {
+
+ServerTopology
+makeSutTopology()
+{
+    return ServerTopology(TopologySpec{});
+}
+
+ServerTopology
+makeTwoSocketCoupled()
+{
+    TopologySpec spec;
+    spec.rows = 1;
+    spec.cartridgesPerRow = 1;
+    spec.zonesPerCartridge = 2;
+    spec.socketsPerZone = 1;
+    return ServerTopology(spec);
+}
+
+ServerTopology
+makeTwoSocketUncoupled()
+{
+    TopologySpec spec;
+    spec.rows = 2;
+    spec.cartridgesPerRow = 1;
+    spec.zonesPerCartridge = 1;
+    // Keep the sink mix identical to the coupled build: one 18-fin,
+    // one 30-fin — only the coupling differs between the two designs.
+    spec.socketsPerZone = 1;
+    spec.alternateSinksByRow = true;
+    return ServerTopology(spec);
+}
+
+CouplingParams
+defaultCouplingParams()
+{
+    return CouplingParams{};
+}
+
+CouplingMap
+makeCouplingMap(const ServerTopology &topo, const CouplingParams &params)
+{
+    return CouplingMap(topo.sites(), params);
+}
+
+} // namespace densim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Factories for the systems the paper evaluates.
+ *
+ * - makeSutTopology(): the 180-socket HPE Moonshot ProLiant
+ *   M700-class system under test (15 rows x 3 cartridges x 4 sockets,
+ *   Fig. 12), with Table III airflow.
+ * - makeTwoSocketCoupled()/makeTwoSocketUncoupled(): the 2-socket
+ *   motivation systems of Fig. 3 — one with the sockets in series in
+ *   one airstream (cartridge-style), one with each socket in its own
+ *   airstream (traditional 1U-style). Both mix an 18-fin and a 30-fin
+ *   sink, so only the coupling differs.
+ * - defaultCouplingParams(): the calibrated coupling physics
+ *   (DESIGN.md Sec. 3.1).
+ */
+
+#ifndef DENSIM_SERVER_SUT_HH
+#define DENSIM_SERVER_SUT_HH
+
+#include "server/topology.hh"
+#include "thermal/coupling_map.hh"
+
+namespace densim {
+
+/** The M700-class 180-socket SUT. */
+ServerTopology makeSutTopology();
+
+/** Two sockets in series in one duct (coupled, Fig. 3a right). */
+ServerTopology makeTwoSocketCoupled();
+
+/** Two sockets in parallel ducts (uncoupled, Fig. 3a left). */
+ServerTopology makeTwoSocketUncoupled();
+
+/** Calibrated coupling parameters for M700-class cartridges. */
+CouplingParams defaultCouplingParams();
+
+/** Build the coupling map for a topology with given parameters. */
+CouplingMap makeCouplingMap(const ServerTopology &topo,
+                            const CouplingParams &params);
+
+} // namespace densim
+
+#endif // DENSIM_SERVER_SUT_HH

@@ -1,0 +1,117 @@
+#include "survey/survey.hh"
+
+#include <cmath>
+
+#include "airflow/first_law.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace densim {
+
+const char *
+serverClassName(ServerClass c)
+{
+    switch (c) {
+      case ServerClass::U1:
+        return "1U";
+      case ServerClass::U2:
+        return "2U";
+      case ServerClass::Other:
+        return "Other";
+      case ServerClass::Blade:
+        return "Blade";
+      case ServerClass::DensityOpt:
+        return "DensityOpt";
+    }
+    panic("unknown server class");
+}
+
+const std::vector<ServerClass> &
+allServerClasses()
+{
+    static const std::vector<ServerClass> classes{
+        ServerClass::U1, ServerClass::U2, ServerClass::Other,
+        ServerClass::Blade, ServerClass::DensityOpt,
+    };
+    return classes;
+}
+
+const std::vector<ClassModel> &
+fig1ClassModels()
+{
+    // Means from Sec. I; counts partition the 400 SPECpower designs
+    // (towers excluded) with the 10 density-optimized designs studied
+    // separately from manufacturer specifications.
+    static const std::vector<ClassModel> models{
+        {ServerClass::U1, 208.0, 1.79, 0.35, 150},
+        {ServerClass::U2, 147.0, 1.15, 0.35, 150},
+        {ServerClass::Other, 114.0, 0.78, 0.40, 60},
+        {ServerClass::Blade, 421.0, 3.47, 0.30, 40},
+        {ServerClass::DensityOpt, 588.0, 25.0, 0.45, 10},
+    };
+    return models;
+}
+
+std::vector<SurveyRecord>
+synthesizeSurvey(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<SurveyRecord> records;
+    for (const ClassModel &model : fig1ClassModels()) {
+        // Lognormal with the requested mean and CoV:
+        // sigma^2 = ln(1 + cov^2), mu = ln(mean) - sigma^2 / 2.
+        const double sigma2 = std::log(1.0 + model.cov * model.cov);
+        const double sigma = std::sqrt(sigma2);
+        const double mu_p = std::log(model.meanPowerPerU) - sigma2 / 2;
+        const double mu_s =
+            std::log(model.meanSocketsPerU) - sigma2 / 2;
+        for (int i = 0; i < model.count; ++i) {
+            // Correlate power and socket density: a design denser in
+            // sockets is denser in power (rho ~ 0.7).
+            const double z_shared = rng.normal();
+            const double rho = 0.7;
+            const double z_p =
+                rho * z_shared +
+                std::sqrt(1.0 - rho * rho) * rng.normal();
+            const double z_s =
+                rho * z_shared +
+                std::sqrt(1.0 - rho * rho) * rng.normal();
+            SurveyRecord rec;
+            rec.cls = model.cls;
+            rec.year =
+                2007 + static_cast<int>(rng.nextBounded(10));
+            rec.powerPerU = std::exp(mu_p + sigma * z_p);
+            rec.socketsPerU = std::exp(mu_s + sigma * z_s);
+            records.push_back(rec);
+        }
+    }
+    return records;
+}
+
+std::vector<ClassSummary>
+summarize(const std::vector<SurveyRecord> &records)
+{
+    std::vector<ClassSummary> summaries;
+    for (ServerClass cls : allServerClasses()) {
+        RunningStats power, sockets;
+        for (const SurveyRecord &rec : records) {
+            if (rec.cls != cls)
+                continue;
+            power.add(rec.powerPerU);
+            sockets.add(rec.socketsPerU);
+        }
+        if (power.count() == 0)
+            continue;
+        ClassSummary summary;
+        summary.cls = cls;
+        summary.count = static_cast<int>(power.count());
+        summary.meanPowerPerU = power.mean();
+        summary.meanSocketsPerU = sockets.mean();
+        summary.cfmPerU20C = requiredAirflow(power.mean(), 20.0);
+        summaries.push_back(summary);
+    }
+    return summaries;
+}
+
+} // namespace densim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Server-design survey synthesizer (Fig. 1).
+ *
+ * The paper analyzed 400 published SPECpower_ssj2008 server designs
+ * (2007–2016, towers excluded) plus manufacturer data for 10 density-
+ * optimized designs, reporting per-class mean power density and
+ * socket density. The raw records are not published, so densim
+ * synthesizes a statistically equivalent dataset: per class, power/U
+ * and sockets/U are drawn from lognormal distributions whose means
+ * equal the paper's figures, with a mild correlation between power
+ * and socket density (more sockets per U draw more watts per U).
+ */
+
+#ifndef DENSIM_SURVEY_SURVEY_HH
+#define DENSIM_SURVEY_SURVEY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace densim {
+
+/** Server form-factor classes of Fig. 1. */
+enum class ServerClass { U1, U2, Other, Blade, DensityOpt };
+
+/** Printable class name. */
+const char *serverClassName(ServerClass c);
+
+/** All classes in Fig. 1 order. */
+const std::vector<ServerClass> &allServerClasses();
+
+/** Statistical model of one class. */
+struct ClassModel
+{
+    ServerClass cls;
+    double meanPowerPerU;   //!< W per rack unit.
+    double meanSocketsPerU; //!< Sockets per rack unit.
+    double cov;             //!< Spread (CoV) of both quantities.
+    int count;              //!< Designs of this class in the survey.
+};
+
+/** Paper-calibrated class models (Sec. I). */
+const std::vector<ClassModel> &fig1ClassModels();
+
+/** One synthesized server design record. */
+struct SurveyRecord
+{
+    ServerClass cls;
+    int year;           //!< Release year, 2007–2016.
+    double powerPerU;   //!< W per rack unit.
+    double socketsPerU; //!< Sockets per rack unit.
+};
+
+/** Synthesize the full survey (400 + 10 records), deterministic. */
+std::vector<SurveyRecord> synthesizeSurvey(std::uint64_t seed);
+
+/** Mean power/U and sockets/U per class over a record set. */
+struct ClassSummary
+{
+    ServerClass cls;
+    int count;
+    double meanPowerPerU;
+    double meanSocketsPerU;
+    /** Table II companion: CFM per U for a 20 C rise. */
+    double cfmPerU20C;
+};
+
+/** Summarize records per class (Fig. 1 + Table II reproduction). */
+std::vector<ClassSummary> summarize(const std::vector<SurveyRecord> &r);
+
+} // namespace densim
+
+#endif // DENSIM_SURVEY_SURVEY_HH

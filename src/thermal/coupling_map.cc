@@ -1,0 +1,246 @@
+#include "thermal/coupling_map.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "airflow/first_law.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
+                         CouplingParams map_params)
+    : sites_(std::move(map_sites)), params_(map_params)
+{
+    if (sites_.empty())
+        fatal("CouplingMap: no socket sites");
+    if (params_.mixFactor < 1.0)
+        fatal("CouplingMap: mixFactor must be >= 1 (got ",
+              params_.mixFactor, "); heated air cannot un-heat");
+    if (params_.wakeFactor <= 0.0)
+        fatal("CouplingMap: wakeFactor must be positive, got ",
+              params_.wakeFactor);
+    if (params_.decayLengthInch <= 0.0)
+        fatal("CouplingMap: decay length must be positive");
+    if (params_.kappaLocal < 0.0)
+        fatal("CouplingMap: kappaLocal must be non-negative");
+    if (params_.verticalLeak < 0.0 || params_.verticalLeak > 1.0)
+        fatal("CouplingMap: vertical leak ", params_.verticalLeak,
+              " outside [0, 1]");
+    for (const SocketSite &s : sites_) {
+        if (s.ductCfm <= 0.0)
+            fatal("CouplingMap: duct airflow must be positive, got ",
+                  s.ductCfm);
+    }
+
+    const std::size_t n = sites_.size();
+    airMatrix_.assign(n * n, 0.0);
+    ambMatrix_.assign(n * n, 0.0);
+    impact_.assign(n, 0.0);
+    downstream_.assign(n, {});
+
+    // Heat leaking into neighbour ducts comes out of the same-duct
+    // share, so the per-source normalization is the sum of leak
+    // weights over the rows that actually exist within reach: a
+    // single-cartridge system keeps its full same-duct coupling
+    // (Fig. 2), interior rows of a tall chassis spread theirs.
+    int min_row = sites_[0].duct;
+    int max_row = sites_[0].duct;
+    for (const SocketSite &site : sites_) {
+        min_row = std::min(min_row, site.duct);
+        max_row = std::max(max_row, site.duct);
+    }
+    auto row_norm = [&](int row) {
+        double norm = 0.0;
+        for (int r = min_row; r <= max_row; ++r) {
+            const int dist = std::abs(r - row);
+            double w = 1.0;
+            for (int k = 0; k < dist; ++k)
+                w *= params_.verticalLeak;
+            if (w >= 0.05)
+                norm += w;
+        }
+        return norm;
+    };
+
+    for (std::size_t from = 0; from < n; ++from) {
+        for (std::size_t to = 0; to < n; ++to) {
+            if (from == to)
+                continue;
+            const double d = sites_[to].streamPosInch -
+                             sites_[from].streamPosInch;
+            if (d <= 0.0)
+                continue; // Only strictly-downstream coupling.
+            const int row_dist =
+                std::abs(sites_[from].duct - sites_[to].duct);
+            double vertical = 1.0;
+            for (int k = 0; k < row_dist; ++k)
+                vertical *= params_.verticalLeak;
+            if (vertical < 0.05)
+                continue; // Negligible across distant rows.
+            vertical /= row_norm(sites_[from].duct);
+            const double decay = std::exp(
+                -(std::max(d, params_.minSpacingInch) -
+                  params_.minSpacingInch) /
+                params_.decayLengthInch);
+            const double gamma =
+                params_.mixFactor * decay * vertical;
+            const double air = kCelsiusPerWattPerCfm * gamma /
+                               sites_[to].ductCfm;
+            airMatrix_[from * n + to] = air;
+            ambMatrix_[from * n + to] = air * params_.wakeFactor;
+            impact_[from] += air * params_.wakeFactor;
+            downstream_[from].push_back(to);
+        }
+    }
+}
+
+void
+CouplingMap::checkIndex(std::size_t i) const
+{
+    if (i >= sites_.size())
+        panic("CouplingMap: socket index ", i, " out of range (",
+              sites_.size(), ")");
+}
+
+double
+CouplingMap::coeff(std::size_t from, std::size_t to) const
+{
+    checkIndex(from);
+    checkIndex(to);
+    return ambMatrix_[from * sites_.size() + to];
+}
+
+double
+CouplingMap::airCoeff(std::size_t from, std::size_t to) const
+{
+    checkIndex(from);
+    checkIndex(to);
+    return airMatrix_[from * sites_.size() + to];
+}
+
+namespace {
+
+double
+columnDot(const std::vector<double> &matrix, std::size_t n,
+          std::size_t col, const std::vector<double> &powers_w)
+{
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+        acc += matrix[j * n + col] * powers_w[j];
+    return acc;
+}
+
+} // namespace
+
+double
+CouplingMap::entryTemp(std::size_t i,
+                       const std::vector<double> &powers_w,
+                       double inlet_c) const
+{
+    checkIndex(i);
+    if (powers_w.size() != sites_.size())
+        panic("CouplingMap::entryTemp: ", powers_w.size(),
+              " powers for ", sites_.size(), " sockets");
+    return inlet_c + columnDot(airMatrix_, sites_.size(), i, powers_w);
+}
+
+double
+CouplingMap::ambientEntryTemp(std::size_t i,
+                              const std::vector<double> &powers_w,
+                              double inlet_c) const
+{
+    checkIndex(i);
+    if (powers_w.size() != sites_.size())
+        panic("CouplingMap::ambientEntryTemp: ", powers_w.size(),
+              " powers for ", sites_.size(), " sockets");
+    return inlet_c + columnDot(ambMatrix_, sites_.size(), i, powers_w);
+}
+
+std::vector<double>
+CouplingMap::entryTemps(const std::vector<double> &powers_w,
+                        double inlet_c) const
+{
+    if (powers_w.size() != sites_.size())
+        panic("CouplingMap::entryTemps: ", powers_w.size(),
+              " powers for ", sites_.size(), " sockets");
+    const std::size_t n = sites_.size();
+    std::vector<double> temps(n, inlet_c);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double p = powers_w[j];
+        if (p == 0.0)
+            continue;
+        const double *row = &airMatrix_[j * n];
+        for (std::size_t i : downstream_[j])
+            temps[i] += row[i] * p;
+    }
+    return temps;
+}
+
+std::vector<double>
+CouplingMap::ambientEntryTemps(const std::vector<double> &powers_w,
+                               double inlet_c) const
+{
+    if (powers_w.size() != sites_.size())
+        panic("CouplingMap::ambientEntryTemps: ", powers_w.size(),
+              " powers for ", sites_.size(), " sockets");
+    const std::size_t n = sites_.size();
+    std::vector<double> temps(n, inlet_c);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double p = powers_w[j];
+        if (p == 0.0)
+            continue;
+        const double *row = &ambMatrix_[j * n];
+        for (std::size_t i : downstream_[j])
+            temps[i] += row[i] * p;
+    }
+    return temps;
+}
+
+double
+CouplingMap::ambientTemp(std::size_t i,
+                         const std::vector<double> &powers_w,
+                         double inlet_c) const
+{
+    return ambientEntryTemp(i, powers_w, inlet_c) +
+           params_.kappaLocal * powers_w[i];
+}
+
+std::vector<double>
+CouplingMap::ambientTemps(const std::vector<double> &powers_w,
+                          double inlet_c) const
+{
+    if (powers_w.size() != sites_.size())
+        panic("CouplingMap::ambientTemps: ", powers_w.size(),
+              " powers for ", sites_.size(), " sockets");
+    const std::size_t n = sites_.size();
+    std::vector<double> temps(n, inlet_c);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double p = powers_w[j];
+        if (p == 0.0)
+            continue;
+        const double *row = &ambMatrix_[j * n];
+        for (std::size_t i : downstream_[j])
+            temps[i] += row[i] * p;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        temps[i] += params_.kappaLocal * powers_w[i];
+    return temps;
+}
+
+double
+CouplingMap::downstreamImpact(std::size_t from) const
+{
+    checkIndex(from);
+    return impact_[from];
+}
+
+const std::vector<std::size_t> &
+CouplingMap::downstream(std::size_t from) const
+{
+    checkIndex(from);
+    return downstream_[from];
+}
+
+} // namespace densim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Inter-socket thermal coupling model — densim's substitute for the
+ * paper's Ansys Icepak CFD infrastructure (Sec. III-B).
+ *
+ * Air flows through each row duct in one direction; a socket's heat
+ * raises the temperature of the air arriving at every socket
+ * downstream of it in the same duct. Two related quantities are
+ * modeled, both linear in upstream power:
+ *
+ *  - *Air entry temperature* (the Fig. 2/Fig. 4 quantity): duct-mean
+ *    air temperature ahead of a socket. The coefficient from socket j
+ *    to downstream socket i is the well-mixed first-law rise
+ *    (1.76 / ductCfm, C/W) scaled by a mixing factor gamma(d) that
+ *    decays with streamwise distance d (heated air leaves a heatsink
+ *    as a coherent streamtube; sockets 1.6 in apart inside a
+ *    cartridge couple more strongly than across the 3 in cartridge
+ *    gaps). gamma at minimum spacing is calibrated so the Fig. 2
+ *    cartridge (2 x 15 W upstream) shows its measured 8 C
+ *    left-to-right air temperature difference.
+ *
+ *  - *Socket ambient temperature* (the Icepak quantity Eq. (1)
+ *    consumes): the air actually ingested by a socket's heatsink.
+ *    It runs hotter than the duct mean because the sink sits in the
+ *    upstream sockets' wake — modeled by a wake amplification factor
+ *    on the entry coefficients — plus a local recirculation term
+ *    kappaLocal * P_self for the socket's own exhaust trapped under
+ *    the cartridge lid (Fig. 8).
+ *
+ * Air transport is fast (tens of ms through a cartridge), so these
+ * temperatures respond *instantly* to power changes in the simulator;
+ * the slow 30 s socket time constant of Table III lives in the
+ * heatsink mass, not here.
+ *
+ * Calibration of (wakeFactor, kappaLocal) against the paper's stated
+ * operating points is recorded in DESIGN.md Sec. 3.1.
+ */
+
+#ifndef DENSIM_THERMAL_COUPLING_MAP_HH
+#define DENSIM_THERMAL_COUPLING_MAP_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace densim {
+
+/** Position of one socket within the airflow network. */
+struct SocketSite
+{
+    double streamPosInch; //!< Station along the duct (inlet = 0).
+    int duct;             //!< Parallel duct (row) index.
+    double ductCfm;       //!< Airflow shared at one duct station.
+};
+
+/** Tunable physics of the coupling model. */
+struct CouplingParams
+{
+    /** Streamtube amplification at minimum spacing (>= 1 physical). */
+    double mixFactor = 1.9;
+    /** e-folding length of the mixing decay, inches. */
+    double decayLengthInch = 40.0;
+    /**
+     * Ratio of ambient coupling to duct-mean entry coupling. Above 1
+     * the sink ingests the upstream plume core; below 1 the cartridge
+     * geometry and the taller downstream sink partially shield the
+     * intake from the plume (the paper notes the two-sink design
+     * exists precisely to mitigate coupling).
+     */
+    double wakeFactor = 1.5;
+    /** Local recirculation: C of self ambient rise per W. */
+    double kappaLocal = 1.5;
+    /** Spacing at which mixFactor applies un-decayed, inches. */
+    double minSpacingInch = 1.6;
+    /**
+     * Cross-row (vertical) leak: rows are stacked with the next
+     * cartridge's board as a lid (Fig. 8), so a fraction of an
+     * upstream socket's heat reaches the ducts of adjacent rows. The
+     * coupling to a socket k rows away is scaled by verticalLeak^k
+     * (dropped below 5% of the same-duct value).
+     */
+    double verticalLeak = 0.45;
+};
+
+/**
+ * Precomputed socket-to-socket thermal coupling coefficients plus
+ * entry/ambient temperature evaluation. Immutable after construction;
+ * evaluation is allocation-free for the hot paths.
+ */
+class CouplingMap
+{
+  public:
+    CouplingMap(std::vector<SocketSite> sites, CouplingParams params);
+
+    /** Number of sockets. */
+    std::size_t size() const { return sites_.size(); }
+
+    /**
+     * *Ambient* temperature rise at socket @p to per watt dissipated
+     * at socket @p from (0 unless @p from is strictly upstream of
+     * @p to in the same duct). Wake-amplified; this is the
+     * scheduling-relevant coefficient.
+     */
+    double coeff(std::size_t from, std::size_t to) const;
+
+    /** Duct-mean *air entry* rise at @p to per watt at @p from. */
+    double airCoeff(std::size_t from, std::size_t to) const;
+
+    /** Self-ambient rise per own watt (kappaLocal). */
+    double kappaLocal() const { return params_.kappaLocal; }
+
+    /** Duct-mean air entry temperature of every socket (reporting). */
+    std::vector<double> entryTemps(const std::vector<double> &powers_w,
+                                   double inlet_c) const;
+
+    /** Duct-mean air entry temperature of one socket. */
+    double entryTemp(std::size_t i, const std::vector<double> &powers_w,
+                     double inlet_c) const;
+
+    /**
+     * Upstream (wake-amplified) part of the socket ambient — the
+     * ambient a socket would see if it drew no power itself. The
+     * scheduler's prediction entry point.
+     */
+    double ambientEntryTemp(std::size_t i,
+                            const std::vector<double> &powers_w,
+                            double inlet_c) const;
+
+    /** Vector form of ambientEntryTemp for all sockets. */
+    std::vector<double>
+    ambientEntryTemps(const std::vector<double> &powers_w,
+                      double inlet_c) const;
+
+    /**
+     * Socket ambient temperatures: inlet + wake-amplified upstream
+     * rise + kappaLocal * own power. This is what Eq. (1)'s T_amb
+     * means for the SUT.
+     */
+    std::vector<double> ambientTemps(const std::vector<double> &powers_w,
+                                     double inlet_c) const;
+
+    /** Ambient temperature of one socket. */
+    double ambientTemp(std::size_t i,
+                       const std::vector<double> &powers_w,
+                       double inlet_c) const;
+
+    /**
+     * Total downstream impact of socket @p from: sum of ambient
+     * coeff(from, i) over all sockets i. This is exactly the offline
+     * "heat recirculation factor" map the MinHR policy consumes.
+     */
+    double downstreamImpact(std::size_t from) const;
+
+    /** Indices of sockets strictly downstream of @p from. */
+    const std::vector<std::size_t> &
+    downstream(std::size_t from) const;
+
+    const std::vector<SocketSite> &sites() const { return sites_; }
+    const CouplingParams &params() const { return params_; }
+
+  private:
+    void checkIndex(std::size_t i) const;
+
+    std::vector<SocketSite> sites_;
+    CouplingParams params_;
+    std::vector<double> airMatrix_; //!< airCoeff[from * n + to].
+    std::vector<double> ambMatrix_; //!< coeff[from * n + to].
+    std::vector<double> impact_;    //!< downstream impact per socket.
+    std::vector<std::vector<std::size_t>> downstream_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_THERMAL_COUPLING_MAP_HH

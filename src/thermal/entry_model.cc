@@ -1,0 +1,34 @@
+#include "thermal/entry_model.hh"
+
+#include "airflow/first_law.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace densim {
+
+EntryChainResult
+serialChainEntryTemps(int degree_of_coupling, double socket_power_w,
+                      double per_socket_cfm, double inlet_c)
+{
+    if (degree_of_coupling < 1)
+        fatal("serialChainEntryTemps: degree of coupling must be >= 1, "
+              "got ",
+              degree_of_coupling);
+    const double step =
+        airTemperatureRise(socket_power_w, per_socket_cfm);
+
+    EntryChainResult result;
+    result.entryTempsC.reserve(degree_of_coupling);
+    RunningStats stats;
+    for (int k = 0; k < degree_of_coupling; ++k) {
+        const double t = inlet_c + step * k;
+        result.entryTempsC.push_back(t);
+        stats.add(t);
+    }
+    result.meanC = stats.mean();
+    result.meanRiseC = stats.mean() - inlet_c;
+    result.cov = stats.cov();
+    return result;
+}
+
+} // namespace densim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Analytical socket-entry-temperature model of Sec. II-B (Fig. 5).
+ *
+ * A chain of N thermally coupled sockets (degree of coupling N) sits
+ * in series in one airstream. With every socket dissipating P watts
+ * into a per-socket airflow of V CFM, the well-mixed first-law rise
+ * accumulates: socket k (0-based) sees entry temperature
+ * inlet + k * 1.76 * P / V. The paper uses the mean and the
+ * coefficient of variation of these entry temperatures to show how
+ * socket organization alone drives intra-server temperature
+ * heterogeneity.
+ */
+
+#ifndef DENSIM_THERMAL_ENTRY_MODEL_HH
+#define DENSIM_THERMAL_ENTRY_MODEL_HH
+
+#include <vector>
+
+namespace densim {
+
+/** Result of the serial-chain entry-temperature analysis. */
+struct EntryChainResult
+{
+    std::vector<double> entryTempsC; //!< Absolute entry temps, C.
+    double meanC;                    //!< Mean absolute entry temp.
+    double meanRiseC;                //!< Mean rise above inlet.
+    double cov;                      //!< CoV of absolute entry temps.
+};
+
+/**
+ * Entry temperatures along a serial chain of @p degree_of_coupling
+ * sockets, each dissipating @p socket_power_w into
+ * @p per_socket_cfm of airflow, with inlet air at @p inlet_c.
+ */
+EntryChainResult serialChainEntryTemps(int degree_of_coupling,
+                                       double socket_power_w,
+                                       double per_socket_cfm,
+                                       double inlet_c);
+
+} // namespace densim
+
+#endif // DENSIM_THERMAL_ENTRY_MODEL_HH

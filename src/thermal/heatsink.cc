@@ -1,0 +1,111 @@
+#include "thermal/heatsink.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "airflow/first_law.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+const HeatSink &
+HeatSink::fin18()
+{
+    static const HeatSink sink{"18-fin", 18, 1.578, {4.41, -0.0896}};
+    return sink;
+}
+
+const HeatSink &
+HeatSink::fin30()
+{
+    static const HeatSink sink{"30-fin", 30, 1.056, {4.45, -0.0916}};
+    return sink;
+}
+
+namespace {
+
+/** Thermal conductivity of air, W/(m*K), near 40 C. */
+constexpr double kAirConductivity = 0.026;
+
+/** Kinematic viscosity of air, m^2/s, near 40 C. */
+constexpr double kAirKinematicViscosity = 1.6e-5;
+
+/** Prandtl number of air. */
+constexpr double kAirPrandtl = 0.71;
+
+} // namespace
+
+double
+finChannelVelocity(const FinHeatsinkGeometry &geom, double cfm)
+{
+    if (cfm <= 0.0)
+        fatal("finChannelVelocity: airflow must be positive, got ", cfm);
+    const double gap =
+        (geom.baseWidthM - geom.finCount * geom.finThicknessM) /
+        geom.finCount;
+    if (gap <= 0.0)
+        fatal("fin geometry leaves no air gap: ", geom.finCount,
+              " fins of ", geom.finThicknessM, " m across ",
+              geom.baseWidthM, " m");
+    const double free_area = geom.finCount * gap * geom.finHeightM;
+    return cfm * kCfmToM3PerS / free_area;
+}
+
+double
+finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm)
+{
+    const double gap =
+        (geom.baseWidthM - geom.finCount * geom.finThicknessM) /
+        geom.finCount;
+    if (gap <= 0.0)
+        fatal("fin geometry leaves no air gap");
+
+    const double velocity = finChannelVelocity(geom, cfm);
+
+    // Hydraulic diameter of one rectangular channel (gap x fin height).
+    const double dh =
+        2.0 * gap * geom.finHeightM / (gap + geom.finHeightM);
+    const double re = velocity * dh / kAirKinematicViscosity;
+
+    // Hausen correlation: fully developed laminar Nusselt number plus
+    // the thermal entrance-length correction for a channel of length
+    // baseLength.
+    const double gz = (dh / geom.baseLengthM) * re * kAirPrandtl;
+    const double nu =
+        3.66 + 0.0668 * gz / (1.0 + 0.04 * std::pow(gz, 2.0 / 3.0));
+    const double h = nu * kAirConductivity / dh;
+
+    // Fin efficiency for straight rectangular fins.
+    const double m =
+        std::sqrt(2.0 * h /
+                  (geom.conductivityWmK * geom.finThicknessM));
+    const double mh = m * geom.finHeightM;
+    const double eta = mh > 1e-9 ? std::tanh(mh) / mh : 1.0;
+
+    const double fin_area =
+        2.0 * geom.finHeightM * geom.baseLengthM * geom.finCount;
+    const double base_exposed =
+        geom.finCount * gap * geom.baseLengthM;
+    const double ha = h * (eta * fin_area + base_exposed);
+    if (ha <= 0.0)
+        panic("non-positive convective conductance");
+    const double r_convection = 1.0 / ha;
+
+    // Spreading resistance from the die footprint into the base plate
+    // (Lee et al. style closed form on equivalent discs).
+    const double r_die = std::sqrt(geom.dieAreaM2 / std::numbers::pi);
+    const double plate_area = geom.baseWidthM * geom.baseLengthM;
+    const double r_plate = std::sqrt(plate_area / std::numbers::pi);
+    const double epsilon = r_die / r_plate;
+    const double r_spreading =
+        std::pow(1.0 - epsilon, 1.5) /
+        (geom.conductivityWmK * std::numbers::pi * r_die);
+
+    // One-dimensional conduction through the base plate.
+    const double r_base =
+        geom.baseThicknessM / (geom.conductivityWmK * plate_area);
+
+    return geom.timResistance + r_spreading + r_base + r_convection;
+}
+
+} // namespace densim

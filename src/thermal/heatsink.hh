@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Heat sink models.
+ *
+ * The M700-class cartridge mitigates inter-socket coupling with two
+ * distinct sinks: upstream sockets get an 18-fin sink, downstream
+ * sockets a better 30-fin sink (Sec. II). A HeatSink carries the
+ * external thermal resistance R_ext and the empirical theta(P)
+ * correction of Eq. (1), with the exact Table III constants as
+ * presets.
+ *
+ * A parametric fin-geometry model (finHeatsinkResistance) derives
+ * R_ext from first principles — developing laminar channel flow
+ * between fins, fin efficiency, and spreading resistance — and is used
+ * by tests to show the Table III presets are physically consistent
+ * with the stated 6.35 CFM per-socket airflow.
+ */
+
+#ifndef DENSIM_THERMAL_HEATSINK_HH
+#define DENSIM_THERMAL_HEATSINK_HH
+
+#include <string>
+
+namespace densim {
+
+/**
+ * Coefficients of the empirical linear correction theta(P) = c0 + c1*P
+ * of Eq. (1) (Table III lists c1 as negative).
+ */
+struct ThetaCoeffs
+{
+    double c0; //!< Constant term, Celsius.
+    double c1; //!< Slope, Celsius per Watt (negative in Table III).
+
+    /** Evaluate theta at @p power_w watts. */
+    double operator()(double power_w) const { return c0 + c1 * power_w; }
+};
+
+/** A finned forced-air heat sink as seen by the peak-temperature model. */
+struct HeatSink
+{
+    std::string name;  //!< Human-readable identifier.
+    int finCount;      //!< Number of fins.
+    double rExt;       //!< External (sink) thermal resistance, C/W.
+    ThetaCoeffs theta; //!< Empirical Eq. (1) correction for this sink.
+
+    /** Upstream 18-fin sink: R_ext 1.578 C/W, theta = 4.41 - 0.0896 P. */
+    static const HeatSink &fin18();
+
+    /** Downstream 30-fin sink: R_ext 1.056 C/W, theta = 4.45 - 0.0916 P. */
+    static const HeatSink &fin30();
+};
+
+/** Parametric geometry for the first-principles fin model. */
+struct FinHeatsinkGeometry
+{
+    double baseWidthM = 0.040;     //!< Across the airflow.
+    double baseLengthM = 0.040;    //!< Along the airflow.
+    double baseThicknessM = 0.003; //!< Base plate thickness.
+    int finCount = 18;             //!< Fins across baseWidth.
+    double finHeightM = 0.012;     //!< Fin height above base.
+    double finThicknessM = 0.0005; //!< Individual fin thickness.
+    double conductivityWmK = 200.; //!< Aluminum alloy.
+    double dieAreaM2 = 100e-6;     //!< Heat source area (X2150 ~100mm^2).
+    double timResistance = 0.30;   //!< Interface resistance, C/W.
+};
+
+/**
+ * External thermal resistance (C/W) of a fin heatsink receiving
+ * @p cfm of airflow: spreading + base conduction + TIM + convection
+ * from fin surfaces with fin-efficiency and entrance-corrected laminar
+ * Nusselt number.
+ */
+double finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm);
+
+/**
+ * Mean air velocity (m/s) in the fin channels for @p cfm airflow —
+ * exposed for tests and the geometry bench.
+ */
+double finChannelVelocity(const FinHeatsinkGeometry &geom, double cfm);
+
+} // namespace densim
+
+#endif // DENSIM_THERMAL_HEATSINK_HH

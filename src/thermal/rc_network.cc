@@ -1,0 +1,203 @@
+#include "thermal/rc_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+NodeId
+RCNetwork::addNode(std::string node_name, double node_capacitance)
+{
+    if (node_capacitance < 0.0)
+        fatal("RCNetwork: negative capacitance for node '", node_name,
+              "'");
+    nodes_.push_back(Node{std::move(node_name), node_capacitance});
+    return nodes_.size() - 1;
+}
+
+void
+RCNetwork::checkNode(NodeId a) const
+{
+    if (a >= nodes_.size())
+        panic("RCNetwork: node id ", a, " out of range (", nodes_.size(),
+              " nodes)");
+}
+
+void
+RCNetwork::connect(NodeId a, NodeId b, double resistance)
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        panic("RCNetwork: self-loop on node ", a);
+    if (resistance <= 0.0)
+        fatal("RCNetwork: resistance must be positive, got ", resistance);
+    edges_.push_back(Edge{a, b, 1.0 / resistance});
+}
+
+void
+RCNetwork::connectAmbient(NodeId a, double resistance)
+{
+    checkNode(a);
+    if (resistance <= 0.0)
+        fatal("RCNetwork: ambient resistance must be positive, got ",
+              resistance);
+    nodes_[a].ambientConductance += 1.0 / resistance;
+}
+
+const std::string &
+RCNetwork::name(NodeId a) const
+{
+    checkNode(a);
+    return nodes_[a].name;
+}
+
+double
+RCNetwork::capacitance(NodeId a) const
+{
+    checkNode(a);
+    return nodes_[a].capacitance;
+}
+
+std::vector<double>
+RCNetwork::steadyState(const std::vector<double> &powers_w,
+                       double t_ambient) const
+{
+    const std::size_t n = nodes_.size();
+    if (powers_w.size() != n)
+        panic("RCNetwork::steadyState: ", powers_w.size(),
+              " powers for ", n, " nodes");
+
+    // Build dense conductance matrix G and right-hand side.
+    std::vector<double> g(n * n, 0.0);
+    std::vector<double> rhs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        g[i * n + i] = nodes_[i].ambientConductance;
+        rhs[i] = powers_w[i] + nodes_[i].ambientConductance * t_ambient;
+    }
+    for (const Edge &e : edges_) {
+        g[e.a * n + e.a] += e.conductance;
+        g[e.b * n + e.b] += e.conductance;
+        g[e.a * n + e.b] -= e.conductance;
+        g[e.b * n + e.a] -= e.conductance;
+    }
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        double best = std::fabs(g[perm[col] * n + col]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(g[perm[r] * n + col]);
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-14)
+            fatal("RCNetwork: singular conductance matrix — some node "
+                  "has no path to the ambient");
+        std::swap(perm[col], perm[pivot]);
+        const std::size_t prow = perm[col];
+        const double diag = g[prow * n + col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const std::size_t row = perm[r];
+            const double factor = g[row * n + col] / diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                g[row * n + c] -= factor * g[prow * n + c];
+            rhs[row] -= factor * rhs[prow];
+        }
+    }
+    std::vector<double> temps(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        const std::size_t row = perm[ri];
+        double acc = rhs[row];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= g[row * n + c] * temps[c];
+        temps[ri] = acc / g[row * n + ri];
+    }
+
+    // Undo the column ordering: unknowns were solved in column order,
+    // which equals node order here (columns were never permuted).
+    return temps;
+}
+
+double
+RCNetwork::stableStep() const
+{
+    const std::size_t n = nodes_.size();
+    std::vector<double> gtot(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        gtot[i] = nodes_[i].ambientConductance;
+    for (const Edge &e : edges_) {
+        gtot[e.a] += e.conductance;
+        gtot[e.b] += e.conductance;
+    }
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (nodes_[i].capacitance <= 0.0)
+            fatal("RCNetwork: transient use requires positive "
+                  "capacitance on node '",
+                  nodes_[i].name, "'");
+        if (gtot[i] > 0.0)
+            dt = std::min(dt, nodes_[i].capacitance / gtot[i]);
+    }
+    // Safety factor below the explicit-Euler limit.
+    return 0.5 * dt;
+}
+
+void
+RCNetwork::transientStep(std::vector<double> &temps,
+                         const std::vector<double> &powers_w,
+                         double t_ambient, double dt_seconds) const
+{
+    const std::size_t n = nodes_.size();
+    if (temps.size() != n || powers_w.size() != n)
+        panic("RCNetwork::transientStep: vector size mismatch");
+    if (dt_seconds < 0.0)
+        panic("RCNetwork::transientStep: negative dt");
+
+    const double dt_max = stableStep();
+    const auto steps = static_cast<std::size_t>(
+        std::ceil(dt_seconds / dt_max));
+    if (steps == 0)
+        return;
+    const double h = dt_seconds / static_cast<double>(steps);
+
+    std::vector<double> flow(n);
+    for (std::size_t s = 0; s < steps; ++s) {
+        for (std::size_t i = 0; i < n; ++i) {
+            flow[i] = powers_w[i] +
+                      nodes_[i].ambientConductance *
+                          (t_ambient - temps[i]);
+        }
+        for (const Edge &e : edges_) {
+            const double q = e.conductance * (temps[e.b] - temps[e.a]);
+            flow[e.a] += q;
+            flow[e.b] -= q;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            temps[i] += h * flow[i] / nodes_[i].capacitance;
+    }
+}
+
+double
+RCNetwork::ambientHeatFlow(const std::vector<double> &temps,
+                           double t_ambient) const
+{
+    if (temps.size() != nodes_.size())
+        panic("RCNetwork::ambientHeatFlow: vector size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        total += nodes_[i].ambientConductance * (temps[i] - t_ambient);
+    return total;
+}
+
+} // namespace densim

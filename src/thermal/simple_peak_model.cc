@@ -1,0 +1,43 @@
+#include "thermal/simple_peak_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+SimplePeakModel::SimplePeakModel(double r_int) : rInt_(r_int)
+{
+    if (rInt_ <= 0.0)
+        fatal("SimplePeakModel: R_int must be positive, got ", rInt_);
+}
+
+double
+SimplePeakModel::peak(double t_amb, double power_w,
+                      const HeatSink &sink) const
+{
+    if (power_w < 0.0)
+        fatal("SimplePeakModel::peak: negative power ", power_w);
+    return t_amb + power_w * (rInt_ + sink.rExt) + sink.theta(power_w);
+}
+
+double
+SimplePeakModel::maxPower(double t_limit, double t_amb,
+                          const HeatSink &sink) const
+{
+    // T_limit = T_amb + P (R_int + R_ext) + c0 + c1 P
+    const double slope = rInt_ + sink.rExt + sink.theta.c1;
+    if (slope <= 0.0)
+        panic("Eq. (1) slope non-positive for sink ", sink.name);
+    const double p = (t_limit - t_amb - sink.theta.c0) / slope;
+    return std::max(p, 0.0);
+}
+
+double
+SimplePeakModel::maxAmbient(double t_limit, double power_w,
+                            const HeatSink &sink) const
+{
+    return t_limit - power_w * (rInt_ + sink.rExt) - sink.theta(power_w);
+}
+
+} // namespace densim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's simplified peak-temperature model — Eq. (1):
+ *
+ *   T_peak = T_amb + P * (R_int + R_ext) + theta(P, sink)
+ *
+ * where R_int is the chip-internal (junction-to-case) resistance,
+ * R_ext the sink resistance, and theta an empirically derived linear
+ * correction per sink. The paper shows this tracks a validated
+ * HotSpot-class model within 2 C (Fig. 10); our tests reproduce that
+ * against densim's HotSpotModel.
+ */
+
+#ifndef DENSIM_THERMAL_SIMPLE_PEAK_MODEL_HH
+#define DENSIM_THERMAL_SIMPLE_PEAK_MODEL_HH
+
+#include "thermal/heatsink.hh"
+
+namespace densim {
+
+/**
+ * Eq. (1) evaluator for one socket/sink pair. Stateless and cheap —
+ * this is the model the scheduler itself is allowed to use.
+ */
+class SimplePeakModel
+{
+  public:
+    /**
+     * @param r_int Chip internal thermal resistance, C/W (Table III:
+     *              0.205 for the X2150).
+     */
+    explicit SimplePeakModel(double r_int = 0.205);
+
+    /** Peak chip temperature for @p power_w at ambient @p t_amb. */
+    double peak(double t_amb, double power_w, const HeatSink &sink) const;
+
+    /**
+     * Largest power (W) whose predicted peak stays at or below
+     * @p t_limit for ambient @p t_amb; clamped at 0 when even idle
+     * power would exceed the limit.
+     */
+    double maxPower(double t_limit, double t_amb,
+                    const HeatSink &sink) const;
+
+    /**
+     * Ambient temperature at which @p power_w exactly reaches
+     * @p t_limit — the headroom question inverted.
+     */
+    double maxAmbient(double t_limit, double power_w,
+                      const HeatSink &sink) const;
+
+    double rInt() const { return rInt_; }
+
+  private:
+    double rInt_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_THERMAL_SIMPLE_PEAK_MODEL_HH

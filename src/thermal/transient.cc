@@ -1,0 +1,31 @@
+#include "thermal/transient.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+FirstOrderTracker::FirstOrderTracker(double tau_seconds, double initial)
+    : tau_(tau_seconds), value_(initial)
+{
+    if (tau_ <= 0.0)
+        fatal("FirstOrderTracker: tau must be positive, got ", tau_);
+}
+
+double
+FirstOrderTracker::step(double target, double dt_seconds)
+{
+    value_ += (target - value_) * responseFraction(dt_seconds, tau_);
+    return value_;
+}
+
+double
+responseFraction(double dt_seconds, double tau_seconds)
+{
+    if (dt_seconds < 0.0)
+        panic("negative time step ", dt_seconds);
+    return 1.0 - std::exp(-dt_seconds / tau_seconds);
+}
+
+} // namespace densim

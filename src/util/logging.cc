@@ -1,0 +1,56 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace densim {
+
+namespace {
+LogLevel gLogLevel = LogLevel::Warning;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (gLogLevel >= LogLevel::Warning)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gLogLevel >= LogLevel::Info)
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace densim

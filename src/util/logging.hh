@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (a densim bug), fatal() for unusable user input (bad
+ * configuration), warn()/inform() for non-fatal notices.
+ */
+
+#ifndef DENSIM_UTIL_LOGGING_HH
+#define DENSIM_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace densim {
+
+/** Verbosity levels for runtime messages. */
+enum class LogLevel { Silent, Warning, Info };
+
+/** Get the process-wide log level (default: Warning). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message; use for conditions that indicate a bug in
+ * densim itself regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...),
+                      __FILE__, __LINE__);
+}
+
+/**
+ * Exit with an error message; use for conditions caused by invalid
+ * user-supplied configuration or input.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr (if log level permits). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational message to stderr (if log level permits). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace densim
+
+#endif // DENSIM_UTIL_LOGGING_HH

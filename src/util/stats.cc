@@ -1,0 +1,154 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::cov() const
+{
+    const double m = mean();
+    return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.mean();
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.cov();
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        panic("percentile of empty sample");
+    if (p < 0.0 || p > 100.0)
+        panic("percentile ", p, " outside [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(hi > lo) || bins == 0)
+        panic("Histogram requires hi > lo and bins > 0");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<long>(std::floor((x - lo_) / width));
+    idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    return counts_.at(i);
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+} // namespace densim

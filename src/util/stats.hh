@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Summary statistics used throughout densim: running (Welford)
+ * accumulators, coefficient of variation, percentiles, and fixed-bin
+ * histograms. The paper reports means, coefficients of variation
+ * (Figs. 5b, 6b) and distribution tails (Fig. 6a), so these are core
+ * reporting primitives rather than test-only helpers.
+ */
+
+#ifndef DENSIM_UTIL_STATS_HH
+#define DENSIM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace densim {
+
+/**
+ * Single-pass mean/variance/min/max accumulator (Welford's method).
+ * Numerically stable for long simulations accumulating millions of
+ * per-job samples.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation: stddev / mean (0 when mean is 0). */
+    double cov() const;
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Smallest sample (+inf when empty). */
+    double min() const;
+
+    /** Largest sample (-inf when empty). */
+    double max() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Mean of a sample vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a sample vector. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Coefficient of variation of a sample vector, the paper's measure of
+ * spread in Fig. 5(b) and Fig. 6(b): stddev / mean.
+ */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]. The input need not be
+ * sorted; a sorted copy is made.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); samples outside the range
+ * are clamped into the edge bins.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with @p bins bins spanning [lo, hi). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total number of samples added. */
+    std::size_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace densim
+
+#endif // DENSIM_UTIL_STATS_HH

@@ -1,0 +1,90 @@
+#include "workload/benchmark.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace densim {
+
+const char *
+workloadSetName(WorkloadSet set)
+{
+    switch (set) {
+      case WorkloadSet::Computation:
+        return "Computation";
+      case WorkloadSet::Storage:
+        return "Storage";
+      case WorkloadSet::GeneralPurpose:
+        return "GP";
+    }
+    panic("unknown workload set");
+}
+
+const std::vector<WorkloadSet> &
+allWorkloadSets()
+{
+    static const std::vector<WorkloadSet> sets{
+        WorkloadSet::Computation,
+        WorkloadSet::GeneralPurpose,
+        WorkloadSet::Storage,
+    };
+    return sets;
+}
+
+const std::vector<Benchmark> &
+pcmarkCatalog()
+{
+    // 19 applications; per-set mean durations chosen so each set's
+    // across-application CoV lands in the 0.25–0.33 band of Fig. 6b
+    // and means are ms-scale per Fig. 6a. sigmaLn ~1.2–1.5 puts
+    // per-job maxima about two orders of magnitude above the mean.
+    static const std::vector<Benchmark> catalog{
+        // Computation-intensive set (6 apps).
+        {"video-transcode", WorkloadSet::Computation, 4.0, 1.40},
+        {"image-manipulation", WorkloadSet::Computation, 4.8, 1.35},
+        {"data-compression", WorkloadSet::Computation, 5.6, 1.40},
+        {"encryption", WorkloadSet::Computation, 6.4, 1.30},
+        {"physics-simulation", WorkloadSet::Computation, 7.8, 1.45},
+        {"video-rendering", WorkloadSet::Computation, 9.0, 1.40},
+        // Storage-intensive set (6 apps).
+        {"app-loading", WorkloadSet::Storage, 6.0, 1.30},
+        {"picture-import", WorkloadSet::Storage, 7.5, 1.35},
+        {"video-editing-io", WorkloadSet::Storage, 8.5, 1.40},
+        {"defender-scan", WorkloadSet::Storage, 10.0, 1.30},
+        {"media-library", WorkloadSet::Storage, 12.0, 1.45},
+        {"system-storage", WorkloadSet::Storage, 13.5, 1.40},
+        // General-purpose set (7 apps).
+        {"web-browsing", WorkloadSet::GeneralPurpose, 2.5, 1.30},
+        {"word-processing", WorkloadSet::GeneralPurpose, 3.0, 1.25},
+        {"spreadsheet", WorkloadSet::GeneralPurpose, 3.6, 1.35},
+        {"photo-viewing", WorkloadSet::GeneralPurpose, 4.2, 1.30},
+        {"email", WorkloadSet::GeneralPurpose, 4.9, 1.40},
+        {"pdf-rendering", WorkloadSet::GeneralPurpose, 5.8, 1.35},
+        {"light-scan", WorkloadSet::GeneralPurpose, 6.6, 1.40},
+    };
+    return catalog;
+}
+
+std::vector<std::size_t>
+benchmarksInSet(WorkloadSet set)
+{
+    std::vector<std::size_t> indices;
+    const auto &catalog = pcmarkCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        if (catalog[i].set == set)
+            indices.push_back(i);
+    }
+    if (indices.empty())
+        panic("no benchmarks in set ", workloadSetName(set));
+    return indices;
+}
+
+double
+setMeanDurationS(WorkloadSet set)
+{
+    RunningStats stats;
+    for (std::size_t i : benchmarksInSet(set))
+        stats.add(pcmarkCatalog()[i].meanDurationMs);
+    return stats.mean() * 1e-3;
+}
+
+} // namespace densim

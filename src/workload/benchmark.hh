@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The VDI benchmark catalog.
+ *
+ * The paper characterizes 19 PCMark 7 applications relevant to
+ * enterprise VDI, grouped into three sets — Computation intensive,
+ * Storage intensive, and General Purpose (Sec. III-A). We cannot run
+ * PCMark, so each application is modeled by the statistics the paper
+ * reports: millisecond-scale mean job durations whose spread across
+ * the applications of a set has a coefficient of variation between
+ * 0.25 and 0.33 (Fig. 6b), individual-job durations following a
+ * heavy-tailed lognormal whose maxima run ~2 orders of magnitude
+ * above the mean (Fig. 6a and [39]).
+ */
+
+#ifndef DENSIM_WORKLOAD_BENCHMARK_HH
+#define DENSIM_WORKLOAD_BENCHMARK_HH
+
+#include <string>
+#include <vector>
+
+namespace densim {
+
+/** The paper's three benchmark sets. */
+enum class WorkloadSet { Computation, Storage, GeneralPurpose };
+
+/** Printable name of a workload set. */
+const char *workloadSetName(WorkloadSet set);
+
+/** All three sets, in the paper's reporting order. */
+const std::vector<WorkloadSet> &allWorkloadSets();
+
+/** One modeled PCMark-7-class application. */
+struct Benchmark
+{
+    std::string name;       //!< Application name.
+    WorkloadSet set;        //!< Which set it belongs to.
+    double meanDurationMs;  //!< Mean duration at the highest
+                            //!< sustained frequency (1500 MHz).
+    double sigmaLn;         //!< Lognormal shape of per-job durations.
+};
+
+/**
+ * The 19-application catalog. Indices into this vector are the
+ * canonical benchmark ids used by jobs and traces.
+ */
+const std::vector<Benchmark> &pcmarkCatalog();
+
+/** Indices of catalog entries belonging to @p set. */
+std::vector<std::size_t> benchmarksInSet(WorkloadSet set);
+
+/**
+ * Mean job duration (seconds, at max frequency) across the
+ * applications of @p set, weighting applications equally — the mean
+ * the arrival process is parameterized with.
+ */
+double setMeanDurationS(WorkloadSet set);
+
+} // namespace densim
+
+#endif // DENSIM_WORKLOAD_BENCHMARK_HH

@@ -1,0 +1,64 @@
+#include "workload/curves.hh"
+
+#include "power/pstate.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+const FreqCurve &
+freqCurveFor(WorkloadSet set)
+{
+    // Indexed by PStateTable::x2150(): 1100/1300/1500/1700/1900 MHz.
+    // Digitized from Fig. 7: power at 90 C (a), performance relative
+    // to 1900 MHz (b).
+    static const FreqCurve computation{
+        {9.8, 11.6, 13.6, 15.7, 18.0},
+        {0.650, 0.7375, 0.825, 0.9125, 1.0},
+    };
+    static const FreqCurve storage{
+        {8.2, 8.7, 9.3, 9.9, 10.5},
+        {0.900, 0.925, 0.950, 0.975, 1.0},
+    };
+    static const FreqCurve gp{
+        {8.3, 9.6, 11.0, 12.4, 14.0},
+        {0.700, 0.775, 0.850, 0.925, 1.0},
+    };
+    switch (set) {
+      case WorkloadSet::Computation:
+        return computation;
+      case WorkloadSet::Storage:
+        return storage;
+      case WorkloadSet::GeneralPurpose:
+        return gp;
+    }
+    panic("unknown workload set");
+}
+
+double
+peakPowerW(WorkloadSet set)
+{
+    return freqCurveFor(set).totalPowerAt90C.back();
+}
+
+double
+perfAtFreq(WorkloadSet set, double freq_mhz)
+{
+    const auto &table = PStateTable::x2150();
+    const auto &curve = freqCurveFor(set);
+    if (freq_mhz <= table.slowest().freqMhz)
+        return curve.perfRel.front();
+    if (freq_mhz >= table.fastest().freqMhz)
+        return curve.perfRel.back();
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        const double f0 = table.at(i - 1).freqMhz;
+        const double f1 = table.at(i).freqMhz;
+        if (freq_mhz <= f1) {
+            const double frac = (freq_mhz - f0) / (f1 - f0);
+            return curve.perfRel[i - 1] +
+                   frac * (curve.perfRel[i] - curve.perfRel[i - 1]);
+        }
+    }
+    panic("unreachable: frequency interpolation fell through");
+}
+
+} // namespace densim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Power and performance versus frequency per benchmark set — the
+ * hardware characterization of Fig. 7.
+ *
+ * Power is total socket power measured at the 90 C characterization
+ * temperature (leakage included: 30 % of the 22 W TDP). Performance
+ * is job throughput relative to the 1900 MHz maximum. The paper's
+ * headline facts are encoded here: Computation draws the most power
+ * (18 W at 1900 MHz) and loses ~35 % performance over an 800 MHz
+ * drop; Storage draws the least (10.5 W) and is nearly frequency
+ * insensitive; GP sits between, with frequency sensitivity close to
+ * Computation's at lower power.
+ */
+
+#ifndef DENSIM_WORKLOAD_CURVES_HH
+#define DENSIM_WORKLOAD_CURVES_HH
+
+#include "power/power_manager.hh"
+#include "workload/benchmark.hh"
+
+namespace densim {
+
+/**
+ * FreqCurve for @p set, indexed against PStateTable::x2150()
+ * (1100/1300/1500/1700/1900 MHz).
+ */
+const FreqCurve &freqCurveFor(WorkloadSet set);
+
+/** Socket power of @p set at the fastest state (90 C). */
+double peakPowerW(WorkloadSet set);
+
+/**
+ * Relative performance of @p set at @p freq_mhz (linear interpolation
+ * between table frequencies; the Fig. 7b series).
+ */
+double perfAtFreq(WorkloadSet set, double freq_mhz);
+
+} // namespace densim
+
+#endif // DENSIM_WORKLOAD_CURVES_HH

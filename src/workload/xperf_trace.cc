@@ -1,0 +1,117 @@
+#include "workload/xperf_trace.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+namespace {
+
+WorkloadSet
+parseSetName(const std::string &name)
+{
+    for (WorkloadSet set : allWorkloadSets()) {
+        if (name == workloadSetName(set))
+            return set;
+    }
+    fatal("xperf trace: unknown workload set '", name, "'");
+}
+
+} // namespace
+
+XperfTrace::XperfTrace(WorkloadSet trace_set) : set_(trace_set) {}
+
+XperfTrace
+XperfTrace::capture(JobGenerator &gen, std::size_t count)
+{
+    XperfTrace trace(gen.set());
+    for (std::size_t i = 0; i < count; ++i)
+        trace.append(gen.next());
+    return trace;
+}
+
+void
+XperfTrace::append(const Job &job)
+{
+    if (!jobs_.empty() && job.arrivalS < jobs_.back().arrivalS)
+        fatal("xperf trace: arrivals must be non-decreasing (",
+              job.arrivalS, " after ", jobs_.back().arrivalS, ")");
+    if (job.benchmark >= pcmarkCatalog().size())
+        fatal("xperf trace: benchmark index ", job.benchmark,
+              " out of range");
+    jobs_.push_back(job);
+}
+
+void
+XperfTrace::save(std::ostream &out) const
+{
+    out << "densim-xperf 1\n";
+    out << "set " << workloadSetName(set_) << "\n";
+    for (const Job &job : jobs_) {
+        out << static_cast<long long>(std::llround(job.arrivalS * 1e6))
+            << " " << job.benchmark << " "
+            << static_cast<long long>(std::llround(job.nominalS * 1e6))
+            << "\n";
+    }
+}
+
+void
+XperfTrace::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("xperf trace: cannot open '", path, "' for writing");
+    save(out);
+}
+
+XperfTrace
+XperfTrace::load(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != "densim-xperf 1")
+        fatal("xperf trace: bad magic line");
+    if (!std::getline(in, line))
+        fatal("xperf trace: missing set line");
+    std::istringstream set_line(line);
+    std::string keyword, set_name;
+    set_line >> keyword >> set_name;
+    if (keyword != "set")
+        fatal("xperf trace: expected 'set <name>', got '", line, "'");
+
+    XperfTrace trace(parseSetName(set_name));
+    std::uint64_t id = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream record(line);
+        long long arrival_us = 0;
+        std::size_t bench = 0;
+        long long duration_us = 0;
+        if (!(record >> arrival_us >> bench >> duration_us))
+            fatal("xperf trace: malformed record '", line, "'");
+        if (duration_us <= 0)
+            fatal("xperf trace: non-positive duration in '", line, "'");
+        Job job;
+        job.id = id++;
+        job.benchmark = bench;
+        job.set = trace.set();
+        job.arrivalS = static_cast<double>(arrival_us) * 1e-6;
+        job.nominalS = static_cast<double>(duration_us) * 1e-6;
+        trace.append(job);
+    }
+    return trace;
+}
+
+XperfTrace
+XperfTrace::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("xperf trace: cannot open '", path, "'");
+    return load(in);
+}
+
+} // namespace densim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the airflow substrate: first-law relations (checked
+ * against Table II of the paper), fan affinity laws, and the chassis
+ * flow budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "airflow/fan.hh"
+#include "airflow/first_law.hh"
+#include "airflow/flow_budget.hh"
+
+namespace densim {
+namespace {
+
+TEST(FirstLaw, ConstantNear176)
+{
+    EXPECT_NEAR(kCelsiusPerWattPerCfm, 1.76, 0.01);
+}
+
+/** Table II rows: (server class power per U, required CFM at 20 C). */
+struct TableIIRow
+{
+    double powerPerU;
+    double cfm;
+};
+
+class TableII : public ::testing::TestWithParam<TableIIRow>
+{
+};
+
+TEST_P(TableII, RequiredAirflowMatchesPaper)
+{
+    const TableIIRow row = GetParam();
+    EXPECT_NEAR(requiredAirflow(row.powerPerU, 20.0), row.cfm, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableII,
+                         ::testing::Values(TableIIRow{208.0, 18.30},
+                                           TableIIRow{147.0, 12.94},
+                                           TableIIRow{114.0, 10.03},
+                                           TableIIRow{421.0, 37.05},
+                                           TableIIRow{588.0, 51.74}));
+
+TEST(FirstLaw, RiseAndRequiredAreInverses)
+{
+    const double watts = 123.0;
+    const double cfm = requiredAirflow(watts, 20.0);
+    EXPECT_NEAR(airTemperatureRise(watts, cfm), 20.0, 1e-9);
+}
+
+TEST(FirstLaw, AbsorbableHeatInverts)
+{
+    const double q = absorbableHeat(10.0, 15.0);
+    EXPECT_NEAR(airTemperatureRise(q, 10.0), 15.0, 1e-9);
+}
+
+TEST(FirstLaw, RiseScalesLinearlyWithPower)
+{
+    const double r1 = airTemperatureRise(10.0, 6.35);
+    const double r2 = airTemperatureRise(20.0, 6.35);
+    EXPECT_NEAR(r2, 2.0 * r1, 1e-12);
+}
+
+TEST(FirstLaw, RiseInverseInFlow)
+{
+    const double r1 = airTemperatureRise(15.0, 5.0);
+    const double r2 = airTemperatureRise(15.0, 10.0);
+    EXPECT_NEAR(r1, 2.0 * r2, 1e-12);
+}
+
+TEST(FirstLaw, ZeroPowerZeroRise)
+{
+    EXPECT_DOUBLE_EQ(airTemperatureRise(0.0, 6.35), 0.0);
+}
+
+TEST(FirstLaw, RejectsNonPositiveFlow)
+{
+    EXPECT_EXIT(airTemperatureRise(10.0, 0.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(FirstLaw, RejectsNegativePower)
+{
+    EXPECT_EXIT(requiredAirflow(-1.0, 20.0),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+TEST(Fan, ActiveCoolBankMeetsServerBudget)
+{
+    // Five ActiveCool-class fans must deliver the 400 CFM Table III
+    // server total.
+    Fan bank(Fan::activeCoolSpec(), 5);
+    EXPECT_GE(bank.maxDeliveredCfm(), 400.0);
+}
+
+TEST(Fan, AirflowLinearInSpeed)
+{
+    Fan fan(Fan::activeCoolSpec());
+    EXPECT_NEAR(fan.deliveredCfm(0.5), 0.5 * fan.deliveredCfm(1.0),
+                1e-12);
+}
+
+TEST(Fan, PowerCubicInSpeed)
+{
+    Fan fan(Fan::activeCoolSpec());
+    EXPECT_NEAR(fan.electricalPowerW(0.5),
+                0.125 * fan.electricalPowerW(1.0), 1e-12);
+}
+
+TEST(Fan, SpeedForCfmRoundTrips)
+{
+    Fan fan(Fan::activeCoolSpec());
+    const double target = 0.6 * fan.maxDeliveredCfm();
+    const double s = fan.speedForCfm(target);
+    EXPECT_NEAR(fan.deliveredCfm(s), target, 1e-9);
+}
+
+TEST(Fan, SpeedClampsAtMinimum)
+{
+    Fan fan(Fan::activeCoolSpec());
+    EXPECT_DOUBLE_EQ(fan.speedForCfm(0.0),
+                     Fan::activeCoolSpec().minSpeedFrac);
+}
+
+TEST(Fan, OverCapacityIsFatal)
+{
+    Fan fan(Fan::activeCoolSpec());
+    EXPECT_EXIT(fan.speedForCfm(10 * fan.maxDeliveredCfm()),
+                ::testing::ExitedWithCode(1), "cannot deliver");
+}
+
+TEST(Fan, PowerForCfmMonotone)
+{
+    Fan fan(Fan::activeCoolSpec(), 5);
+    double last = 0.0;
+    for (double cfm = 50.0; cfm <= 400.0; cfm += 50.0) {
+        const double p = fan.powerForCfm(cfm);
+        EXPECT_GE(p, last);
+        last = p;
+    }
+}
+
+TEST(FlowBudget, SutMatchesTableIII)
+{
+    const FlowBudget budget = FlowBudget::sutBudget();
+    EXPECT_DOUBLE_EQ(budget.totalCfm(), 400.0);
+    EXPECT_NEAR(budget.perSocketCfm(), 6.35, 1e-9);
+    EXPECT_NEAR(budget.zoneCfm(), 12.70, 1e-9);
+}
+
+TEST(FlowBudget, NoLeakageSplitsEvenly)
+{
+    const FlowBudget budget(100.0, 4, 2, 0.0);
+    EXPECT_DOUBLE_EQ(budget.ductCfm(), 25.0);
+    EXPECT_DOUBLE_EQ(budget.perSocketCfm(), 12.5);
+}
+
+TEST(FlowBudget, LeakageReducesDuctFlow)
+{
+    const FlowBudget tight(100.0, 4, 2, 0.0);
+    const FlowBudget leaky(100.0, 4, 2, 0.3);
+    EXPECT_LT(leaky.ductCfm(), tight.ductCfm());
+    EXPECT_NEAR(leaky.ductCfm(), 0.7 * tight.ductCfm(), 1e-12);
+}
+
+TEST(FlowBudget, RejectsFullLeakage)
+{
+    EXPECT_EXIT(FlowBudget(100.0, 4, 2, 1.0),
+                ::testing::ExitedWithCode(1), "leakage");
+}
+
+TEST(FlowBudget, SutBudgetSupportsTableIIDensityOptRow)
+{
+    // The density-optimized class draws 588 W/U; a 4U SUT draws
+    // ~2.3 kW. 400 CFM removes that within the 20 C ASHRAE rise
+    // budget (first-law check linking Table II and Table III).
+    const double heat = absorbableHeat(400.0, 20.0);
+    EXPECT_GT(heat, 4 * 588.0 * 0.9);
+}
+
+} // namespace
+} // namespace densim

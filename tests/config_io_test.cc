@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for configuration and metrics I/O: key application, file
+ * round-trips, error handling, JSON/CSV export.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.hh"
+#include "core/dense_server_sim.hh"
+#include "core/metrics_io.hh"
+#include "sched/factory.hh"
+
+namespace densim {
+namespace {
+
+TEST(ConfigIo, AppliesScalarKeys)
+{
+    SimConfig config;
+    applyConfigKey(config, "load", "0.75");
+    applyConfigKey(config, "seed", "99");
+    applyConfigKey(config, "tLimitC", "90");
+    EXPECT_DOUBLE_EQ(config.load, 0.75);
+    EXPECT_EQ(config.seed, 99u);
+    EXPECT_DOUBLE_EQ(config.tLimitC, 90.0);
+}
+
+TEST(ConfigIo, AppliesNestedKeys)
+{
+    SimConfig config;
+    applyConfigKey(config, "topo.rows", "5");
+    applyConfigKey(config, "topo.inletC", "25.5");
+    applyConfigKey(config, "coupling.wakeFactor", "2.0");
+    EXPECT_EQ(config.topo.rows, 5);
+    EXPECT_DOUBLE_EQ(config.topo.inletC, 25.5);
+    EXPECT_DOUBLE_EQ(config.coupling.wakeFactor, 2.0);
+}
+
+TEST(ConfigIo, AppliesEnumAndBool)
+{
+    SimConfig config;
+    applyConfigKey(config, "workload", "Storage");
+    applyConfigKey(config, "migrationEnabled", "true");
+    applyConfigKey(config, "warmStart", "no");
+    EXPECT_EQ(config.workload, WorkloadSet::Storage);
+    EXPECT_TRUE(config.migrationEnabled);
+    EXPECT_FALSE(config.warmStart);
+}
+
+TEST(ConfigIo, UnknownKeyIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyConfigKey(config, "loda", "0.5"),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ConfigIo, BadValueIsFatal)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyConfigKey(config, "load", "fast"),
+                ::testing::ExitedWithCode(1), "cannot parse");
+    EXPECT_EXIT(applyConfigKey(config, "topo.rows", "2.5"),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(applyConfigKey(config, "warmStart", "maybe"),
+                ::testing::ExitedWithCode(1), "boolean");
+}
+
+TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
+{
+    SimConfig config;
+    std::stringstream in("# experiment\n\nload = 0.6  # mid\n"
+                         "topo.rows = 4\nworkload = GP\n");
+    loadConfig(config, in);
+    EXPECT_DOUBLE_EQ(config.load, 0.6);
+    EXPECT_EQ(config.topo.rows, 4);
+    EXPECT_EQ(config.workload, WorkloadSet::GeneralPurpose);
+}
+
+TEST(ConfigIo, MalformedLineIsFatal)
+{
+    SimConfig config;
+    std::stringstream in("load 0.6\n");
+    EXPECT_EXIT(loadConfig(config, in), ::testing::ExitedWithCode(1),
+                "key = value");
+}
+
+TEST(ConfigIo, SaveLoadRoundTrip)
+{
+    SimConfig config;
+    config.load = 0.42;
+    config.workload = WorkloadSet::Storage;
+    config.topo.rows = 7;
+    config.coupling.kappaLocal = 2.25;
+    config.migrationEnabled = true;
+
+    const std::string text = saveConfig(config);
+    SimConfig loaded;
+    std::stringstream in(text);
+    loadConfig(loaded, in);
+    EXPECT_DOUBLE_EQ(loaded.load, 0.42);
+    EXPECT_EQ(loaded.workload, WorkloadSet::Storage);
+    EXPECT_EQ(loaded.topo.rows, 7);
+    EXPECT_DOUBLE_EQ(loaded.coupling.kappaLocal, 2.25);
+    EXPECT_TRUE(loaded.migrationEnabled);
+}
+
+TEST(ConfigIo, SaveCoversEveryAppliedDefault)
+{
+    // Every key printed by saveConfig must be re-loadable.
+    SimConfig config;
+    const std::string text = saveConfig(config);
+    SimConfig loaded;
+    std::stringstream in(text);
+    loadConfig(loaded, in); // would be fatal on any bad key
+    EXPECT_DOUBLE_EQ(loaded.load, config.load);
+    EXPECT_DOUBLE_EQ(loaded.socketTauS, config.socketTauS);
+}
+
+TEST(MetricsIo, JsonContainsHeadlineFields)
+{
+    SimConfig config;
+    config.topo.rows = 2;
+    config.simTimeS = 0.5;
+    config.warmupS = 0.1;
+    config.socketTauS = 0.3;
+    DenseServerSim sim(config, makeScheduler("CF"));
+    const SimMetrics m = sim.run();
+    const std::string json = metricsToJson(m);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    for (const char *key :
+         {"jobsCompleted", "runtimeExpansionMean", "energyJ", "ed2",
+          "avgRelFreq", "workFront", "maxChipTempC", "migrations"}) {
+        EXPECT_NE(json.find(std::string("\"") + key + "\":"),
+                  std::string::npos)
+            << key;
+    }
+}
+
+TEST(MetricsIo, CsvRowMatchesHeaderArity)
+{
+    SimMetrics m;
+    m.runtimeExpansion.add(1.0);
+    const std::string header = metricsCsvHeader();
+    const std::string row =
+        metricsToCsvRow("CP", "Computation", 0.5, m);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_EQ(row.rfind("CP,Computation,0.5,", 0), 0u);
+}
+
+} // namespace
+} // namespace densim

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Integration tests spanning the full stack: the paper's headline
+ * behaviours on the real 180-socket SUT — the Fig. 3 coupled/
+ * uncoupled CF-vs-HF inversion, Fig. 13 placement structure, the
+ * Fig. 14 workload sensitivity ordering, and end-to-end trace-driven
+ * experiments. These are slower than unit tests but still bounded
+ * (seconds each).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/dense_server_sim.hh"
+#include "core/experiment.hh"
+#include "sched/factory.hh"
+#include "server/sut.hh"
+#include "workload/xperf_trace.hh"
+
+namespace densim {
+namespace {
+
+/** Bench-style SUT configuration: scaled socket tau, warm start. */
+SimConfig
+sutConfig(double load, WorkloadSet set = WorkloadSet::Computation)
+{
+    SimConfig config;
+    config.workload = set;
+    config.load = load;
+    config.socketTauS = 3.0;
+    config.simTimeS = 8.0;
+    config.warmupS = 4.0;
+    config.seed = 42;
+    return config;
+}
+
+/** Fig. 3 two-socket configuration. */
+SimConfig
+twoSocketConfig(bool coupled)
+{
+    SimConfig config;
+    // Moderate load: on a 2-socket system the heavy-tailed job mix
+    // queues brutally at higher loads, drowning scheduler choice (the
+    // policies only differ when both sockets are idle).
+    config.load = 0.35;
+    config.socketTauS = 1.0;
+    config.simTimeS = 10.0;
+    config.warmupS = 3.0;
+    config.seed = 7;
+    // The Fig. 3 experiment needs thermal pressure on a 2-socket
+    // system; a warm-aisle inlet supplies it (the paper does not
+    // state the inlet for this motivational experiment).
+    config.topo.inletC = 50.0;
+    if (coupled) {
+        config.topo.rows = 1;
+        config.topo.cartridgesPerRow = 1;
+        config.topo.zonesPerCartridge = 2;
+        config.topo.socketsPerZone = 1;
+    } else {
+        config.topo.rows = 2;
+        config.topo.cartridgesPerRow = 1;
+        config.topo.zonesPerCartridge = 1;
+        config.topo.socketsPerZone = 1;
+        // Separate ducts with the coupled build's sink mix.
+        config.topo.alternateSinksByRow = true;
+        config.coupling.verticalLeak = 0.0;
+    }
+    return config;
+}
+
+double
+runTwoSocket(bool coupled, const std::string &scheme)
+{
+    DenseServerSim sim(twoSocketConfig(coupled), makeScheduler(scheme));
+    // Fig. 3 compares execution speed; queue wait on a 2-server
+    // system is dominated by job-length tails, not placement.
+    return sim.run().serviceExpansion.mean();
+}
+
+TEST(Integration, Fig3CouplingInvertsCfVsHf)
+{
+    // Fig. 3(b): CF beats HF on the uncoupled 2-socket system; HF
+    // beats CF when the sockets are thermally coupled.
+    const double cf_coupled = runTwoSocket(true, "CF");
+    const double hf_coupled = runTwoSocket(true, "HF");
+    const double cf_uncoupled = runTwoSocket(false, "CF");
+    const double hf_uncoupled = runTwoSocket(false, "HF");
+
+    EXPECT_LT(hf_coupled, cf_coupled)
+        << "HF must win when sockets are coupled";
+    EXPECT_LE(cf_uncoupled, hf_uncoupled + 1e-9)
+        << "CF must not lose when sockets are uncoupled";
+}
+
+TEST(Integration, Fig13LowLoadPlacementStructure)
+{
+    // At 30% load, CF and Predictive concentrate work in the front
+    // half; HF and MinHR do not (Fig. 13a).
+    for (const char *front_scheme : {"CF", "Predictive"}) {
+        DenseServerSim sim(sutConfig(0.3),
+                           makeScheduler(front_scheme));
+        const SimMetrics m = sim.run();
+        EXPECT_GT(m.workFraction(m.front), 0.6) << front_scheme;
+    }
+    for (const char *back_scheme : {"HF", "MinHR"}) {
+        DenseServerSim sim(sutConfig(0.3), makeScheduler(back_scheme));
+        const SimMetrics m = sim.run();
+        EXPECT_LT(m.workFraction(m.front), 0.2) << back_scheme;
+    }
+}
+
+TEST(Integration, Fig13BackPackersFavorEvenZones)
+{
+    // HF/MinHR end up doing more work on even (30-fin) zones than
+    // front-packing CF (Sec. IV-B).
+    DenseServerSim cf(sutConfig(0.3), makeScheduler("CF"));
+    DenseServerSim hf(sutConfig(0.3), makeScheduler("MinHR"));
+    const SimMetrics mcf = cf.run();
+    const SimMetrics mhf = hf.run();
+    EXPECT_GT(mhf.workFraction(mhf.even), mcf.workFraction(mcf.even));
+}
+
+TEST(Integration, Fig13HighLoadUsesBackHalf)
+{
+    // At high load every scheme must use the back substantially.
+    for (const char *scheme : {"CF", "HF", "CP"}) {
+        DenseServerSim sim(sutConfig(0.8), makeScheduler(scheme));
+        const SimMetrics m = sim.run();
+        EXPECT_GT(m.workFraction(m.back), 0.3) << scheme;
+    }
+}
+
+TEST(Integration, Fig13BackHalfSlowerUnderLoad)
+{
+    // The frequency of the back half is more impacted at high load.
+    DenseServerSim sim(sutConfig(0.8), makeScheduler("Random"));
+    const SimMetrics m = sim.run();
+    EXPECT_LT(m.back.avgRelFreq(), m.front.avgRelFreq());
+}
+
+TEST(Integration, LowLoadOrderingMatchesFig11)
+{
+    // 30% Computation: HF and MinHR are the clearly-worst schemes.
+    auto results = runAll(makeGrid({"CF", "HF", "MinHR", "CP"},
+                                   WorkloadSet::Computation, {0.3},
+                                   sutConfig(0.3)));
+    auto index = indexResults(results);
+    const SimMetrics &cf = index["CF"][0.3];
+    EXPECT_LT(relativePerformance(index["HF"][0.3], cf), 0.99);
+    EXPECT_LT(relativePerformance(index["MinHR"][0.3], cf), 0.99);
+    EXPECT_GT(relativePerformance(index["CP"][0.3], cf), 0.97);
+}
+
+TEST(Integration, HighLoadCpBeatsCf)
+{
+    // The headline: at high load CP outperforms the traditional
+    // temperature-aware baseline.
+    auto results = runAll(makeGrid({"CF", "CP"},
+                                   WorkloadSet::Computation, {0.8},
+                                   sutConfig(0.8)));
+    auto index = indexResults(results);
+    EXPECT_GT(relativePerformance(index["CP"][0.8], index["CF"][0.8]),
+              1.02);
+}
+
+TEST(Integration, CpTracksHighLoadWinners)
+{
+    // The paper's robustness claim: at high load CP stays within a
+    // few percent of the best back-packing scheme instead of
+    // collapsing with the front-packers.
+    auto results = runAll(makeGrid({"CF", "HF", "MinHR", "CP",
+                                    "Predictive"},
+                                   WorkloadSet::Computation, {0.8},
+                                   sutConfig(0.8)));
+    auto index = indexResults(results);
+    const SimMetrics &cf = index["CF"][0.8];
+    const double hf = relativePerformance(index["HF"][0.8], cf);
+    const double minhr = relativePerformance(index["MinHR"][0.8], cf);
+    const double cp = relativePerformance(index["CP"][0.8], cf);
+    const double pred =
+        relativePerformance(index["Predictive"][0.8], cf);
+    const double best = std::max(hf, minhr);
+    EXPECT_GT(cp, 1.0);          // beats the CF baseline
+    EXPECT_GT(cp, pred);         // beats Predictive at high load
+    EXPECT_GT(cp, 0.90 * best);  // tracks the winner
+}
+
+TEST(Integration, WorkloadSensitivityOrdering)
+{
+    // Computation is the most throttled workload, Storage the least
+    // (Sec. V: Storage sees muted behaviour).
+    const double comp =
+        DenseServerSim(sutConfig(0.8, WorkloadSet::Computation),
+                       makeScheduler("CF"))
+            .run()
+            .avgRelFreq();
+    const double gp =
+        DenseServerSim(sutConfig(0.8, WorkloadSet::GeneralPurpose),
+                       makeScheduler("CF"))
+            .run()
+            .avgRelFreq();
+    const double storage =
+        DenseServerSim(sutConfig(0.8, WorkloadSet::Storage),
+                       makeScheduler("CF"))
+            .run()
+            .avgRelFreq();
+    EXPECT_LT(comp, gp + 0.02);
+    EXPECT_LT(gp, storage + 0.02);
+    EXPECT_GT(storage, 0.93);
+}
+
+TEST(Integration, TraceRoundTripThroughSimulator)
+{
+    // Capture a trace to a file, reload it, and drive the simulator:
+    // byte-identical behaviour with the direct path up to the 1 us
+    // timestamp quantization of the trace format.
+    SimConfig config = sutConfig(0.4);
+    config.simTimeS = 3.0;
+    config.warmupS = 1.0;
+    JobGenerator gen(config.workload, config.load, 180, config.seed);
+    XperfTrace trace = XperfTrace::capture(gen, 20000);
+
+    const std::string path = ::testing::TempDir() + "/densim.trace";
+    trace.saveFile(path);
+    const XperfTrace loaded = XperfTrace::loadFile(path);
+
+    std::vector<Job> jobs;
+    for (const Job &job : loaded.jobs()) {
+        if (job.arrivalS < config.simTimeS)
+            jobs.push_back(job);
+    }
+    DenseServerSim sim(config, makeScheduler("CP"));
+    const SimMetrics m = sim.run(jobs);
+    EXPECT_EQ(m.jobsUnfinished, 0u);
+    EXPECT_GT(m.jobsCompleted, 1000u);
+}
+
+TEST(Integration, Ed2TracksEnergyAndDelay)
+{
+    // Fig. 15 machinery: a faster scheme at equal-ish energy has
+    // lower ED^2.
+    auto results = runAll(makeGrid({"CF", "CP"},
+                                   WorkloadSet::Computation, {0.8},
+                                   sutConfig(0.8)));
+    auto index = indexResults(results);
+    const double rel_perf =
+        relativePerformance(index["CP"][0.8], index["CF"][0.8]);
+    const double rel_ed2 =
+        relativeEd2(index["CP"][0.8], index["CF"][0.8]);
+    if (rel_perf > 1.05) {
+        EXPECT_LT(rel_ed2, 1.0);
+    }
+}
+
+TEST(Integration, AllSchemesCompleteAtEveryLoad)
+{
+    // Robustness sweep: every policy finishes its work at low,
+    // medium and high load on the full SUT.
+    for (const std::string &name : allSchedulerNames()) {
+        for (double load : {0.2, 0.6, 0.9}) {
+            SimConfig config = sutConfig(load);
+            config.simTimeS = 2.0;
+            config.warmupS = 0.5;
+            DenseServerSim sim(config, makeScheduler(name));
+            const SimMetrics m = sim.run();
+            EXPECT_EQ(m.jobsUnfinished, 0u)
+                << name << " @ " << load;
+            EXPECT_GT(m.jobsCompleted, 100u) << name << " @ " << load;
+        }
+    }
+}
+
+} // namespace
+} // namespace densim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the power substrate: P-state table, leakage model,
+ * and the DVFS decisions of the power manager (steady, responsive,
+ * capped/boost-dwell variants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/leakage.hh"
+#include "power/power_manager.hh"
+#include "power/pstate.hh"
+#include "workload/curves.hh"
+
+namespace densim {
+namespace {
+
+TEST(PState, X2150TableMatchesDatasheet)
+{
+    const auto &table = PStateTable::x2150();
+    ASSERT_EQ(table.size(), 5u);
+    EXPECT_DOUBLE_EQ(table.slowest().freqMhz, 1100.0);
+    EXPECT_DOUBLE_EQ(table.fastest().freqMhz, 1900.0);
+    EXPECT_FALSE(table.slowest().boost);
+    EXPECT_TRUE(table.fastest().boost);
+}
+
+TEST(PState, StepsAre200Mhz)
+{
+    const auto &table = PStateTable::x2150();
+    for (std::size_t i = 1; i < table.size(); ++i)
+        EXPECT_DOUBLE_EQ(table.at(i).freqMhz - table.at(i - 1).freqMhz,
+                         200.0);
+}
+
+TEST(PState, HighestSustainedIs1500)
+{
+    const auto &table = PStateTable::x2150();
+    const std::size_t idx = table.highestSustainedIndex();
+    EXPECT_DOUBLE_EQ(table.at(idx).freqMhz, 1500.0);
+    EXPECT_FALSE(table.at(idx).boost);
+    EXPECT_TRUE(table.at(idx + 1).boost);
+}
+
+TEST(PState, IndexOfFindsStates)
+{
+    const auto &table = PStateTable::x2150();
+    EXPECT_EQ(table.indexOf(1100.0), 0u);
+    EXPECT_EQ(table.indexOf(1900.0), 4u);
+}
+
+TEST(PState, IndexOfUnknownIsFatal)
+{
+    EXPECT_EXIT(PStateTable::x2150().indexOf(1234.0),
+                ::testing::ExitedWithCode(1), "no state");
+}
+
+TEST(PState, RelativeFrequency)
+{
+    const auto &table = PStateTable::x2150();
+    EXPECT_DOUBLE_EQ(table.relativeFreq(4), 1.0);
+    EXPECT_NEAR(table.relativeFreq(0), 1100.0 / 1900.0, 1e-12);
+}
+
+TEST(PState, NonAscendingIsFatal)
+{
+    EXPECT_EXIT(PStateTable(std::vector<PState>{{1500.0, false},
+                                                {1300.0, false}}),
+                ::testing::ExitedWithCode(1), "ascending");
+}
+
+TEST(PState, BoostBelowSustainedIsFatal)
+{
+    EXPECT_EXIT(PStateTable(std::vector<PState>{{1300.0, true},
+                                                {1500.0, false}}),
+                ::testing::ExitedWithCode(1), "boost");
+}
+
+TEST(Leakage, ThirtyPercentOfTdpAtReference)
+{
+    const LeakageModel &leak = LeakageModel::x2150();
+    EXPECT_NEAR(leak.at(90.0), 0.30 * 22.0, 1e-9);
+    EXPECT_DOUBLE_EQ(leak.atRef(), 6.6);
+}
+
+TEST(Leakage, GrowsWithTemperature)
+{
+    const LeakageModel &leak = LeakageModel::x2150();
+    EXPECT_GT(leak.at(95.0), leak.at(90.0));
+    EXPECT_LT(leak.at(60.0), leak.at(90.0));
+}
+
+TEST(Leakage, LinearSlopeAroundReference)
+{
+    const LeakageModel &leak = LeakageModel::x2150();
+    const double slope = (leak.at(91.0) - leak.at(89.0)) / 2.0;
+    EXPECT_NEAR(slope, 6.6 * 0.012, 1e-9);
+}
+
+TEST(Leakage, FloorsAtColdTemperatures)
+{
+    const LeakageModel &leak = LeakageModel::x2150();
+    EXPECT_NEAR(leak.at(-100.0), 0.2 * 6.6, 1e-9);
+}
+
+class PowerManagerTest : public ::testing::Test
+{
+  protected:
+    PowerManagerTest()
+        : pm_(PStateTable::x2150(), SimplePeakModel(), 95.0, 0.10)
+    {
+    }
+
+    PowerManager pm_;
+    const LeakageModel &leak_ = LeakageModel::x2150();
+    const FreqCurve &comp_ = freqCurveFor(WorkloadSet::Computation);
+};
+
+TEST_F(PowerManagerTest, CoolAmbientAllowsBoost)
+{
+    const DvfsDecision d =
+        pm_.chooseAtAmbient(comp_, leak_, 20.0, HeatSink::fin18());
+    EXPECT_DOUBLE_EQ(d.freqMhz, 1900.0);
+    EXPECT_TRUE(d.feasible);
+}
+
+TEST_F(PowerManagerTest, HotAmbientThrottles)
+{
+    const DvfsDecision cool =
+        pm_.chooseAtAmbient(comp_, leak_, 30.0, HeatSink::fin18());
+    const DvfsDecision hot =
+        pm_.chooseAtAmbient(comp_, leak_, 65.0, HeatSink::fin18());
+    EXPECT_LT(hot.freqMhz, cool.freqMhz);
+}
+
+TEST_F(PowerManagerTest, FrequencyMonotoneInAmbient)
+{
+    double last = 1e9;
+    for (double amb = 20.0; amb <= 90.0; amb += 2.5) {
+        const DvfsDecision d =
+            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin18());
+        EXPECT_LE(d.freqMhz, last);
+        last = d.freqMhz;
+    }
+}
+
+TEST_F(PowerManagerTest, InfeasibleFallsToSlowestState)
+{
+    const DvfsDecision d =
+        pm_.chooseAtAmbient(comp_, leak_, 94.0, HeatSink::fin18());
+    EXPECT_DOUBLE_EQ(d.freqMhz, 1100.0);
+    EXPECT_FALSE(d.feasible);
+}
+
+TEST_F(PowerManagerTest, FeasibleDecisionRespectsLimit)
+{
+    for (double amb = 20.0; amb <= 80.0; amb += 5.0) {
+        const DvfsDecision d =
+            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+        if (d.feasible)
+            EXPECT_LE(d.predictedPeakC, 95.0 + 1e-9);
+    }
+}
+
+TEST_F(PowerManagerTest, BetterSinkSustainsHigherFrequency)
+{
+    // At an ambient where the 18-fin sink throttles, the 30-fin sink
+    // should hold a higher state — the Sec. II design rationale.
+    const double amb = 62.0;
+    const DvfsDecision d18 =
+        pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin18());
+    const DvfsDecision d30 =
+        pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+    EXPECT_GT(d30.freqMhz, d18.freqMhz);
+}
+
+TEST_F(PowerManagerTest, CappedSearchNeverBoosts)
+{
+    const std::size_t sustained =
+        PStateTable::x2150().highestSustainedIndex();
+    for (double amb = 20.0; amb <= 80.0; amb += 10.0) {
+        const DvfsDecision d = pm_.chooseAtAmbientCapped(
+            comp_, leak_, amb, HeatSink::fin18(), sustained);
+        EXPECT_LE(d.freqMhz, 1500.0);
+    }
+}
+
+TEST_F(PowerManagerTest, CappedEqualsUncappedWhenFullRange)
+{
+    for (double amb = 20.0; amb <= 80.0; amb += 7.0) {
+        const DvfsDecision a =
+            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+        const DvfsDecision b = pm_.chooseAtAmbientCapped(
+            comp_, leak_, amb, HeatSink::fin30(), 4);
+        EXPECT_EQ(a.pstate, b.pstate);
+    }
+}
+
+TEST_F(PowerManagerTest, LeakageCompensationSecondPass)
+{
+    // The decision's power must reflect leakage at the *predicted*
+    // temperature, not the 90 C characterization point.
+    const DvfsDecision d =
+        pm_.chooseAtAmbient(comp_, leak_, 20.0, HeatSink::fin30());
+    const double dyn = pm_.dynamicPower(comp_, leak_, d.pstate);
+    // powerW carries leakage at the first-pass temperature estimate;
+    // the second-pass temperature is slightly cooler, so allow the
+    // one-iteration gap.
+    EXPECT_NEAR(d.powerW, dyn + leak_.at(d.predictedPeakC), 0.5);
+    // Predicted peak is well below 90 C here, so power is below the
+    // 90 C characterization value.
+    EXPECT_LT(d.powerW, comp_.totalPowerAt90C[d.pstate]);
+}
+
+TEST_F(PowerManagerTest, DynamicPowerPositiveAndIncreasing)
+{
+    double last = 0.0;
+    for (std::size_t i = 0; i < PStateTable::x2150().size(); ++i) {
+        const double dyn = pm_.dynamicPower(comp_, leak_, i);
+        EXPECT_GT(dyn, 0.0);
+        EXPECT_GT(dyn, last);
+        last = dyn;
+    }
+}
+
+TEST_F(PowerManagerTest, GatedPowerIsTenPercentTdp)
+{
+    EXPECT_NEAR(pm_.gatedPower(leak_), 2.2, 1e-9);
+}
+
+TEST_F(PowerManagerTest, SteadyIncludesSelfHeating)
+{
+    // chooseSteady accounts for kappa * P self ambient rise, so it
+    // must throttle earlier than chooseAtAmbient at the same entry.
+    const double entry = 40.0;
+    const DvfsDecision plain =
+        pm_.chooseAtAmbient(comp_, leak_, entry, HeatSink::fin18());
+    const DvfsDecision steady = pm_.chooseSteady(
+        comp_, leak_, entry, 1.5, HeatSink::fin18());
+    EXPECT_LE(steady.freqMhz, plain.freqMhz);
+}
+
+TEST_F(PowerManagerTest, ResponsiveUsesSinkState)
+{
+    // With a cold sink, the responsive governor grants more than the
+    // steady one; with a fully soaked sink they agree.
+    const double entry = 30.0;
+    const double kappa = 1.5;
+    const DvfsDecision cold = pm_.chooseResponsive(
+        comp_, leak_, entry, kappa, 0.0, HeatSink::fin18());
+    const DvfsDecision steady = pm_.chooseSteady(
+        comp_, leak_, entry, kappa, HeatSink::fin18());
+    EXPECT_GE(cold.freqMhz, steady.freqMhz);
+
+    const double soaked_rise = steady.powerW * HeatSink::fin18().rExt;
+    const DvfsDecision soaked = pm_.chooseResponsive(
+        comp_, leak_, entry, kappa, soaked_rise, HeatSink::fin18());
+    EXPECT_NEAR(soaked.freqMhz, steady.freqMhz, 200.0 + 1e-9);
+}
+
+TEST_F(PowerManagerTest, StorageNeverThrottlesAtModerateAmbient)
+{
+    // Storage draws 10.5 W at most — it holds boost at ambients that
+    // throttle Computation (the Sec. V "muted Storage behaviour").
+    const auto &storage = freqCurveFor(WorkloadSet::Storage);
+    const DvfsDecision d =
+        pm_.chooseAtAmbient(storage, leak_, 60.0, HeatSink::fin18());
+    EXPECT_DOUBLE_EQ(d.freqMhz, 1900.0);
+}
+
+TEST_F(PowerManagerTest, WrongCurveSizePanics)
+{
+    FreqCurve bad;
+    bad.totalPowerAt90C = {10.0, 11.0};
+    bad.perfRel = {0.9, 1.0};
+    EXPECT_DEATH(pm_.chooseAtAmbient(bad, leak_, 30.0,
+                                     HeatSink::fin18()),
+                 "P-states");
+}
+
+} // namespace
+} // namespace densim

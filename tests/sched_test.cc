@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Unit tests for the scheduling policies. A hand-built SchedContext
+ * over the real SUT topology lets each policy's selection rule be
+ * checked in isolation, without running the full simulator.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "power/leakage.hh"
+#include "power/power_manager.hh"
+#include "sched/coupling_predictor.hh"
+#include "sched/factory.hh"
+#include "sched/prediction.hh"
+#include "server/sut.hh"
+#include "thermal/simple_peak_model.hh"
+#include "workload/curves.hh"
+
+namespace densim {
+namespace {
+
+/** Fixture providing a fully populated context over the 180-socket SUT. */
+class SchedFixture : public ::testing::Test
+{
+  protected:
+    SchedFixture()
+        : topo_(makeSutTopology()),
+          coupling_(makeCouplingMap(topo_, defaultCouplingParams())),
+          pm_(PStateTable::x2150(), SimplePeakModel(), 95.0, 0.10),
+          rng_(7)
+    {
+        const std::size_t n = topo_.numSockets();
+        chip_.assign(n, 30.0);
+        hist_.assign(n, 30.0);
+        ambient_.assign(n, 25.0);
+        credit_.assign(n, 2.0);
+        power_.assign(n, 2.2);
+        freq_.assign(n, 0.0);
+        set_.assign(n, WorkloadSet::Computation);
+        busy_.assign(n, false);
+        allIdle();
+    }
+
+    /** Mark all sockets idle. */
+    void
+    allIdle()
+    {
+        idle_.clear();
+        for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
+            if (!busy_[s])
+                idle_.push_back(s);
+        }
+    }
+
+    /** Mark a socket busy at a frequency. */
+    void
+    makeBusy(std::size_t s, double freq_mhz, double power_w)
+    {
+        busy_[s] = true;
+        freq_[s] = freq_mhz;
+        power_[s] = power_w;
+        allIdle();
+    }
+
+    SchedContext
+    context()
+    {
+        SchedContext ctx;
+        ctx.topo = &topo_;
+        ctx.coupling = &coupling_;
+        ctx.pm = &pm_;
+        ctx.leak = &LeakageModel::x2150();
+        ctx.inletC = 18.0;
+        ctx.idle = &idle_;
+        ctx.chipTempC = &chip_;
+        ctx.histTempC = &hist_;
+        ctx.ambientC = &ambient_;
+        ctx.boostCreditS = &credit_;
+        ctx.powerW = &power_;
+        ctx.freqMhz = &freq_;
+        ctx.runningSet = &set_;
+        ctx.busy = &busy_;
+        ctx.rng = &rng_;
+        return ctx;
+    }
+
+    Job
+    job() const
+    {
+        Job j;
+        j.id = 0;
+        j.benchmark = 0;
+        j.set = WorkloadSet::Computation;
+        j.arrivalS = 0.0;
+        j.nominalS = 5e-3;
+        return j;
+    }
+
+    ServerTopology topo_;
+    CouplingMap coupling_;
+    PowerManager pm_;
+    Rng rng_;
+    std::vector<std::size_t> idle_;
+    std::vector<double> chip_, hist_, ambient_, credit_, power_, freq_;
+    std::vector<WorkloadSet> set_;
+    std::vector<bool> busy_;
+};
+
+TEST_F(SchedFixture, FactoryKnowsAllPaperNames)
+{
+    for (const std::string &name : allSchedulerNames()) {
+        const auto policy = makeScheduler(name);
+        EXPECT_EQ(policy->name(), name);
+    }
+    EXPECT_EQ(allSchedulerNames().size(), 10u);
+    EXPECT_EQ(existingSchedulerNames().size(), 9u);
+}
+
+TEST_F(SchedFixture, FactoryRejectsUnknown)
+{
+    EXPECT_EXIT(makeScheduler("Clairvoyant"),
+                ::testing::ExitedWithCode(1), "unknown scheduler");
+}
+
+TEST_F(SchedFixture, EveryPolicyPicksAnIdleSocket)
+{
+    for (const std::string &name : allSchedulerNames()) {
+        auto policy = makeScheduler(name);
+        // Make a scattered busy pattern.
+        for (std::size_t s = 0; s < topo_.numSockets(); s += 7)
+            makeBusy(s, 1500.0, 13.6);
+        auto ctx = context();
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::size_t pick = policy->pick(job(), ctx);
+            EXPECT_FALSE(busy_[pick]) << name;
+        }
+    }
+}
+
+TEST_F(SchedFixture, CoolestFirstPicksColdest)
+{
+    chip_[42] = 19.0;
+    auto policy = makeScheduler("CF");
+    auto ctx = context();
+    EXPECT_EQ(policy->pick(job(), ctx), 42u);
+}
+
+TEST_F(SchedFixture, HottestFirstPicksHottestIdle)
+{
+    chip_[17] = 80.0;
+    chip_[18] = 85.0;
+    makeBusy(18, 1900.0, 18.0); // hottest is busy -> not eligible
+    auto policy = makeScheduler("HF");
+    auto ctx = context();
+    EXPECT_EQ(policy->pick(job(), ctx), 17u);
+}
+
+TEST_F(SchedFixture, RandomCoversManySockets)
+{
+    auto policy = makeScheduler("Random");
+    auto ctx = context();
+    std::vector<bool> seen(topo_.numSockets(), false);
+    for (int i = 0; i < 2000; ++i)
+        seen[policy->pick(job(), ctx)] = true;
+    std::size_t covered = 0;
+    for (bool b : seen)
+        covered += b;
+    EXPECT_GT(covered, topo_.numSockets() / 2);
+}
+
+TEST_F(SchedFixture, MinHrPrefersLastZone)
+{
+    auto policy = makeScheduler("MinHR");
+    auto ctx = context();
+    const std::size_t pick = policy->pick(job(), ctx);
+    EXPECT_EQ(topo_.zoneIdOf(pick), 6);
+}
+
+TEST_F(SchedFixture, MinHrRotatesViaCoolestTieBreak)
+{
+    auto policy = makeScheduler("MinHR");
+    // Warm one zone-6 socket; MinHR should pick a cooler zone-6 one.
+    const auto zone6 = topo_.socketsInZone(6);
+    chip_[zone6[0]] = 90.0;
+    auto ctx = context();
+    const std::size_t pick = policy->pick(job(), ctx);
+    EXPECT_EQ(topo_.zoneIdOf(pick), 6);
+    EXPECT_NE(pick, zone6[0]);
+}
+
+TEST_F(SchedFixture, BalancedLocationsPicksInletZone)
+{
+    auto policy = makeScheduler("Balanced-L");
+    auto ctx = context();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(topo_.zoneIdOf(policy->pick(job(), ctx)), 1);
+}
+
+TEST_F(SchedFixture, BalancedRunsFromHotSpot)
+{
+    // Hottest point in row 0, zone 1; Balanced should place far away.
+    chip_[0] = 94.0;
+    auto policy = makeScheduler("Balanced");
+    auto ctx = context();
+    const std::size_t pick = policy->pick(job(), ctx);
+    EXPECT_GE(topo_.rowOf(pick), 10);
+    EXPECT_GE(topo_.zoneIdOf(pick), 4);
+}
+
+TEST_F(SchedFixture, CoolestNeighborsAvoidsHotNeighbourhood)
+{
+    // Two equally cool candidates; one has a hot same-cartridge
+    // neighbour.
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s)
+        chip_[s] = 50.0;
+    chip_[10] = 20.0; // candidate A (row 0)
+    const auto row5 = topo_.socketsInRow(5);
+    chip_[row5[0]] = 20.0; // candidate B
+    // Heat A's neighbour (same zone partner is id^1 within the pair).
+    chip_[11] = 94.0;
+    auto policy = makeScheduler("CN");
+    auto ctx = context();
+    EXPECT_EQ(policy->pick(job(), ctx), row5[0]);
+}
+
+TEST_F(SchedFixture, AdaptiveRandomWeedsOutHotHistory)
+{
+    // Sockets 0 and 1 equally cool now, but socket 0 has a hot
+    // history: A-Random must pick 1.
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
+        chip_[s] = 60.0;
+        hist_[s] = 60.0;
+    }
+    chip_[0] = 20.0;
+    chip_[1] = 20.0;
+    hist_[0] = 80.0;
+    hist_[1] = 25.0;
+    auto policy = makeScheduler("A-Random");
+    auto ctx = context();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(policy->pick(job(), ctx), 1u);
+}
+
+TEST_F(SchedFixture, PredictivePicksFastestPredictedSocket)
+{
+    // Heat the ambient of every socket except one zone-2 socket: the
+    // cool 30-fin location predicts the highest frequency.
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s)
+        ambient_[s] = 70.0;
+    const std::size_t target = topo_.socketsInZone(2)[4];
+    ambient_[target] = 20.0;
+    auto policy = makeScheduler("Predictive");
+    auto ctx = context();
+    EXPECT_EQ(policy->pick(job(), ctx), target);
+}
+
+TEST_F(SchedFixture, PredictiveTieBreaksByHeadroom)
+{
+    // All ambients equal: every socket predicts the same frequency,
+    // so Predictive should prefer a 30-fin (even zone) socket, whose
+    // predicted peak is lower.
+    auto policy = makeScheduler("Predictive");
+    auto ctx = context();
+    const std::size_t pick = policy->pick(job(), ctx);
+    EXPECT_TRUE(topo_.inEvenZone(pick));
+}
+
+TEST_F(SchedFixture, PredictionRespectsBoostCredit)
+{
+    auto ctx = context();
+    const DvfsDecision with_credit =
+        predictPlacement(ctx, 0, WorkloadSet::Computation);
+    credit_[0] = 0.0;
+    const DvfsDecision no_credit =
+        predictPlacement(ctx, 0, WorkloadSet::Computation);
+    EXPECT_GT(with_credit.freqMhz, no_credit.freqMhz);
+    EXPECT_LE(no_credit.freqMhz, 1500.0);
+}
+
+TEST_F(SchedFixture, MhzPerCelsiusMatchesLadderGeometry)
+{
+    auto ctx = context();
+    // Edges in ambient space are (P_hi - P_lo) * (R_int + R_ext)
+    // apart per 200 MHz; the slope is their ratio.
+    const double slope18 = mhzPerCelsius(
+        ctx, WorkloadSet::Computation, HeatSink::fin18());
+    EXPECT_NEAR(slope18, 800.0 / ((18.0 - 9.8) * (0.205 + 1.578)),
+                1e-9);
+    // The better sink packs the edges closer together in ambient
+    // space, so each degree costs more MHz.
+    const double slope30 = mhzPerCelsius(
+        ctx, WorkloadSet::Computation, HeatSink::fin30());
+    EXPECT_GT(slope30, slope18);
+}
+
+TEST_F(SchedFixture, DownstreamPenaltyIgnoresBoostPlateau)
+{
+    // A busy downstream socket with plenty of boost headroom costs
+    // nothing to heat slightly.
+    const auto row0 = topo_.socketsInRow(0);
+    makeBusy(row0[10], 1900.0, 18.0);
+    ambient_[row0[10]] = 20.0; // deep in the plateau
+    auto ctx = context();
+    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+}
+
+TEST_F(SchedFixture, DownstreamPenaltyChargesOffPlateau)
+{
+    // Same socket without boost credit sits on the sustained ladder:
+    // upstream heat now has a continuous expected price.
+    const auto row0 = topo_.socketsInRow(0);
+    makeBusy(row0[10], 1500.0, 13.6);
+    ambient_[row0[10]] = 40.0;
+    credit_[row0[10]] = 0.0;
+    auto ctx = context();
+    EXPECT_GT(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+}
+
+TEST_F(SchedFixture, DownstreamPenaltyZeroWhenBackIdle)
+{
+    auto ctx = context();
+    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, 0, 18.0), 0.0);
+}
+
+TEST_F(SchedFixture, DownstreamPenaltyAppearsNearThrottlePoint)
+{
+    // A busy downstream socket sitting just below a P-state edge is
+    // pushed over it by upstream heat.
+    const auto row0 = topo_.socketsInRow(0);
+    const std::size_t down = row0[10]; // zone 6
+    makeBusy(down, 1500.0, 13.6);
+    // Find the ambient where 1500 MHz is right at the edge.
+    const double amb_edge =
+        SimplePeakModel().maxAmbient(95.0, 13.6, topo_.sinkOf(down));
+    ambient_[down] = amb_edge - 0.1;
+    auto ctx = context();
+    const double penalty = downstreamPenaltyMhz(ctx, row0[0], 18.0);
+    EXPECT_GE(penalty, 200.0);
+}
+
+TEST_F(SchedFixture, DownstreamPenaltyNeverNegative)
+{
+    const auto row0 = topo_.socketsInRow(0);
+    makeBusy(row0[6], 1100.0, 9.8);
+    ambient_[row0[6]] = 94.0; // already at the floor
+    auto ctx = context();
+    EXPECT_GE(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+}
+
+TEST_F(SchedFixture, CouplingPredictorAvoidsHarmfulPlacement)
+{
+    // Row 0: a busy zone-6 socket at a thermal edge. CP must prefer a
+    // downstream / harmless placement over the front socket that
+    // would throttle it, when both predict the same own frequency.
+    const auto row0 = topo_.socketsInRow(0);
+    const std::size_t down = row0[10];
+    makeBusy(down, 1500.0, 13.6);
+    ambient_[down] =
+        SimplePeakModel().maxAmbient(95.0, 13.6, topo_.sinkOf(down)) -
+        0.1;
+    // Make every socket ambient cool enough that own-frequency
+    // predictions tie at the cap; disable boost so sinks tie too.
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s)
+        credit_[s] = 0.0;
+
+    CouplingPredictor cp;
+    // Restrict the decision to row 0 by marking all other rows busy.
+    for (std::size_t s = 12; s < topo_.numSockets(); ++s)
+        busy_[s] = true;
+    allIdle();
+    auto ctx = context();
+    for (int i = 0; i < 10; ++i) {
+        const std::size_t pick = cp.pick(job(), ctx);
+        // Upstream-of-down sockets (zones 1..5 of row 0) would slow
+        // the busy socket; the harmless choice is its zone-6 partner.
+        EXPECT_EQ(topo_.zoneIdOf(pick), 6);
+    }
+}
+
+TEST_F(SchedFixture, CouplingPredictorWithZeroWeightIgnoresDownstream)
+{
+    const auto row0 = topo_.socketsInRow(0);
+    makeBusy(row0[10], 1500.0, 13.6);
+    ambient_[row0[10]] = 90.0;
+    CouplingPredictor plain(0.0, true);
+    CouplingPredictor full(1.0, true);
+    auto ctx = context();
+    // Both must still pick idle sockets; the zero-weight variant
+    // behaves like Predictive (no panic, valid choice).
+    const std::size_t a = plain.pick(job(), ctx);
+    const std::size_t b = full.pick(job(), ctx);
+    EXPECT_FALSE(busy_[a]);
+    EXPECT_FALSE(busy_[b]);
+}
+
+TEST_F(SchedFixture, CouplingPredictorStaysInOneRow)
+{
+    // With idle sockets in exactly one row, CP must pick there.
+    for (std::size_t s = 0; s < topo_.numSockets(); ++s)
+        busy_[s] = topo_.rowOf(s) != 7;
+    allIdle();
+    CouplingPredictor cp;
+    auto ctx = context();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(topo_.rowOf(cp.pick(job(), ctx)), 7);
+}
+
+TEST_F(SchedFixture, PickHelpersTieBreakDeterministically)
+{
+    auto ctx = context();
+    std::vector<double> key(topo_.numSockets(), 1.0);
+    key[99] = 0.5;
+    EXPECT_EQ(pickMinBy(ctx, key, 1e-9, false), 99u);
+    key[99] = 2.0;
+    EXPECT_EQ(pickMaxBy(ctx, key, 1e-9, false), 99u);
+}
+
+TEST_F(SchedFixture, PickHelperRandomTieBreakSpreads)
+{
+    auto ctx = context();
+    const std::vector<double> key(topo_.numSockets(), 1.0);
+    std::vector<bool> seen(topo_.numSockets(), false);
+    for (int i = 0; i < 1000; ++i)
+        seen[pickMinBy(ctx, key, 1e-9, true)] = true;
+    std::size_t covered = 0;
+    for (bool b : seen)
+        covered += b;
+    EXPECT_GT(covered, 100u);
+}
+
+} // namespace
+} // namespace densim

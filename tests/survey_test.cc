@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Fig. 1 survey synthesizer: record counts, per-class
+ * means matching the paper, density ordering, and determinism.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "survey/survey.hh"
+
+namespace densim {
+namespace {
+
+TEST(Survey, FourHundredPlusTenRecords)
+{
+    const auto records = synthesizeSurvey(1);
+    std::size_t rack = 0, dense = 0;
+    for (const SurveyRecord &r : records)
+        (r.cls == ServerClass::DensityOpt ? dense : rack) += 1;
+    EXPECT_EQ(rack, 400u);
+    EXPECT_EQ(dense, 10u);
+}
+
+TEST(Survey, DeterministicGivenSeed)
+{
+    const auto a = synthesizeSurvey(9);
+    const auto b = synthesizeSurvey(9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].powerPerU, b[i].powerPerU);
+        EXPECT_DOUBLE_EQ(a[i].socketsPerU, b[i].socketsPerU);
+    }
+}
+
+TEST(Survey, YearsInStudyWindow)
+{
+    for (const SurveyRecord &r : synthesizeSurvey(2)) {
+        EXPECT_GE(r.year, 2007);
+        EXPECT_LE(r.year, 2016);
+    }
+}
+
+TEST(Survey, ClassMeansMatchPaperFigures)
+{
+    const auto summaries = summarize(synthesizeSurvey(42));
+    ASSERT_EQ(summaries.size(), 5u);
+    for (const ClassSummary &s : summaries) {
+        double expected_power = 0.0, expected_sockets = 0.0;
+        for (const ClassModel &m : fig1ClassModels()) {
+            if (m.cls == s.cls) {
+                expected_power = m.meanPowerPerU;
+                expected_sockets = m.meanSocketsPerU;
+            }
+        }
+        EXPECT_NEAR(s.meanPowerPerU, expected_power,
+                    0.12 * expected_power)
+            << serverClassName(s.cls);
+        EXPECT_NEAR(s.meanSocketsPerU, expected_sockets,
+                    0.15 * expected_sockets)
+            << serverClassName(s.cls);
+    }
+}
+
+TEST(Survey, DensityOrderingMatchesPaper)
+{
+    // Other < 2U < 1U < Blade < DensityOpt in both power and socket
+    // density (Fig. 1 narrative).
+    const auto summaries = summarize(synthesizeSurvey(7));
+    auto find = [&](ServerClass cls) {
+        for (const ClassSummary &s : summaries)
+            if (s.cls == cls)
+                return s;
+        ADD_FAILURE() << "class missing";
+        return summaries.front();
+    };
+    const auto other = find(ServerClass::Other);
+    const auto u2 = find(ServerClass::U2);
+    const auto u1 = find(ServerClass::U1);
+    const auto blade = find(ServerClass::Blade);
+    const auto dense = find(ServerClass::DensityOpt);
+    EXPECT_LT(other.meanPowerPerU, u2.meanPowerPerU);
+    EXPECT_LT(u2.meanPowerPerU, u1.meanPowerPerU);
+    EXPECT_LT(u1.meanPowerPerU, blade.meanPowerPerU);
+    EXPECT_LT(blade.meanPowerPerU, dense.meanPowerPerU);
+    EXPECT_LT(blade.meanSocketsPerU, dense.meanSocketsPerU);
+}
+
+TEST(Survey, DensityOptAboutSixTimesBladeSockets)
+{
+    // Sec. I: ~6x the socket density and ~50% more power density
+    // than blades.
+    const auto summaries = summarize(synthesizeSurvey(11));
+    double blade_s = 0, dense_s = 0, blade_p = 0, dense_p = 0;
+    for (const ClassSummary &s : summaries) {
+        if (s.cls == ServerClass::Blade) {
+            blade_s = s.meanSocketsPerU;
+            blade_p = s.meanPowerPerU;
+        }
+        if (s.cls == ServerClass::DensityOpt) {
+            dense_s = s.meanSocketsPerU;
+            dense_p = s.meanPowerPerU;
+        }
+    }
+    EXPECT_NEAR(dense_s / blade_s, 7.2, 2.5);
+    EXPECT_NEAR(dense_p / blade_p, 1.4, 0.35);
+}
+
+TEST(Survey, AllValuesPositive)
+{
+    for (const SurveyRecord &r : synthesizeSurvey(3)) {
+        EXPECT_GT(r.powerPerU, 0.0);
+        EXPECT_GT(r.socketsPerU, 0.0);
+    }
+}
+
+TEST(Survey, PowerSocketCorrelationPositive)
+{
+    // Denser designs draw more power (the synthesizer's rho = 0.7).
+    const auto records = synthesizeSurvey(5);
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    int n = 0;
+    for (const SurveyRecord &r : records) {
+        if (r.cls != ServerClass::U1)
+            continue;
+        const double x = std::log(r.powerPerU);
+        const double y = std::log(r.socketsPerU);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+        ++n;
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    const double rho = cov / std::sqrt(vx * vy);
+    EXPECT_GT(rho, 0.4);
+}
+
+TEST(Survey, CfmColumnConsistentWithTableII)
+{
+    const auto summaries = summarize(synthesizeSurvey(42));
+    for (const ClassSummary &s : summaries) {
+        // CFM/U = 1.76 * W/U / 20.
+        EXPECT_NEAR(s.cfmPerU20C, 1.76 * s.meanPowerPerU / 20.0,
+                    0.02 * s.cfmPerU20C);
+    }
+}
+
+TEST(Survey, ClassNamesPrintable)
+{
+    for (ServerClass cls : allServerClasses())
+        EXPECT_GT(std::string(serverClassName(cls)).size(), 0u);
+}
+
+} // namespace
+} // namespace densim

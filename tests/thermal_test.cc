@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Unit and property tests for the thermal substrate: heat sinks,
+ * Eq. (1), transient trackers, the RC-network solver, the
+ * HotSpot-class chip model, the coupling map (including the Fig. 2
+ * calibration), and the Fig. 5 analytical entry-temperature model.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "airflow/first_law.hh"
+#include "thermal/coupling_map.hh"
+#include "thermal/entry_model.hh"
+#include "thermal/heatsink.hh"
+#include "thermal/hotspot_model.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/simple_peak_model.hh"
+#include "thermal/transient.hh"
+
+namespace densim {
+namespace {
+
+// ---------------------------------------------------------------- sinks
+
+TEST(HeatSink, TableIIIPresets)
+{
+    EXPECT_DOUBLE_EQ(HeatSink::fin18().rExt, 1.578);
+    EXPECT_DOUBLE_EQ(HeatSink::fin30().rExt, 1.056);
+    EXPECT_EQ(HeatSink::fin18().finCount, 18);
+    EXPECT_EQ(HeatSink::fin30().finCount, 30);
+}
+
+TEST(HeatSink, ThetaMatchesTableIII)
+{
+    EXPECT_NEAR(HeatSink::fin18().theta(10.0), 4.41 - 0.896, 1e-9);
+    EXPECT_NEAR(HeatSink::fin30().theta(10.0), 4.45 - 0.916, 1e-9);
+}
+
+TEST(HeatSink, MoreFinsLowerResistance)
+{
+    FinHeatsinkGeometry g18;
+    g18.finCount = 18;
+    FinHeatsinkGeometry g30 = g18;
+    g30.finCount = 30;
+    EXPECT_LT(finHeatsinkResistance(g30, 6.35),
+              finHeatsinkResistance(g18, 6.35));
+}
+
+TEST(HeatSink, ParametricModelNearTableIIIValues)
+{
+    // The first-principles fin model should land within ~25% of the
+    // Table III resistances at the Table III per-socket airflow —
+    // evidence the presets are physically consistent.
+    FinHeatsinkGeometry g18;
+    g18.finCount = 18;
+    FinHeatsinkGeometry g30 = g18;
+    g30.finCount = 30;
+    EXPECT_NEAR(finHeatsinkResistance(g18, 6.35), 1.578,
+                0.25 * 1.578);
+    EXPECT_NEAR(finHeatsinkResistance(g30, 6.35), 1.056,
+                0.25 * 1.056);
+}
+
+TEST(HeatSink, MoreAirflowLowerResistance)
+{
+    FinHeatsinkGeometry g;
+    EXPECT_LT(finHeatsinkResistance(g, 12.0),
+              finHeatsinkResistance(g, 3.0));
+}
+
+TEST(HeatSink, ChannelVelocityScalesWithFlow)
+{
+    FinHeatsinkGeometry g;
+    EXPECT_NEAR(finChannelVelocity(g, 12.7),
+                2.0 * finChannelVelocity(g, 6.35), 1e-9);
+}
+
+TEST(HeatSink, ImpossibleGeometryIsFatal)
+{
+    FinHeatsinkGeometry g;
+    g.finCount = 1000; // fins wider than the base
+    EXPECT_EXIT(finHeatsinkResistance(g, 6.35),
+                ::testing::ExitedWithCode(1), "gap");
+}
+
+// --------------------------------------------------------------- Eq. (1)
+
+TEST(SimplePeak, MatchesHandComputedValue)
+{
+    // 18 W on the 18-fin sink at 45 C ambient:
+    // 45 + 18 * (0.205 + 1.578) + (4.41 - 0.0896 * 18) = 79.89 C.
+    SimplePeakModel model;
+    const double t =
+        model.peak(45.0, 18.0, HeatSink::fin18());
+    EXPECT_NEAR(t, 45.0 + 18.0 * 1.783 + 4.41 - 1.6128, 1e-9);
+}
+
+TEST(SimplePeak, Fin30CoolerAtSamePower)
+{
+    SimplePeakModel model;
+    const double t18 = model.peak(40.0, 15.0, HeatSink::fin18());
+    const double t30 = model.peak(40.0, 15.0, HeatSink::fin30());
+    EXPECT_LT(t30, t18);
+    // Fig. 9(b): the 30-fin sink is ~6-7 C cooler at high power.
+    EXPECT_NEAR(t18 - t30, 15.0 * (1.578 - 1.056), 0.5);
+}
+
+TEST(SimplePeak, MaxPowerInverts)
+{
+    SimplePeakModel model;
+    for (double amb : {20.0, 45.0, 60.0}) {
+        const double p = model.maxPower(95.0, amb, HeatSink::fin18());
+        EXPECT_NEAR(model.peak(amb, p, HeatSink::fin18()), 95.0, 1e-9);
+    }
+}
+
+TEST(SimplePeak, MaxAmbientInverts)
+{
+    SimplePeakModel model;
+    const double amb =
+        model.maxAmbient(95.0, 13.6, HeatSink::fin30());
+    EXPECT_NEAR(model.peak(amb, 13.6, HeatSink::fin30()), 95.0, 1e-9);
+}
+
+TEST(SimplePeak, MaxPowerClampsAtZero)
+{
+    SimplePeakModel model;
+    EXPECT_DOUBLE_EQ(model.maxPower(95.0, 200.0, HeatSink::fin18()),
+                     0.0);
+}
+
+TEST(SimplePeak, MonotoneInAmbientAndPower)
+{
+    SimplePeakModel model;
+    double last = 0.0;
+    for (double p = 0.0; p <= 22.0; p += 2.0) {
+        const double t = model.peak(30.0, p, HeatSink::fin18());
+        EXPECT_GT(t, last);
+        last = t;
+    }
+    EXPECT_LT(model.peak(20.0, 10.0, HeatSink::fin18()),
+              model.peak(40.0, 10.0, HeatSink::fin18()));
+}
+
+// ------------------------------------------------------------- transient
+
+TEST(Transient, ExactExponentialStep)
+{
+    FirstOrderTracker tracker(2.0, 0.0);
+    tracker.step(10.0, 2.0); // one time constant
+    EXPECT_NEAR(tracker.value(), 10.0 * (1.0 - std::exp(-1.0)), 1e-12);
+}
+
+TEST(Transient, StepSizeIndependence)
+{
+    FirstOrderTracker coarse(5.0, 20.0);
+    FirstOrderTracker fine(5.0, 20.0);
+    coarse.step(80.0, 1.0);
+    for (int i = 0; i < 1000; ++i)
+        fine.step(80.0, 0.001);
+    EXPECT_NEAR(coarse.value(), fine.value(), 1e-9);
+}
+
+TEST(Transient, ConvergesToTarget)
+{
+    FirstOrderTracker tracker(0.5, 0.0);
+    for (int i = 0; i < 100; ++i)
+        tracker.step(42.0, 0.5);
+    EXPECT_NEAR(tracker.value(), 42.0, 1e-6);
+}
+
+TEST(Transient, ZeroDtIsIdentity)
+{
+    FirstOrderTracker tracker(1.0, 7.0);
+    tracker.step(100.0, 0.0);
+    EXPECT_DOUBLE_EQ(tracker.value(), 7.0);
+}
+
+TEST(Transient, ResponseFractionBounds)
+{
+    EXPECT_DOUBLE_EQ(responseFraction(0.0, 1.0), 0.0);
+    EXPECT_NEAR(responseFraction(100.0, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(responseFraction(1.0, 1.0), 1.0 - std::exp(-1.0),
+                1e-12);
+}
+
+// ------------------------------------------------------------ RC network
+
+TEST(RcNetwork, SingleNodeSteadyState)
+{
+    RCNetwork net;
+    const NodeId n = net.addNode("chip", 1.0);
+    net.connectAmbient(n, 2.0); // 2 C/W
+    const auto temps = net.steadyState({10.0}, 25.0);
+    EXPECT_NEAR(temps[n], 25.0 + 20.0, 1e-9);
+}
+
+TEST(RcNetwork, TwoNodeVoltageDivider)
+{
+    // power -> a --1ohm-- b --1ohm-- ambient
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    const NodeId b = net.addNode("b", 1.0);
+    net.connect(a, b, 1.0);
+    net.connectAmbient(b, 1.0);
+    const auto temps = net.steadyState({5.0, 0.0}, 0.0);
+    EXPECT_NEAR(temps[b], 5.0, 1e-9);
+    EXPECT_NEAR(temps[a], 10.0, 1e-9);
+}
+
+TEST(RcNetwork, SteadyStateConservesEnergy)
+{
+    RCNetwork net;
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 10; ++i)
+        nodes.push_back(net.addNode("n" + std::to_string(i), 1.0));
+    for (int i = 0; i + 1 < 10; ++i)
+        net.connect(nodes[i], nodes[i + 1], 0.5 + 0.1 * i);
+    net.connectAmbient(nodes[0], 1.0);
+    net.connectAmbient(nodes[9], 2.0);
+    std::vector<double> powers(10, 0.0);
+    powers[3] = 7.0;
+    powers[8] = 2.5;
+    const auto temps = net.steadyState(powers, 20.0);
+    EXPECT_NEAR(net.ambientHeatFlow(temps, 20.0), 9.5, 1e-9);
+}
+
+TEST(RcNetwork, SuperpositionHolds)
+{
+    // The network is linear: solving for the sum of two power
+    // vectors equals the sum of solutions (relative to ambient).
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    const NodeId b = net.addNode("b", 1.0);
+    const NodeId c = net.addNode("c", 1.0);
+    net.connect(a, b, 1.5);
+    net.connect(b, c, 0.7);
+    net.connectAmbient(c, 1.2);
+    net.connectAmbient(a, 3.0);
+    const auto t1 = net.steadyState({4.0, 0.0, 0.0}, 0.0);
+    const auto t2 = net.steadyState({0.0, 0.0, 6.0}, 0.0);
+    const auto t12 = net.steadyState({4.0, 0.0, 6.0}, 0.0);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(t12[i], t1[i] + t2[i], 1e-9);
+}
+
+TEST(RcNetwork, AmbientShiftsUniformly)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    net.connectAmbient(a, 1.0);
+    const auto cold = net.steadyState({3.0}, 0.0);
+    const auto warm = net.steadyState({3.0}, 30.0);
+    EXPECT_NEAR(warm[a] - cold[a], 30.0, 1e-9);
+}
+
+TEST(RcNetwork, IsolatedNodeIsFatal)
+{
+    RCNetwork net;
+    net.addNode("floating", 1.0);
+    EXPECT_EXIT(net.steadyState({1.0}, 0.0),
+                ::testing::ExitedWithCode(1), "singular");
+}
+
+TEST(RcNetwork, TransientConvergesToSteadyState)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 2.0);
+    const NodeId b = net.addNode("b", 5.0);
+    net.connect(a, b, 1.0);
+    net.connectAmbient(b, 0.5);
+    const std::vector<double> powers{4.0, 1.0};
+    const auto steady = net.steadyState(powers, 22.0);
+
+    std::vector<double> temps(2, 22.0);
+    for (int i = 0; i < 200; ++i)
+        net.transientStep(temps, powers, 22.0, 0.5);
+    EXPECT_NEAR(temps[a], steady[a], 0.01);
+    EXPECT_NEAR(temps[b], steady[b], 0.01);
+}
+
+TEST(RcNetwork, TransientMonotoneHeating)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    net.connectAmbient(a, 1.0);
+    std::vector<double> temps{20.0};
+    double last = temps[0];
+    for (int i = 0; i < 20; ++i) {
+        net.transientStep(temps, {5.0}, 20.0, 0.1);
+        EXPECT_GE(temps[0], last);
+        last = temps[0];
+        EXPECT_LE(temps[0], 25.0 + 1e-9);
+    }
+}
+
+TEST(RcNetwork, TransientRequiresCapacitance)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 0.0);
+    net.connectAmbient(a, 1.0);
+    std::vector<double> temps{20.0};
+    EXPECT_EXIT(net.transientStep(temps, {1.0}, 20.0, 0.1),
+                ::testing::ExitedWithCode(1), "capacitance");
+}
+
+TEST(RcNetwork, SelfLoopPanics)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    EXPECT_DEATH(net.connect(a, a, 1.0), "self-loop");
+}
+
+// ---------------------------------------------------------- HotSpot model
+
+TEST(HotSpot, UniformMapAverageMatchesEquationOne)
+{
+    // By construction the uniform-map mean die temperature equals
+    // T_amb + P * (R_int + R_ext) exactly.
+    ChipStackParams params;
+    HotSpotModel model(params, HeatSink::fin18());
+    const PowerMap map = PowerMap::uniform(params.grid);
+    const auto field = model.steady(15.0, map, 40.0);
+    EXPECT_NEAR(field.avgT, 40.0 + 15.0 * (0.205 + 1.578), 1e-6);
+}
+
+TEST(HotSpot, UniformMapHasSmallSpread)
+{
+    ChipStackParams params;
+    HotSpotModel model(params, HeatSink::fin30());
+    const auto field =
+        model.steady(18.0, PowerMap::uniform(params.grid), 30.0);
+    EXPECT_LT(field.spread(), 0.5);
+}
+
+TEST(HotSpot, ConcentratedMapSpreadInPaperRange)
+{
+    // Fig. 9(a): lateral spread between 4 and 7 C for PCMark-class
+    // workloads on the ~100 mm^2 X2150 die.
+    ChipStackParams params;
+    for (const HeatSink *sink :
+         {&HeatSink::fin18(), &HeatSink::fin30()}) {
+        HotSpotModel model(params, *sink);
+        for (double power : {8.0, 12.0, 15.0, 18.0}) {
+            const PowerMap map = PowerMap::concentrated(
+                params.grid, defaultHotFraction(power), 4, 0, 0);
+            const auto field = model.steady(power, map, 40.0);
+            EXPECT_GE(field.spread(), 3.0)
+                << sink->name << " @ " << power << " W";
+            EXPECT_LE(field.spread(), 8.0)
+                << sink->name << " @ " << power << " W";
+        }
+    }
+}
+
+TEST(HotSpot, EquationOneTracksDetailedModelWithin2C)
+{
+    // Fig. 10: the simplified model stays within ~2 C of the
+    // validated (detailed) model across workloads and sinks.
+    ChipStackParams params;
+    SimplePeakModel simple;
+    for (const HeatSink *sink :
+         {&HeatSink::fin18(), &HeatSink::fin30()}) {
+        HotSpotModel model(params, *sink);
+        for (double power = 8.0; power <= 18.0; power += 1.0) {
+            const PowerMap map = PowerMap::concentrated(
+                params.grid, defaultHotFraction(power), 4, 2, 2);
+            const auto field = model.steady(power, map, 45.0);
+            const double predicted = simple.peak(45.0, power, *sink);
+            EXPECT_NEAR(predicted, field.maxT, 2.0)
+                << sink->name << " @ " << power << " W";
+        }
+    }
+}
+
+TEST(HotSpot, SinkTimeConstantNearTableIII)
+{
+    // The lumped sink node should respond with roughly the 30 s
+    // socket time constant.
+    ChipStackParams params;
+    HotSpotModel model(params, HeatSink::fin30());
+    auto state = model.initialState(20.0);
+    const auto steady =
+        model.steady(15.0, PowerMap::uniform(params.grid), 20.0);
+    model.transientStep(state, 15.0, PowerMap::uniform(params.grid),
+                        20.0, params.socketTauS);
+    const auto field = model.summarize(state);
+    const double frac = (field.sinkTemp - 20.0) /
+                        (steady.sinkTemp - 20.0);
+    EXPECT_NEAR(frac, 1.0 - std::exp(-1.0), 0.12);
+}
+
+TEST(HotSpot, HotBlockIsHottest)
+{
+    ChipStackParams params;
+    HotSpotModel model(params, HeatSink::fin18());
+    const PowerMap map =
+        PowerMap::concentrated(params.grid, 0.7, 2, 0, 0);
+    const auto field = model.steady(15.0, map, 30.0);
+    // Cell (0,0) is inside the hot block.
+    EXPECT_NEAR(field.dieTemps[0], field.maxT, 0.5);
+}
+
+TEST(HotSpot, MismatchedMapGridIsFatal)
+{
+    ChipStackParams params;
+    HotSpotModel model(params, HeatSink::fin18());
+    EXPECT_EXIT(model.steady(10.0, PowerMap::uniform(4), 30.0),
+                ::testing::ExitedWithCode(1), "grid");
+}
+
+TEST(PowerMap, FractionsSumToOne)
+{
+    for (double hot : {0.0, 0.3, 0.7, 1.0}) {
+        const PowerMap map = PowerMap::concentrated(8, hot, 3, 1, 2);
+        double sum = 0.0;
+        for (double f : map.fractions())
+            sum += f;
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(PowerMap, DefaultHotFractionDecreasesWithPower)
+{
+    EXPECT_GT(defaultHotFraction(8.0), defaultHotFraction(18.0));
+    EXPECT_GE(defaultHotFraction(100.0), 0.25);
+    EXPECT_LE(defaultHotFraction(0.0), 0.95);
+}
+
+TEST(PowerMap, BlockOutsideGridIsFatal)
+{
+    EXPECT_EXIT(PowerMap::concentrated(8, 0.5, 4, 6, 6),
+                ::testing::ExitedWithCode(1), "fit");
+}
+
+// ----------------------------------------------------------- coupling map
+
+std::vector<SocketSite>
+chainSites(int n, double spacing, double duct_cfm)
+{
+    std::vector<SocketSite> sites;
+    for (int i = 0; i < n; ++i)
+        sites.push_back(SocketSite{i * spacing, 0, duct_cfm});
+    return sites;
+}
+
+TEST(CouplingMap, Figure2CartridgeCalibration)
+{
+    // The Fig. 2 cartridge: two upstream sockets at 15 W each share a
+    // 12.7 CFM duct; the measured left-to-right air temperature
+    // difference is ~8 C. Model: two sites per station.
+    std::vector<SocketSite> sites{
+        {0.0, 0, 12.7}, {0.0, 0, 12.7}, {1.6, 0, 12.7}, {1.6, 0, 12.7}};
+    CouplingMap map(sites, CouplingParams{});
+    const std::vector<double> powers{15.0, 15.0, 0.0, 0.0};
+    const auto entry = map.entryTemps(powers, 18.0);
+    const double diff = entry[2] - entry[0];
+    EXPECT_NEAR(diff, 8.0, 1.2);
+}
+
+TEST(CouplingMap, NoUpstreamCouplingToFirstSocket)
+{
+    CouplingMap map(chainSites(4, 1.6, 12.7), CouplingParams{});
+    const std::vector<double> powers{0.0, 10.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(map.entryTemp(0, powers, 18.0), 18.0);
+}
+
+TEST(CouplingMap, StrictlyDownstreamOnly)
+{
+    CouplingMap map(chainSites(3, 1.6, 12.7), CouplingParams{});
+    EXPECT_GT(map.coeff(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(map.coeff(2, 0), 0.0);
+    EXPECT_DOUBLE_EQ(map.coeff(1, 1), 0.0);
+}
+
+TEST(CouplingMap, CouplingDecaysWithDistance)
+{
+    CouplingMap map(chainSites(6, 1.6, 12.7), CouplingParams{});
+    EXPECT_GT(map.coeff(0, 1), map.coeff(0, 3));
+    EXPECT_GT(map.coeff(0, 3), map.coeff(0, 5));
+}
+
+TEST(CouplingMap, EntryMonotoneInUpstreamPower)
+{
+    CouplingMap map(chainSites(4, 1.6, 12.7), CouplingParams{});
+    std::vector<double> low{5.0, 5.0, 5.0, 5.0};
+    std::vector<double> high{15.0, 5.0, 5.0, 5.0};
+    EXPECT_GT(map.entryTemp(3, high, 18.0),
+              map.entryTemp(3, low, 18.0));
+}
+
+TEST(CouplingMap, AmbientIncludesSelfTerm)
+{
+    CouplingParams params;
+    CouplingMap map(chainSites(2, 1.6, 12.7), params);
+    const std::vector<double> powers{0.0, 10.0};
+    EXPECT_NEAR(map.ambientTemp(1, powers, 18.0) -
+                    map.ambientEntryTemp(1, powers, 18.0),
+                params.kappaLocal * 10.0, 1e-9);
+}
+
+TEST(CouplingMap, WakeScalesAmbientCoupling)
+{
+    CouplingParams params;
+    params.wakeFactor = 2.0;
+    CouplingMap map(chainSites(2, 1.6, 12.7), params);
+    EXPECT_NEAR(map.coeff(0, 1), 2.0 * map.airCoeff(0, 1), 1e-12);
+}
+
+TEST(CouplingMap, DownstreamImpactDecreasesAlongDuct)
+{
+    // MinHR's offline map: upstream sockets have the largest total
+    // downstream impact; the last socket has none.
+    CouplingMap map(chainSites(6, 1.6, 12.7), CouplingParams{});
+    for (int i = 0; i + 1 < 6; ++i)
+        EXPECT_GT(map.downstreamImpact(i), map.downstreamImpact(i + 1));
+    EXPECT_DOUBLE_EQ(map.downstreamImpact(5), 0.0);
+}
+
+TEST(CouplingMap, VectorAndScalarEntryAgree)
+{
+    CouplingMap map(chainSites(5, 2.0, 12.7), CouplingParams{});
+    const std::vector<double> powers{3.0, 7.0, 1.0, 9.0, 2.0};
+    const auto vec = map.entryTemps(powers, 20.0);
+    const auto amb_vec = map.ambientTemps(powers, 20.0);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(vec[i], map.entryTemp(i, powers, 20.0), 1e-12);
+        EXPECT_NEAR(amb_vec[i], map.ambientTemp(i, powers, 20.0),
+                    1e-12);
+    }
+}
+
+TEST(CouplingMap, VerticalLeakReachesNeighbourRows)
+{
+    std::vector<SocketSite> sites{
+        {0.0, 0, 12.7}, {5.0, 0, 12.7}, {5.0, 1, 12.7}, {5.0, 3, 12.7}};
+    CouplingParams params;
+    params.verticalLeak = 0.5;
+    CouplingMap map(sites, params);
+    EXPECT_GT(map.coeff(0, 1), map.coeff(0, 2)); // same row strongest
+    EXPECT_GT(map.coeff(0, 2), 0.0);             // neighbour row leaks
+    // Three rows away with leak 0.5: 0.125 < 0.05 cutoff... 0.125 is
+    // above the 5% cutoff, so it is present but weaker still.
+    EXPECT_GT(map.coeff(0, 2), map.coeff(0, 3));
+}
+
+TEST(CouplingMap, VerticalLeakConservesTotalHeat)
+{
+    // Total downstream impact of a socket should be (nearly)
+    // independent of the vertical leak setting, because leaking to
+    // neighbour rows comes out of the same-duct share.
+    std::vector<SocketSite> sites;
+    for (int row = 0; row < 7; ++row)
+        for (int k = 0; k < 2; ++k)
+            sites.push_back(SocketSite{k * 5.0, row, 12.7});
+    CouplingParams none;
+    none.verticalLeak = 0.0;
+    CouplingParams leaky;
+    leaky.verticalLeak = 0.45;
+    CouplingMap a(sites, none), b(sites, leaky);
+    // Socket 8 = row 4 upstream position (interior row).
+    const std::size_t upstream = 8;
+    EXPECT_NEAR(a.downstreamImpact(upstream),
+                b.downstreamImpact(upstream),
+                0.10 * a.downstreamImpact(upstream));
+}
+
+TEST(CouplingMap, MixFactorBelowOneIsFatal)
+{
+    CouplingParams params;
+    params.mixFactor = 0.5;
+    EXPECT_EXIT(CouplingMap(chainSites(2, 1.6, 12.7), params),
+                ::testing::ExitedWithCode(1), "mixFactor");
+}
+
+// ------------------------------------------------------------ entry model
+
+TEST(EntryModel, SingleSocketSeesInlet)
+{
+    const auto r = serialChainEntryTemps(1, 15.0, 6.0, 18.0);
+    EXPECT_EQ(r.entryTempsC.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.entryTempsC[0], 18.0);
+    EXPECT_DOUBLE_EQ(r.meanRiseC, 0.0);
+    EXPECT_DOUBLE_EQ(r.cov, 0.0);
+}
+
+TEST(EntryModel, MeanRiseClosedForm)
+{
+    // Mean rise = step * (N-1) / 2 with step = 1.76 * P / CFM.
+    const auto r = serialChainEntryTemps(5, 15.0, 6.0, 18.0);
+    const double step = airTemperatureRise(15.0, 6.0);
+    EXPECT_NEAR(r.meanRiseC, step * 2.0, 1e-9);
+}
+
+TEST(EntryModel, PaperExampleTenDegrees)
+{
+    // Sec. II-B: a 15 W part at 6 CFM shows ~10 C higher mean entry
+    // temperature at degree of coupling 5 versus 1.
+    const auto doc5 = serialChainEntryTemps(5, 15.0, 6.0, 18.0);
+    const auto doc1 = serialChainEntryTemps(1, 15.0, 6.0, 18.0);
+    EXPECT_NEAR(doc5.meanC - doc1.meanC, 10.0, 1.5);
+}
+
+TEST(EntryModel, MeanRiseGrowsWithCoupling)
+{
+    double last = -1.0;
+    for (int doc : {1, 2, 3, 5, 11}) {
+        const auto r = serialChainEntryTemps(doc, 15.0, 6.0, 18.0);
+        EXPECT_GT(r.meanRiseC, last);
+        last = r.meanRiseC;
+    }
+}
+
+TEST(EntryModel, CovGrowsWithCoupling)
+{
+    // Fig. 5(b): inter-socket variation increases with the degree of
+    // coupling.
+    double last = -1.0;
+    for (int doc : {1, 2, 3, 5, 11}) {
+        const auto r = serialChainEntryTemps(doc, 15.0, 6.0, 18.0);
+        EXPECT_GT(r.cov, last - 1e-12);
+        last = r.cov;
+    }
+}
+
+TEST(EntryModel, CovGrowsWithPower)
+{
+    const auto lo = serialChainEntryTemps(5, 5.0, 6.0, 18.0);
+    const auto hi = serialChainEntryTemps(5, 50.0, 6.0, 18.0);
+    EXPECT_GT(hi.cov, lo.cov);
+}
+
+TEST(EntryModel, MoreAirflowLowersRise)
+{
+    const auto lo = serialChainEntryTemps(5, 15.0, 2.0, 18.0);
+    const auto hi = serialChainEntryTemps(5, 15.0, 12.0, 18.0);
+    EXPECT_GT(lo.meanRiseC, hi.meanRiseC);
+}
+
+} // namespace
+} // namespace densim

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * densim — the command-line driver.
+ *
+ * Subcommands:
+ *   run            one simulation; table or --json output
+ *   sweep          scheduler x load grid; table or --csv output
+ *   trace-capture  generate and persist an Xperf-style job trace
+ *   trace-replay   run a persisted trace under a policy
+ *   topology       dump the configured server geometry
+ *   config-dump    print every configuration key with its value
+ *
+ * Common flags: --config FILE (key = value, see config-dump for the
+ * vocabulary), --set key=value (repeatable, applied after --config),
+ * plus the convenience flags listed in usage().
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hh"
+#include "core/dense_server_sim.hh"
+#include "core/experiment.hh"
+#include "core/metrics_io.hh"
+#include "sched/factory.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/xperf_trace.hh"
+
+using namespace densim;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: densim <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  run            simulate once and report metrics\n"
+        "  sweep          grid of schedulers x loads\n"
+        "  trace-capture  write an Xperf-style job trace\n"
+        "  trace-replay   simulate a persisted trace\n"
+        "  topology       print the configured server geometry\n"
+        "  config-dump    print the effective configuration\n"
+        "\n"
+        "common flags:\n"
+        "  --config FILE        load key = value configuration\n"
+        "  --set key=value      override one key (repeatable)\n"
+        "  --scheduler NAME     policy (default CP); sweep accepts\n"
+        "                       --schedulers A,B,C\n"
+        "  --workload NAME      Computation | GP | Storage\n"
+        "  --load X             target utilization (0,1]\n"
+        "  --loads A,B,...      sweep loads\n"
+        "  --seed N             RNG seed\n"
+        "  --json / --csv       machine-readable output\n"
+        "  --trace FILE         trace path for trace-* commands\n"
+        "  --jobs N             jobs to capture (trace-capture)\n";
+}
+
+struct Cli
+{
+    std::string command;
+    SimConfig config;
+    std::string scheduler = "CP";
+    std::vector<std::string> schedulers;
+    std::vector<double> loads;
+    std::string tracePath;
+    std::size_t traceJobs = 100000;
+    bool json = false;
+    bool csv = false;
+};
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(s);
+    std::string item;
+    while (std::getline(stream, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+Cli
+parseArgs(int argc, char **argv)
+{
+    Cli cli;
+    if (argc < 2) {
+        usage();
+        std::exit(1);
+    }
+    cli.command = argv[1];
+    // Bench-friendly defaults: scaled tau, short horizon.
+    cli.config.socketTauS = 3.0;
+    cli.config.simTimeS = 6.0;
+    cli.config.warmupS = 3.0;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            fatal("flag '", argv[i], "' needs a value");
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--config") {
+            loadConfigFile(cli.config, need(i));
+        } else if (flag == "--set") {
+            const std::string kv = need(i);
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                fatal("--set needs key=value, got '", kv, "'");
+            applyConfigKey(cli.config, kv.substr(0, eq),
+                           kv.substr(eq + 1));
+        } else if (flag == "--scheduler") {
+            cli.scheduler = need(i);
+        } else if (flag == "--schedulers") {
+            cli.schedulers = splitCommas(need(i));
+        } else if (flag == "--workload") {
+            applyConfigKey(cli.config, "workload", need(i));
+        } else if (flag == "--load") {
+            applyConfigKey(cli.config, "load", need(i));
+        } else if (flag == "--loads") {
+            for (const std::string &item : splitCommas(need(i)))
+                cli.loads.push_back(std::atof(item.c_str()));
+        } else if (flag == "--seed") {
+            applyConfigKey(cli.config, "seed", need(i));
+        } else if (flag == "--trace") {
+            cli.tracePath = need(i);
+        } else if (flag == "--jobs") {
+            cli.traceJobs =
+                static_cast<std::size_t>(std::atoll(need(i).c_str()));
+        } else if (flag == "--json") {
+            cli.json = true;
+        } else if (flag == "--csv") {
+            cli.csv = true;
+        } else if (flag == "--help" || flag == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            fatal("unknown flag '", flag, "' (try --help)");
+        }
+    }
+    return cli;
+}
+
+void
+printRunTable(const std::string &scheduler, const SimConfig &config,
+              const SimMetrics &m)
+{
+    TableWriter table({"Metric", "Value"});
+    table.newRow().cell("scheduler").cell(scheduler);
+    table.newRow().cell("workload").cell(
+        workloadSetName(config.workload));
+    table.newRow().cell("load").cell(config.load, 2);
+    table.newRow().cell("jobs completed").cell(
+        static_cast<long long>(m.jobsCompleted));
+    table.newRow().cell("runtime expansion").cell(
+        m.runtimeExpansion.mean(), 4);
+    table.newRow().cell("service expansion").cell(
+        m.serviceExpansion.mean(), 4);
+    table.newRow().cell("mean queue delay (ms)").cell(
+        1e3 * m.queueDelayS.mean(), 3);
+    table.newRow().cell("avg relative frequency").cell(m.avgRelFreq(),
+                                                       3);
+    table.newRow().cell("boost fraction").cell(m.boostFraction(), 3);
+    table.newRow().cell("energy (kJ)").cell(m.energyJ / 1e3, 2);
+    table.newRow().cell("ED^2 (MJ s^2)").cell(m.ed2() / 1e6, 3);
+    table.newRow().cell("work in front half").cell(
+        m.workFraction(m.front), 3);
+    table.newRow().cell("work on even zones").cell(
+        m.workFraction(m.even), 3);
+    table.newRow().cell("max chip temp (C)").cell(m.maxChipTempC, 1);
+    table.newRow().cell("migrations").cell(
+        static_cast<long long>(m.migrations));
+    table.print(std::cout);
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    DenseServerSim sim(cli.config, makeScheduler(cli.scheduler));
+    const SimMetrics m = sim.run();
+    if (cli.json)
+        std::cout << metricsToJson(m) << "\n";
+    else
+        printRunTable(cli.scheduler, cli.config, m);
+    return 0;
+}
+
+int
+cmdSweep(const Cli &cli)
+{
+    const std::vector<std::string> schedulers =
+        cli.schedulers.empty()
+            ? std::vector<std::string>{"CF", "CP"}
+            : cli.schedulers;
+    const std::vector<double> loads =
+        cli.loads.empty() ? std::vector<double>{0.3, 0.5, 0.7, 0.9}
+                          : cli.loads;
+
+    std::vector<RunSpec> specs =
+        makeGrid(schedulers, cli.config.workload, loads, cli.config);
+    const auto results = runAll(specs);
+
+    if (cli.csv) {
+        std::cout << metricsCsvHeader() << "\n";
+        for (const RunResult &r : results) {
+            std::cout << metricsToCsvRow(
+                             r.spec.scheduler,
+                             workloadSetName(r.spec.config.workload),
+                             r.spec.config.load, r.metrics)
+                      << "\n";
+        }
+        return 0;
+    }
+
+    auto index = indexResults(results);
+    std::vector<std::string> headers{"Scheme"};
+    for (double load : loads)
+        headers.push_back(formatFixed(100 * load, 0) + "%");
+    TableWriter table(std::move(headers));
+    for (const std::string &scheduler : schedulers) {
+        table.newRow().cell(scheduler);
+        for (double load : loads) {
+            table.cell(relativePerformance(index[scheduler][load],
+                                           index[schedulers[0]][load]),
+                       3);
+        }
+    }
+    std::cout << "performance vs " << schedulers[0] << ":\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTraceCapture(const Cli &cli)
+{
+    if (cli.tracePath.empty())
+        fatal("trace-capture needs --trace FILE");
+    JobGenerator gen(cli.config.workload, cli.config.load,
+                     static_cast<int>(
+                         ServerTopology(cli.config.topo).numSockets()),
+                     cli.config.seed);
+    XperfTrace trace = XperfTrace::capture(gen, cli.traceJobs);
+    trace.saveFile(cli.tracePath);
+    std::cout << "wrote " << trace.jobs().size() << " jobs ("
+              << workloadSetName(trace.set()) << ", load "
+              << cli.config.load << ") to " << cli.tracePath << "\n";
+    return 0;
+}
+
+int
+cmdTraceReplay(const Cli &cli)
+{
+    if (cli.tracePath.empty())
+        fatal("trace-replay needs --trace FILE");
+    const XperfTrace trace = XperfTrace::loadFile(cli.tracePath);
+    std::vector<Job> jobs;
+    for (const Job &job : trace.jobs()) {
+        if (job.arrivalS < cli.config.simTimeS)
+            jobs.push_back(job);
+    }
+    SimConfig config = cli.config;
+    config.workload = trace.set();
+    DenseServerSim sim(config, makeScheduler(cli.scheduler));
+    const SimMetrics m = sim.run(jobs);
+    if (cli.json)
+        std::cout << metricsToJson(m) << "\n";
+    else
+        printRunTable(cli.scheduler, config, m);
+    return 0;
+}
+
+int
+cmdTopology(const Cli &cli)
+{
+    const ServerTopology topo(cli.config.topo);
+    std::cout << "sockets: " << topo.numSockets() << " ("
+              << topo.numRows() << " rows x " << topo.socketsPerRow()
+              << ")\nzones per row: " << topo.zonesPerRow()
+              << ", degree of coupling: " << topo.degreeOfCoupling()
+              << "\n";
+    TableWriter table({"Zone", "Pos (in)", "Sink", "Half"});
+    for (int zone = 1; zone <= topo.zonesPerRow(); ++zone) {
+        const std::size_t probe = topo.socketsInZone(zone).front();
+        table.newRow()
+            .cell(static_cast<long long>(zone))
+            .cell(topo.streamPosOf(probe), 1)
+            .cell(topo.sinkOf(probe).name)
+            .cell(topo.inFrontHalf(probe) ? "front" : "back");
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli = parseArgs(argc, argv);
+    if (cli.command == "run")
+        return cmdRun(cli);
+    if (cli.command == "sweep")
+        return cmdSweep(cli);
+    if (cli.command == "trace-capture")
+        return cmdTraceCapture(cli);
+    if (cli.command == "trace-replay")
+        return cmdTraceReplay(cli);
+    if (cli.command == "topology")
+        return cmdTopology(cli);
+    if (cli.command == "config-dump") {
+        std::cout << saveConfig(cli.config);
+        return 0;
+    }
+    usage();
+    fatal("unknown command '", cli.command, "'");
+}
