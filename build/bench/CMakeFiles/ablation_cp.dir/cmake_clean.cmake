@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cp.dir/ablation_cp.cc.o"
+  "CMakeFiles/ablation_cp.dir/ablation_cp.cc.o.d"
+  "ablation_cp"
+  "ablation_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coupling_degree.dir/ext_coupling_degree.cc.o"
+  "CMakeFiles/ext_coupling_degree.dir/ext_coupling_degree.cc.o.d"
+  "ext_coupling_degree"
+  "ext_coupling_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coupling_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

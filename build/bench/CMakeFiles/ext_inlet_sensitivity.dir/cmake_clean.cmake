@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_inlet_sensitivity.dir/ext_inlet_sensitivity.cc.o"
+  "CMakeFiles/ext_inlet_sensitivity.dir/ext_inlet_sensitivity.cc.o.d"
+  "ext_inlet_sensitivity"
+  "ext_inlet_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_inlet_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_thermal_timeline.dir/ext_thermal_timeline.cc.o"
+  "CMakeFiles/ext_thermal_timeline.dir/ext_thermal_timeline.cc.o.d"
+  "ext_thermal_timeline"
+  "ext_thermal_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_thermal_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_density_survey.dir/fig01_density_survey.cc.o"
+  "CMakeFiles/fig01_density_survey.dir/fig01_density_survey.cc.o.d"
+  "fig01_density_survey"
+  "fig01_density_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_density_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

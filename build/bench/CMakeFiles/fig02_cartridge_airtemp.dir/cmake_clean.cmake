@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cartridge_airtemp.dir/fig02_cartridge_airtemp.cc.o"
+  "CMakeFiles/fig02_cartridge_airtemp.dir/fig02_cartridge_airtemp.cc.o.d"
+  "fig02_cartridge_airtemp"
+  "fig02_cartridge_airtemp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cartridge_airtemp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

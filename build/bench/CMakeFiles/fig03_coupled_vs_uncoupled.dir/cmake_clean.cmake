@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_coupled_vs_uncoupled.dir/fig03_coupled_vs_uncoupled.cc.o"
+  "CMakeFiles/fig03_coupled_vs_uncoupled.dir/fig03_coupled_vs_uncoupled.cc.o.d"
+  "fig03_coupled_vs_uncoupled"
+  "fig03_coupled_vs_uncoupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_coupled_vs_uncoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

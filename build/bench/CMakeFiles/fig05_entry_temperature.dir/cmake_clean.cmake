@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_entry_temperature.dir/fig05_entry_temperature.cc.o"
+  "CMakeFiles/fig05_entry_temperature.dir/fig05_entry_temperature.cc.o.d"
+  "fig05_entry_temperature"
+  "fig05_entry_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_entry_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_job_durations.dir/fig06_job_durations.cc.o"
+  "CMakeFiles/fig06_job_durations.dir/fig06_job_durations.cc.o.d"
+  "fig06_job_durations"
+  "fig06_job_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_job_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

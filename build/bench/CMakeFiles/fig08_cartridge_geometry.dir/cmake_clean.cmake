@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cartridge_geometry.dir/fig08_cartridge_geometry.cc.o"
+  "CMakeFiles/fig08_cartridge_geometry.dir/fig08_cartridge_geometry.cc.o.d"
+  "fig08_cartridge_geometry"
+  "fig08_cartridge_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cartridge_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_chip_thermals.dir/fig09_chip_thermals.cc.o"
+  "CMakeFiles/fig09_chip_thermals.dir/fig09_chip_thermals.cc.o.d"
+  "fig09_chip_thermals"
+  "fig09_chip_thermals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_chip_thermals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_chip_thermals.
+# This may be replaced when dependencies are built.

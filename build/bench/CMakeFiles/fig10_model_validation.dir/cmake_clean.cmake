@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_model_validation.dir/fig10_model_validation.cc.o"
+  "CMakeFiles/fig10_model_validation.dir/fig10_model_validation.cc.o.d"
+  "fig10_model_validation"
+  "fig10_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

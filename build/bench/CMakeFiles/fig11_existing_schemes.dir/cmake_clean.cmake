@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_existing_schemes.dir/fig11_existing_schemes.cc.o"
+  "CMakeFiles/fig11_existing_schemes.dir/fig11_existing_schemes.cc.o.d"
+  "fig11_existing_schemes"
+  "fig11_existing_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_existing_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_zone_behavior.dir/fig13_zone_behavior.cc.o"
+  "CMakeFiles/fig13_zone_behavior.dir/fig13_zone_behavior.cc.o.d"
+  "fig13_zone_behavior"
+  "fig13_zone_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_zone_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

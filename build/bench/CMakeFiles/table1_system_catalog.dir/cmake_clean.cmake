@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_system_catalog.dir/table1_system_catalog.cc.o"
+  "CMakeFiles/table1_system_catalog.dir/table1_system_catalog.cc.o.d"
+  "table1_system_catalog"
+  "table1_system_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_system_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_airflow_requirements.dir/table2_airflow_requirements.cc.o"
+  "CMakeFiles/table2_airflow_requirements.dir/table2_airflow_requirements.cc.o.d"
+  "table2_airflow_requirements"
+  "table2_airflow_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_airflow_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model_parameters.dir/table3_model_parameters.cc.o"
+  "CMakeFiles/table3_model_parameters.dir/table3_model_parameters.cc.o.d"
+  "table3_model_parameters"
+  "table3_model_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdi_daily_load.dir/vdi_daily_load.cpp.o"
+  "CMakeFiles/vdi_daily_load.dir/vdi_daily_load.cpp.o.d"
+  "vdi_daily_load"
+  "vdi_daily_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdi_daily_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

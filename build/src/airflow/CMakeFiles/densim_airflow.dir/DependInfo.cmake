@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airflow/fan.cc" "src/airflow/CMakeFiles/densim_airflow.dir/fan.cc.o" "gcc" "src/airflow/CMakeFiles/densim_airflow.dir/fan.cc.o.d"
+  "/root/repo/src/airflow/first_law.cc" "src/airflow/CMakeFiles/densim_airflow.dir/first_law.cc.o" "gcc" "src/airflow/CMakeFiles/densim_airflow.dir/first_law.cc.o.d"
+  "/root/repo/src/airflow/flow_budget.cc" "src/airflow/CMakeFiles/densim_airflow.dir/flow_budget.cc.o" "gcc" "src/airflow/CMakeFiles/densim_airflow.dir/flow_budget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/densim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

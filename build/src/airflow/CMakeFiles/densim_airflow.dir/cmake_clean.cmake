@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_airflow.dir/fan.cc.o"
+  "CMakeFiles/densim_airflow.dir/fan.cc.o.d"
+  "CMakeFiles/densim_airflow.dir/first_law.cc.o"
+  "CMakeFiles/densim_airflow.dir/first_law.cc.o.d"
+  "CMakeFiles/densim_airflow.dir/flow_budget.cc.o"
+  "CMakeFiles/densim_airflow.dir/flow_budget.cc.o.d"
+  "libdensim_airflow.a"
+  "libdensim_airflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_airflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

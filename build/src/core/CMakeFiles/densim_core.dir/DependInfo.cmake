@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/densim_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/dense_server_sim.cc" "src/core/CMakeFiles/densim_core.dir/dense_server_sim.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/dense_server_sim.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/densim_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/densim_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/metrics_io.cc" "src/core/CMakeFiles/densim_core.dir/metrics_io.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/metrics_io.cc.o.d"
+  "/root/repo/src/core/sim_config.cc" "src/core/CMakeFiles/densim_core.dir/sim_config.cc.o" "gcc" "src/core/CMakeFiles/densim_core.dir/sim_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/densim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/densim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/densim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/densim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/densim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/densim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/airflow/CMakeFiles/densim_airflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_core.dir/config_io.cc.o"
+  "CMakeFiles/densim_core.dir/config_io.cc.o.d"
+  "CMakeFiles/densim_core.dir/dense_server_sim.cc.o"
+  "CMakeFiles/densim_core.dir/dense_server_sim.cc.o.d"
+  "CMakeFiles/densim_core.dir/experiment.cc.o"
+  "CMakeFiles/densim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/densim_core.dir/metrics.cc.o"
+  "CMakeFiles/densim_core.dir/metrics.cc.o.d"
+  "CMakeFiles/densim_core.dir/metrics_io.cc.o"
+  "CMakeFiles/densim_core.dir/metrics_io.cc.o.d"
+  "CMakeFiles/densim_core.dir/sim_config.cc.o"
+  "CMakeFiles/densim_core.dir/sim_config.cc.o.d"
+  "libdensim_core.a"
+  "libdensim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

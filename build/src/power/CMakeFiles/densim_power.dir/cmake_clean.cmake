@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_power.dir/leakage.cc.o"
+  "CMakeFiles/densim_power.dir/leakage.cc.o.d"
+  "CMakeFiles/densim_power.dir/power_manager.cc.o"
+  "CMakeFiles/densim_power.dir/power_manager.cc.o.d"
+  "CMakeFiles/densim_power.dir/pstate.cc.o"
+  "CMakeFiles/densim_power.dir/pstate.cc.o.d"
+  "libdensim_power.a"
+  "libdensim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

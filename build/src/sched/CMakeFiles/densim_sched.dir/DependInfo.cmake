@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive_random.cc" "src/sched/CMakeFiles/densim_sched.dir/adaptive_random.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/adaptive_random.cc.o.d"
+  "/root/repo/src/sched/balanced.cc" "src/sched/CMakeFiles/densim_sched.dir/balanced.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/balanced.cc.o.d"
+  "/root/repo/src/sched/balanced_locations.cc" "src/sched/CMakeFiles/densim_sched.dir/balanced_locations.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/balanced_locations.cc.o.d"
+  "/root/repo/src/sched/coolest_first.cc" "src/sched/CMakeFiles/densim_sched.dir/coolest_first.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/coolest_first.cc.o.d"
+  "/root/repo/src/sched/coolest_neighbors.cc" "src/sched/CMakeFiles/densim_sched.dir/coolest_neighbors.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/coolest_neighbors.cc.o.d"
+  "/root/repo/src/sched/coupling_predictor.cc" "src/sched/CMakeFiles/densim_sched.dir/coupling_predictor.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/coupling_predictor.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/sched/CMakeFiles/densim_sched.dir/factory.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/factory.cc.o.d"
+  "/root/repo/src/sched/hottest_first.cc" "src/sched/CMakeFiles/densim_sched.dir/hottest_first.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/hottest_first.cc.o.d"
+  "/root/repo/src/sched/min_hr.cc" "src/sched/CMakeFiles/densim_sched.dir/min_hr.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/min_hr.cc.o.d"
+  "/root/repo/src/sched/prediction.cc" "src/sched/CMakeFiles/densim_sched.dir/prediction.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/prediction.cc.o.d"
+  "/root/repo/src/sched/predictive.cc" "src/sched/CMakeFiles/densim_sched.dir/predictive.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/predictive.cc.o.d"
+  "/root/repo/src/sched/random_sched.cc" "src/sched/CMakeFiles/densim_sched.dir/random_sched.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/random_sched.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/densim_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/densim_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/densim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/densim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/densim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/densim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/densim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/airflow/CMakeFiles/densim_airflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_sched.dir/adaptive_random.cc.o"
+  "CMakeFiles/densim_sched.dir/adaptive_random.cc.o.d"
+  "CMakeFiles/densim_sched.dir/balanced.cc.o"
+  "CMakeFiles/densim_sched.dir/balanced.cc.o.d"
+  "CMakeFiles/densim_sched.dir/balanced_locations.cc.o"
+  "CMakeFiles/densim_sched.dir/balanced_locations.cc.o.d"
+  "CMakeFiles/densim_sched.dir/coolest_first.cc.o"
+  "CMakeFiles/densim_sched.dir/coolest_first.cc.o.d"
+  "CMakeFiles/densim_sched.dir/coolest_neighbors.cc.o"
+  "CMakeFiles/densim_sched.dir/coolest_neighbors.cc.o.d"
+  "CMakeFiles/densim_sched.dir/coupling_predictor.cc.o"
+  "CMakeFiles/densim_sched.dir/coupling_predictor.cc.o.d"
+  "CMakeFiles/densim_sched.dir/factory.cc.o"
+  "CMakeFiles/densim_sched.dir/factory.cc.o.d"
+  "CMakeFiles/densim_sched.dir/hottest_first.cc.o"
+  "CMakeFiles/densim_sched.dir/hottest_first.cc.o.d"
+  "CMakeFiles/densim_sched.dir/min_hr.cc.o"
+  "CMakeFiles/densim_sched.dir/min_hr.cc.o.d"
+  "CMakeFiles/densim_sched.dir/prediction.cc.o"
+  "CMakeFiles/densim_sched.dir/prediction.cc.o.d"
+  "CMakeFiles/densim_sched.dir/predictive.cc.o"
+  "CMakeFiles/densim_sched.dir/predictive.cc.o.d"
+  "CMakeFiles/densim_sched.dir/random_sched.cc.o"
+  "CMakeFiles/densim_sched.dir/random_sched.cc.o.d"
+  "CMakeFiles/densim_sched.dir/scheduler.cc.o"
+  "CMakeFiles/densim_sched.dir/scheduler.cc.o.d"
+  "libdensim_sched.a"
+  "libdensim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_server.dir/catalog.cc.o"
+  "CMakeFiles/densim_server.dir/catalog.cc.o.d"
+  "CMakeFiles/densim_server.dir/sut.cc.o"
+  "CMakeFiles/densim_server.dir/sut.cc.o.d"
+  "CMakeFiles/densim_server.dir/topology.cc.o"
+  "CMakeFiles/densim_server.dir/topology.cc.o.d"
+  "libdensim_server.a"
+  "libdensim_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

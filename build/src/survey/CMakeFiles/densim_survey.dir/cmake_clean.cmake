@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_survey.dir/survey.cc.o"
+  "CMakeFiles/densim_survey.dir/survey.cc.o.d"
+  "libdensim_survey.a"
+  "libdensim_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/coupling_map.cc" "src/thermal/CMakeFiles/densim_thermal.dir/coupling_map.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/coupling_map.cc.o.d"
+  "/root/repo/src/thermal/entry_model.cc" "src/thermal/CMakeFiles/densim_thermal.dir/entry_model.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/entry_model.cc.o.d"
+  "/root/repo/src/thermal/heatsink.cc" "src/thermal/CMakeFiles/densim_thermal.dir/heatsink.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/heatsink.cc.o.d"
+  "/root/repo/src/thermal/hotspot_model.cc" "src/thermal/CMakeFiles/densim_thermal.dir/hotspot_model.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/hotspot_model.cc.o.d"
+  "/root/repo/src/thermal/rc_network.cc" "src/thermal/CMakeFiles/densim_thermal.dir/rc_network.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/rc_network.cc.o.d"
+  "/root/repo/src/thermal/simple_peak_model.cc" "src/thermal/CMakeFiles/densim_thermal.dir/simple_peak_model.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/simple_peak_model.cc.o.d"
+  "/root/repo/src/thermal/transient.cc" "src/thermal/CMakeFiles/densim_thermal.dir/transient.cc.o" "gcc" "src/thermal/CMakeFiles/densim_thermal.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/densim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/airflow/CMakeFiles/densim_airflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_thermal.dir/coupling_map.cc.o"
+  "CMakeFiles/densim_thermal.dir/coupling_map.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/entry_model.cc.o"
+  "CMakeFiles/densim_thermal.dir/entry_model.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/heatsink.cc.o"
+  "CMakeFiles/densim_thermal.dir/heatsink.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/hotspot_model.cc.o"
+  "CMakeFiles/densim_thermal.dir/hotspot_model.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/rc_network.cc.o"
+  "CMakeFiles/densim_thermal.dir/rc_network.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/simple_peak_model.cc.o"
+  "CMakeFiles/densim_thermal.dir/simple_peak_model.cc.o.d"
+  "CMakeFiles/densim_thermal.dir/transient.cc.o"
+  "CMakeFiles/densim_thermal.dir/transient.cc.o.d"
+  "libdensim_thermal.a"
+  "libdensim_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_util.dir/logging.cc.o"
+  "CMakeFiles/densim_util.dir/logging.cc.o.d"
+  "CMakeFiles/densim_util.dir/rng.cc.o"
+  "CMakeFiles/densim_util.dir/rng.cc.o.d"
+  "CMakeFiles/densim_util.dir/stats.cc.o"
+  "CMakeFiles/densim_util.dir/stats.cc.o.d"
+  "CMakeFiles/densim_util.dir/table.cc.o"
+  "CMakeFiles/densim_util.dir/table.cc.o.d"
+  "libdensim_util.a"
+  "libdensim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim_workload.dir/benchmark.cc.o"
+  "CMakeFiles/densim_workload.dir/benchmark.cc.o.d"
+  "CMakeFiles/densim_workload.dir/curves.cc.o"
+  "CMakeFiles/densim_workload.dir/curves.cc.o.d"
+  "CMakeFiles/densim_workload.dir/job_generator.cc.o"
+  "CMakeFiles/densim_workload.dir/job_generator.cc.o.d"
+  "CMakeFiles/densim_workload.dir/xperf_trace.cc.o"
+  "CMakeFiles/densim_workload.dir/xperf_trace.cc.o.d"
+  "libdensim_workload.a"
+  "libdensim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

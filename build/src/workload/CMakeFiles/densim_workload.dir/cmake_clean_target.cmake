@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdensim_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airflow_test.dir/airflow_test.cc.o"
+  "CMakeFiles/airflow_test.dir/airflow_test.cc.o.d"
+  "airflow_test"
+  "airflow_test.pdb"
+  "airflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_io_test.cc" "tests/CMakeFiles/config_io_test.dir/config_io_test.cc.o" "gcc" "tests/CMakeFiles/config_io_test.dir/config_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/densim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/densim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/densim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/densim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/densim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/densim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/airflow/CMakeFiles/densim_airflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/densim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

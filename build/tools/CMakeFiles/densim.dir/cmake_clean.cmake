@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densim.dir/densim_cli.cc.o"
+  "CMakeFiles/densim.dir/densim_cli.cc.o.d"
+  "densim"
+  "densim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
