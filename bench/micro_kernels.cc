@@ -49,6 +49,44 @@ BM_RcNetworkSteadySolve(benchmark::State &state)
 BENCHMARK(BM_RcNetworkSteadySolve)->Arg(4)->Arg(8)->Arg(12);
 
 void
+BM_RcNetworkFactorize(benchmark::State &state)
+{
+    // First solve on a fresh model: includes the one-time LU
+    // factorization that repeated solves (BM_RcNetworkSteadySolve)
+    // amortize away.
+    ChipStackParams params;
+    params.grid = static_cast<int>(state.range(0));
+    const PowerMap map = PowerMap::uniform(params.grid);
+    for (auto _ : state) {
+        const HotSpotModel model(params, HeatSink::fin30());
+        auto field = model.steady(15.0, map, 40.0);
+        benchmark::DoNotOptimize(field);
+    }
+}
+BENCHMARK(BM_RcNetworkFactorize)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_CouplingPowerDelta(benchmark::State &state)
+{
+    // Single-socket power change folded into an existing ambient
+    // field — the per-epoch cost of the incremental thermal path.
+    const ServerTopology sut = makeSutTopology();
+    const CouplingMap map =
+        makeCouplingMap(sut, defaultCouplingParams());
+    const std::vector<double> powers(sut.numSockets(), 13.6);
+    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+    std::size_t socket = 0;
+    double old_p = 13.6, new_p = 2.2;
+    for (auto _ : state) {
+        map.applyPowerDelta(temps, socket, old_p, new_p);
+        std::swap(old_p, new_p);
+        socket = (socket + 7) % sut.numSockets();
+        benchmark::DoNotOptimize(temps);
+    }
+}
+BENCHMARK(BM_CouplingPowerDelta);
+
+void
 BM_DvfsDecision(benchmark::State &state)
 {
     const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),

@@ -186,6 +186,8 @@ keyTable()
         {"sensorNoiseC", dbl(&SimConfig::sensorNoiseC)},
         {"sensorQuantC", dbl(&SimConfig::sensorQuantC)},
         {"timelineSampleS", dbl(&SimConfig::timelineSampleS)},
+        {"incrementalThermal", boolf(&SimConfig::incrementalThermal)},
+        {"dvfsMemoQuantC", dbl(&SimConfig::dvfsMemoQuantC)},
         {"warmStart", boolf(&SimConfig::warmStart)},
         {"seed",
          {[](SimConfig &c, const std::string &k, const std::string &v) {

@@ -11,6 +11,19 @@
 
 namespace densim {
 
+namespace {
+
+/**
+ * Epochs between full recomputations of the ambient-target field when
+ * the incremental delta path is active. Bounds floating-point drift
+ * of the accumulated deltas (each refresh re-derives the field from
+ * the power vector, exactly like the reference path) at a cost of one
+ * O(n x downstream) evaluation per ~1 simulated second.
+ */
+constexpr std::size_t kAmbientRefreshEpochs = 1024;
+
+} // namespace
+
 DenseServerSim::DenseServerSim(const SimConfig &sim_config,
                                std::unique_ptr<Scheduler> sim_policy)
     : config_(sim_config), topo_(sim_config.topo),
@@ -29,36 +42,25 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     const std::size_t n = topo_.numSockets();
     isFront_.resize(n);
     isEven_.resize(n);
+    sinkCache_.resize(n);
     for (std::size_t s = 0; s < n; ++s) {
         isFront_[s] = topo_.inFrontHalf(s);
         isEven_[s] = topo_.inEvenZone(s);
+        sinkCache_[s] = &topo_.sinkOf(s);
     }
     zoneSockets_.resize(topo_.zonesPerRow());
     for (std::size_t s = 0; s < n; ++s)
         zoneSockets_[topo_.zoneIndexOf(s)].push_back(s);
+
+    const PStateTable &table = PStateTable::x2150();
+    sustainedIdx_ = table.highestSustainedIndex();
+    boostCap_ = table.size() - 1;
+    relFreqByPstate_.resize(table.size());
+    for (std::size_t p = 0; p < table.size(); ++p)
+        relFreqByPstate_[p] = table.relativeFreq(p);
 }
 
 DenseServerSim::~DenseServerSim() = default;
-
-double
-DenseServerSim::rateOf(std::size_t socket) const
-{
-    // Progress is measured in nominal (highest-sustained-frequency)
-    // seconds: boost states advance a job faster than 1x. This is the
-    // design point of the SUT — 100% load is exactly sustainable at
-    // 1500 MHz (Sec. III-D).
-    const SocketState &st = sockets_[socket];
-    const auto &curve = freqCurveFor(st.set);
-    const std::size_t sustained =
-        PStateTable::x2150().highestSustainedIndex();
-    return curve.perfRel[st.pstate] / curve.perfRel[sustained];
-}
-
-double
-DenseServerSim::relFreqOf(std::size_t socket) const
-{
-    return PStateTable::x2150().relativeFreq(sockets_[socket].pstate);
-}
 
 void
 DenseServerSim::resetState()
@@ -84,7 +86,7 @@ DenseServerSim::resetState()
         coupling_.ambientTemps(powerW_, config_.topo.inletC);
     ambientC_ = amb0;
     for (std::size_t s = 0; s < n; ++s) {
-        const HeatSink &sink = topo_.sinkOf(s);
+        const HeatSink &sink = *sinkCache_[s];
         ambTracker_.emplace_back(config_.socketTauS, amb0[s]);
         chipRise_.emplace_back(config_.chipTauS,
                                gated * (peak_.rInt() + sink.rExt) +
@@ -95,6 +97,25 @@ DenseServerSim::resetState()
     }
 
     boostCreditS_.assign(n, config_.boostBurstS);
+
+    completionHeap_.reset(n);
+    idleList_.resize(n);
+    for (std::size_t s = 0; s < n; ++s)
+        idleList_[s] = s;
+
+    ambTargets_ = amb0;
+    targetPowerW_ = powerW_;
+    powerDirty_.assign(n, 0);
+    dirtySockets_.clear();
+    epochsSinceAmbientRefresh_ = 0;
+
+    dvfsMemo_.assign(n, DvfsMemo{});
+    rateCache_.assign(n, 0.0);
+    relFreqCache_.assign(n, 0.0);
+    inBusySums_.assign(n, 0);
+    contribRate_.assign(n, 0.0);
+    contribRel_.assign(n, 0.0);
+    contribBoost_.assign(n, 0);
 
     queue_.clear();
     metrics_ = SimMetrics{};
@@ -116,9 +137,7 @@ DenseServerSim::warmStart()
     // coupling-map steady state of that power field so short runs
     // start in a representative thermal regime.
     const auto &curve = freqCurveFor(config_.workload);
-    const std::size_t sustained =
-        PStateTable::x2150().highestSustainedIndex();
-    const double busy_power = curve.totalPowerAt90C[sustained];
+    const double busy_power = curve.totalPowerAt90C[sustainedIdx_];
     const double gated = pm_.gatedPower(leak_);
     const double expected =
         config_.load * busy_power + (1.0 - config_.load) * gated;
@@ -206,13 +225,46 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
 }
 
 void
+DenseServerSim::markPowerDirty(std::size_t socket)
+{
+    if (!powerDirty_[socket]) {
+        powerDirty_[socket] = 1;
+        dirtySockets_.push_back(socket);
+    }
+}
+
+void
+DenseServerSim::refreshAmbientTargets()
+{
+    ambTargets_ = coupling_.ambientTemps(powerW_, config_.topo.inletC);
+    targetPowerW_ = powerW_;
+    for (std::size_t s : dirtySockets_)
+        powerDirty_[s] = 0;
+    dirtySockets_.clear();
+    epochsSinceAmbientRefresh_ = 0;
+}
+
+void
 DenseServerSim::thermalStep(double dt)
 {
     // The ambient field lags the power field with the 30 s socket
     // time constant; the chip's own Eq. (1) rise follows with the
-    // 5 ms chip time constant.
-    const std::vector<double> targets =
-        coupling_.ambientTemps(powerW_, config_.topo.inletC);
+    // 5 ms chip time constant. The target field is the coupling-map
+    // steady state of the current powers, maintained by per-socket
+    // deltas (or recomputed in full in the reference mode).
+    if (!config_.incrementalThermal ||
+        ++epochsSinceAmbientRefresh_ >= kAmbientRefreshEpochs) {
+        refreshAmbientTargets();
+    } else if (!dirtySockets_.empty()) {
+        for (std::size_t s : dirtySockets_) {
+            coupling_.applyPowerDelta(ambTargets_, s, targetPowerW_[s],
+                                      powerW_[s]);
+            targetPowerW_[s] = powerW_[s];
+            powerDirty_[s] = 0;
+        }
+        dirtySockets_.clear();
+    }
+    const std::vector<double> &targets = ambTargets_;
     const std::size_t n = topo_.numSockets();
     const bool measure = tCursor_ >= config_.warmupS;
     for (std::size_t s = 0; s < n; ++s) {
@@ -226,7 +278,7 @@ DenseServerSim::thermalStep(double dt)
                          boostCreditS_[s] +
                              config_.boostRefillRate * dt);
         }
-        const HeatSink &sink = topo_.sinkOf(s);
+        const HeatSink &sink = *sinkCache_[s];
         const double p = powerW_[s];
         ambientC_[s] = ambTracker_[s].step(targets[s], dt);
         chipRise_[s].step(
@@ -250,27 +302,48 @@ DenseServerSim::thermalStep(double dt)
     }
 }
 
+DvfsDecision
+DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
+                           std::size_t cap)
+{
+    DvfsMemo &memo = dvfsMemo_[socket];
+    const double ambient = ambientC_[socket];
+    if (memo.valid && memo.set == set && memo.cap == cap) {
+        const double q = config_.dvfsMemoQuantC;
+        const bool hit =
+            q > 0.0 ? std::floor(ambient / q) ==
+                          std::floor(memo.ambientC / q)
+                    : ambient == memo.ambientC;
+        if (hit)
+            return memo.d;
+    }
+    const DvfsDecision d = pm_.chooseAtAmbientCapped(
+        freqCurveFor(set), leak_, ambient, *sinkCache_[socket], cap);
+    memo.valid = true;
+    memo.set = set;
+    memo.cap = cap;
+    memo.ambientC = ambient;
+    memo.d = d;
+    return d;
+}
+
 void
 DenseServerSim::powerManage(double now)
 {
     const std::size_t n = topo_.numSockets();
-    bool changed = false;
     for (std::size_t s = 0; s < n; ++s) {
         if (!busyFlag_[s])
             continue;
         syncProgress(s, now);
         const std::size_t cap =
-            boostCreditS_[s] > 0.0
-                ? PStateTable::x2150().size() - 1
-                : PStateTable::x2150().highestSustainedIndex();
-        const DvfsDecision d = pm_.chooseAtAmbientCapped(
-            freqCurveFor(sockets_[s].set), leak_, ambientC_[s],
-            topo_.sinkOf(s), cap);
+            boostCreditS_[s] > 0.0 ? boostCap_ : sustainedIdx_;
+        const DvfsDecision d = chooseDvfs(s, sockets_[s].set, cap);
         setSocketRate(s, d.pstate, d.powerW, now);
-        changed = true;
     }
-    if (changed)
-        rebuildScalars();
+    // Re-derive the piecewise sums once per epoch: cheap with the
+    // cached rates, and it pins any incremental floating-point drift
+    // to at most one epoch's worth of delta updates.
+    rebuildScalars();
 }
 
 void
@@ -282,16 +355,7 @@ DenseServerSim::processWindow(const std::vector<Job> &jobs,
     for (;;) {
         const double next_arrival =
             next_job < jobs.size() ? jobs[next_job].arrivalS : inf;
-
-        double next_completion = inf;
-        std::size_t completing = 0;
-        for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
-            if (busyFlag_[s] &&
-                sockets_[s].completionS < next_completion) {
-                next_completion = sockets_[s].completionS;
-                completing = s;
-            }
-        }
+        const double next_completion = completionHeap_.topKey();
 
         const double t_event = std::min(next_arrival, next_completion);
         if (t_event >= t1) {
@@ -301,7 +365,7 @@ DenseServerSim::processWindow(const std::vector<Job> &jobs,
         accumulate(std::max(t_event, tCursor_));
 
         if (next_completion <= next_arrival) {
-            completeJob(completing, next_completion);
+            completeJob(completionHeap_.top(), next_completion);
         } else {
             ++metrics_.jobsArrived;
             queue_.push_back(jobs[next_job]);
@@ -320,7 +384,7 @@ DenseServerSim::syncProgress(std::size_t socket, double now)
     const double dt = now - st.lastSyncS;
     if (dt > 0.0) {
         st.remainingS =
-            std::max(0.0, st.remainingS - dt * rateOf(socket));
+            std::max(0.0, st.remainingS - dt * rateCache_[socket]);
         st.lastSyncS = now;
     }
 }
@@ -330,54 +394,95 @@ DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
                               double power_w, double now)
 {
     SocketState &st = sockets_[socket];
+    busySumsRemove(socket);
     st.pstate = new_pstate;
     st.boost = PStateTable::x2150().at(new_pstate).boost;
     freqMhz_[socket] = PStateTable::x2150().at(new_pstate).freqMhz;
-    powerW_[socket] = power_w;
-    const double rate = rateOf(socket);
+    if (powerW_[socket] != power_w) {
+        totalPowerW_ -= powerW_[socket];
+        powerW_[socket] = power_w;
+        totalPowerW_ += power_w;
+        markPowerDirty(socket);
+    }
+    // Progress is measured in nominal (highest-sustained-frequency)
+    // seconds: boost states advance a job faster than 1x. This is the
+    // design point of the SUT — 100% load is exactly sustainable at
+    // 1500 MHz (Sec. III-D).
+    const auto &curve = freqCurveFor(st.set);
+    const double rate =
+        curve.perfRel[new_pstate] / curve.perfRel[sustainedIdx_];
     if (rate <= 0.0)
         panic("socket ", socket, " has non-positive progress rate");
+    rateCache_[socket] = rate;
+    relFreqCache_[socket] = relFreqByPstate_[new_pstate];
     st.completionS = now + st.remainingS / rate;
+    busySumsAdd(socket);
+    if (busyFlag_[socket])
+        completionHeap_.upsert(socket, st.completionS);
 }
 
 void
 DenseServerSim::setIdlePower(std::size_t socket)
 {
-    powerW_[socket] = pm_.gatedPower(leak_);
+    const double gated = pm_.gatedPower(leak_);
+    if (powerW_[socket] != gated) {
+        totalPowerW_ -= powerW_[socket];
+        powerW_[socket] = gated;
+        totalPowerW_ += gated;
+        markPowerDirty(socket);
+    }
     freqMhz_[socket] = 0.0;
+    rateCache_[socket] = 0.0;
+    relFreqCache_[socket] = 0.0;
+}
+
+SchedContext
+DenseServerSim::makeSchedContext() const
+{
+    SchedContext ctx;
+    ctx.topo = &topo_;
+    ctx.coupling = &coupling_;
+    ctx.pm = &pm_;
+    ctx.leak = &leak_;
+    ctx.inletC = config_.topo.inletC;
+    ctx.idle = &idleList_;
+    ctx.chipTempC = &sensedTempC_;
+    ctx.histTempC = &histTempC_;
+    ctx.ambientC = &ambientC_;
+    ctx.boostCreditS = &boostCreditS_;
+    ctx.powerW = &powerW_;
+    ctx.freqMhz = &freqMhz_;
+    ctx.runningSet = &runningSet_;
+    ctx.busy = &busyFlag_;
+    ctx.rng = const_cast<Rng *>(&policyRng_);
+    return ctx;
+}
+
+void
+DenseServerSim::idleInsert(std::size_t socket)
+{
+    const auto it =
+        std::lower_bound(idleList_.begin(), idleList_.end(), socket);
+    idleList_.insert(it, socket);
+}
+
+void
+DenseServerSim::idleRemove(std::size_t socket)
+{
+    const auto it =
+        std::lower_bound(idleList_.begin(), idleList_.end(), socket);
+    if (it == idleList_.end() || *it != socket)
+        panic("socket ", socket, " missing from the idle list");
+    idleList_.erase(it);
 }
 
 void
 DenseServerSim::tryScheduleQueue(double now)
 {
-    bool placed = false;
-    while (!queue_.empty()) {
-        std::vector<std::size_t> idle;
-        idle.reserve(topo_.numSockets() - busyTotal_);
-        for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
-            if (!busyFlag_[s])
-                idle.push_back(s);
-        }
-        if (idle.empty())
-            break;
-
-        SchedContext ctx;
-        ctx.topo = &topo_;
-        ctx.coupling = &coupling_;
-        ctx.pm = &pm_;
-        ctx.leak = &leak_;
-        ctx.inletC = config_.topo.inletC;
-        ctx.idle = &idle;
-        ctx.chipTempC = &sensedTempC_;
-        ctx.histTempC = &histTempC_;
-        ctx.ambientC = &ambientC_;
-        ctx.boostCreditS = &boostCreditS_;
-        ctx.powerW = &powerW_;
-        ctx.freqMhz = &freqMhz_;
-        ctx.runningSet = &runningSet_;
-        ctx.busy = &busyFlag_;
-        ctx.rng = &policyRng_;
-
+    if (queue_.empty() || idleList_.empty())
+        return;
+    const SchedContext ctx = makeSchedContext();
+    while (!queue_.empty() && !idleList_.empty()) {
         const Job &job = queue_.front();
         const std::size_t pick = policy_->pick(job, ctx);
         ++decisions_;
@@ -386,10 +491,7 @@ DenseServerSim::tryScheduleQueue(double now)
                   "' picked an invalid socket ", pick);
         placeJob(pick, job, now);
         queue_.pop_front();
-        placed = true;
     }
-    if (placed)
-        rebuildScalars();
 }
 
 void
@@ -406,16 +508,13 @@ DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
     st.lastSyncS = now;
     busyFlag_[socket] = true;
     runningSet_[socket] = job.set;
+    idleRemove(socket);
 
     // A freshly placed job gets its frequency immediately (the power
     // manager would confirm it within at most one epoch anyway).
     const std::size_t cap =
-        boostCreditS_[socket] > 0.0
-            ? PStateTable::x2150().size() - 1
-            : PStateTable::x2150().highestSustainedIndex();
-    const DvfsDecision d = pm_.chooseAtAmbientCapped(
-        freqCurveFor(job.set), leak_, ambientC_[socket],
-        topo_.sinkOf(socket), cap);
+        boostCreditS_[socket] > 0.0 ? boostCap_ : sustainedIdx_;
+    const DvfsDecision d = chooseDvfs(socket, job.set, cap);
     setSocketRate(socket, d.pstate, d.powerW, now);
 
     if (job.arrivalS >= config_.warmupS)
@@ -435,10 +534,12 @@ DenseServerSim::completeJob(std::size_t socket, double now)
     }
     metrics_.makespanS = now;
 
+    busySumsRemove(socket);
     st.busy = false;
     busyFlag_[socket] = false;
+    completionHeap_.erase(socket);
     setIdlePower(socket);
-    rebuildScalars();
+    idleInsert(socket);
     tryScheduleQueue(now);
 }
 
@@ -448,6 +549,7 @@ DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
     SocketState &src = sockets_[from];
     SocketState &dst = sockets_[to];
 
+    busySumsRemove(from);
     dst = src;
     dst.lastSyncS = now;
     // The move costs work: checkpoint/transfer/warm-up, expressed in
@@ -455,18 +557,17 @@ DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
     dst.remainingS += config_.migrationCostS;
     busyFlag_[to] = true;
     runningSet_[to] = dst.set;
+    idleRemove(to);
 
     src = SocketState{};
     busyFlag_[from] = false;
+    completionHeap_.erase(from);
     setIdlePower(from);
+    idleInsert(from);
 
     const std::size_t cap =
-        boostCreditS_[to] > 0.0
-            ? PStateTable::x2150().size() - 1
-            : PStateTable::x2150().highestSustainedIndex();
-    const DvfsDecision d = pm_.chooseAtAmbientCapped(
-        freqCurveFor(dst.set), leak_, ambientC_[to], topo_.sinkOf(to),
-        cap);
+        boostCreditS_[to] > 0.0 ? boostCap_ : sustainedIdx_;
+    const DvfsDecision d = chooseDvfs(to, dst.set, cap);
     setSocketRate(to, d.pstate, d.powerW, now);
     ++metrics_.migrations;
 }
@@ -478,43 +579,18 @@ DenseServerSim::attemptMigrations(double now)
     // policy would place them now — if that destination actually runs
     // faster. This is the paper's Sec. VI suggestion of reusing the
     // placement policy for migration decisions.
-    const std::size_t sustained =
-        PStateTable::x2150().highestSustainedIndex();
     int moved = 0;
-    bool changed = false;
+    const SchedContext ctx = makeSchedContext();
     for (std::size_t s = 0;
          s < topo_.numSockets() && moved < config_.migrationMaxPerPass;
          ++s) {
-        if (!busyFlag_[s] || sockets_[s].pstate >= sustained)
+        if (!busyFlag_[s] || sockets_[s].pstate >= sustainedIdx_)
             continue;
         syncProgress(s, now);
         if (sockets_[s].remainingS < config_.migrationMinRemainingS)
             continue;
-
-        std::vector<std::size_t> idle;
-        for (std::size_t i = 0; i < topo_.numSockets(); ++i) {
-            if (!busyFlag_[i])
-                idle.push_back(i);
-        }
-        if (idle.empty())
+        if (idleList_.empty())
             break;
-
-        SchedContext ctx;
-        ctx.topo = &topo_;
-        ctx.coupling = &coupling_;
-        ctx.pm = &pm_;
-        ctx.leak = &leak_;
-        ctx.inletC = config_.topo.inletC;
-        ctx.idle = &idle;
-        ctx.chipTempC = &sensedTempC_;
-        ctx.histTempC = &histTempC_;
-        ctx.ambientC = &ambientC_;
-        ctx.boostCreditS = &boostCreditS_;
-        ctx.powerW = &powerW_;
-        ctx.freqMhz = &freqMhz_;
-        ctx.runningSet = &runningSet_;
-        ctx.busy = &busyFlag_;
-        ctx.rng = &policyRng_;
 
         Job remainder;
         remainder.id = 0;
@@ -528,21 +604,75 @@ DenseServerSim::attemptMigrations(double now)
                   "' picked an invalid migration target ", dest);
 
         const std::size_t cap =
-            boostCreditS_[dest] > 0.0
-                ? PStateTable::x2150().size() - 1
-                : sustained;
-        const DvfsDecision d = pm_.chooseAtAmbientCapped(
-            freqCurveFor(sockets_[s].set), leak_, ambientC_[dest],
-            topo_.sinkOf(dest), cap);
+            boostCreditS_[dest] > 0.0 ? boostCap_ : sustainedIdx_;
+        const DvfsDecision d = chooseDvfs(dest, sockets_[s].set, cap);
         if (d.pstate <= sockets_[s].pstate)
             continue; // Not actually faster there.
 
         migrateJob(s, dest, now);
         ++moved;
-        changed = true;
     }
-    if (changed)
-        rebuildScalars();
+}
+
+void
+DenseServerSim::busySumsRemove(std::size_t s)
+{
+    if (!inBusySums_[s])
+        return;
+    inBusySums_[s] = 0;
+    const double rate = contribRate_[s];
+    const double rel = contribRel_[s];
+    --busyTotal_;
+    workRateTotal_ -= rate;
+    relFreqSumTotal_ -= rel;
+    if (contribBoost_[s])
+        --busyBoost_;
+    if (isFront_[s]) {
+        --busyFront_;
+        workRateFront_ -= rate;
+        relFreqSumFront_ -= rel;
+    } else {
+        --busyBack_;
+        workRateBack_ -= rate;
+        relFreqSumBack_ -= rel;
+    }
+    if (isEven_[s]) {
+        --busyEven_;
+        workRateEven_ -= rate;
+        relFreqSumEven_ -= rel;
+    }
+}
+
+void
+DenseServerSim::busySumsAdd(std::size_t s)
+{
+    if (!busyFlag_[s] || inBusySums_[s])
+        return;
+    inBusySums_[s] = 1;
+    const double rate = rateCache_[s];
+    const double rel = relFreqCache_[s];
+    contribRate_[s] = rate;
+    contribRel_[s] = rel;
+    contribBoost_[s] = sockets_[s].boost ? 1 : 0;
+    ++busyTotal_;
+    workRateTotal_ += rate;
+    relFreqSumTotal_ += rel;
+    if (contribBoost_[s])
+        ++busyBoost_;
+    if (isFront_[s]) {
+        ++busyFront_;
+        workRateFront_ += rate;
+        relFreqSumFront_ += rel;
+    } else {
+        ++busyBack_;
+        workRateBack_ += rate;
+        relFreqSumBack_ += rel;
+    }
+    if (isEven_[s]) {
+        ++busyEven_;
+        workRateEven_ += rate;
+        relFreqSumEven_ += rel;
+    }
 }
 
 void
@@ -557,29 +687,8 @@ DenseServerSim::rebuildScalars()
 
     for (std::size_t s = 0; s < topo_.numSockets(); ++s) {
         totalPowerW_ += powerW_[s];
-        if (!busyFlag_[s])
-            continue;
-        const double rate = rateOf(s);
-        const double rel = relFreqOf(s);
-        ++busyTotal_;
-        workRateTotal_ += rate;
-        relFreqSumTotal_ += rel;
-        if (sockets_[s].boost)
-            ++busyBoost_;
-        if (isFront_[s]) {
-            ++busyFront_;
-            workRateFront_ += rate;
-            relFreqSumFront_ += rel;
-        } else {
-            ++busyBack_;
-            workRateBack_ += rate;
-            relFreqSumBack_ += rel;
-        }
-        if (isEven_[s]) {
-            ++busyEven_;
-            workRateEven_ += rate;
-            relFreqSumEven_ += rel;
-        }
+        inBusySums_[s] = 0;
+        busySumsAdd(s);
     }
 }
 

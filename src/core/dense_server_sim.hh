@@ -27,6 +27,15 @@
  * Within an epoch frequencies are constant, so job completions are
  * computed exactly (no time-step quantization of job lengths), and
  * energy/work integrals are accumulated piecewise between events.
+ *
+ * Engine hot paths are incremental rather than recompute-from-scratch
+ * (see DESIGN.md "Performance architecture"): job completions come
+ * from an indexed min-heap instead of a per-event socket scan, the
+ * idle-socket list and the piecewise-integration sums are maintained
+ * by delta updates, the ambient-target field is updated through
+ * CouplingMap::applyPowerDelta for the sockets whose power actually
+ * changed, and per-socket DVFS decisions are memoized on (workload
+ * set, boost cap, ambient).
  */
 
 #ifndef DENSIM_CORE_DENSE_SERVER_SIM_HH
@@ -36,6 +45,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/event_heap.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
 #include "power/power_manager.hh"
@@ -114,8 +124,27 @@ class DenseServerSim
     void setIdlePower(std::size_t socket);
     void accumulate(double to);
     void rebuildScalars();
-    double relFreqOf(std::size_t socket) const;
-    double rateOf(std::size_t socket) const;
+
+    /** Read-only policy view over the current idle list. */
+    SchedContext makeSchedContext() const;
+
+    /** Memoizing wrapper around PowerManager::chooseAtAmbientCapped. */
+    DvfsDecision chooseDvfs(std::size_t socket, WorkloadSet set,
+                            std::size_t cap);
+
+    /** Record that powerW_[socket] diverged from the target field. */
+    void markPowerDirty(std::size_t socket);
+
+    /** Recompute the ambient-target field from scratch. */
+    void refreshAmbientTargets();
+
+    /** Remove/add socket @p s from/to the busy piecewise sums. */
+    void busySumsRemove(std::size_t s);
+    void busySumsAdd(std::size_t s);
+
+    /** Keep idleList_ sorted ascending under O(log n) lookup. */
+    void idleInsert(std::size_t s);
+    void idleRemove(std::size_t s);
 
     SimConfig config_;
     ServerTopology topo_;
@@ -150,6 +179,45 @@ class DenseServerSim
     double nextSampleS_ = 0.0;
 
     std::deque<Job> queue_;
+
+    // --- incremental engine state ------------------------------------
+    EventHeap completionHeap_; //!< Busy sockets keyed on completionS.
+    std::vector<std::size_t> idleList_; //!< Idle sockets, ascending.
+
+    std::vector<double> ambTargets_; //!< Coupling-map ambient targets.
+    std::vector<double> targetPowerW_; //!< Powers ambTargets_ is for.
+    std::vector<char> powerDirty_;
+    std::vector<std::size_t> dirtySockets_;
+    std::size_t epochsSinceAmbientRefresh_ = 0;
+
+    /** Last DVFS decision per socket and the inputs it was made for. */
+    struct DvfsMemo
+    {
+        bool valid = false;
+        WorkloadSet set = WorkloadSet::Computation;
+        std::size_t cap = 0;
+        double ambientC = 0.0;
+        DvfsDecision d{};
+    };
+    std::vector<DvfsMemo> dvfsMemo_;
+
+    // Construction-time lookups for the per-epoch loops.
+    std::vector<const HeatSink *> sinkCache_; //!< topo_.sinkOf(s).
+    std::vector<double> relFreqByPstate_;
+    std::size_t sustainedIdx_ = 0;
+    std::size_t boostCap_ = 0; //!< Highest P-state index.
+
+    // Per-socket progress rate / relative frequency of the current
+    // P-state, refreshed by setSocketRate; valid while busy.
+    std::vector<double> rateCache_;
+    std::vector<double> relFreqCache_;
+
+    // What each socket currently contributes to the busy sums (so
+    // removal subtracts exactly what was added).
+    std::vector<char> inBusySums_;
+    std::vector<double> contribRate_;
+    std::vector<double> contribRel_;
+    std::vector<char> contribBoost_;
 
     // Piecewise integration scalars.
     double tCursor_ = 0.0;

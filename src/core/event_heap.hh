@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Indexed binary min-heap of (time, id) events — the completion queue
+ * of the dense-server simulator.
+ *
+ * The simulator needs "which busy socket completes first?" at every
+ * event boundary. A linear scan over all sockets is O(n) per event;
+ * with tens of thousands of job events per simulated second that scan
+ * dominates the whole engine (the BigHouse-style event-queue insight).
+ * This heap answers top() in O(1) and supports keyed update/erase in
+ * O(log n) via a position index, so completion bookkeeping tracks the
+ * jobs that actually change rather than the whole server.
+ *
+ * Ordering is lexicographic on (key, id): equal completion times
+ * resolve to the lowest socket id, matching what an ascending linear
+ * scan with strict less-than would have picked — this keeps the
+ * event-heap engine's event order identical to the historical scan.
+ */
+
+#ifndef DENSIM_CORE_EVENT_HEAP_HH
+#define DENSIM_CORE_EVENT_HEAP_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+/** Min-heap over ids 0..n-1 with double keys and O(log n) updates. */
+class EventHeap
+{
+  public:
+    EventHeap() = default;
+
+    /** Empty heap accepting ids in [0, n). */
+    explicit EventHeap(std::size_t n) { reset(n); }
+
+    /** Drop all entries and resize the id space to @p n. */
+    void reset(std::size_t n)
+    {
+        heap_.clear();
+        pos_.assign(n, npos);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Whether @p id currently has an entry. */
+    bool contains(std::size_t id) const
+    {
+        return id < pos_.size() && pos_[id] != npos;
+    }
+
+    /** Id with the smallest (key, id); heap must be non-empty. */
+    std::size_t top() const
+    {
+        if (heap_.empty())
+            panic("EventHeap::top on empty heap");
+        return heap_.front().id;
+    }
+
+    /** Key of top(); +inf when empty (no pending event). */
+    double topKey() const
+    {
+        return heap_.empty()
+                   ? std::numeric_limits<double>::infinity()
+                   : heap_.front().key;
+    }
+
+    /** Insert @p id with @p key, or re-key it if already present. */
+    void upsert(std::size_t id, double key)
+    {
+        if (id >= pos_.size())
+            panic("EventHeap: id ", id, " out of range (",
+                  pos_.size(), ")");
+        if (pos_[id] == npos) {
+            heap_.push_back(Entry{key, id});
+            pos_[id] = heap_.size() - 1;
+            siftUp(heap_.size() - 1);
+        } else {
+            const std::size_t i = pos_[id];
+            const Entry old = heap_[i];
+            heap_[i].key = key;
+            if (Entry{key, id} < old)
+                siftUp(i);
+            else
+                siftDown(i);
+        }
+    }
+
+    /** Remove @p id; no-op if absent. */
+    void erase(std::size_t id)
+    {
+        if (id >= pos_.size() || pos_[id] == npos)
+            return;
+        const std::size_t i = pos_[id];
+        pos_[id] = npos;
+        const std::size_t last = heap_.size() - 1;
+        if (i != last) {
+            heap_[i] = heap_[last];
+            pos_[heap_[i].id] = i;
+            heap_.pop_back();
+            if (i > 0 && heap_[i] < heap_[parent(i)])
+                siftUp(i);
+            else
+                siftDown(i);
+        } else {
+            heap_.pop_back();
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        double key;
+        std::size_t id;
+
+        bool operator<(const Entry &o) const
+        {
+            return key < o.key || (key == o.key && id < o.id);
+        }
+    };
+
+    static constexpr std::size_t npos =
+        std::numeric_limits<std::size_t>::max();
+
+    static std::size_t parent(std::size_t i) { return (i - 1) / 2; }
+
+    void siftUp(std::size_t i)
+    {
+        while (i > 0 && heap_[i] < heap_[parent(i)]) {
+            swapEntries(i, parent(i));
+            i = parent(i);
+        }
+    }
+
+    void siftDown(std::size_t i)
+    {
+        for (;;) {
+            std::size_t best = i;
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = 2 * i + 2;
+            if (l < heap_.size() && heap_[l] < heap_[best])
+                best = l;
+            if (r < heap_.size() && heap_[r] < heap_[best])
+                best = r;
+            if (best == i)
+                return;
+            swapEntries(i, best);
+            i = best;
+        }
+    }
+
+    void swapEntries(std::size_t i, std::size_t j)
+    {
+        std::swap(heap_[i], heap_[j]);
+        pos_[heap_[i].id] = i;
+        pos_[heap_[j].id] = j;
+    }
+
+    std::vector<Entry> heap_;
+    std::vector<std::size_t> pos_; //!< id -> heap index or npos.
+};
+
+} // namespace densim
+
+#endif // DENSIM_CORE_EVENT_HEAP_HH

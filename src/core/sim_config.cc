@@ -35,6 +35,9 @@ SimConfig::validate() const
         migrationMinRemainingS < 0.0 || migrationMaxPerPass < 0) {
         fatal("SimConfig: invalid migration parameters");
     }
+    if (dvfsMemoQuantC < 0.0)
+        fatal("SimConfig: DVFS memo quantization must be "
+              "non-negative");
 }
 
 } // namespace densim

@@ -96,6 +96,31 @@ struct SimConfig
      */
     double fanPowerW = 0.0;
 
+    // Engine performance knobs. The event-heap completion queue and
+    // the incremental idle list are exact and always on; these two
+    // control the remaining hot-path strategies.
+    /**
+     * Maintain the socket ambient-target field by applying per-socket
+     * power deltas through the coupling map (O(changed x downstream)
+     * per epoch) instead of re-evaluating the full field (O(n x
+     * downstream)). Results agree with the full evaluation to
+     * rounding accuracy (~1e-12 C; the field is refreshed
+     * periodically to bound drift). Disable to force the historical
+     * recompute-from-scratch path — the reference for the
+     * differential tests.
+     */
+    bool incrementalThermal = true;
+    /**
+     * Ambient quantization step (C) for the per-socket DVFS memo.
+     * At 0 (default) the memo only reuses a decision when (workload
+     * set, boost cap, ambient) match exactly — bit-exact. A positive
+     * step coarsens the ambient key so near-steady sockets skip the
+     * P-state search entirely, introducing a bounded approximation
+     * (power error <= step x leakage slope per socket); useful for
+     * large design-space sweeps.
+     */
+    double dvfsMemoQuantC = 0.0;
+
     // Run control.
     std::uint64_t seed = 42;    //!< Drives workload and policy RNG.
     bool warmStart = true;      //!< Analytic steady-state init.

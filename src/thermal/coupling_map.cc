@@ -51,7 +51,9 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
         min_row = std::min(min_row, site.duct);
         max_row = std::max(max_row, site.duct);
     }
-    auto row_norm = [&](int row) {
+    std::vector<double> row_norm(
+        static_cast<std::size_t>(max_row - min_row) + 1, 0.0);
+    for (int row = min_row; row <= max_row; ++row) {
         double norm = 0.0;
         for (int r = min_row; r <= max_row; ++r) {
             const int dist = std::abs(r - row);
@@ -61,8 +63,8 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
             if (w >= 0.05)
                 norm += w;
         }
-        return norm;
-    };
+        row_norm[static_cast<std::size_t>(row - min_row)] = norm;
+    }
 
     for (std::size_t from = 0; from < n; ++from) {
         for (std::size_t to = 0; to < n; ++to) {
@@ -79,7 +81,8 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
                 vertical *= params_.verticalLeak;
             if (vertical < 0.05)
                 continue; // Negligible across distant rows.
-            vertical /= row_norm(sites_[from].duct);
+            vertical /= row_norm[static_cast<std::size_t>(
+                sites_[from].duct - min_row)];
             const double decay = std::exp(
                 -(std::max(d, params_.minSpacingInch) -
                   params_.minSpacingInch) /
@@ -227,6 +230,25 @@ CouplingMap::ambientTemps(const std::vector<double> &powers_w,
     for (std::size_t i = 0; i < n; ++i)
         temps[i] += params_.kappaLocal * powers_w[i];
     return temps;
+}
+
+void
+CouplingMap::applyPowerDelta(std::vector<double> &temps,
+                             std::size_t socket, double old_p,
+                             double new_p) const
+{
+    checkIndex(socket);
+    const std::size_t n = sites_.size();
+    if (temps.size() != n)
+        panic("CouplingMap::applyPowerDelta: ", temps.size(),
+              " temps for ", n, " sockets");
+    const double dp = new_p - old_p;
+    if (dp == 0.0)
+        return;
+    const double *row = &ambMatrix_[socket * n];
+    for (std::size_t i : downstream_[socket])
+        temps[i] += row[i] * dp;
+    temps[socket] += params_.kappaLocal * dp;
 }
 
 double

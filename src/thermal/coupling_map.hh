@@ -144,6 +144,18 @@ class CouplingMap
                        double inlet_c) const;
 
     /**
+     * Incrementally update an ambientTemps() field for one socket's
+     * power change from @p old_p to @p new_p: adds the delta's
+     * wake-amplified rise to every downstream socket and the
+     * kappaLocal self term. O(downstream) instead of the O(n *
+     * downstream) full evaluation — the hot path when only a few
+     * sockets change power per power-management epoch. Agrees with a
+     * fresh ambientTemps() to rounding (not bit-) accuracy.
+     */
+    void applyPowerDelta(std::vector<double> &temps, std::size_t socket,
+                         double old_p, double new_p) const;
+
+    /**
      * Total downstream impact of socket @p from: sum of ambient
      * coeff(from, i) over all sockets i. This is exactly the offline
      * "heat recirculation factor" map the MinHR policy consumes.

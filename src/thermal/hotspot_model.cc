@@ -155,7 +155,7 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
     net_.connectAmbient(sinkNode_, sink_.rExt);
 }
 
-std::vector<double>
+const std::vector<double> &
 HotSpotModel::nodePowers(double power_w, const PowerMap &map) const
 {
     if (map.grid() != params_.grid)
@@ -163,10 +163,10 @@ HotSpotModel::nodePowers(double power_w, const PowerMap &map) const
               " does not match model grid ", params_.grid);
     if (power_w < 0.0)
         fatal("HotSpotModel: negative power ", power_w);
-    std::vector<double> powers(net_.size(), 0.0);
+    powerScratch_.assign(net_.size(), 0.0);
     for (std::size_t i = 0; i < cellNodes_.size(); ++i)
-        powers[cellNodes_[i]] = power_w * map.fractions()[i];
-    return powers;
+        powerScratch_[cellNodes_[i]] = power_w * map.fractions()[i];
+    return powerScratch_;
 }
 
 ChipThermalField

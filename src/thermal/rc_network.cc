@@ -15,7 +15,15 @@ RCNetwork::addNode(std::string node_name, double node_capacitance)
         fatal("RCNetwork: negative capacitance for node '", node_name,
               "'");
     nodes_.push_back(Node{std::move(node_name), node_capacitance});
+    invalidateCaches();
     return nodes_.size() - 1;
+}
+
+void
+RCNetwork::invalidateCaches()
+{
+    fact_.valid = false;
+    stableStepS_ = -1.0;
 }
 
 void
@@ -36,6 +44,7 @@ RCNetwork::connect(NodeId a, NodeId b, double resistance)
     if (resistance <= 0.0)
         fatal("RCNetwork: resistance must be positive, got ", resistance);
     edges_.push_back(Edge{a, b, 1.0 / resistance});
+    invalidateCaches();
 }
 
 void
@@ -46,6 +55,7 @@ RCNetwork::connectAmbient(NodeId a, double resistance)
         fatal("RCNetwork: ambient resistance must be positive, got ",
               resistance);
     nodes_[a].ambientConductance += 1.0 / resistance;
+    invalidateCaches();
 }
 
 const std::string &
@@ -62,22 +72,18 @@ RCNetwork::capacitance(NodeId a) const
     return nodes_[a].capacitance;
 }
 
-std::vector<double>
-RCNetwork::steadyState(const std::vector<double> &powers_w,
-                       double t_ambient) const
+const RCNetwork::Factorization &
+RCNetwork::factorization() const
 {
-    const std::size_t n = nodes_.size();
-    if (powers_w.size() != n)
-        panic("RCNetwork::steadyState: ", powers_w.size(),
-              " powers for ", n, " nodes");
+    if (fact_.valid)
+        return fact_;
 
-    // Build dense conductance matrix G and right-hand side.
-    std::vector<double> g(n * n, 0.0);
-    std::vector<double> rhs(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
+    // Build the dense conductance matrix G.
+    const std::size_t n = nodes_.size();
+    std::vector<double> &g = fact_.lu;
+    g.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
         g[i * n + i] = nodes_[i].ambientConductance;
-        rhs[i] = powers_w[i] + nodes_[i].ambientConductance * t_ambient;
-    }
     for (const Edge &e : edges_) {
         g[e.a * n + e.a] += e.conductance;
         g[e.b * n + e.b] += e.conductance;
@@ -85,8 +91,12 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
         g[e.b * n + e.a] -= e.conductance;
     }
 
-    // Gaussian elimination with partial pivoting.
-    std::vector<std::size_t> perm(n);
+    // Gaussian elimination with partial pivoting. The multiplier of
+    // each eliminated entry is stored in its (otherwise dead) lower-
+    // triangle slot, so a later solve can replay exactly the updates
+    // the elimination would have applied to its right-hand side.
+    std::vector<std::size_t> &perm = fact_.perm;
+    perm.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         perm[i] = i;
     for (std::size_t col = 0; col < n; ++col) {
@@ -108,11 +118,43 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
         for (std::size_t r = col + 1; r < n; ++r) {
             const std::size_t row = perm[r];
             const double factor = g[row * n + col] / diag;
-            if (factor == 0.0)
-                continue;
-            for (std::size_t c = col; c < n; ++c)
-                g[row * n + c] -= factor * g[prow * n + c];
-            rhs[row] -= factor * rhs[prow];
+            if (factor != 0.0) {
+                for (std::size_t c = col + 1; c < n; ++c)
+                    g[row * n + c] -= factor * g[prow * n + c];
+            }
+            g[row * n + col] = factor;
+        }
+    }
+    fact_.valid = true;
+    return fact_;
+}
+
+std::vector<double>
+RCNetwork::steadyState(const std::vector<double> &powers_w,
+                       double t_ambient) const
+{
+    const std::size_t n = nodes_.size();
+    if (powers_w.size() != n)
+        panic("RCNetwork::steadyState: ", powers_w.size(),
+              " powers for ", n, " nodes");
+
+    const Factorization &f = factorization();
+    const std::vector<double> &lu = f.lu;
+    const std::vector<std::size_t> &perm = f.perm;
+
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rhs[i] = powers_w[i] + nodes_[i].ambientConductance * t_ambient;
+
+    // Forward substitution: apply the stored multipliers in the order
+    // the elimination produced them.
+    for (std::size_t col = 0; col < n; ++col) {
+        const std::size_t prow = perm[col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const std::size_t row = perm[r];
+            const double factor = lu[row * n + col];
+            if (factor != 0.0)
+                rhs[row] -= factor * rhs[prow];
         }
     }
     std::vector<double> temps(n, 0.0);
@@ -120,8 +162,8 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
         const std::size_t row = perm[ri];
         double acc = rhs[row];
         for (std::size_t c = ri + 1; c < n; ++c)
-            acc -= g[row * n + c] * temps[c];
-        temps[ri] = acc / g[row * n + ri];
+            acc -= lu[row * n + c] * temps[c];
+        temps[ri] = acc / lu[row * n + ri];
     }
 
     // Undo the column ordering: unknowns were solved in column order,
@@ -132,6 +174,8 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
 double
 RCNetwork::stableStep() const
 {
+    if (stableStepS_ >= 0.0)
+        return stableStepS_;
     const std::size_t n = nodes_.size();
     std::vector<double> gtot(n, 0.0);
     for (std::size_t i = 0; i < n; ++i)
@@ -150,7 +194,8 @@ RCNetwork::stableStep() const
             dt = std::min(dt, nodes_[i].capacitance / gtot[i]);
     }
     // Safety factor below the explicit-Euler limit.
-    return 0.5 * dt;
+    stableStepS_ = 0.5 * dt;
+    return stableStepS_;
 }
 
 void

@@ -9,10 +9,19 @@
  *
  *  - steadyState(): solve G*T = P + G_amb*T_amb by dense Gaussian
  *    elimination with partial pivoting (node counts here are a few
- *    hundred at most);
+ *    hundred at most). The factorization of G depends only on the
+ *    network structure, so it is computed once and cached; repeated
+ *    solves with different power maps pay only the O(n^2)
+ *    substitution (the classic HotSpot steady-state optimization).
+ *    Mutating the network (addNode/connect/connectAmbient)
+ *    invalidates the cache;
  *  - transientStep(): advance node temperatures by explicit Euler with
  *    automatic sub-stepping below the stability limit
- *    min_i C_i / Gtot_i.
+ *    min_i C_i / Gtot_i (also cached against structural changes).
+ *
+ * The caches are lazily filled inside const queries; concurrent
+ * first-time queries on the *same* network object from multiple
+ * threads are not synchronized. Distinct networks are independent.
  *
  * The electrical analogy is exact: temperature = voltage, heat flow =
  * current, so steady state conserves energy (total injected power
@@ -103,10 +112,27 @@ class RCNetwork
         double conductance;
     };
 
+    /**
+     * Cached LU factorization of the conductance matrix (partial
+     * pivoting). `lu` holds U in the (row-permuted) upper triangle and
+     * the elimination multipliers in the lower triangle; `perm` is the
+     * row permutation.
+     */
+    struct Factorization
+    {
+        std::vector<double> lu;
+        std::vector<std::size_t> perm;
+        bool valid = false;
+    };
+
     void checkNode(NodeId a) const;
+    void invalidateCaches();
+    const Factorization &factorization() const;
 
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
+    mutable Factorization fact_;
+    mutable double stableStepS_ = -1.0; //!< Cached; < 0 means stale.
 };
 
 } // namespace densim

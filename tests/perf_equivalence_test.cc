@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Differential tests for the incremental engine hot paths: the
+ * event-heap completion queue, the delta-maintained ambient-target
+ * field, and the DVFS memo must leave simulation results equivalent
+ * to the recompute-from-scratch reference paths.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dense_server_sim.hh"
+#include "core/event_heap.hh"
+#include "sched/factory.hh"
+
+namespace densim {
+namespace {
+
+/** A small, fast configuration exercising all engine paths. */
+SimConfig
+diffConfig()
+{
+    SimConfig config;
+    config.topo.rows = 3; // 36 sockets
+    config.simTimeS = 2.0;
+    config.warmupS = 0.5;
+    config.socketTauS = 0.5;
+    config.load = 0.7;
+    config.seed = 42;
+    return config;
+}
+
+void
+expectNearRel(double a, double b, const char *what)
+{
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    EXPECT_NEAR(a, b, 1e-9 * scale) << what;
+}
+
+void
+expectEquivalent(const SimMetrics &a, const SimMetrics &b)
+{
+    EXPECT_EQ(a.jobsArrived, b.jobsArrived);
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_EQ(a.jobsUnfinished, b.jobsUnfinished);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.runtimeExpansion.count(), b.runtimeExpansion.count());
+    expectNearRel(a.runtimeExpansion.mean(), b.runtimeExpansion.mean(),
+                  "runtime expansion");
+    expectNearRel(a.serviceExpansion.mean(), b.serviceExpansion.mean(),
+                  "service expansion");
+    expectNearRel(a.queueDelayS.mean(), b.queueDelayS.mean(),
+                  "queue delay");
+    expectNearRel(a.energyJ, b.energyJ, "energy");
+    expectNearRel(a.makespanS, b.makespanS, "makespan");
+    expectNearRel(a.totalWork, b.totalWork, "total work");
+    expectNearRel(a.totalBusyTime, b.totalBusyTime, "busy time");
+    expectNearRel(a.totalFreqTime, b.totalFreqTime, "freq time");
+    expectNearRel(a.boostTimeS, b.boostTimeS, "boost time");
+    expectNearRel(a.maxChipTempC, b.maxChipTempC, "max chip temp");
+    expectNearRel(a.front.workDone, b.front.workDone, "front work");
+    expectNearRel(a.back.workDone, b.back.workDone, "back work");
+    expectNearRel(a.even.workDone, b.even.workDone, "even work");
+}
+
+TEST(PerfEquivalence, IncrementalThermalMatchesReference)
+{
+    for (const char *name : {"CF", "CP", "Predictive"}) {
+        SimConfig fast = diffConfig();
+        fast.incrementalThermal = true;
+        SimConfig ref = diffConfig();
+        ref.incrementalThermal = false;
+
+        DenseServerSim a(fast, makeScheduler(name));
+        DenseServerSim b(ref, makeScheduler(name));
+        const SimMetrics ma = a.run();
+        const SimMetrics mb = b.run();
+        SCOPED_TRACE(name);
+        expectEquivalent(ma, mb);
+    }
+}
+
+TEST(PerfEquivalence, IncrementalThermalMatchesWithMigration)
+{
+    SimConfig fast = diffConfig();
+    fast.migrationEnabled = true;
+    SimConfig ref = fast;
+    ref.incrementalThermal = false;
+
+    DenseServerSim a(fast, makeScheduler("CP"));
+    DenseServerSim b(ref, makeScheduler("CP"));
+    expectEquivalent(a.run(), b.run());
+}
+
+TEST(PerfEquivalence, QuantizedDvfsMemoStaysClose)
+{
+    // The quantized memo is a documented approximation: results may
+    // differ from the exact path, but only within the bound set by
+    // the quantization step's effect on the P-state search.
+    SimConfig exact = diffConfig();
+    SimConfig quant = diffConfig();
+    quant.dvfsMemoQuantC = 0.25;
+
+    DenseServerSim a(exact, makeScheduler("CP"));
+    DenseServerSim b(quant, makeScheduler("CP"));
+    const SimMetrics ma = a.run();
+    const SimMetrics mb = b.run();
+    EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+    EXPECT_NEAR(ma.runtimeExpansion.mean(), mb.runtimeExpansion.mean(),
+                0.05 * ma.runtimeExpansion.mean());
+    EXPECT_NEAR(ma.energyJ, mb.energyJ, 0.05 * ma.energyJ);
+}
+
+// ------------------------------------------------------- event heap
+
+TEST(EventHeap, OrdersByKeyThenId)
+{
+    EventHeap heap;
+    heap.reset(8);
+    heap.upsert(5, 3.0);
+    heap.upsert(2, 1.0);
+    heap.upsert(7, 2.0);
+    heap.upsert(3, 1.0); // Ties broken by lowest id.
+    EXPECT_EQ(heap.top(), 2u);
+    EXPECT_DOUBLE_EQ(heap.topKey(), 1.0);
+    heap.erase(2);
+    EXPECT_EQ(heap.top(), 3u);
+    heap.erase(3);
+    EXPECT_EQ(heap.top(), 7u);
+}
+
+TEST(EventHeap, UpsertReplacesKey)
+{
+    EventHeap heap;
+    heap.reset(4);
+    heap.upsert(0, 5.0);
+    heap.upsert(1, 6.0);
+    EXPECT_EQ(heap.top(), 0u);
+    heap.upsert(0, 7.0); // Decrease priority of the current top.
+    EXPECT_EQ(heap.top(), 1u);
+    heap.upsert(1, 9.0);
+    EXPECT_EQ(heap.top(), 0u);
+    EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(EventHeap, EmptyTopKeyIsInfinite)
+{
+    EventHeap heap;
+    heap.reset(3);
+    EXPECT_TRUE(heap.empty());
+    EXPECT_TRUE(std::isinf(heap.topKey()));
+    heap.upsert(1, 2.0);
+    heap.erase(1);
+    EXPECT_TRUE(heap.empty());
+    EXPECT_TRUE(std::isinf(heap.topKey()));
+    heap.erase(1); // Erasing an absent id is a no-op.
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, RandomizedAgainstLinearScan)
+{
+    // The heap must always report the same minimum as a brute-force
+    // scan over a mirrored key array.
+    const std::size_t n = 32;
+    EventHeap heap;
+    heap.reset(n);
+    std::vector<double> keys(n, -1.0); // -1 = absent.
+
+    std::uint64_t lcg = 99;
+    auto next_u = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lcg >> 33;
+    };
+    for (int step = 0; step < 2000; ++step) {
+        const auto id = static_cast<std::size_t>(next_u() % n);
+        if (next_u() % 3 == 0 && keys[id] >= 0.0) {
+            heap.erase(id);
+            keys[id] = -1.0;
+        } else {
+            const double key =
+                static_cast<double>(next_u() % 1000) * 0.125;
+            heap.upsert(id, key);
+            keys[id] = key;
+        }
+
+        double best = -1.0;
+        std::size_t best_id = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (keys[i] < 0.0)
+                continue;
+            if (best < 0.0 || keys[i] < best ||
+                (keys[i] == best && i < best_id)) {
+                best = keys[i];
+                best_id = i;
+            }
+        }
+        if (best_id == n) {
+            EXPECT_TRUE(heap.empty());
+        } else {
+            ASSERT_FALSE(heap.empty());
+            EXPECT_EQ(heap.top(), best_id);
+            EXPECT_DOUBLE_EQ(heap.topKey(), best);
+        }
+    }
+}
+
+} // namespace
+} // namespace densim

@@ -640,5 +640,127 @@ TEST(EntryModel, MoreAirflowLowersRise)
     EXPECT_GT(lo.meanRiseC, hi.meanRiseC);
 }
 
+// ---------------------------------------- incremental/cached hot paths
+
+TEST(CouplingMap, ApplyPowerDeltaMatchesFreshField)
+{
+    // Differential test of the incremental field update: a long
+    // randomized sequence of per-socket power changes, folded into
+    // the field one delta at a time, must track a from-scratch
+    // ambientTemps() evaluation of the current power vector.
+    const int n = 12;
+    CouplingMap map(chainSites(n, 1.6, 12.7), CouplingParams{});
+    std::vector<double> powers(n, 13.6);
+    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+
+    std::uint64_t lcg = 12345;
+    auto next_u = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lcg >> 33;
+    };
+    for (int step = 0; step < 500; ++step) {
+        const auto s = static_cast<std::size_t>(next_u() % n);
+        const double new_p =
+            2.2 + static_cast<double>(next_u() % 1000) * 0.0134;
+        map.applyPowerDelta(temps, s, powers[s], new_p);
+        powers[s] = new_p;
+    }
+    const std::vector<double> fresh = map.ambientTemps(powers, 18.0);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(temps[i], fresh[i], 1e-9) << "socket " << i;
+}
+
+TEST(CouplingMap, ApplyPowerDeltaZeroIsIdentity)
+{
+    const int n = 4;
+    CouplingMap map(chainSites(n, 1.6, 12.7), CouplingParams{});
+    const std::vector<double> powers(n, 10.0);
+    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+    const std::vector<double> before = temps;
+    map.applyPowerDelta(temps, 1, 10.0, 10.0);
+    for (int i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(temps[i], before[i]);
+}
+
+RCNetwork
+ladderNetwork()
+{
+    RCNetwork net;
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 10; ++i)
+        nodes.push_back(net.addNode("n" + std::to_string(i), 1.0));
+    for (int i = 0; i + 1 < 10; ++i)
+        net.connect(nodes[i], nodes[i + 1], 0.5 + 0.1 * i);
+    net.connectAmbient(nodes[0], 1.0);
+    net.connectAmbient(nodes[9], 2.0);
+    return net;
+}
+
+TEST(RcNetwork, CachedSolveMatchesFreshNetwork)
+{
+    // Repeated solves reuse the factorization; every one of them must
+    // match what a freshly built (unfactored) network produces for
+    // the same right-hand side, and conserve energy.
+    RCNetwork cached = ladderNetwork();
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<double> powers(10, 0.0);
+        powers[trial % 10] = 3.0 + trial;
+        powers[(3 * trial + 1) % 10] += 1.5;
+        double injected = 0.0;
+        for (double p : powers)
+            injected += p;
+
+        RCNetwork fresh = ladderNetwork();
+        const auto want = fresh.steadyState(powers, 20.0);
+        const auto got = cached.steadyState(powers, 20.0);
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_NEAR(got[i], want[i], 1e-9);
+        EXPECT_NEAR(cached.ambientHeatFlow(got, 20.0), injected, 1e-9);
+    }
+}
+
+TEST(RcNetwork, FactorizationInvalidatedByStructuralChange)
+{
+    // Solving, then growing the network, must not reuse the stale
+    // factorization: results after the change have to match a fresh
+    // network with the same final structure.
+    RCNetwork grown = ladderNetwork();
+    const auto warmup = grown.steadyState(std::vector<double>(10, 1.0),
+                                          20.0);
+    ASSERT_EQ(warmup.size(), 10u);
+
+    const NodeId extra = grown.addNode("extra", 1.0);
+    grown.connect(0, extra, 0.8);
+    grown.connectAmbient(extra, 1.7);
+
+    RCNetwork fresh = ladderNetwork();
+    const NodeId fresh_extra = fresh.addNode("extra", 1.0);
+    fresh.connect(0, fresh_extra, 0.8);
+    fresh.connectAmbient(fresh_extra, 1.7);
+
+    std::vector<double> powers(11, 0.0);
+    powers[4] = 6.0;
+    powers[extra] = 2.0;
+    const auto want = fresh.steadyState(powers, 18.0);
+    const auto got = grown.steadyState(powers, 18.0);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(RcNetwork, StableStepCacheInvalidated)
+{
+    RCNetwork net;
+    const NodeId a = net.addNode("a", 1.0);
+    net.connectAmbient(a, 1.0);
+    const double before = net.stableStep();
+    EXPECT_DOUBLE_EQ(net.stableStep(), before); // Cached.
+
+    // A second path to ambient halves the RC product at node a; the
+    // cached step must be recomputed, not reused.
+    net.connectAmbient(a, 1.0);
+    EXPECT_LT(net.stableStep(), before);
+}
+
 } // namespace
 } // namespace densim
