@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/invariant.hh"
 #include "power/leakage.hh"
 #include "power/pstate.hh"
 #include "util/logging.hh"
@@ -109,7 +110,7 @@ DenseServerSim::resetState()
     dirtySockets_.clear();
     epochsSinceAmbientRefresh_ = 0;
 
-    dvfsMemo_.assign(n, DvfsMemo{});
+    dvfsMemo_.reset(n, &PStateTable::x2150());
     rateCache_.assign(n, 0.0);
     relFreqCache_.assign(n, 0.0);
     inBusySums_.assign(n, 0);
@@ -215,6 +216,7 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
                 attemptMigrations(t0);
         }
         processWindow(jobs, next_job, t0, t0 + epoch);
+        checkEpochInvariants();
         t0 += epoch;
     }
     accumulate(t0);
@@ -306,24 +308,13 @@ DvfsDecision
 DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
                            std::size_t cap)
 {
-    DvfsMemo &memo = dvfsMemo_[socket];
     const double ambient = ambientC_[socket];
-    if (memo.valid && memo.set == set && memo.cap == cap) {
-        const double q = config_.dvfsMemoQuantC;
-        const bool hit =
-            q > 0.0 ? std::floor(ambient / q) ==
-                          std::floor(memo.ambientC / q)
-                    : ambient == memo.ambientC;
-        if (hit)
-            return memo.d;
-    }
+    if (const DvfsDecision *hit = dvfsMemo_.lookup(
+            socket, set, cap, ambient, config_.dvfsMemoQuantC))
+        return *hit;
     const DvfsDecision d = pm_.chooseAtAmbientCapped(
         freqCurveFor(set), leak_, ambient, *sinkCache_[socket], cap);
-    memo.valid = true;
-    memo.set = set;
-    memo.cap = cap;
-    memo.ambientC = ambient;
-    memo.d = d;
+    dvfsMemo_.store(socket, set, cap, ambient, d);
     return d;
 }
 
@@ -690,6 +681,84 @@ DenseServerSim::rebuildScalars()
         inBusySums_[s] = 0;
         busySumsAdd(s);
     }
+}
+
+void
+DenseServerSim::checkEpochInvariants() const
+{
+#if DENSIM_ENABLE_CHECKS
+    const std::size_t n = topo_.numSockets();
+
+    // Physical sanity of every temperature field the engine maintains.
+    invariant::checkTemperatureField("ambientC", ambientC_);
+    invariant::checkTemperatureField("chipTempC", chipTempC_);
+    invariant::checkTemperatureField("ambTargets", ambTargets_);
+    for (std::size_t s = 0; s < n; ++s) {
+        DENSIM_CHECK(std::isfinite(powerW_[s]) && powerW_[s] >= 0.0,
+                     "socket ", s, " draws unphysical power ",
+                     powerW_[s], " W");
+    }
+
+    // Structural consistency of the incremental event engine: every
+    // busy socket has exactly one pending completion, the idle list
+    // holds the rest, and no completion lies in the simulated past.
+    DENSIM_CHECK(completionHeap_.size() ==
+                     static_cast<std::size_t>(busyTotal_),
+                 completionHeap_.size(), " pending completions for ",
+                 busyTotal_, " busy sockets");
+    DENSIM_CHECK(idleList_.size() + static_cast<std::size_t>(busyTotal_)
+                     == n,
+                 idleList_.size(), " idle + ", busyTotal_,
+                 " busy sockets on a ", n, "-socket server");
+    DENSIM_CHECK(completionHeap_.topKey() >= tCursor_,
+                 "next completion ", completionHeap_.topKey(),
+                 " s lies before the integration cursor ", tCursor_,
+                 " s");
+
+#if DENSIM_ENABLE_PARANOID
+    completionHeap_.checkInvariants();
+
+    // Re-derive the piecewise-integration scalars from scratch; the
+    // incremental adds/removes must agree within rounding.
+    double power = 0.0;
+    double work_rate = 0.0;
+    double rel_sum = 0.0;
+    int busy = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        power += powerW_[s];
+        if (!busyFlag_[s])
+            continue;
+        ++busy;
+        work_rate += rateCache_[s];
+        rel_sum += relFreqCache_[s];
+    }
+    DENSIM_PARANOID(busy == busyTotal_, "incremental busy count ",
+                    busyTotal_, " vs rebuilt ", busy);
+    DENSIM_PARANOID(std::fabs(power - totalPowerW_) <=
+                        1e-6 * std::max(1.0, power),
+                    "incremental total power ", totalPowerW_,
+                    " W vs rebuilt ", power, " W");
+    DENSIM_PARANOID(std::fabs(work_rate - workRateTotal_) <=
+                        1e-6 * std::max(1.0, work_rate),
+                    "incremental work rate ", workRateTotal_,
+                    " vs rebuilt ", work_rate);
+    DENSIM_PARANOID(std::fabs(rel_sum - relFreqSumTotal_) <=
+                        1e-6 * std::max(1.0, rel_sum),
+                    "incremental rel-freq sum ", relFreqSumTotal_,
+                    " vs rebuilt ", rel_sum);
+
+    // The delta-maintained ambient-target field must match a fresh
+    // reference evaluation of the powers it claims to represent
+    // (drift is bounded by the periodic refresh), and must sit inside
+    // the coupling map's first-law envelope.
+    const std::vector<double> reference =
+        coupling_.ambientTemps(targetPowerW_, config_.topo.inletC);
+    invariant::checkFieldsClose("ambient-target field", ambTargets_,
+                                reference, 1e-6);
+    coupling_.checkAmbientFieldPhysics(targetPowerW_,
+                                       config_.topo.inletC, ambTargets_);
+#endif
+#endif
 }
 
 void

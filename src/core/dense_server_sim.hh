@@ -45,6 +45,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/dvfs_memo.hh"
 #include "core/event_heap.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
@@ -142,6 +143,13 @@ class DenseServerSim
     void busySumsRemove(std::size_t s);
     void busySumsAdd(std::size_t s);
 
+    /**
+     * Assert the engine's structural and physical invariants at an
+     * epoch boundary (DENSIM_CHECK / DENSIM_PARANOID; compiled out by
+     * default — see core/invariant.hh).
+     */
+    void checkEpochInvariants() const;
+
     /** Keep idleList_ sorted ascending under O(log n) lookup. */
     void idleInsert(std::size_t s);
     void idleRemove(std::size_t s);
@@ -191,15 +199,7 @@ class DenseServerSim
     std::size_t epochsSinceAmbientRefresh_ = 0;
 
     /** Last DVFS decision per socket and the inputs it was made for. */
-    struct DvfsMemo
-    {
-        bool valid = false;
-        WorkloadSet set = WorkloadSet::Computation;
-        std::size_t cap = 0;
-        double ambientC = 0.0;
-        DvfsDecision d{};
-    };
-    std::vector<DvfsMemo> dvfsMemo_;
+    DvfsMemoTable dvfsMemo_;
 
     // Construction-time lookups for the per-epoch loops.
     std::vector<const HeatSink *> sinkCache_; //!< topo_.sinkOf(s).

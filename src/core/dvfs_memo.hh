@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-socket DVFS decision memo — the engine's cache around
+ * PowerManager::chooseAtAmbientCapped.
+ *
+ * A socket whose (workload set, boost cap, ambient temperature)
+ * inputs have not changed since its last power-management epoch gets
+ * the previous decision back without re-running the P-state search.
+ * At the default quantization of 0 a hit requires a bitwise-equal
+ * ambient, so the memo is exact; a positive quantization step
+ * coarsens the ambient key into buckets of that width, a documented
+ * approximation (power error bounded by step x leakage slope) for
+ * large design-space sweeps.
+ *
+ * The memo is keyed implicitly on the P-state table the decisions
+ * were made against: reset()/noteTable() record an identity stamp,
+ * and a changed stamp drops every entry — a decision made for one
+ * table must never be replayed against another.
+ */
+
+#ifndef DENSIM_CORE_DVFS_MEMO_HH
+#define DENSIM_CORE_DVFS_MEMO_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "power/power_manager.hh"
+#include "util/logging.hh"
+#include "workload/benchmark.hh"
+
+namespace densim {
+
+/** Memo table of the last DVFS decision per socket. */
+class DvfsMemoTable
+{
+  public:
+    DvfsMemoTable() = default;
+
+    /** Drop everything and size for @p sockets decisions made against
+     *  the P-state table identified by @p table_stamp. */
+    void reset(std::size_t sockets, const void *table_stamp)
+    {
+        entries_.assign(sockets, Entry{});
+        stamp_ = table_stamp;
+    }
+
+    /** Number of socket slots. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Invalidate every memoized decision. */
+    void invalidateAll()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+    }
+
+    /**
+     * Declare which P-state table upcoming decisions are made
+     * against; if it differs from the stamped one, every entry is
+     * invalidated.
+     */
+    void noteTable(const void *table_stamp)
+    {
+        if (table_stamp != stamp_) {
+            stamp_ = table_stamp;
+            invalidateAll();
+        }
+    }
+
+    /**
+     * The memoized decision for @p socket if it was made for the same
+     * workload set and boost cap at a matching ambient (bitwise at
+     * @p quant_c == 0, same quantization bucket otherwise); nullptr
+     * on a miss.
+     */
+    const DvfsDecision *lookup(std::size_t socket, WorkloadSet set,
+                               std::size_t cap, double ambient_c,
+                               double quant_c) const
+    {
+        if (socket >= entries_.size())
+            panic("DvfsMemoTable: socket ", socket, " out of range (",
+                  entries_.size(), ")");
+        const Entry &e = entries_[socket];
+        if (!e.valid || e.set != set || e.cap != cap)
+            return nullptr;
+        const bool hit =
+            quant_c > 0.0
+                ? std::floor(ambient_c / quant_c) ==
+                      std::floor(e.ambientC / quant_c)
+                : ambient_c == e.ambientC;
+        return hit ? &e.d : nullptr;
+    }
+
+    /** Record the decision @p d made for the given inputs. */
+    void store(std::size_t socket, WorkloadSet set, std::size_t cap,
+               double ambient_c, const DvfsDecision &d)
+    {
+        if (socket >= entries_.size())
+            panic("DvfsMemoTable: socket ", socket, " out of range (",
+                  entries_.size(), ")");
+        Entry &e = entries_[socket];
+        e.valid = true;
+        e.set = set;
+        e.cap = cap;
+        e.ambientC = ambient_c;
+        e.d = d;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        WorkloadSet set = WorkloadSet::Computation;
+        std::size_t cap = 0;
+        double ambientC = 0.0;
+        DvfsDecision d{};
+    };
+
+    std::vector<Entry> entries_;
+    const void *stamp_ = nullptr;
+};
+
+} // namespace densim
+
+#endif // DENSIM_CORE_DVFS_MEMO_HH

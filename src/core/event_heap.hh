@@ -20,10 +20,12 @@
 #ifndef DENSIM_CORE_EVENT_HEAP_HH
 #define DENSIM_CORE_EVENT_HEAP_HH
 
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <vector>
 
+#include "core/invariant.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -109,6 +111,38 @@ class EventHeap
         } else {
             heap_.pop_back();
         }
+    }
+
+    /**
+     * Assert the heap property, the position-index bijection and key
+     * finiteness (DENSIM_CHECK; no-op unless checks are compiled in).
+     */
+    void checkInvariants() const
+    {
+#if DENSIM_ENABLE_CHECKS
+        for (std::size_t i = 1; i < heap_.size(); ++i) {
+            DENSIM_CHECK(!(heap_[i] < heap_[parent(i)]),
+                         "EventHeap: ordering violated between entry ",
+                         i, " and its parent");
+        }
+        std::size_t present = 0;
+        for (std::size_t id = 0; id < pos_.size(); ++id) {
+            if (pos_[id] == npos)
+                continue;
+            ++present;
+            DENSIM_CHECK(pos_[id] < heap_.size(),
+                         "EventHeap: position of id ", id,
+                         " points outside the heap");
+            DENSIM_CHECK(heap_[pos_[id]].id == id,
+                         "EventHeap: position index desynced for id ",
+                         id);
+            DENSIM_CHECK(std::isfinite(heap_[pos_[id]].key),
+                         "EventHeap: non-finite key for id ", id);
+        }
+        DENSIM_CHECK(present == heap_.size(),
+                     "EventHeap: ", heap_.size(), " entries but ",
+                     present, " indexed ids");
+#endif
     }
 
   private:

@@ -1,10 +1,8 @@
 #include "core/experiment.hh"
 
-#include <atomic>
-#include <thread>
-
 #include "sched/factory.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace densim {
 
@@ -21,26 +19,11 @@ runOne(const RunSpec &spec)
 std::vector<RunResult>
 runAll(const std::vector<RunSpec> &specs, unsigned threads)
 {
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<unsigned>(threads, specs.size());
-
+    if (specs.empty())
+        return {};
     std::vector<RunResult> results(specs.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
-                return;
-            results[i] = runOne(specs[i]);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    parallelFor(specs.size(), threads,
+                [&](std::size_t i) { results[i] = runOne(specs[i]); });
     return results;
 }
 

@@ -39,7 +39,10 @@ RunResult runOne(const RunSpec &spec);
  * Run all cells, using up to @p threads worker threads (0 = hardware
  * concurrency). Results are returned in input order; execution order
  * is unspecified but each run is independently seeded and
- * deterministic.
+ * deterministic, so the results are identical for every thread
+ * count. An empty @p specs yields an empty result, and the first
+ * exception thrown by a worker is rethrown here after the pool
+ * drains (util/parallel.hh).
  */
 std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
                               unsigned threads = 0);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "airflow/first_law.hh"
+#include "core/invariant.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -249,6 +250,47 @@ CouplingMap::applyPowerDelta(std::vector<double> &temps,
     for (std::size_t i : downstream_[socket])
         temps[i] += row[i] * dp;
     temps[socket] += params_.kappaLocal * dp;
+}
+
+void
+CouplingMap::checkAmbientFieldPhysics(
+    const std::vector<double> &powers_w, double inlet_c,
+    const std::vector<double> &field_c) const
+{
+#if DENSIM_ENABLE_CHECKS
+    const std::size_t n = sites_.size();
+    DENSIM_CHECK(powers_w.size() == n && field_c.size() == n,
+                 "CouplingMap: field/power size mismatch");
+    double total_w = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        DENSIM_CHECK(std::isfinite(powers_w[j]) && powers_w[j] >= 0.0,
+                     "CouplingMap: socket ", j,
+                     " dissipates unphysical power ", powers_w[j], " W");
+        total_w += powers_w[j];
+    }
+    // Per-source ambient coefficients are bounded by the well-mixed
+    // first-law rise times mixFactor (decay <= 1, leak share <= 1)
+    // times the wake amplification, so the upstream rise at socket i
+    // cannot exceed that envelope applied to the total server power.
+    const double amp = params_.mixFactor * params_.wakeFactor;
+    const double tol = 1e-9 * std::max(1.0, std::fabs(inlet_c));
+    for (std::size_t i = 0; i < n; ++i) {
+        const double rise = field_c[i] - inlet_c;
+        DENSIM_CHECK(rise >= -tol, "CouplingMap: socket ", i,
+                     " ambient ", field_c[i],
+                     " C below the inlet — heated air cannot cool");
+        const double bound = amp * kCelsiusPerWattPerCfm * total_w /
+                                 sites_[i].ductCfm +
+                             params_.kappaLocal * powers_w[i];
+        DENSIM_CHECK(rise <= bound + tol, "CouplingMap: socket ", i,
+                     " ambient rise ", rise,
+                     " C exceeds the first-law envelope ", bound, " C");
+    }
+#else
+    (void)powers_w;
+    (void)inlet_c;
+    (void)field_c;
+#endif
 }
 
 double

@@ -166,6 +166,23 @@ class CouplingMap
     const std::vector<std::size_t> &
     downstream(std::size_t from) const;
 
+    /**
+     * Assert the first-law envelope of an ambient field produced from
+     * @p powers_w (DENSIM_CHECK; no-op unless invariant checks are
+     * compiled in). Every socket ambient must sit between the inlet
+     * and the inlet plus the wake-amplified well-mixed first-law rise
+     * of the *entire* server power through that socket's duct plus
+     * its own recirculation term — heated air cannot cool below the
+     * inlet, and no socket can ingest more enthalpy than the whole
+     * server ever put into the air. Catches sign errors and runaway
+     * accumulated deltas that the exact drift comparison would only
+     * see at its next refresh.
+     */
+    void checkAmbientFieldPhysics(const std::vector<double> &powers_w,
+                                  double inlet_c,
+                                  const std::vector<double> &field_c)
+        const;
+
     const std::vector<SocketSite> &sites() const { return sites_; }
     const CouplingParams &params() const { return params_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/invariant.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -168,7 +169,53 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
 
     // Undo the column ordering: unknowns were solved in column order,
     // which equals node order here (columns were never permuted).
+
+#if DENSIM_ENABLE_PARANOID
+    // Spot re-solve: check the solution against the network as it
+    // exists *now* by recomputing each node's heat balance from the
+    // live node/edge lists. A stale or corrupted factorization (a
+    // mutation that failed to invalidate the cache) leaves a nonzero
+    // nodal residual even though the substitution itself succeeded.
+    double scale = 1.0;
+    for (std::size_t i = 0; i < n; ++i)
+        scale = std::max(scale, std::fabs(powers_w[i]));
+    std::vector<double> residual(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        residual[i] = powers_w[i] + nodes_[i].ambientConductance *
+                                        (t_ambient - temps[i]);
+    }
+    for (const Edge &e : edges_) {
+        const double q = e.conductance * (temps[e.b] - temps[e.a]);
+        residual[e.a] += q;
+        residual[e.b] -= q;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        DENSIM_PARANOID(std::fabs(residual[i]) <= 1e-6 * scale,
+                        "RCNetwork: cached factorization is stale — "
+                        "heat residual ", residual[i], " W at node '",
+                        nodes_[i].name, "'");
+    }
+    // First law: at steady state the power crossing the ambient links
+    // equals the total injected power.
+    double injected = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        injected += powers_w[i];
+    const double outflow = ambientHeatFlow(temps, t_ambient);
+    DENSIM_PARANOID(
+        std::fabs(outflow - injected) <= 1e-6 * std::max(1.0, injected),
+        "RCNetwork: first-law violation — ", injected,
+        " W injected but ", outflow, " W crosses the ambient links");
+#endif
     return temps;
+}
+
+void
+RCNetwork::debugCorruptFactorization()
+{
+    factorization();
+    // Scaling one pivot is enough to derail every later substitution
+    // while keeping the cache flagged valid.
+    fact_.lu[0] = fact_.lu[0] * 3.0 + 1.0;
 }
 
 double

@@ -97,6 +97,17 @@ class RCNetwork
     /** Largest stable explicit-Euler step, seconds. */
     double stableStep() const;
 
+    /**
+     * Test-only: corrupt the cached LU factorization in place (the
+     * cache is filled first if empty). A subsequent steadyState() in
+     * a DENSIM_PARANOID build must trip the nodal-residual
+     * DENSIM_CHECK — the negative test of the invariant layer. In
+     * normal builds the corruption silently yields wrong
+     * temperatures, which is exactly the failure mode the paranoid
+     * check exists to catch.
+     */
+    void debugCorruptFactorization();
+
   private:
     struct Node
     {

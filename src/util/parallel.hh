@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal parallel-for over an index range with exception
+ * propagation — the worker pool behind Experiment::runAll.
+ *
+ * Work items are claimed from an atomic counter, so any number of
+ * items runs on a bounded pool. An exception thrown by a work item
+ * used to escape its std::thread and take the whole process down via
+ * std::terminate; here the first one is captured, remaining items are
+ * abandoned (workers drain the counter without running them), and the
+ * exception is rethrown on the calling thread once every worker has
+ * joined — a failed cell surfaces as an ordinary exception instead of
+ * a lost process.
+ */
+
+#ifndef DENSIM_UTIL_PARALLEL_HH
+#define DENSIM_UTIL_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace densim {
+
+/**
+ * Invoke fn(i) for every i in [0, count) on up to @p threads workers
+ * (0 = hardware concurrency). Completion order is unspecified; fn
+ * must handle its own synchronization for shared state (writing to
+ * distinct per-index slots is safe). The first exception any call
+ * throws is rethrown here after all workers join.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (count == 0)
+        return;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (static_cast<std::size_t>(threads) > count)
+        threads = static_cast<unsigned>(count);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error; // Written once by the failed.exchange
+                              // winner, read after the joins.
+    auto worker = [&]() {
+        for (;;) {
+            if (failed.load(std::memory_order_acquire))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                if (!failed.exchange(true, std::memory_order_acq_rel))
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace densim
+
+#endif // DENSIM_UTIL_PARALLEL_HH

@@ -157,8 +157,9 @@ TEST_F(PowerManagerTest, FeasibleDecisionRespectsLimit)
     for (double amb = 20.0; amb <= 80.0; amb += 5.0) {
         const DvfsDecision d =
             pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
-        if (d.feasible)
+        if (d.feasible) {
             EXPECT_LE(d.predictedPeakC, 95.0 + 1e-9);
+        }
     }
 }
 

@@ -67,8 +67,9 @@ TEST(Topology, OddZones18FinEvenZones30Fin)
 {
     const ServerTopology sut = makeSutTopology();
     for (std::size_t s = 0; s < sut.numSockets(); ++s) {
-        if (sut.zoneIdOf(s) % 2 == 1)
+        if (sut.zoneIdOf(s) % 2 == 1) {
             EXPECT_EQ(sut.sinkOf(s).finCount, 18);
+        }
         else
             EXPECT_EQ(sut.sinkOf(s).finCount, 30);
     }

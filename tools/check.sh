@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+#
+# Correctness gate for densim — the standing matrix every perf PR
+# must pass (see DESIGN.md "Correctness tooling").
+#
+#   tools/check.sh [stage ...]
+#
+# Stages (default: every stage the local toolchain supports):
+#   plain     RelWithDebInfo build + full ctest, warnings-as-errors
+#   asan      ASan+UBSan build + full ctest (DENSIM_CHECKS on)
+#   tsan      ThreadSanitizer build + the experiment-runner and
+#             differential tests (the only multithreaded paths)
+#   paranoid  DENSIM_PARANOID build + the reduced-workload invariant
+#             and differential tests (every epoch cross-validated)
+#   lint      clang-tidy over every compiled file (DENSIM_LINT=ON);
+#             skipped with a notice when clang-tidy is absent
+#
+# Each stage configures its own build tree (build-<stage>) so stages
+# never contaminate each other. Any failure aborts the whole run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+CTEST_PARALLEL="${CTEST_PARALLEL:-$JOBS}"
+
+# Test selection for the TSan stage: the thread pool and everything
+# that runs under it, plus the differential suite it feeds.
+TSAN_FILTER='Parallel|Experiment|PerfEquivalence'
+# Paranoid stage: the reduced workloads of the differential suite and
+# the invariant tests themselves (full integration workloads would
+# re-derive the reference field every epoch for 180 sockets).
+PARANOID_FILTER='Invariant|PerfEquivalence|EventHeap|DvfsMemo|Experiment|Parallel'
+
+configure() { # dir, extra cmake args...
+    local dir="$1"
+    shift
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DDENSIM_WERROR=ON "$@"
+}
+
+build() { cmake --build "$1" -j "$JOBS"; }
+
+run_ctest() { # dir [extra ctest args...]
+    local dir="$1"
+    shift
+    (cd "$dir" && ctest --output-on-failure -j "$CTEST_PARALLEL" "$@")
+}
+
+stage_plain() {
+    configure build-check
+    build build-check
+    run_ctest build-check
+}
+
+stage_asan() {
+    configure build-asan "-DDENSIM_SANITIZE=address;undefined" \
+              -DDENSIM_CHECKS=ON
+    build build-asan
+    run_ctest build-asan
+}
+
+stage_tsan() {
+    configure build-tsan -DDENSIM_SANITIZE=thread
+    build build-tsan
+    run_ctest build-tsan -R "$TSAN_FILTER"
+}
+
+stage_paranoid() {
+    configure build-paranoid -DDENSIM_PARANOID=ON
+    build build-paranoid
+    run_ctest build-paranoid -R "$PARANOID_FILTER"
+}
+
+stage_lint() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "check.sh: clang-tidy not on PATH — skipping lint stage" >&2
+        return 0
+    fi
+    configure build-lint -DDENSIM_LINT=ON
+    build build-lint
+}
+
+if [ "$#" -gt 0 ]; then
+    stages=("$@")
+else
+    stages=(plain asan tsan paranoid lint)
+fi
+
+for stage in "${stages[@]}"; do
+    case "$stage" in
+        plain|asan|tsan|paranoid|lint) ;;
+        *)
+            echo "check.sh: unknown stage '$stage'" >&2
+            exit 2
+            ;;
+    esac
+    echo "==== check.sh stage: $stage ===="
+    "stage_$stage"
+done
+echo "==== check.sh: all stages passed ===="

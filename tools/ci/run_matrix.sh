@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+#
+# Local equivalent of the GitHub Actions matrix
+# (.github/workflows/ci.yml): runs every tools/check.sh stage in
+# sequence on one machine. Use this where Actions is unavailable.
+#
+#   tools/ci/run_matrix.sh
+
+set -euo pipefail
+exec "$(dirname "$0")/../check.sh" plain asan tsan paranoid lint
