@@ -26,15 +26,15 @@ main()
 
     // The 2x2 cartridge: two sockets side by side at each of two
     // streamwise stations, sharing a 12.7 CFM duct.
-    const std::vector<SocketSite> sites{{0.0, 0, 12.7},
-                                        {0.0, 0, 12.7},
-                                        {1.6, 0, 12.7},
-                                        {1.6, 0, 12.7}};
+    const std::vector<SocketSite> sites{{0.0, 0, Cfm(12.7)},
+                                        {0.0, 0, Cfm(12.7)},
+                                        {1.6, 0, Cfm(12.7)},
+                                        {1.6, 0, Cfm(12.7)}};
     const CouplingMap map(sites, CouplingParams{});
     const std::vector<double> powers(4, 15.0);
 
-    const auto entry = map.entryTemps(powers, 18.0);
-    const auto ambient = map.ambientTemps(powers, 18.0);
+    const auto entry = map.entryTemps(powers, Celsius(18.0));
+    const auto ambient = map.ambientTemps(powers, Celsius(18.0));
 
     TableWriter table({"Socket", "Position", "Entry T (C)",
                        "Ambient T (C)"});

@@ -39,8 +39,9 @@ main()
         mean_table.newRow().cell(power, 0).cell(cfm, 2);
         cov_table.newRow().cell(power, 0).cell(cfm, 2);
         for (int doc : couplings) {
-            const auto r = serialChainEntryTemps(doc, power, cfm, 18.0);
-            mean_table.cell(r.meanC, 1);
+            const auto r = serialChainEntryTemps(
+                doc, Watts(power), Cfm(cfm), Celsius(18.0));
+            mean_table.cell(r.mean.value(), 1);
             cov_table.cell(r.cov, 3);
         }
     }
@@ -51,10 +52,12 @@ main()
                  "temperatures:\n";
     cov_table.print(std::cout);
 
-    const auto doc5 = serialChainEntryTemps(5, 15.0, 6.0, 18.0);
-    const auto doc1 = serialChainEntryTemps(1, 15.0, 6.0, 18.0);
+    const auto doc5 =
+        serialChainEntryTemps(5, Watts(15.0), Cfm(6.0), Celsius(18.0));
+    const auto doc1 =
+        serialChainEntryTemps(1, Watts(15.0), Cfm(6.0), Celsius(18.0));
     std::cout << "\n15 W @ 6 CFM, DoC 5 vs 1: +"
-              << formatFixed(doc5.meanC - doc1.meanC, 1)
+              << formatFixed(doc5.mean.value() - doc1.mean.value(), 1)
               << " C mean entry (paper: ~10 C)\n";
     return 0;
 }

@@ -25,7 +25,8 @@ main()
               << ")\nDegree of coupling (sockets per duct): "
               << sut.degreeOfCoupling() << "\nPer-socket airflow: "
               << formatFixed(sut.spec().perSocketCfm, 2)
-              << " CFM, duct " << formatFixed(sut.zoneCfm(), 2)
+              << " CFM, duct "
+              << formatFixed(sut.zoneCfm().value(), 2)
               << " CFM\n\n";
 
     TableWriter table({"Zone", "Cartridge", "Stream pos (in)",

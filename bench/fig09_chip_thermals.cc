@@ -44,8 +44,9 @@ appMap(std::size_t index, int grid, double power)
     const int block = 4;
     const int row = static_cast<int>(index % 3) * 2;
     const int col = static_cast<int>((index / 3) % 3) * 2;
-    return PowerMap::concentrated(grid, defaultHotFraction(power),
-                                  block, row, col);
+    return PowerMap::concentrated(grid,
+                                  defaultHotFraction(Watts(power)),
+                                  HotBlock{block, row, col});
 }
 
 } // namespace
@@ -67,8 +68,8 @@ main()
     for (std::size_t i = 0; i < pcmarkCatalog().size(); ++i) {
         const double power = appPower(i);
         const PowerMap map = appMap(i, params.grid, power);
-        const auto f18 = m18.steady(power, map, 45.0);
-        const auto f30 = m30.steady(power, map, 45.0);
+        const auto f18 = m18.steady(Watts(power), map, Celsius(45.0));
+        const auto f30 = m30.steady(Watts(power), map, Celsius(45.0));
         min_spread = std::min({min_spread, f18.spread(), f30.spread()});
         max_spread = std::max({max_spread, f18.spread(), f30.spread()});
         table.newRow()
@@ -91,9 +92,10 @@ main()
                        "Advantage (C)"});
     for (double power = 8.0; power <= 18.0; power += 2.0) {
         const PowerMap map = PowerMap::concentrated(
-            params.grid, defaultHotFraction(power), 4, 2, 2);
-        const auto f18 = m18.steady(power, map, 45.0);
-        const auto f30 = m30.steady(power, map, 45.0);
+            params.grid, defaultHotFraction(Watts(power)),
+            HotBlock{4, 2, 2});
+        const auto f18 = m18.steady(Watts(power), map, Celsius(45.0));
+        const auto f30 = m30.steady(Watts(power), map, Celsius(45.0));
         sweep.newRow()
             .cell(power, 0)
             .cell(f18.maxT, 1)

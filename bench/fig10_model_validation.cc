@@ -34,9 +34,13 @@ main()
         const HotSpotModel detailed(params, *sink);
         for (double power = 8.0; power <= 18.0; power += 1.0) {
             const PowerMap map = PowerMap::concentrated(
-                params.grid, defaultHotFraction(power), 4, 2, 2);
-            const auto field = detailed.steady(power, map, 45.0);
-            const double predicted = simple.peak(45.0, power, *sink);
+                params.grid, defaultHotFraction(Watts(power)),
+                HotBlock{4, 2, 2});
+            const auto field =
+                detailed.steady(Watts(power), map, Celsius(45.0));
+            const double predicted =
+                simple.peak(Celsius(45.0), Watts(power), *sink)
+                    .value();
             const double err = predicted - field.maxT;
             worst = std::max(worst, std::fabs(err));
             table.newRow()

@@ -28,7 +28,7 @@ BM_CouplingAmbientField(benchmark::State &state)
         makeCouplingMap(sut, defaultCouplingParams());
     std::vector<double> powers(sut.numSockets(), 13.6);
     for (auto _ : state) {
-        auto temps = map.ambientTemps(powers, 18.0);
+        auto temps = map.ambientTemps(powers, Celsius(18.0));
         benchmark::DoNotOptimize(temps);
     }
 }
@@ -42,7 +42,7 @@ BM_RcNetworkSteadySolve(benchmark::State &state)
     const HotSpotModel model(params, HeatSink::fin30());
     const PowerMap map = PowerMap::uniform(params.grid);
     for (auto _ : state) {
-        auto field = model.steady(15.0, map, 40.0);
+        auto field = model.steady(Watts(15.0), map, Celsius(40.0));
         benchmark::DoNotOptimize(field);
     }
 }
@@ -59,7 +59,7 @@ BM_RcNetworkFactorize(benchmark::State &state)
     const PowerMap map = PowerMap::uniform(params.grid);
     for (auto _ : state) {
         const HotSpotModel model(params, HeatSink::fin30());
-        auto field = model.steady(15.0, map, 40.0);
+        auto field = model.steady(Watts(15.0), map, Celsius(40.0));
         benchmark::DoNotOptimize(field);
     }
 }
@@ -74,7 +74,8 @@ BM_CouplingPowerDelta(benchmark::State &state)
     const CouplingMap map =
         makeCouplingMap(sut, defaultCouplingParams());
     const std::vector<double> powers(sut.numSockets(), 13.6);
-    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+    std::vector<double> temps =
+        map.ambientTemps(powers, Celsius(18.0));
     std::size_t socket = 0;
     double old_p = 13.6, new_p = 2.2;
     for (auto _ : state) {
@@ -90,12 +91,13 @@ void
 BM_DvfsDecision(benchmark::State &state)
 {
     const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),
-                          95.0, 0.10);
+                          Celsius(95.0), 0.10);
     const auto &curve = freqCurveFor(WorkloadSet::Computation);
     double amb = 30.0;
     for (auto _ : state) {
         amb = 30.0 + (amb > 60.0 ? -30.0 : 0.01);
-        auto d = pm.chooseAtAmbient(curve, LeakageModel::x2150(), amb,
+        auto d = pm.chooseAtAmbient(curve, LeakageModel::x2150(),
+                                    Celsius(amb),
                                     HeatSink::fin18());
         benchmark::DoNotOptimize(d);
     }
@@ -114,7 +116,7 @@ BM_SchedulerDecision(benchmark::State &state)
     const CouplingMap coupling =
         makeCouplingMap(topo, defaultCouplingParams());
     const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),
-                          95.0, 0.10);
+                          Celsius(95.0), 0.10);
     Rng rng(1);
     const std::size_t n = topo.numSockets();
     std::vector<double> chip(n, 40.0), hist(n, 40.0), amb(n, 35.0),

@@ -29,7 +29,10 @@ main()
         table.newRow()
             .cell(serverClassName(m.cls))
             .cell(m.meanPowerPerU, 0)
-            .cell(requiredAirflow(m.meanPowerPerU, 20.0), 2)
+            .cell(requiredAirflow(Watts(m.meanPowerPerU),
+                                  CelsiusDelta(20.0))
+                      .value(),
+                  2)
             .cell(paper[i++], 2);
     }
     table.print(std::cout);

@@ -63,21 +63,21 @@ main()
         .cell("Hotspot [75]");
     table.newRow()
         .cell("R_Ext 18-fin")
-        .cell(formatFixed(HeatSink::fin18().rExt, 3) + " C/W")
+        .cell(formatFixed(HeatSink::fin18().rExt.value(), 3) + " C/W")
         .cell("Hotspot [75]");
     table.newRow()
         .cell("R_Ext 30-fin")
-        .cell(formatFixed(HeatSink::fin30().rExt, 3) + " C/W")
+        .cell(formatFixed(HeatSink::fin30().rExt.value(), 3) + " C/W")
         .cell("Hotspot [75]");
     table.newRow()
         .cell("theta(P, 18-fin)")
-        .cell(formatFixed(HeatSink::fin18().theta.c0, 2) + " " +
-              formatFixed(HeatSink::fin18().theta.c1, 4) + " * P")
+        .cell(formatFixed(HeatSink::fin18().theta.c0.value(), 2) + " " +
+              formatFixed(HeatSink::fin18().theta.c1.value(), 4) + " * P")
         .cell("Modeled");
     table.newRow()
         .cell("theta(P, 30-fin)")
-        .cell(formatFixed(HeatSink::fin30().theta.c0, 2) + " " +
-              formatFixed(HeatSink::fin30().theta.c1, 4) + " * P")
+        .cell(formatFixed(HeatSink::fin30().theta.c0.value(), 2) + " " +
+              formatFixed(HeatSink::fin30().theta.c1.value(), 4) + " * P")
         .cell("Modeled");
     table.newRow()
         .cell("Gated socket power")
@@ -85,7 +85,7 @@ main()
         .cell("Assumed (paper Sec. III-D)");
     table.newRow()
         .cell("Leakage at 90 C")
-        .cell(formatFixed(LeakageModel::x2150().atRef(), 2) + " W (30% TDP)")
+        .cell(formatFixed(LeakageModel::x2150().atRef().value(), 2) + " W (30% TDP)")
         .cell("Estimated (Sec. III-A)");
     table.newRow()
         .cell("Coupling: kappaLocal")

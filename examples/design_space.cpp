@@ -39,13 +39,14 @@ main()
                          "rise (C)", "Last-socket rise (C)"});
     for (const SystemRecord &r : densityOptimizedSystems()) {
         const auto chain = serialChainEntryTemps(
-            r.degreeOfCoupling, r.socketTdpW, 6.35, 18.0);
+            r.degreeOfCoupling, Watts(r.socketTdpW), Cfm(6.35),
+            Celsius(18.0));
         catalog.newRow()
             .cell(r.details)
             .cell(r.socketTdpW, 1)
             .cell(static_cast<long long>(r.degreeOfCoupling))
-            .cell(chain.meanRiseC, 1)
-            .cell(chain.entryTempsC.back() - 18.0, 1);
+            .cell(chain.meanRise.value(), 1)
+            .cell(chain.entryTemps.back().value() - 18.0, 1);
     }
     catalog.print(std::cout);
 
@@ -54,7 +55,8 @@ main()
                  "(Computation at TDP on every socket)\n\n";
 
     const SimplePeakModel peak;
-    const PowerManager pm(PStateTable::x2150(), peak, 95.0, 0.10);
+    const PowerManager pm(PStateTable::x2150(), peak, Celsius(95.0),
+                          0.10);
     const LeakageModel &leak = LeakageModel::x2150();
     const auto &curve = freqCurveFor(WorkloadSet::Computation);
 
@@ -75,10 +77,13 @@ main()
         std::vector<double> powers(topo.numSockets(),
                                    curve.totalPowerAt90C[sustained]);
         const std::size_t last = topo.numSockets() - 1;
-        const double entry = map.entryTemp(last, powers, 18.0);
-        const double ambient = map.ambientTemp(last, powers, 18.0);
+        const double entry =
+            map.entryTemp(last, powers, Celsius(18.0)).value();
+        const double ambient =
+            map.ambientTemp(last, powers, Celsius(18.0)).value();
         const DvfsDecision d = pm.chooseAtAmbientCapped(
-            curve, leak, ambient, topo.sinkOf(last), sustained);
+            curve, leak, Celsius(ambient), topo.sinkOf(last),
+            sustained);
         build.newRow()
             .cell(static_cast<long long>(zones))
             .cell(static_cast<long long>(topo.degreeOfCoupling()))

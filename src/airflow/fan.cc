@@ -11,7 +11,7 @@ Fan::Fan(FanSpec spec, int count) : spec_(std::move(spec)), count_(count)
 {
     if (count_ < 1)
         fatal("Fan bank needs at least one unit, got ", count_);
-    if (spec_.maxCfm <= 0.0 || spec_.maxPowerW <= 0.0)
+    if (spec_.maxCfm.value() <= 0.0 || spec_.maxPower.value() <= 0.0)
         fatal("Fan spec '", spec_.name, "' has non-positive capacity");
     if (spec_.pressureDerate <= 0.0 || spec_.pressureDerate > 1.0)
         fatal("Fan spec '", spec_.name, "' pressure derate ",
@@ -28,29 +28,30 @@ Fan::activeCoolSpec()
     // class fans; a 4U Moonshot-class chassis uses a bank of five to
     // deliver the 400 CFM server total of Table III against dense
     // cartridge back-pressure.
-    return FanSpec{"ActiveCool", 100.0, 35.0, 0.15, 0.80};
+    return FanSpec{"ActiveCool", Cfm(100.0), Watts(35.0), 0.15, 0.80};
 }
 
-double
+Cfm
 Fan::deliveredCfm(double s) const
 {
     s = std::clamp(s, 0.0, 1.0);
-    return spec_.maxCfm * spec_.pressureDerate * s * count_;
+    return Cfm(spec_.maxCfm.value() * spec_.pressureDerate * s * count_);
 }
 
-double
-Fan::electricalPowerW(double s) const
+Watts
+Fan::electricalPower(double s) const
 {
     s = std::clamp(s, 0.0, 1.0);
-    return spec_.maxPowerW * s * s * s * count_;
+    return Watts(spec_.maxPower.value() * s * s * s * count_);
 }
 
 double
-Fan::speedForCfm(double cfm) const
+Fan::speedForCfm(Cfm flow) const
 {
+    const double cfm = flow.value();
     if (cfm < 0.0)
         fatal("Fan::speedForCfm: negative airflow ", cfm);
-    const double cap = maxDeliveredCfm();
+    const double cap = maxDeliveredCfm().value();
     if (cfm > cap)
         fatal("Fan bank '", spec_.name, "' cannot deliver ", cfm,
               " CFM (capacity ", cap, ")");
@@ -58,16 +59,16 @@ Fan::speedForCfm(double cfm) const
     return std::max(s, spec_.minSpeedFrac);
 }
 
-double
-Fan::powerForCfm(double cfm) const
+Watts
+Fan::powerForCfm(Cfm flow) const
 {
-    return electricalPowerW(speedForCfm(cfm));
+    return electricalPower(speedForCfm(flow));
 }
 
-double
+Cfm
 Fan::maxDeliveredCfm() const
 {
-    return spec_.maxCfm * spec_.pressureDerate * count_;
+    return Cfm(spec_.maxCfm.value() * spec_.pressureDerate * count_);
 }
 
 } // namespace densim

@@ -16,14 +16,16 @@
 
 #include <string>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Static description of one fan model. */
 struct FanSpec
 {
     std::string name;      //!< Marketing/model name.
-    double maxCfm;         //!< Free-air airflow at 100 % speed.
-    double maxPowerW;      //!< Electrical power at 100 % speed.
+    Cfm maxCfm;            //!< Free-air airflow at 100 % speed.
+    Watts maxPower;        //!< Electrical power at 100 % speed.
     double minSpeedFrac;   //!< Lowest controllable speed fraction.
     double pressureDerate; //!< Fraction of free-air CFM delivered
                            //!< against chassis back-pressure.
@@ -42,22 +44,22 @@ class Fan
     static FanSpec activeCoolSpec();
 
     /** Delivered (derated) airflow at speed fraction @p s in [0,1]. */
-    double deliveredCfm(double s) const;
+    Cfm deliveredCfm(double s) const;
 
     /** Electrical power at speed fraction @p s (cube law). */
-    double electricalPowerW(double s) const;
+    Watts electricalPower(double s) const;
 
     /**
-     * Lowest speed fraction delivering at least @p cfm, clamped to
+     * Lowest speed fraction delivering at least @p flow, clamped to
      * [minSpeedFrac, 1]. Fails if the requirement exceeds capacity.
      */
-    double speedForCfm(double cfm) const;
+    double speedForCfm(Cfm flow) const;
 
-    /** Electrical power needed to deliver @p cfm. */
-    double powerForCfm(double cfm) const;
+    /** Electrical power needed to deliver @p flow. */
+    Watts powerForCfm(Cfm flow) const;
 
     /** Maximum delivered airflow of the whole bank. */
-    double maxDeliveredCfm() const;
+    Cfm maxDeliveredCfm() const;
 
     const FanSpec &spec() const { return spec_; }
     int count() const { return count_; }

@@ -4,36 +4,48 @@
 
 namespace densim {
 
-double
-airTemperatureRise(double watts, double cfm)
+CelsiusDelta
+airTemperatureRise(Watts heat, Cfm flow)
 {
+    const double watts = heat.value();
+    const double cfm = flow.value();
     if (cfm <= 0.0)
         fatal("airTemperatureRise: airflow must be positive, got ", cfm);
     if (watts < 0.0)
         fatal("airTemperatureRise: negative power ", watts);
-    return kCelsiusPerWattPerCfm * watts / cfm;
+    return CelsiusDelta(kCelsiusPerWattPerCfm * watts / cfm);
 }
 
-double
-requiredAirflow(double watts, double delta_t_celsius)
+CelsiusDelta
+airTemperatureRise(Watts heat, CubicMetersPerSec flow)
 {
+    return airTemperatureRise(heat, toCfm(flow));
+}
+
+Cfm
+requiredAirflow(Watts heat, CelsiusDelta rise)
+{
+    const double watts = heat.value();
+    const double delta_t_celsius = rise.value();
     if (delta_t_celsius <= 0.0)
         fatal("requiredAirflow: temperature rise must be positive, got ",
               delta_t_celsius);
     if (watts < 0.0)
         fatal("requiredAirflow: negative power ", watts);
-    return kCelsiusPerWattPerCfm * watts / delta_t_celsius;
+    return Cfm(kCelsiusPerWattPerCfm * watts / delta_t_celsius);
 }
 
-double
-absorbableHeat(double cfm, double delta_t_celsius)
+Watts
+absorbableHeat(Cfm flow, CelsiusDelta rise)
 {
+    const double cfm = flow.value();
+    const double delta_t_celsius = rise.value();
     if (cfm <= 0.0)
         fatal("absorbableHeat: airflow must be positive, got ", cfm);
     if (delta_t_celsius < 0.0)
         fatal("absorbableHeat: negative temperature rise ",
               delta_t_celsius);
-    return cfm * delta_t_celsius / kCelsiusPerWattPerCfm;
+    return Watts(cfm * delta_t_celsius / kCelsiusPerWattPerCfm);
 }
 
 } // namespace densim

@@ -18,10 +18,9 @@
 #ifndef DENSIM_AIRFLOW_FIRST_LAW_HH
 #define DENSIM_AIRFLOW_FIRST_LAW_HH
 
-namespace densim {
+#include "core/units.hh"
 
-/** One cubic foot per minute in cubic metres per second. */
-inline constexpr double kCfmToM3PerS = 4.71947e-4;
+namespace densim {
 
 /** Density of air, kg/m^3, at ~21 C and 1 atm. */
 inline constexpr double kAirDensity = 1.19795;
@@ -37,22 +36,25 @@ inline constexpr double kCelsiusPerWattPerCfm =
     1.0 / (kAirDensity * kAirSpecificHeat * kCfmToM3PerS);
 
 /**
- * Steady air temperature rise (C) when @p cfm of airflow absorbs
- * @p watts of heat. Fails for non-positive airflow.
+ * Steady air temperature rise when @p flow of airflow absorbs
+ * @p heat. Fails for non-positive airflow.
  */
-double airTemperatureRise(double watts, double cfm);
+CelsiusDelta airTemperatureRise(Watts heat, Cfm flow);
+
+/** SI-flow overload; converts through toCfm() explicitly. */
+CelsiusDelta airTemperatureRise(Watts heat, CubicMetersPerSec flow);
 
 /**
- * Airflow (CFM) required to remove @p watts with at most
- * @p delta_t_celsius inlet-to-outlet rise — the Table II calculation.
+ * Airflow required to remove @p heat with at most @p rise
+ * inlet-to-outlet temperature rise — the Table II calculation.
  */
-double requiredAirflow(double watts, double delta_t_celsius);
+Cfm requiredAirflow(Watts heat, CelsiusDelta rise);
 
 /**
- * Heat (W) a flow of @p cfm can absorb within @p delta_t_celsius —
+ * Heat a flow of @p flow can absorb within @p rise —
  * the inverse budget question (how much power fits in a duct).
  */
-double absorbableHeat(double cfm, double delta_t_celsius);
+Watts absorbableHeat(Cfm flow, CelsiusDelta rise);
 
 } // namespace densim
 

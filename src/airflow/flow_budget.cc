@@ -4,14 +4,14 @@
 
 namespace densim {
 
-FlowBudget::FlowBudget(double total_cfm, int ducts, int sockets_per_zone,
+FlowBudget::FlowBudget(Cfm total_flow, int ducts, int sockets_per_zone,
                        double leakage_frac)
-    : totalCfm_(total_cfm), ducts_(ducts),
+    : totalCfm_(total_flow), ducts_(ducts),
       socketsPerZone_(sockets_per_zone), leakageFrac_(leakage_frac)
 {
-    if (totalCfm_ <= 0.0)
+    if (totalCfm_.value() <= 0.0)
         fatal("FlowBudget: total airflow must be positive, got ",
-              totalCfm_);
+              totalCfm_.value());
     if (ducts_ < 1)
         fatal("FlowBudget: need at least one duct, got ", ducts_);
     if (socketsPerZone_ < 1)
@@ -22,16 +22,16 @@ FlowBudget::FlowBudget(double total_cfm, int ducts, int sockets_per_zone,
               " outside [0, 1)");
 }
 
-double
+Cfm
 FlowBudget::ductCfm() const
 {
-    return totalCfm_ * (1.0 - leakageFrac_) / ducts_;
+    return Cfm(totalCfm_.value() * (1.0 - leakageFrac_) / ducts_);
 }
 
-double
+Cfm
 FlowBudget::perSocketCfm() const
 {
-    return ductCfm() / socketsPerZone_;
+    return Cfm(ductCfm().value() / socketsPerZone_);
 }
 
 FlowBudget
@@ -42,7 +42,7 @@ FlowBudget::sutBudget()
     // cartridges; the Icepak-derived per-socket figure implies ~52 %
     // of chassis flow bypasses the heatsinks. We bake that in as the
     // leakage fraction so both Table III numbers hold simultaneously.
-    return FlowBudget(400.0, 15, 2, 1.0 - (6.35 * 2 * 15) / 400.0);
+    return FlowBudget(Cfm(400.0), 15, 2, 1.0 - (6.35 * 2 * 15) / 400.0);
 }
 
 } // namespace densim

@@ -13,6 +13,8 @@
 #ifndef DENSIM_AIRFLOW_FLOW_BUDGET_HH
 #define DENSIM_AIRFLOW_FLOW_BUDGET_HH
 
+#include "core/units.hh"
+
 namespace densim {
 
 /**
@@ -24,26 +26,26 @@ class FlowBudget
 {
   public:
     /**
-     * @param total_cfm Total chassis airflow.
+     * @param total_flow Total chassis airflow.
      * @param ducts Number of parallel ducts (rows).
      * @param sockets_per_zone Sockets sharing one streamwise station.
      * @param leakage_frac Fraction of flow bypassing the cartridges
      *     (gaps, cable paths); defaults to the SUT calibration such
      *     that 400 CFM / 15 rows / 2-wide yields 6.35 CFM per socket.
      */
-    FlowBudget(double total_cfm, int ducts, int sockets_per_zone,
+    FlowBudget(Cfm total_flow, int ducts, int sockets_per_zone,
                double leakage_frac = 0.0);
 
     /** Airflow through one duct after leakage. */
-    double ductCfm() const;
+    Cfm ductCfm() const;
 
     /** Airflow share attributed to a single socket. */
-    double perSocketCfm() const;
+    Cfm perSocketCfm() const;
 
     /** Flow shared by the sockets of one zone (= ductCfm). */
-    double zoneCfm() const { return ductCfm(); }
+    Cfm zoneCfm() const { return ductCfm(); }
 
-    double totalCfm() const { return totalCfm_; }
+    Cfm totalCfm() const { return totalCfm_; }
     int ducts() const { return ducts_; }
     int socketsPerZone() const { return socketsPerZone_; }
     double leakageFrac() const { return leakageFrac_; }
@@ -55,7 +57,7 @@ class FlowBudget
     static FlowBudget sutBudget();
 
   private:
-    double totalCfm_;
+    Cfm totalCfm_;
     int ducts_;
     int socketsPerZone_;
     double leakageFrac_;

@@ -29,8 +29,8 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
                                std::unique_ptr<Scheduler> sim_policy)
     : config_(sim_config), topo_(sim_config.topo),
       coupling_(topo_.sites(), sim_config.coupling),
-      peak_(sim_config.rIntCW),
-      pm_(PStateTable::x2150(), peak_, sim_config.tLimitC,
+      peak_(sim_config.rInt()),
+      pm_(PStateTable::x2150(), peak_, sim_config.tLimit(),
           sim_config.gatedFracTdp),
       leak_(LeakageModel::x2150()), policy_(std::move(sim_policy)),
       policyRng_(sim_config.seed ^ 0xdeadbeefcafef00dULL),
@@ -68,7 +68,7 @@ DenseServerSim::resetState()
 {
     const std::size_t n = topo_.numSockets();
     sockets_.assign(n, SocketState{});
-    powerW_.assign(n, pm_.gatedPower(leak_));
+    powerW_.assign(n, pm_.gatedPower(leak_).value());
     freqMhz_.assign(n, 0.0);
     chipTempC_.assign(n, config_.topo.inletC);
     sensedTempC_.assign(n, config_.topo.inletC);
@@ -82,16 +82,17 @@ DenseServerSim::resetState()
     ambTracker_.reserve(n);
     chipRise_.reserve(n);
     histTracker_.reserve(n);
-    const double gated = pm_.gatedPower(leak_);
+    const Watts gated = pm_.gatedPower(leak_);
     const std::vector<double> amb0 =
-        coupling_.ambientTemps(powerW_, config_.topo.inletC);
+        coupling_.ambientTemps(powerW_, config_.topo.inlet());
     ambientC_ = amb0;
     for (std::size_t s = 0; s < n; ++s) {
         const HeatSink &sink = *sinkCache_[s];
         ambTracker_.emplace_back(config_.socketTauS, amb0[s]);
         chipRise_.emplace_back(config_.chipTauS,
-                               gated * (peak_.rInt() + sink.rExt) +
-                                   sink.theta(gated));
+                               (gated * (peak_.rInt() + sink.rExt) +
+                                sink.theta(gated))
+                                   .value());
         chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
         histTracker_.emplace_back(config_.histTauS, chipTempC_[s]);
         histTempC_[s] = chipTempC_[s];
@@ -139,13 +140,13 @@ DenseServerSim::warmStart()
     // start in a representative thermal regime.
     const auto &curve = freqCurveFor(config_.workload);
     const double busy_power = curve.totalPowerAt90C[sustainedIdx_];
-    const double gated = pm_.gatedPower(leak_);
+    const double gated = pm_.gatedPower(leak_).value();
     const double expected =
         config_.load * busy_power + (1.0 - config_.load) * gated;
 
     const std::size_t n = topo_.numSockets();
     const std::vector<double> amb = coupling_.ambientTemps(
-        std::vector<double>(n, expected), config_.topo.inletC);
+        std::vector<double>(n, expected), config_.topo.inlet());
     for (std::size_t s = 0; s < n; ++s) {
         ambTracker_[s].reset(amb[s]);
         ambientC_[s] = amb[s];
@@ -238,7 +239,7 @@ DenseServerSim::markPowerDirty(std::size_t socket)
 void
 DenseServerSim::refreshAmbientTargets()
 {
-    ambTargets_ = coupling_.ambientTemps(powerW_, config_.topo.inletC);
+    ambTargets_ = coupling_.ambientTemps(powerW_, config_.topo.inlet());
     targetPowerW_ = powerW_;
     for (std::size_t s : dirtySockets_)
         powerDirty_[s] = 0;
@@ -281,10 +282,11 @@ DenseServerSim::thermalStep(double dt)
                              config_.boostRefillRate * dt);
         }
         const HeatSink &sink = *sinkCache_[s];
-        const double p = powerW_[s];
+        const Watts p{powerW_[s]};
         ambientC_[s] = ambTracker_[s].step(targets[s], dt);
         chipRise_[s].step(
-            p * (peak_.rInt() + sink.rExt) + sink.theta(p), dt);
+            (p * (peak_.rInt() + sink.rExt) + sink.theta(p)).value(),
+            dt);
         chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
         // What the scheduler's sensor reports: noisy, quantized.
         double sensed = chipTempC_[s];
@@ -308,7 +310,7 @@ DvfsDecision
 DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
                            std::size_t cap)
 {
-    const double ambient = ambientC_[socket];
+    const Celsius ambient{ambientC_[socket]};
     if (const DvfsDecision *hit = dvfsMemo_.lookup(
             socket, set, cap, ambient, config_.dvfsMemoQuantC))
         return *hit;
@@ -329,7 +331,7 @@ DenseServerSim::powerManage(double now)
         const std::size_t cap =
             boostCreditS_[s] > 0.0 ? boostCap_ : sustainedIdx_;
         const DvfsDecision d = chooseDvfs(s, sockets_[s].set, cap);
-        setSocketRate(s, d.pstate, d.powerW, now);
+        setSocketRate(s, d.pstate, d.power.value(), now);
     }
     // Re-derive the piecewise sums once per epoch: cheap with the
     // cached rates, and it pins any incremental floating-point drift
@@ -415,7 +417,7 @@ DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
 void
 DenseServerSim::setIdlePower(std::size_t socket)
 {
-    const double gated = pm_.gatedPower(leak_);
+    const double gated = pm_.gatedPower(leak_).value();
     if (powerW_[socket] != gated) {
         totalPowerW_ -= powerW_[socket];
         powerW_[socket] = gated;
@@ -506,7 +508,7 @@ DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
     const std::size_t cap =
         boostCreditS_[socket] > 0.0 ? boostCap_ : sustainedIdx_;
     const DvfsDecision d = chooseDvfs(socket, job.set, cap);
-    setSocketRate(socket, d.pstate, d.powerW, now);
+    setSocketRate(socket, d.pstate, d.power.value(), now);
 
     if (job.arrivalS >= config_.warmupS)
         metrics_.queueDelayS.add(now - job.arrivalS);
@@ -559,7 +561,7 @@ DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
     const std::size_t cap =
         boostCreditS_[to] > 0.0 ? boostCap_ : sustainedIdx_;
     const DvfsDecision d = chooseDvfs(to, dst.set, cap);
-    setSocketRate(to, d.pstate, d.powerW, now);
+    setSocketRate(to, d.pstate, d.power.value(), now);
     ++metrics_.migrations;
 }
 
@@ -752,11 +754,11 @@ DenseServerSim::checkEpochInvariants() const
     // (drift is bounded by the periodic refresh), and must sit inside
     // the coupling map's first-law envelope.
     const std::vector<double> reference =
-        coupling_.ambientTemps(targetPowerW_, config_.topo.inletC);
+        coupling_.ambientTemps(targetPowerW_, config_.topo.inlet());
     invariant::checkFieldsClose("ambient-target field", ambTargets_,
                                 reference, 1e-6);
-    coupling_.checkAmbientFieldPhysics(targetPowerW_,
-                                       config_.topo.inletC, ambTargets_);
+    coupling_.checkAmbientFieldPhysics(
+        targetPowerW_, config_.topo.inlet(), ambTargets_);
 #endif
 #endif
 }

@@ -75,7 +75,7 @@ class DvfsMemoTable
      * on a miss.
      */
     const DvfsDecision *lookup(std::size_t socket, WorkloadSet set,
-                               std::size_t cap, double ambient_c,
+                               std::size_t cap, Celsius ambient,
                                double quant_c) const
     {
         if (socket >= entries_.size())
@@ -84,6 +84,7 @@ class DvfsMemoTable
         const Entry &e = entries_[socket];
         if (!e.valid || e.set != set || e.cap != cap)
             return nullptr;
+        const double ambient_c = ambient.value();
         const bool hit =
             quant_c > 0.0
                 ? std::floor(ambient_c / quant_c) ==
@@ -94,7 +95,7 @@ class DvfsMemoTable
 
     /** Record the decision @p d made for the given inputs. */
     void store(std::size_t socket, WorkloadSet set, std::size_t cap,
-               double ambient_c, const DvfsDecision &d)
+               Celsius ambient, const DvfsDecision &d)
     {
         if (socket >= entries_.size())
             panic("DvfsMemoTable: socket ", socket, " out of range (",
@@ -103,7 +104,7 @@ class DvfsMemoTable
         e.valid = true;
         e.set = set;
         e.cap = cap;
-        e.ambientC = ambient_c;
+        e.ambientC = ambient.value();
         e.d = d;
     }
 

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/units.hh"
 #include "util/stats.hh"
 
 namespace densim {
@@ -70,6 +71,15 @@ struct SimMetrics
     RunningStats chipTempC;          //!< Epoch samples, busy sockets.
     double maxChipTempC = 0.0;       //!< Hottest observed junction.
     double boostTimeS = 0.0;         //!< Socket-seconds in boost.
+
+    // Typed views of the raw accumulators above (which stay plain
+    // doubles: they are integrated in the engine's hot loop and
+    // serialized by the benches — the engine's hot-path boundary,
+    // DESIGN.md Sec. 9).
+    Joules energy() const { return Joules(energyJ); }
+    Seconds measured() const { return Seconds(measuredS); }
+    Seconds makespan() const { return Seconds(makespanS); }
+    Celsius maxChipTemp() const { return Celsius(maxChipTempC); }
 
     /** Energy-delay-squared product. */
     double ed2() const;

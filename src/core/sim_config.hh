@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "core/units.hh"
 #include "server/topology.hh"
 #include "thermal/coupling_map.hh"
 #include "workload/benchmark.hh"
@@ -124,6 +125,17 @@ struct SimConfig
     // Run control.
     std::uint64_t seed = 42;    //!< Drives workload and policy RNG.
     bool warmStart = true;      //!< Analytic steady-state init.
+
+    // Typed views of the raw knobs above. The struct itself stays
+    // aggregate-initializable plain doubles (it is filled from JSON by
+    // config_io and swept numerically by the benches — the engine's
+    // hot-path boundary, DESIGN.md Sec. 9); these accessors are the
+    // dimension-checked way into the model layer.
+    Celsius tLimit() const { return Celsius(tLimitC); }
+    KelvinPerWatt rInt() const { return KelvinPerWatt(rIntCW); }
+    Seconds pmEpoch() const { return Seconds(pmEpochS); }
+    Seconds simTime() const { return Seconds(simTimeS); }
+    Watts fanPower() const { return Watts(fanPowerW); }
 
     /** Validate ranges; fatal() on nonsense. */
     void validate() const;

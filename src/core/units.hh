@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Zero-overhead compile-time dimensional analysis for densim.
+ *
+ * Every physical quantity the simulator passes between layers —
+ * temperatures, powers, energies, airflows, thermal resistances and
+ * capacitances — used to travel as a bare `double`, so the bug class
+ * the paper's models are most sensitive to (a swapped `(power, flow)`
+ * argument pair, a Celsius-vs-Kelvin mixup, a CFM fed where m^3/s is
+ * expected) compiled cleanly and only surfaced, maybe, as a runtime
+ * invariant trip. This header makes those errors ill-formed:
+ *
+ *  - `Quantity<Dim<L,M,T,K>>` is a strong typedef over `double`
+ *    tagged with integer exponents over the (m, kg, s, K) basis.
+ *    `+`/`-` require identical dimensions; `*`/`/` combine exponents
+ *    (`Watts * KelvinPerWatt` *is* a `CelsiusDelta`); the ratio of two
+ *    same-dimension quantities is a plain `double`.
+ *  - `Celsius` and `Kelvin` are *affine temperature points*, not
+ *    quantities: point - point = `CelsiusDelta`, point +/- delta =
+ *    point, and everything else (adding two points, scaling a point,
+ *    cross-assigning the two scales) does not compile. Convert
+ *    explicitly with toKelvin()/toCelsius().
+ *  - `Cfm` is the imperial airflow unit densim's airflow stack (and
+ *    Table II/III) works in, kept distinct from the SI
+ *    `CubicMetersPerSec` so the 4.719e-4 conversion can never be
+ *    silently skipped or applied twice; convert explicitly with
+ *    toM3PerS()/toCfm().
+ *
+ * Policy (DESIGN.md Sec. 9): typed at public API boundaries, raw
+ * `double` allowed inside implementations and across I/O / hot-path
+ * bulk-vector boundaries via the `.value()` escape hatch. Every type
+ * here is a trivially copyable single `double` — same size, same
+ * registers, same codegen — enforced by the static_asserts at the
+ * bottom, so the PR-1 caches and hot loops are untouched.
+ *
+ * Adding a new dimension: pick the exponent vector, add a `using`
+ * alias (and a literal if it reads well), and extend the
+ * tests/compile_fail/ harness with one ill-formed combination.
+ */
+
+#ifndef DENSIM_CORE_UNITS_HH
+#define DENSIM_CORE_UNITS_HH
+
+#include <type_traits>
+
+namespace densim {
+
+/** One cubic foot per minute in cubic metres per second. */
+inline constexpr double kCfmToM3PerS = 4.71947e-4;
+
+/** Celsius-to-Kelvin offset of the two temperature scales. */
+inline constexpr double kCelsiusToKelvinOffset = 273.15;
+
+/**
+ * Dimension tag: integer exponents over the (length, mass, time,
+ * temperature) basis, i.e. Dim<2,1,-3,0> is kg*m^2/s^3 = W.
+ */
+template <int L, int M, int T, int K>
+struct Dim final
+{
+};
+
+/**
+ * A `double` carrying its physical dimension in the type. Construction
+ * from a raw double is explicit; `.value()` is the only way back out.
+ */
+template <class D>
+class Quantity final
+{
+  public:
+    constexpr Quantity() = default;
+    explicit constexpr Quantity(double raw) : v_(raw) {}
+
+    /** Raw magnitude — the escape hatch for I/O and hot-path code. */
+    [[nodiscard]] constexpr double value() const { return v_; }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        v_ += other.v_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        v_ -= other.v_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double scale)
+    {
+        v_ *= scale;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double scale)
+    {
+        v_ /= scale;
+        return *this;
+    }
+
+    friend constexpr Quantity operator+(Quantity a, Quantity b)
+    {
+        return Quantity(a.v_ + b.v_);
+    }
+    friend constexpr Quantity operator-(Quantity a, Quantity b)
+    {
+        return Quantity(a.v_ - b.v_);
+    }
+    friend constexpr Quantity operator-(Quantity a)
+    {
+        return Quantity(-a.v_);
+    }
+    friend constexpr Quantity operator*(Quantity a, double scale)
+    {
+        return Quantity(a.v_ * scale);
+    }
+    friend constexpr Quantity operator*(double scale, Quantity a)
+    {
+        return Quantity(scale * a.v_);
+    }
+    friend constexpr Quantity operator/(Quantity a, double scale)
+    {
+        return Quantity(a.v_ / scale);
+    }
+    /** Ratio of same-dimension quantities is a plain number. */
+    friend constexpr double operator/(Quantity a, Quantity b)
+    {
+        return a.v_ / b.v_;
+    }
+
+    friend constexpr bool operator==(Quantity a, Quantity b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool operator!=(Quantity a, Quantity b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool operator<(Quantity a, Quantity b)
+    {
+        return a.v_ < b.v_;
+    }
+    friend constexpr bool operator<=(Quantity a, Quantity b)
+    {
+        return a.v_ <= b.v_;
+    }
+    friend constexpr bool operator>(Quantity a, Quantity b)
+    {
+        return a.v_ > b.v_;
+    }
+    friend constexpr bool operator>=(Quantity a, Quantity b)
+    {
+        return a.v_ >= b.v_;
+    }
+
+  private:
+    double v_ = 0.0;
+};
+
+/** Product combines dimension exponents: W * K/W = K. */
+template <int L1, int M1, int T1, int K1, int L2, int M2, int T2, int K2>
+[[nodiscard]] constexpr Quantity<Dim<L1 + L2, M1 + M2, T1 + T2, K1 + K2>>
+operator*(Quantity<Dim<L1, M1, T1, K1>> a, Quantity<Dim<L2, M2, T2, K2>> b)
+{
+    return Quantity<Dim<L1 + L2, M1 + M2, T1 + T2, K1 + K2>>(a.value() *
+                                                             b.value());
+}
+
+/** Quotient subtracts dimension exponents: K / (K/W) = W. */
+template <int L1, int M1, int T1, int K1, int L2, int M2, int T2, int K2>
+[[nodiscard]] constexpr Quantity<Dim<L1 - L2, M1 - M2, T1 - T2, K1 - K2>>
+operator/(Quantity<Dim<L1, M1, T1, K1>> a, Quantity<Dim<L2, M2, T2, K2>> b)
+{
+    return Quantity<Dim<L1 - L2, M1 - M2, T1 - T2, K1 - K2>>(a.value() /
+                                                             b.value());
+}
+
+using Watts = Quantity<Dim<2, 1, -3, 0>>;
+using Joules = Quantity<Dim<2, 1, -2, 0>>;
+using Seconds = Quantity<Dim<0, 0, 1, 0>>;
+using CubicMetersPerSec = Quantity<Dim<3, 0, -1, 0>>;
+/** Temperature *difference* (identical magnitude in C and K). */
+using CelsiusDelta = Quantity<Dim<0, 0, 0, 1>>;
+using KelvinDelta = CelsiusDelta;
+/** Thermal resistance (Eq. (1) R_int/R_ext, RC-network edges). */
+using KelvinPerWatt = Quantity<Dim<-2, -1, 3, 1>>;
+/** Heat capacitance (RC-network nodes). */
+using JoulePerKelvin = Quantity<Dim<2, 1, -2, -1>>;
+
+namespace detail {
+struct CelsiusScaleTag final
+{
+};
+struct KelvinScaleTag final
+{
+};
+} // namespace detail
+
+/**
+ * Affine temperature point on one scale. Only point +/- delta and
+ * point - point are defined; scaling or adding two points, or mixing
+ * scales, is ill-formed.
+ */
+template <class Scale>
+class TempPoint final
+{
+  public:
+    constexpr TempPoint() = default;
+    explicit constexpr TempPoint(double degrees) : v_(degrees) {}
+
+    /** Raw degrees on this scale — the I/O escape hatch. */
+    [[nodiscard]] constexpr double value() const { return v_; }
+
+    constexpr TempPoint &operator+=(CelsiusDelta d)
+    {
+        v_ += d.value();
+        return *this;
+    }
+    constexpr TempPoint &operator-=(CelsiusDelta d)
+    {
+        v_ -= d.value();
+        return *this;
+    }
+
+    friend constexpr TempPoint operator+(TempPoint t, CelsiusDelta d)
+    {
+        return TempPoint(t.v_ + d.value());
+    }
+    friend constexpr TempPoint operator+(CelsiusDelta d, TempPoint t)
+    {
+        return TempPoint(d.value() + t.v_);
+    }
+    friend constexpr TempPoint operator-(TempPoint t, CelsiusDelta d)
+    {
+        return TempPoint(t.v_ - d.value());
+    }
+    friend constexpr CelsiusDelta operator-(TempPoint a, TempPoint b)
+    {
+        return CelsiusDelta(a.v_ - b.v_);
+    }
+
+    friend constexpr bool operator==(TempPoint a, TempPoint b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool operator!=(TempPoint a, TempPoint b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool operator<(TempPoint a, TempPoint b)
+    {
+        return a.v_ < b.v_;
+    }
+    friend constexpr bool operator<=(TempPoint a, TempPoint b)
+    {
+        return a.v_ <= b.v_;
+    }
+    friend constexpr bool operator>(TempPoint a, TempPoint b)
+    {
+        return a.v_ > b.v_;
+    }
+    friend constexpr bool operator>=(TempPoint a, TempPoint b)
+    {
+        return a.v_ >= b.v_;
+    }
+
+  private:
+    double v_ = 0.0;
+};
+
+using Celsius = TempPoint<detail::CelsiusScaleTag>;
+using Kelvin = TempPoint<detail::KelvinScaleTag>;
+
+[[nodiscard]] constexpr Kelvin
+toKelvin(Celsius c)
+{
+    return Kelvin(c.value() + kCelsiusToKelvinOffset);
+}
+
+[[nodiscard]] constexpr Celsius
+toCelsius(Kelvin k)
+{
+    return Celsius(k.value() - kCelsiusToKelvinOffset);
+}
+
+/**
+ * Volumetric airflow in cubic feet per minute — the unit the fan
+ * curves, flow budgets and Table II/III work in. Deliberately a
+ * distinct type from the SI CubicMetersPerSec (same dimension,
+ * different unit), so the conversion is always explicit and the
+ * stored CFM magnitude is preserved exactly (no round-trip through
+ * the 4.719e-4 factor on the Table II/III hot constants).
+ */
+class Cfm final
+{
+  public:
+    constexpr Cfm() = default;
+    explicit constexpr Cfm(double flow_cfm) : v_(flow_cfm) {}
+
+    /** Raw CFM magnitude — the I/O escape hatch. */
+    [[nodiscard]] constexpr double value() const { return v_; }
+
+    constexpr Cfm &operator+=(Cfm other)
+    {
+        v_ += other.v_;
+        return *this;
+    }
+    constexpr Cfm &operator-=(Cfm other)
+    {
+        v_ -= other.v_;
+        return *this;
+    }
+    constexpr Cfm &operator*=(double scale)
+    {
+        v_ *= scale;
+        return *this;
+    }
+    constexpr Cfm &operator/=(double scale)
+    {
+        v_ /= scale;
+        return *this;
+    }
+
+    friend constexpr Cfm operator+(Cfm a, Cfm b)
+    {
+        return Cfm(a.v_ + b.v_);
+    }
+    friend constexpr Cfm operator-(Cfm a, Cfm b)
+    {
+        return Cfm(a.v_ - b.v_);
+    }
+    friend constexpr Cfm operator*(Cfm a, double scale)
+    {
+        return Cfm(a.v_ * scale);
+    }
+    friend constexpr Cfm operator*(double scale, Cfm a)
+    {
+        return Cfm(scale * a.v_);
+    }
+    friend constexpr Cfm operator/(Cfm a, double scale)
+    {
+        return Cfm(a.v_ / scale);
+    }
+    friend constexpr double operator/(Cfm a, Cfm b)
+    {
+        return a.v_ / b.v_;
+    }
+
+    friend constexpr bool operator==(Cfm a, Cfm b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool operator!=(Cfm a, Cfm b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool operator<(Cfm a, Cfm b)
+    {
+        return a.v_ < b.v_;
+    }
+    friend constexpr bool operator<=(Cfm a, Cfm b)
+    {
+        return a.v_ <= b.v_;
+    }
+    friend constexpr bool operator>(Cfm a, Cfm b)
+    {
+        return a.v_ > b.v_;
+    }
+    friend constexpr bool operator>=(Cfm a, Cfm b)
+    {
+        return a.v_ >= b.v_;
+    }
+
+  private:
+    double v_ = 0.0;
+};
+
+[[nodiscard]] constexpr CubicMetersPerSec
+toM3PerS(Cfm flow)
+{
+    return CubicMetersPerSec(flow.value() * kCfmToM3PerS);
+}
+
+[[nodiscard]] constexpr Cfm
+toCfm(CubicMetersPerSec flow)
+{
+    return Cfm(flow.value() / kCfmToM3PerS);
+}
+
+/**
+ * Unit literals: `22.0_W`, `95.0_degC`, `6.35_cfm`, `0.205_KpW`, ...
+ * An inline namespace, so `using namespace densim` suffices.
+ */
+inline namespace unit_literals {
+
+constexpr Watts operator""_W(long double v)
+{
+    return Watts(static_cast<double>(v));
+}
+constexpr Watts operator""_W(unsigned long long v)
+{
+    return Watts(static_cast<double>(v));
+}
+constexpr Joules operator""_J(long double v)
+{
+    return Joules(static_cast<double>(v));
+}
+constexpr Joules operator""_J(unsigned long long v)
+{
+    return Joules(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v)
+{
+    return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(unsigned long long v)
+{
+    return Seconds(static_cast<double>(v));
+}
+constexpr CelsiusDelta operator""_dC(long double v)
+{
+    return CelsiusDelta(static_cast<double>(v));
+}
+constexpr CelsiusDelta operator""_dC(unsigned long long v)
+{
+    return CelsiusDelta(static_cast<double>(v));
+}
+constexpr Celsius operator""_degC(long double v)
+{
+    return Celsius(static_cast<double>(v));
+}
+constexpr Celsius operator""_degC(unsigned long long v)
+{
+    return Celsius(static_cast<double>(v));
+}
+constexpr Kelvin operator""_K(long double v)
+{
+    return Kelvin(static_cast<double>(v));
+}
+constexpr Kelvin operator""_K(unsigned long long v)
+{
+    return Kelvin(static_cast<double>(v));
+}
+constexpr Cfm operator""_cfm(long double v)
+{
+    return Cfm(static_cast<double>(v));
+}
+constexpr Cfm operator""_cfm(unsigned long long v)
+{
+    return Cfm(static_cast<double>(v));
+}
+constexpr CubicMetersPerSec operator""_m3s(long double v)
+{
+    return CubicMetersPerSec(static_cast<double>(v));
+}
+constexpr CubicMetersPerSec operator""_m3s(unsigned long long v)
+{
+    return CubicMetersPerSec(static_cast<double>(v));
+}
+constexpr KelvinPerWatt operator""_KpW(long double v)
+{
+    return KelvinPerWatt(static_cast<double>(v));
+}
+constexpr KelvinPerWatt operator""_KpW(unsigned long long v)
+{
+    return KelvinPerWatt(static_cast<double>(v));
+}
+constexpr JoulePerKelvin operator""_JpK(long double v)
+{
+    return JoulePerKelvin(static_cast<double>(v));
+}
+constexpr JoulePerKelvin operator""_JpK(unsigned long long v)
+{
+    return JoulePerKelvin(static_cast<double>(v));
+}
+
+} // namespace unit_literals
+
+// Zero-overhead guarantees: every unit type is one double, trivially
+// copyable, so vectors reinterpret cleanly and hot paths see plain
+// FP arithmetic. A failure here is an ABI-breaking regression.
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(CubicMetersPerSec) == sizeof(double));
+static_assert(sizeof(CelsiusDelta) == sizeof(double));
+static_assert(sizeof(KelvinPerWatt) == sizeof(double));
+static_assert(sizeof(JoulePerKelvin) == sizeof(double));
+static_assert(sizeof(Celsius) == sizeof(double));
+static_assert(sizeof(Kelvin) == sizeof(double));
+static_assert(sizeof(Cfm) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<CubicMetersPerSec>);
+static_assert(std::is_trivially_copyable_v<CelsiusDelta>);
+static_assert(std::is_trivially_copyable_v<KelvinPerWatt>);
+static_assert(std::is_trivially_copyable_v<JoulePerKelvin>);
+static_assert(std::is_trivially_copyable_v<Celsius>);
+static_assert(std::is_trivially_copyable_v<Kelvin>);
+static_assert(std::is_trivially_copyable_v<Cfm>);
+
+// Dimensional algebra sanity (compile-time, no runtime cost).
+static_assert(std::is_same_v<decltype(Watts(1) * Seconds(1)), Joules>);
+static_assert(std::is_same_v<decltype(Watts(1) * KelvinPerWatt(1)),
+                             CelsiusDelta>);
+static_assert(std::is_same_v<decltype(CelsiusDelta(1) / Watts(1)),
+                             KelvinPerWatt>);
+static_assert(std::is_same_v<decltype(CelsiusDelta(1) / KelvinPerWatt(1)),
+                             Watts>);
+static_assert(std::is_same_v<decltype(Joules(1) / CelsiusDelta(1)),
+                             JoulePerKelvin>);
+static_assert(std::is_same_v<decltype(Joules(1) / Seconds(1)), Watts>);
+static_assert(std::is_same_v<decltype(Watts(2) / Watts(1)), double>);
+
+} // namespace densim
+
+#endif // DENSIM_CORE_UNITS_HH

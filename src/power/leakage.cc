@@ -6,10 +6,10 @@
 
 namespace densim {
 
-LeakageModel::LeakageModel(double tdp_w, double frac_at_ref, double ref_c,
+LeakageModel::LeakageModel(Watts tdp, double frac_at_ref, Celsius ref,
                            double slope_per_c)
-    : tdpW_(tdp_w), refLeakW_(tdp_w * frac_at_ref), refC_(ref_c),
-      slopePerC_(slope_per_c)
+    : tdpW_(tdp.value()), refLeakW_(tdp.value() * frac_at_ref),
+      refC_(ref.value()), slopePerC_(slope_per_c)
 {
     if (tdpW_ <= 0.0)
         fatal("LeakageModel: TDP must be positive, got ", tdpW_);
@@ -23,19 +23,19 @@ LeakageModel::LeakageModel(double tdp_w, double frac_at_ref, double ref_c,
 const LeakageModel &
 LeakageModel::x2150()
 {
-    static const LeakageModel model(22.0);
+    static const LeakageModel model(Watts(22.0));
     return model;
 }
 
-double
-LeakageModel::at(double t_c) const
+Watts
+LeakageModel::at(Celsius t) const
 {
     const double scaled =
-        refLeakW_ * (1.0 + slopePerC_ * (t_c - refC_));
+        refLeakW_ * (1.0 + slopePerC_ * (t.value() - refC_));
     // Leakage never vanishes entirely; floor at 20 % of the reference
     // value (reached ~65 C below the reference, outside operating
     // range anyway).
-    return std::max(scaled, 0.2 * refLeakW_);
+    return Watts(std::max(scaled, 0.2 * refLeakW_));
 }
 
 } // namespace densim

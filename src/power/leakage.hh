@@ -13,6 +13,8 @@
 #ifndef DENSIM_POWER_LEAKAGE_HH
 #define DENSIM_POWER_LEAKAGE_HH
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Leakage model anchored at a reference temperature. */
@@ -20,27 +22,28 @@ class LeakageModel
 {
   public:
     /**
-     * @param tdp_w Socket TDP (X2150: 22 W).
+     * @param tdp Socket TDP (X2150: 22 W).
      * @param frac_at_ref Leakage as a fraction of TDP at the
      *        reference temperature (paper: 0.30).
-     * @param ref_c Reference temperature (paper: 90 C).
+     * @param ref Reference temperature (paper: 90 C).
      * @param slope_per_c Relative leakage growth per Celsius
      *        (typical planar bulk: ~1.2 %/C).
      */
-    LeakageModel(double tdp_w, double frac_at_ref = 0.30,
-                 double ref_c = 90.0, double slope_per_c = 0.012);
+    explicit LeakageModel(Watts tdp, double frac_at_ref = 0.30,
+                          Celsius ref = Celsius(90.0),
+                          double slope_per_c = 0.012);
 
     /** X2150 leakage: 30 % of 22 W TDP at 90 C. */
     static const LeakageModel &x2150();
 
-    /** Leakage power at chip temperature @p t_c. */
-    double at(double t_c) const;
+    /** Leakage power at chip temperature @p t. */
+    Watts at(Celsius t) const;
 
     /** Leakage at the reference temperature. */
-    double atRef() const { return refLeakW_; }
+    Watts atRef() const { return Watts(refLeakW_); }
 
-    double tdp() const { return tdpW_; }
-    double refTemperature() const { return refC_; }
+    Watts tdp() const { return Watts(tdpW_); }
+    Celsius refTemperature() const { return Celsius(refC_); }
 
   private:
     double tdpW_;

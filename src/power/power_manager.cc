@@ -5,10 +5,10 @@
 namespace densim {
 
 PowerManager::PowerManager(const PStateTable &pstate_table,
-                           SimplePeakModel peak_model, double t_limit_c,
+                           SimplePeakModel peak_model, Celsius t_limit,
                            double gated_frac_tdp)
-    : table_(pstate_table), peak_(peak_model), tLimitC_(t_limit_c),
-      gatedFracTdp_(gated_frac_tdp)
+    : table_(pstate_table), peak_(peak_model),
+      tLimitC_(t_limit.value()), gatedFracTdp_(gated_frac_tdp)
 {
     if (tLimitC_ <= 0.0)
         fatal("PowerManager: temperature limit must be positive, got ",
@@ -29,43 +29,44 @@ PowerManager::checkCurve(const FreqCurve &curve) const
     }
 }
 
-double
+Watts
 PowerManager::dynamicPower(const FreqCurve &curve,
                            const LeakageModel &leak, std::size_t i) const
 {
     checkCurve(curve);
     if (i >= table_.size())
         panic("P-state index ", i, " out of range");
-    const double dyn =
-        curve.totalPowerAt90C[i] - leak.at(leak.refTemperature());
+    const double dyn = curve.totalPowerAt90C[i] -
+                       leak.at(leak.refTemperature()).value();
     if (dyn < 0.0)
         fatal("FreqCurve power at state ", i, " (",
               curve.totalPowerAt90C[i],
               " W) is below reference leakage (",
-              leak.at(leak.refTemperature()), " W)");
-    return dyn;
+              leak.at(leak.refTemperature()).value(), " W)");
+    return Watts(dyn);
 }
 
-double
+Watts
 PowerManager::totalPower(const FreqCurve &curve, const LeakageModel &leak,
-                         std::size_t i, double chip_c) const
+                         std::size_t i, Celsius chip) const
 {
-    return dynamicPower(curve, leak, i) + leak.at(chip_c);
+    return Watts(dynamicPower(curve, leak, i).value() +
+                 leak.at(chip).value());
 }
 
 DvfsDecision
 PowerManager::chooseAtAmbient(const FreqCurve &curve,
-                              const LeakageModel &leak, double ambient_c,
+                              const LeakageModel &leak, Celsius ambient,
                               const HeatSink &sink) const
 {
-    return chooseAtAmbientCapped(curve, leak, ambient_c, sink,
+    return chooseAtAmbientCapped(curve, leak, ambient, sink,
                                  table_.size() - 1);
 }
 
 DvfsDecision
 PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
                                     const LeakageModel &leak,
-                                    double ambient_c,
+                                    Celsius ambient,
                                     const HeatSink &sink,
                                     std::size_t max_pstate) const
 {
@@ -79,14 +80,17 @@ PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
         // 90 C-characterized power, correct leakage for the estimated
         // temperature, and re-estimate.
         const double p90 = curve.totalPowerAt90C[idx];
-        const double t1 = peak_.peak(ambient_c, p90, sink);
-        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
-        const double t2 = peak_.peak(ambient_c, p2, sink);
+        const double t1 =
+            peak_.peak(ambient, Watts(p90), sink).value();
+        const double p2 = dynamicPower(curve, leak, idx).value() +
+                          leak.at(Celsius(t1)).value();
+        const double t2 =
+            peak_.peak(ambient, Watts(p2), sink).value();
         if (t2 <= tLimitC_ || idx == 0) {
             decision.pstate = idx;
             decision.freqMhz = table_.at(idx).freqMhz;
-            decision.powerW = p2;
-            decision.predictedPeakC = t2;
+            decision.power = Watts(p2);
+            decision.predictedPeak = Celsius(t2);
             decision.feasible = t2 <= tLimitC_;
             return decision;
         }
@@ -96,27 +100,32 @@ PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
 
 DvfsDecision
 PowerManager::chooseSteady(const FreqCurve &curve,
-                           const LeakageModel &leak, double entry_c,
-                           double kappa_local,
+                           const LeakageModel &leak, Celsius entry,
+                           KelvinPerWatt kappa_local,
                            const HeatSink &sink) const
 {
     checkCurve(curve);
+    const double entry_c = entry.value();
+    const double kappa = kappa_local.value();
     DvfsDecision decision{};
     for (std::size_t idx = table_.size(); idx-- > 0;) {
         const double p90 = curve.totalPowerAt90C[idx];
         // First pass: ambient from the 90 C-characterized power.
-        const double t1 =
-            peak_.peak(entry_c + kappa_local * p90, p90, sink);
+        const double t1 = peak_.peak(Celsius(entry_c + kappa * p90),
+                                     Watts(p90), sink)
+                              .value();
         // Second pass: leakage-corrected power, self-consistent
         // ambient.
-        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
-        const double t2 =
-            peak_.peak(entry_c + kappa_local * p2, p2, sink);
+        const double p2 = dynamicPower(curve, leak, idx).value() +
+                          leak.at(Celsius(t1)).value();
+        const double t2 = peak_.peak(Celsius(entry_c + kappa * p2),
+                                     Watts(p2), sink)
+                              .value();
         if (t2 <= tLimitC_ || idx == 0) {
             decision.pstate = idx;
             decision.freqMhz = table_.at(idx).freqMhz;
-            decision.powerW = p2;
-            decision.predictedPeakC = t2;
+            decision.power = Watts(p2);
+            decision.predictedPeak = Celsius(t2);
             decision.feasible = t2 <= tLimitC_;
             return decision;
         }
@@ -127,25 +136,27 @@ PowerManager::chooseSteady(const FreqCurve &curve,
 DvfsDecision
 PowerManager::chooseWithSinkState(const FreqCurve &curve,
                                   const LeakageModel &leak,
-                                  double ambient_c, double sink_rise_c,
+                                  Celsius ambient, CelsiusDelta sink_rise,
                                   const HeatSink &sink) const
 {
     checkCurve(curve);
-    const double base = ambient_c + sink_rise_c;
+    const double base = ambient.value() + sink_rise.value();
+    const double r_int = peak_.rInt().value();
     auto instant_peak = [&](double p) {
-        return base + p * peak_.rInt() + sink.theta(p);
+        return base + p * r_int + sink.theta(Watts(p)).value();
     };
     DvfsDecision decision{};
     for (std::size_t idx = table_.size(); idx-- > 0;) {
         const double p90 = curve.totalPowerAt90C[idx];
         const double t1 = instant_peak(p90);
-        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double p2 = dynamicPower(curve, leak, idx).value() +
+                          leak.at(Celsius(t1)).value();
         const double t2 = instant_peak(p2);
         if (t2 <= tLimitC_ || idx == 0) {
             decision.pstate = idx;
             decision.freqMhz = table_.at(idx).freqMhz;
-            decision.powerW = p2;
-            decision.predictedPeakC = t2;
+            decision.power = Watts(p2);
+            decision.predictedPeak = Celsius(t2);
             decision.feasible = t2 <= tLimitC_;
             return decision;
         }
@@ -155,27 +166,31 @@ PowerManager::chooseWithSinkState(const FreqCurve &curve,
 
 DvfsDecision
 PowerManager::chooseResponsive(const FreqCurve &curve,
-                               const LeakageModel &leak, double entry_c,
-                               double kappa_local, double sink_rise_c,
+                               const LeakageModel &leak, Celsius entry,
+                               KelvinPerWatt kappa_local,
+                               CelsiusDelta sink_rise,
                                const HeatSink &sink) const
 {
     checkCurve(curve);
-    const double base = entry_c + sink_rise_c;
+    const double base = entry.value() + sink_rise.value();
+    const double kappa = kappa_local.value();
+    const double r_int = peak_.rInt().value();
     auto instant_peak = [&](double p) {
-        return base + kappa_local * p + p * peak_.rInt() +
-               sink.theta(p);
+        return base + kappa * p + p * r_int +
+               sink.theta(Watts(p)).value();
     };
     DvfsDecision decision{};
     for (std::size_t idx = table_.size(); idx-- > 0;) {
         const double p90 = curve.totalPowerAt90C[idx];
         const double t1 = instant_peak(p90);
-        const double p2 = dynamicPower(curve, leak, idx) + leak.at(t1);
+        const double p2 = dynamicPower(curve, leak, idx).value() +
+                          leak.at(Celsius(t1)).value();
         const double t2 = instant_peak(p2);
         if (t2 <= tLimitC_ || idx == 0) {
             decision.pstate = idx;
             decision.freqMhz = table_.at(idx).freqMhz;
-            decision.powerW = p2;
-            decision.predictedPeakC = t2;
+            decision.power = Watts(p2);
+            decision.predictedPeak = Celsius(t2);
             decision.feasible = t2 <= tLimitC_;
             return decision;
         }
@@ -183,10 +198,10 @@ PowerManager::chooseResponsive(const FreqCurve &curve,
     panic("unreachable: P-state loop fell through");
 }
 
-double
+Watts
 PowerManager::gatedPower(const LeakageModel &leak) const
 {
-    return gatedFracTdp_ * leak.tdp();
+    return Watts(gatedFracTdp_ * leak.tdp().value());
 }
 
 } // namespace densim

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/units.hh"
 #include "power/leakage.hh"
 #include "power/pstate.hh"
 #include "thermal/heatsink.hh"
@@ -42,13 +43,13 @@ struct FreqCurve
 /** Outcome of a DVFS decision. */
 struct DvfsDecision
 {
-    std::size_t pstate;     //!< Chosen P-state index.
-    double freqMhz;         //!< Chosen frequency.
-    double powerW;          //!< Predicted total socket power.
-    double predictedPeakC;  //!< Predicted peak chip temperature.
-    bool feasible;          //!< False if even the slowest state
-                            //!< violates the limit (we still run at
-                            //!< the slowest state then).
+    std::size_t pstate;    //!< Chosen P-state index.
+    double freqMhz;        //!< Chosen frequency.
+    Watts power;           //!< Predicted total socket power.
+    Celsius predictedPeak; //!< Predicted peak chip temperature.
+    bool feasible;         //!< False if even the slowest state
+                           //!< violates the limit (we still run at
+                           //!< the slowest state then).
 };
 
 /** DVFS + gating policy engine. */
@@ -58,12 +59,13 @@ class PowerManager
     /**
      * @param table P-state table.
      * @param peak Eq. (1) evaluator.
-     * @param t_limit_c Junction temperature limit (Table III: 95 C).
+     * @param t_limit Junction temperature limit (Table III: 95 C).
      * @param gated_frac_tdp Power of a gated socket as a fraction of
      *        TDP (paper: 0.10).
      */
     PowerManager(const PStateTable &table, SimplePeakModel peak,
-                 double t_limit_c = 95.0, double gated_frac_tdp = 0.10);
+                 Celsius t_limit = Celsius(95.0),
+                 double gated_frac_tdp = 0.10);
 
     /**
      * Pick the highest feasible P-state given the *current* socket
@@ -73,7 +75,7 @@ class PowerManager
      */
     DvfsDecision chooseAtAmbient(const FreqCurve &curve,
                                  const LeakageModel &leak,
-                                 double ambient_c,
+                                 Celsius ambient,
                                  const HeatSink &sink) const;
 
     /**
@@ -85,14 +87,14 @@ class PowerManager
      */
     DvfsDecision chooseAtAmbientCapped(const FreqCurve &curve,
                                        const LeakageModel &leak,
-                                       double ambient_c,
+                                       Celsius ambient,
                                        const HeatSink &sink,
                                        std::size_t max_pstate) const;
 
     /**
      * Pick the highest P-state whose *instantaneous* peak stays under
      * the limit given the current ambient and the current heatsink
-     * thermal rise @p sink_rise_c (the slow 30 s state):
+     * thermal rise @p sink_rise (the slow 30 s state):
      *
      *   T = T_amb + sinkRise + P * R_int + theta(P, sink)
      *
@@ -102,14 +104,14 @@ class PowerManager
      */
     DvfsDecision chooseWithSinkState(const FreqCurve &curve,
                                      const LeakageModel &leak,
-                                     double ambient_c,
-                                     double sink_rise_c,
+                                     Celsius ambient,
+                                     CelsiusDelta sink_rise,
                                      const HeatSink &sink) const;
 
     /**
      * The simulator's per-epoch governor: like chooseWithSinkState,
      * but the ambient is decomposed into the upstream part
-     * @p entry_c plus the self-recirculation kappa * P, which depends
+     * @p entry plus the self-recirculation kappa * P, which depends
      * on the candidate power and is therefore resolved inside the
      * P-state search:
      *
@@ -117,36 +119,37 @@ class PowerManager
      */
     DvfsDecision chooseResponsive(const FreqCurve &curve,
                                   const LeakageModel &leak,
-                                  double entry_c, double kappa_local,
-                                  double sink_rise_c,
+                                  Celsius entry,
+                                  KelvinPerWatt kappa_local,
+                                  CelsiusDelta sink_rise,
                                   const HeatSink &sink) const;
 
     /**
      * Pick the highest feasible P-state for the *steady state* a job
      * would reach on a socket whose air entry temperature is
-     * @p entry_c, accounting for the local-recirculation ambient rise
+     * @p entry, accounting for the local-recirculation ambient rise
      * kappa * P. This is the prediction the Predictive and
      * CouplingPredictor schedulers use (Sec. IV-C: estimate
      * temperature, compensate leakage, re-estimate).
      */
     DvfsDecision chooseSteady(const FreqCurve &curve,
-                              const LeakageModel &leak, double entry_c,
-                              double kappa_local,
+                              const LeakageModel &leak, Celsius entry,
+                              KelvinPerWatt kappa_local,
                               const HeatSink &sink) const;
 
-    /** Total power at state @p i for chip temperature @p chip_c. */
-    double totalPower(const FreqCurve &curve, const LeakageModel &leak,
-                      std::size_t i, double chip_c) const;
+    /** Total power at state @p i for chip temperature @p chip. */
+    Watts totalPower(const FreqCurve &curve, const LeakageModel &leak,
+                     std::size_t i, Celsius chip) const;
 
     /** Dynamic (leakage-free) power at state @p i. */
-    double dynamicPower(const FreqCurve &curve,
-                        const LeakageModel &leak, std::size_t i) const;
+    Watts dynamicPower(const FreqCurve &curve,
+                       const LeakageModel &leak, std::size_t i) const;
 
     /** Power drawn by a power-gated idle socket. */
-    double gatedPower(const LeakageModel &leak) const;
+    Watts gatedPower(const LeakageModel &leak) const;
 
     const PStateTable &pstates() const { return table_; }
-    double temperatureLimit() const { return tLimitC_; }
+    Celsius temperatureLimit() const { return Celsius(tLimitC_); }
     const SimplePeakModel &peakModel() const { return peak_; }
 
   private:

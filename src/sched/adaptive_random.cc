@@ -6,7 +6,8 @@
 
 namespace densim {
 
-AdaptiveRandom::AdaptiveRandom(double band_c) : bandC_(band_c)
+AdaptiveRandom::AdaptiveRandom(CelsiusDelta band)
+    : bandC_(band.value())
 {
     if (bandC_ < 0.0)
         fatal("AdaptiveRandom: band must be non-negative, got ", bandC_);

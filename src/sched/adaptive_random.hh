@@ -20,10 +20,10 @@ class AdaptiveRandom : public Scheduler
 {
   public:
     /**
-     * @param band_c Temperature band (C) counted as a tie for both
-     *        the instantaneous and historical filters.
+     * @param band Temperature band counted as a tie for both the
+     *        instantaneous and historical filters.
      */
-    explicit AdaptiveRandom(double band_c = 1.0);
+    explicit AdaptiveRandom(CelsiusDelta band = CelsiusDelta(1.0));
 
     const char *name() const override { return "A-Random"; }
     std::size_t pick(const Job &job, const SchedContext &ctx) override;

@@ -31,20 +31,21 @@ CouplingPredictor::pickWithin(const Job &job, const SchedContext &ctx,
             downstreamWeight_ == 0.0
                 ? 0.0
                 : downstreamWeight_ *
-                      downstreamPenaltyMhz(ctx, s, d.powerW);
+                      downstreamPenaltyMhz(ctx, s, d.power);
         const double score = d.freqMhz - penalty;
         // Primary: net frequency benefit. Secondary: most thermal
         // headroom (the placement keeps its frequency longest).
         // Remaining ties: uniform random.
+        const double peak_c = d.predictedPeak.value();
         if (score > best_score + 1e-9 ||
             (score > best_score - 1e-9 &&
-             d.predictedPeakC < best_peak - 1e-9)) {
+             peak_c < best_peak - 1e-9)) {
             best_score = score;
-            best_peak = d.predictedPeakC;
+            best_peak = peak_c;
             best = s;
             n_best = 1;
         } else if (score > best_score - 1e-9 &&
-                   d.predictedPeakC < best_peak + 1e-9) {
+                   peak_c < best_peak + 1e-9) {
             ++n_best;
             if (ctx.rng->nextBounded(n_best) == 0)
                 best = s;

@@ -13,7 +13,7 @@ MinHr::pick(const Job &job, const SchedContext &ctx)
         // The offline profiling pass: one fixed map per server.
         impact_.resize(ctx.coupling->size());
         for (std::size_t s = 0; s < impact_.size(); ++s)
-            impact_[s] = ctx.coupling->downstreamImpact(s);
+            impact_[s] = ctx.coupling->downstreamImpact(s).value();
         cachedFor_ = ctx.coupling;
     }
 

@@ -21,9 +21,9 @@ predictPlacement(const SchedContext &ctx, std::size_t socket,
     const std::size_t cap = (*ctx.boostCreditS)[socket] > 0.0
                                 ? table.size() - 1
                                 : table.highestSustainedIndex();
-    return ctx.pm->chooseAtAmbientCapped(freqCurveFor(set), *ctx.leak,
-                                         (*ctx.ambientC)[socket],
-                                         ctx.topo->sinkOf(socket), cap);
+    return ctx.pm->chooseAtAmbientCapped(
+        freqCurveFor(set), *ctx.leak, Celsius((*ctx.ambientC)[socket]),
+        ctx.topo->sinkOf(socket), cap);
 }
 
 double
@@ -38,15 +38,16 @@ mhzPerCelsius(const SchedContext &ctx, WorkloadSet set,
         curve.totalPowerAt90C.back() - curve.totalPowerAt90C.front();
     const double f_span =
         table.fastest().freqMhz - table.slowest().freqMhz;
-    const double r_total = ctx.pm->peakModel().rInt() + sink.rExt;
+    const double r_total =
+        (ctx.pm->peakModel().rInt() + sink.rExt).value();
     return f_span / (p_span * r_total);
 }
 
 double
 downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
-                     double job_power_w)
+                     Watts job_power)
 {
-    const double extra = job_power_w - (*ctx.powerW)[socket];
+    const double extra = job_power.value() - (*ctx.powerW)[socket];
     if (extra <= 0.0)
         return 0.0;
 
@@ -57,7 +58,7 @@ downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
         // Table lookup (Sec. IV-C): the placement's extra heat will
         // raise the downstream socket's ambient by coeff * dP once
         // the field settles.
-        const double dt = ctx.coupling->coeff(socket, d) * extra;
+        const double dt = ctx.coupling->coeff(socket, d).value() * extra;
         const double amb_new = (*ctx.ambientC)[d] + dt;
         const auto &table = ctx.pm->pstates();
         const std::size_t cap = (*ctx.boostCreditS)[d] > 0.0
@@ -66,7 +67,7 @@ downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
         const WorkloadSet set = (*ctx.runningSet)[d];
         const HeatSink &sink = ctx.topo->sinkOf(d);
         const DvfsDecision decision = ctx.pm->chooseAtAmbientCapped(
-            freqCurveFor(set), *ctx.leak, amb_new, sink, cap);
+            freqCurveFor(set), *ctx.leak, Celsius(amb_new), sink, cap);
         const double discrete =
             std::max(0.0, (*ctx.freqMhz)[d] - decision.freqMhz);
         if (discrete > 0.0) {

@@ -26,7 +26,7 @@ DvfsDecision predictPlacement(const SchedContext &ctx,
 
 /**
  * Predicted aggregate frequency loss (MHz) across sockets downstream
- * of @p socket if a job drawing @p job_power_w were placed there.
+ * of @p socket if a job drawing @p job_power were placed there.
  * For each busy downstream socket the job's extra heat raises the
  * ambient by coeff * (P_job - P_current); if the re-predicted
  * frequency drops below the current one, that discrete loss is
@@ -37,7 +37,7 @@ DvfsDecision predictPlacement(const SchedContext &ctx,
  * downstream sockets contribute nothing (nothing to slow down).
  */
 double downstreamPenaltyMhz(const SchedContext &ctx, std::size_t socket,
-                            double job_power_w);
+                            Watts job_power);
 
 /**
  * Expected frequency sensitivity of a socket with heat sink @p sink

@@ -16,15 +16,16 @@ Predictive::pick(const Job &job, const SchedContext &ctx)
         // Primary: fastest predicted frequency. Secondary: most
         // thermal headroom. Remaining ties: uniform random (reservoir
         // sampling) so equivalent rows share load.
+        const double peak_c = d.predictedPeak.value();
         if (d.freqMhz > best_freq + 1e-9 ||
             (d.freqMhz > best_freq - 1e-9 &&
-             d.predictedPeakC < best_peak - 1e-9)) {
+             peak_c < best_peak - 1e-9)) {
             best_freq = d.freqMhz;
-            best_peak = d.predictedPeakC;
+            best_peak = peak_c;
             best = s;
             n_best = 1;
         } else if (d.freqMhz > best_freq - 1e-9 &&
-                   d.predictedPeakC < best_peak + 1e-9) {
+                   peak_c < best_peak + 1e-9) {
             ++n_best;
             if (ctx.rng->nextBounded(n_best) == 0)
                 best = s;

@@ -158,10 +158,10 @@ ServerTopology::degreeOfCoupling() const
     return zonesPerRow() * spec_.socketsPerZone;
 }
 
-double
+Cfm
 ServerTopology::zoneCfm() const
 {
-    return spec_.perSocketCfm * spec_.socketsPerZone;
+    return Cfm(spec_.perSocketCfm * spec_.socketsPerZone);
 }
 
 } // namespace densim

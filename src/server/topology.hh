@@ -37,8 +37,8 @@ struct TopologySpec
     int socketsPerZone = 2;      //!< Side-by-side sockets per zone.
     double intraZoneSpacingInch = 1.6; //!< Zone pitch in a cartridge.
     double interCartridgeGapInch = 3.0; //!< Gap between cartridges.
-    double perSocketCfm = 6.35;  //!< Airflow share per socket.
-    double inletC = 18.0;        //!< Server inlet air temperature.
+    double perSocketCfm = 6.35;  //!< Airflow share per socket, CFM.
+    double inletC = 18.0;        //!< Server inlet air temperature, C.
     /**
      * Assign sinks by row parity (even rows 18-fin, odd rows 30-fin)
      * instead of zone parity — used by the Fig. 3 uncoupled build,
@@ -46,6 +46,15 @@ struct TopologySpec
      * keep the coupled build's sink mix.
      */
     bool alternateSinksByRow = false;
+
+    // The raw-double fields above are the config_io boundary; typed
+    // views for model code:
+
+    /** Per-socket airflow share as a typed quantity. */
+    Cfm perSocketFlow() const { return Cfm(perSocketCfm); }
+
+    /** Inlet air temperature as a typed quantity. */
+    Celsius inlet() const { return Celsius(inletC); }
 };
 
 /** Immutable geometry of one server. */
@@ -114,7 +123,7 @@ class ServerTopology
     int degreeOfCoupling() const;
 
     /** Airflow shared at one zone station of a duct. */
-    double zoneCfm() const;
+    Cfm zoneCfm() const;
 
     const TopologySpec &spec() const { return spec_; }
 

@@ -108,7 +108,9 @@ summarize(const std::vector<SurveyRecord> &records)
         summary.count = static_cast<int>(power.count());
         summary.meanPowerPerU = power.mean();
         summary.meanSocketsPerU = sockets.mean();
-        summary.cfmPerU20C = requiredAirflow(power.mean(), 20.0);
+        summary.cfmPerU20C =
+            requiredAirflow(Watts(power.mean()), CelsiusDelta(20.0))
+                .value();
         summaries.push_back(summary);
     }
     return summaries;

@@ -30,9 +30,9 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
         fatal("CouplingMap: vertical leak ", params_.verticalLeak,
               " outside [0, 1]");
     for (const SocketSite &s : sites_) {
-        if (s.ductCfm <= 0.0)
+        if (s.ductCfm.value() <= 0.0)
             fatal("CouplingMap: duct airflow must be positive, got ",
-                  s.ductCfm);
+                  s.ductCfm.value());
     }
 
     const std::size_t n = sites_.size();
@@ -91,7 +91,7 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
             const double gamma =
                 params_.mixFactor * decay * vertical;
             const double air = kCelsiusPerWattPerCfm * gamma /
-                               sites_[to].ductCfm;
+                               sites_[to].ductCfm.value();
             airMatrix_[from * n + to] = air;
             ambMatrix_[from * n + to] = air * params_.wakeFactor;
             impact_[from] += air * params_.wakeFactor;
@@ -108,20 +108,20 @@ CouplingMap::checkIndex(std::size_t i) const
               sites_.size(), ")");
 }
 
-double
+KelvinPerWatt
 CouplingMap::coeff(std::size_t from, std::size_t to) const
 {
     checkIndex(from);
     checkIndex(to);
-    return ambMatrix_[from * sites_.size() + to];
+    return KelvinPerWatt(ambMatrix_[from * sites_.size() + to]);
 }
 
-double
+KelvinPerWatt
 CouplingMap::airCoeff(std::size_t from, std::size_t to) const
 {
     checkIndex(from);
     checkIndex(to);
-    return airMatrix_[from * sites_.size() + to];
+    return KelvinPerWatt(airMatrix_[from * sites_.size() + to]);
 }
 
 namespace {
@@ -138,39 +138,41 @@ columnDot(const std::vector<double> &matrix, std::size_t n,
 
 } // namespace
 
-double
+Celsius
 CouplingMap::entryTemp(std::size_t i,
                        const std::vector<double> &powers_w,
-                       double inlet_c) const
+                       Celsius inlet) const
 {
     checkIndex(i);
     if (powers_w.size() != sites_.size())
         panic("CouplingMap::entryTemp: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
-    return inlet_c + columnDot(airMatrix_, sites_.size(), i, powers_w);
+    return Celsius(inlet.value() +
+                   columnDot(airMatrix_, sites_.size(), i, powers_w));
 }
 
-double
+Celsius
 CouplingMap::ambientEntryTemp(std::size_t i,
                               const std::vector<double> &powers_w,
-                              double inlet_c) const
+                              Celsius inlet) const
 {
     checkIndex(i);
     if (powers_w.size() != sites_.size())
         panic("CouplingMap::ambientEntryTemp: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
-    return inlet_c + columnDot(ambMatrix_, sites_.size(), i, powers_w);
+    return Celsius(inlet.value() +
+                   columnDot(ambMatrix_, sites_.size(), i, powers_w));
 }
 
 std::vector<double>
 CouplingMap::entryTemps(const std::vector<double> &powers_w,
-                        double inlet_c) const
+                        Celsius inlet) const
 {
     if (powers_w.size() != sites_.size())
         panic("CouplingMap::entryTemps: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
     const std::size_t n = sites_.size();
-    std::vector<double> temps(n, inlet_c);
+    std::vector<double> temps(n, inlet.value());
     for (std::size_t j = 0; j < n; ++j) {
         const double p = powers_w[j];
         if (p == 0.0)
@@ -184,13 +186,13 @@ CouplingMap::entryTemps(const std::vector<double> &powers_w,
 
 std::vector<double>
 CouplingMap::ambientEntryTemps(const std::vector<double> &powers_w,
-                               double inlet_c) const
+                               Celsius inlet) const
 {
     if (powers_w.size() != sites_.size())
         panic("CouplingMap::ambientEntryTemps: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
     const std::size_t n = sites_.size();
-    std::vector<double> temps(n, inlet_c);
+    std::vector<double> temps(n, inlet.value());
     for (std::size_t j = 0; j < n; ++j) {
         const double p = powers_w[j];
         if (p == 0.0)
@@ -202,24 +204,24 @@ CouplingMap::ambientEntryTemps(const std::vector<double> &powers_w,
     return temps;
 }
 
-double
+Celsius
 CouplingMap::ambientTemp(std::size_t i,
                          const std::vector<double> &powers_w,
-                         double inlet_c) const
+                         Celsius inlet) const
 {
-    return ambientEntryTemp(i, powers_w, inlet_c) +
-           params_.kappaLocal * powers_w[i];
+    return Celsius(ambientEntryTemp(i, powers_w, inlet).value() +
+                   params_.kappaLocal * powers_w[i]);
 }
 
 std::vector<double>
 CouplingMap::ambientTemps(const std::vector<double> &powers_w,
-                          double inlet_c) const
+                          Celsius inlet) const
 {
     if (powers_w.size() != sites_.size())
         panic("CouplingMap::ambientTemps: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
     const std::size_t n = sites_.size();
-    std::vector<double> temps(n, inlet_c);
+    std::vector<double> temps(n, inlet.value());
     for (std::size_t j = 0; j < n; ++j) {
         const double p = powers_w[j];
         if (p == 0.0)
@@ -254,10 +256,11 @@ CouplingMap::applyPowerDelta(std::vector<double> &temps,
 
 void
 CouplingMap::checkAmbientFieldPhysics(
-    const std::vector<double> &powers_w, double inlet_c,
+    const std::vector<double> &powers_w, Celsius inlet,
     const std::vector<double> &field_c) const
 {
 #if DENSIM_ENABLE_CHECKS
+    const double inlet_c = inlet.value();
     const std::size_t n = sites_.size();
     DENSIM_CHECK(powers_w.size() == n && field_c.size() == n,
                  "CouplingMap: field/power size mismatch");
@@ -280,7 +283,7 @@ CouplingMap::checkAmbientFieldPhysics(
                      " ambient ", field_c[i],
                      " C below the inlet — heated air cannot cool");
         const double bound = amp * kCelsiusPerWattPerCfm * total_w /
-                                 sites_[i].ductCfm +
+                                 sites_[i].ductCfm.value() +
                              params_.kappaLocal * powers_w[i];
         DENSIM_CHECK(rise <= bound + tol, "CouplingMap: socket ", i,
                      " ambient rise ", rise,
@@ -288,16 +291,16 @@ CouplingMap::checkAmbientFieldPhysics(
     }
 #else
     (void)powers_w;
-    (void)inlet_c;
+    (void)inlet;
     (void)field_c;
 #endif
 }
 
-double
+KelvinPerWatt
 CouplingMap::downstreamImpact(std::size_t from) const
 {
     checkIndex(from);
-    return impact_[from];
+    return KelvinPerWatt(impact_[from]);
 }
 
 const std::vector<std::size_t> &

@@ -42,6 +42,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Position of one socket within the airflow network. */
@@ -49,7 +51,7 @@ struct SocketSite
 {
     double streamPosInch; //!< Station along the duct (inlet = 0).
     int duct;             //!< Parallel duct (row) index.
-    double ductCfm;       //!< Airflow shared at one duct station.
+    Cfm ductCfm;          //!< Airflow shared at one duct station.
 };
 
 /** Tunable physics of the coupling model. */
@@ -100,35 +102,42 @@ class CouplingMap
      * @p to in the same duct). Wake-amplified; this is the
      * scheduling-relevant coefficient.
      */
-    double coeff(std::size_t from, std::size_t to) const;
+    KelvinPerWatt coeff(std::size_t from, std::size_t to) const;
 
     /** Duct-mean *air entry* rise at @p to per watt at @p from. */
-    double airCoeff(std::size_t from, std::size_t to) const;
+    KelvinPerWatt airCoeff(std::size_t from, std::size_t to) const;
 
     /** Self-ambient rise per own watt (kappaLocal). */
-    double kappaLocal() const { return params_.kappaLocal; }
+    KelvinPerWatt kappaLocal() const
+    {
+        return KelvinPerWatt(params_.kappaLocal);
+    }
 
-    /** Duct-mean air entry temperature of every socket (reporting). */
+    /**
+     * Duct-mean air entry temperature of every socket (reporting).
+     * Bulk power/temperature fields stay raw doubles across this
+     * interface — the engine's hot-path boundary (DESIGN.md Sec. 9).
+     */
     std::vector<double> entryTemps(const std::vector<double> &powers_w,
-                                   double inlet_c) const;
+                                   Celsius inlet) const;
 
     /** Duct-mean air entry temperature of one socket. */
-    double entryTemp(std::size_t i, const std::vector<double> &powers_w,
-                     double inlet_c) const;
+    Celsius entryTemp(std::size_t i, const std::vector<double> &powers_w,
+                      Celsius inlet) const;
 
     /**
      * Upstream (wake-amplified) part of the socket ambient — the
      * ambient a socket would see if it drew no power itself. The
      * scheduler's prediction entry point.
      */
-    double ambientEntryTemp(std::size_t i,
-                            const std::vector<double> &powers_w,
-                            double inlet_c) const;
+    Celsius ambientEntryTemp(std::size_t i,
+                             const std::vector<double> &powers_w,
+                             Celsius inlet) const;
 
     /** Vector form of ambientEntryTemp for all sockets. */
     std::vector<double>
     ambientEntryTemps(const std::vector<double> &powers_w,
-                      double inlet_c) const;
+                      Celsius inlet) const;
 
     /**
      * Socket ambient temperatures: inlet + wake-amplified upstream
@@ -136,12 +145,12 @@ class CouplingMap
      * means for the SUT.
      */
     std::vector<double> ambientTemps(const std::vector<double> &powers_w,
-                                     double inlet_c) const;
+                                     Celsius inlet) const;
 
     /** Ambient temperature of one socket. */
-    double ambientTemp(std::size_t i,
-                       const std::vector<double> &powers_w,
-                       double inlet_c) const;
+    Celsius ambientTemp(std::size_t i,
+                        const std::vector<double> &powers_w,
+                        Celsius inlet) const;
 
     /**
      * Incrementally update an ambientTemps() field for one socket's
@@ -160,7 +169,7 @@ class CouplingMap
      * coeff(from, i) over all sockets i. This is exactly the offline
      * "heat recirculation factor" map the MinHR policy consumes.
      */
-    double downstreamImpact(std::size_t from) const;
+    KelvinPerWatt downstreamImpact(std::size_t from) const;
 
     /** Indices of sockets strictly downstream of @p from. */
     const std::vector<std::size_t> &
@@ -179,7 +188,7 @@ class CouplingMap
      * see at its next refresh.
      */
     void checkAmbientFieldPhysics(const std::vector<double> &powers_w,
-                                  double inlet_c,
+                                  Celsius inlet,
                                   const std::vector<double> &field_c)
         const;
 

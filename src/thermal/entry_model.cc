@@ -7,26 +7,26 @@
 namespace densim {
 
 EntryChainResult
-serialChainEntryTemps(int degree_of_coupling, double socket_power_w,
-                      double per_socket_cfm, double inlet_c)
+serialChainEntryTemps(int degree_of_coupling, Watts socket_power,
+                      Cfm per_socket_flow, Celsius inlet)
 {
     if (degree_of_coupling < 1)
         fatal("serialChainEntryTemps: degree of coupling must be >= 1, "
               "got ",
               degree_of_coupling);
-    const double step =
-        airTemperatureRise(socket_power_w, per_socket_cfm);
+    const CelsiusDelta step =
+        airTemperatureRise(socket_power, per_socket_flow);
 
     EntryChainResult result;
-    result.entryTempsC.reserve(degree_of_coupling);
+    result.entryTemps.reserve(degree_of_coupling);
     RunningStats stats;
     for (int k = 0; k < degree_of_coupling; ++k) {
-        const double t = inlet_c + step * k;
-        result.entryTempsC.push_back(t);
-        stats.add(t);
+        const Celsius t = inlet + step * static_cast<double>(k);
+        result.entryTemps.push_back(t);
+        stats.add(t.value());
     }
-    result.meanC = stats.mean();
-    result.meanRiseC = stats.mean() - inlet_c;
+    result.mean = Celsius(stats.mean());
+    result.meanRise = result.mean - inlet;
     result.cov = stats.cov();
     return result;
 }

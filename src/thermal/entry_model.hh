@@ -17,26 +17,28 @@
 
 #include <vector>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Result of the serial-chain entry-temperature analysis. */
 struct EntryChainResult
 {
-    std::vector<double> entryTempsC; //!< Absolute entry temps, C.
-    double meanC;                    //!< Mean absolute entry temp.
-    double meanRiseC;                //!< Mean rise above inlet.
+    std::vector<Celsius> entryTemps; //!< Absolute entry temperatures.
+    Celsius mean;                    //!< Mean absolute entry temp.
+    CelsiusDelta meanRise;           //!< Mean rise above inlet.
     double cov;                      //!< CoV of absolute entry temps.
 };
 
 /**
  * Entry temperatures along a serial chain of @p degree_of_coupling
- * sockets, each dissipating @p socket_power_w into
- * @p per_socket_cfm of airflow, with inlet air at @p inlet_c.
+ * sockets, each dissipating @p socket_power into @p per_socket_flow
+ * of airflow, with inlet air at @p inlet.
  */
 EntryChainResult serialChainEntryTemps(int degree_of_coupling,
-                                       double socket_power_w,
-                                       double per_socket_cfm,
-                                       double inlet_c);
+                                       Watts socket_power,
+                                       Cfm per_socket_flow,
+                                       Celsius inlet);
 
 } // namespace densim
 

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <numbers>
 
-#include "airflow/first_law.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -11,14 +10,18 @@ namespace densim {
 const HeatSink &
 HeatSink::fin18()
 {
-    static const HeatSink sink{"18-fin", 18, 1.578, {4.41, -0.0896}};
+    static const HeatSink sink{"18-fin", 18, KelvinPerWatt(1.578),
+                               {CelsiusDelta(4.41),
+                                KelvinPerWatt(-0.0896)}};
     return sink;
 }
 
 const HeatSink &
 HeatSink::fin30()
 {
-    static const HeatSink sink{"30-fin", 30, 1.056, {4.45, -0.0916}};
+    static const HeatSink sink{"30-fin", 30, KelvinPerWatt(1.056),
+                               {CelsiusDelta(4.45),
+                                KelvinPerWatt(-0.0916)}};
     return sink;
 }
 
@@ -36,8 +39,9 @@ constexpr double kAirPrandtl = 0.71;
 } // namespace
 
 double
-finChannelVelocity(const FinHeatsinkGeometry &geom, double cfm)
+finChannelVelocity(const FinHeatsinkGeometry &geom, Cfm flow)
 {
+    const double cfm = flow.value();
     if (cfm <= 0.0)
         fatal("finChannelVelocity: airflow must be positive, got ", cfm);
     const double gap =
@@ -51,8 +55,8 @@ finChannelVelocity(const FinHeatsinkGeometry &geom, double cfm)
     return cfm * kCfmToM3PerS / free_area;
 }
 
-double
-finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm)
+KelvinPerWatt
+finHeatsinkResistance(const FinHeatsinkGeometry &geom, Cfm flow)
 {
     const double gap =
         (geom.baseWidthM - geom.finCount * geom.finThicknessM) /
@@ -60,7 +64,7 @@ finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm)
     if (gap <= 0.0)
         fatal("fin geometry leaves no air gap");
 
-    const double velocity = finChannelVelocity(geom, cfm);
+    const double velocity = finChannelVelocity(geom, flow);
 
     // Hydraulic diameter of one rectangular channel (gap x fin height).
     const double dh =
@@ -105,7 +109,8 @@ finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm)
     const double r_base =
         geom.baseThicknessM / (geom.conductivityWmK * plate_area);
 
-    return geom.timResistance + r_spreading + r_base + r_convection;
+    return KelvinPerWatt(geom.timResistance + r_spreading + r_base +
+                         r_convection);
 }
 
 } // namespace densim

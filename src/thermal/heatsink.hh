@@ -21,6 +21,8 @@
 
 #include <string>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /**
@@ -29,20 +31,20 @@ namespace densim {
  */
 struct ThetaCoeffs
 {
-    double c0; //!< Constant term, Celsius.
-    double c1; //!< Slope, Celsius per Watt (negative in Table III).
+    CelsiusDelta c0;  //!< Constant term.
+    KelvinPerWatt c1; //!< Slope (negative in Table III).
 
-    /** Evaluate theta at @p power_w watts. */
-    double operator()(double power_w) const { return c0 + c1 * power_w; }
+    /** Evaluate theta at @p power. */
+    CelsiusDelta operator()(Watts power) const { return c0 + c1 * power; }
 };
 
 /** A finned forced-air heat sink as seen by the peak-temperature model. */
 struct HeatSink
 {
-    std::string name;  //!< Human-readable identifier.
-    int finCount;      //!< Number of fins.
-    double rExt;       //!< External (sink) thermal resistance, C/W.
-    ThetaCoeffs theta; //!< Empirical Eq. (1) correction for this sink.
+    std::string name;   //!< Human-readable identifier.
+    int finCount;       //!< Number of fins.
+    KelvinPerWatt rExt; //!< External (sink) thermal resistance.
+    ThetaCoeffs theta;  //!< Empirical Eq. (1) correction for this sink.
 
     /** Upstream 18-fin sink: R_ext 1.578 C/W, theta = 4.41 - 0.0896 P. */
     static const HeatSink &fin18();
@@ -66,18 +68,19 @@ struct FinHeatsinkGeometry
 };
 
 /**
- * External thermal resistance (C/W) of a fin heatsink receiving
- * @p cfm of airflow: spreading + base conduction + TIM + convection
- * from fin surfaces with fin-efficiency and entrance-corrected laminar
- * Nusselt number.
+ * External thermal resistance of a fin heatsink receiving @p flow of
+ * airflow: spreading + base conduction + TIM + convection from fin
+ * surfaces with fin-efficiency and entrance-corrected laminar Nusselt
+ * number.
  */
-double finHeatsinkResistance(const FinHeatsinkGeometry &geom, double cfm);
+KelvinPerWatt finHeatsinkResistance(const FinHeatsinkGeometry &geom,
+                                    Cfm flow);
 
 /**
- * Mean air velocity (m/s) in the fin channels for @p cfm airflow —
+ * Mean air velocity (m/s) in the fin channels for @p flow airflow —
  * exposed for tests and the geometry bench.
  */
-double finChannelVelocity(const FinHeatsinkGeometry &geom, double cfm);
+double finChannelVelocity(const FinHeatsinkGeometry &geom, Cfm flow);
 
 } // namespace densim
 

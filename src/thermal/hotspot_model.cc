@@ -23,27 +23,29 @@ PowerMap::uniform(int map_grid)
 }
 
 PowerMap
-PowerMap::concentrated(int map_grid, double hot_fraction, int block,
-                       int row, int col)
+PowerMap::concentrated(int map_grid, double hot_fraction, HotBlock block)
 {
     if (map_grid < 1)
         fatal("PowerMap: grid must be >= 1, got ", map_grid);
     if (hot_fraction < 0.0 || hot_fraction > 1.0)
         fatal("PowerMap: hot fraction ", hot_fraction,
               " outside [0, 1]");
-    if (block < 1 || row < 0 || col < 0 || row + block > map_grid ||
-        col + block > map_grid) {
-        fatal("PowerMap: hot block [", row, ",", col, ")+", block,
-              " does not fit a ", map_grid, "x", map_grid, " grid");
+    if (block.size < 1 || block.row < 0 || block.col < 0 ||
+        block.row + block.size > map_grid ||
+        block.col + block.size > map_grid) {
+        fatal("PowerMap: hot block [", block.row, ",", block.col, ")+",
+              block.size, " does not fit a ", map_grid, "x", map_grid,
+              " grid");
     }
     const auto n = static_cast<std::size_t>(map_grid) * map_grid;
-    const auto hot_cells = static_cast<std::size_t>(block) * block;
+    const auto hot_cells = static_cast<std::size_t>(block.size) *
+                           block.size;
     if (hot_cells == n)
         return uniform(map_grid);
     std::vector<double> frac(
         n, (1.0 - hot_fraction) / static_cast<double>(n - hot_cells));
-    for (int r = row; r < row + block; ++r) {
-        for (int c = col; c < col + block; ++c) {
+    for (int r = block.row; r < block.row + block.size; ++r) {
+        for (int c = block.col; c < block.col + block.size; ++c) {
             frac[static_cast<std::size_t>(r) * map_grid + c] =
                 hot_fraction / static_cast<double>(hot_cells);
         }
@@ -77,7 +79,7 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
             cellNodes_.push_back(net_.addNode(
                 "die[" + std::to_string(r) + "," + std::to_string(c) +
                     "]",
-                cell_cap));
+                JoulePerKelvin(cell_cap)));
         }
     }
 
@@ -98,14 +100,14 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
             baseNodes_.push_back(net_.addNode(
                 "base[" + std::to_string(r) + "," +
                     std::to_string(c) + "]",
-                base_cell_cap));
+                JoulePerKelvin(base_cell_cap)));
         }
     }
 
     // Lumped fin/sink node. Its capacitance sets the sink/socket time
     // constant to params_.socketTauS (Table III: 30 s).
-    const double sink_cap = params_.socketTauS / sink_.rExt;
-    sinkNode_ = net_.addNode("sink", sink_cap);
+    const double sink_cap = params_.socketTauS / sink_.rExt.value();
+    sinkNode_ = net_.addNode("sink", JoulePerKelvin(sink_cap));
 
     // Vertical chain per cell: die -> (bulk Si + TIM) -> base plate
     // cell -> fin node. The per-cell series total is rIntTotal * N,
@@ -119,8 +121,10 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
     const double r_base_vert =
         params_.rIntTotal * n_cells * params_.baseFraction;
     for (std::size_t i = 0; i < cells; ++i) {
-        net_.connect(cellNodes_[i], baseNodes_[i], r_die_tim);
-        net_.connect(baseNodes_[i], sinkNode_, r_base_vert);
+        net_.connect(cellNodes_[i], baseNodes_[i],
+                     KelvinPerWatt(r_die_tim));
+        net_.connect(baseNodes_[i], sinkNode_,
+                     KelvinPerWatt(r_base_vert));
     }
 
     // Lateral conduction between 4-neighbours: silicon sheet in the
@@ -142,12 +146,16 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
     for (int r = 0; r < g; ++r) {
         for (int c = 0; c < g; ++c) {
             if (c + 1 < g) {
-                net_.connect(node(r, c), node(r, c + 1), r_lat);
-                net_.connect(base(r, c), base(r, c + 1), r_base_lat);
+                net_.connect(node(r, c), node(r, c + 1),
+                             KelvinPerWatt(r_lat));
+                net_.connect(base(r, c), base(r, c + 1),
+                             KelvinPerWatt(r_base_lat));
             }
             if (r + 1 < g) {
-                net_.connect(node(r, c), node(r + 1, c), r_lat);
-                net_.connect(base(r, c), base(r + 1, c), r_base_lat);
+                net_.connect(node(r, c), node(r + 1, c),
+                             KelvinPerWatt(r_lat));
+                net_.connect(base(r, c), base(r + 1, c),
+                             KelvinPerWatt(r_base_lat));
             }
         }
     }
@@ -156,11 +164,12 @@ HotSpotModel::HotSpotModel(const ChipStackParams &stack_params,
 }
 
 const std::vector<double> &
-HotSpotModel::nodePowers(double power_w, const PowerMap &map) const
+HotSpotModel::nodePowers(Watts power, const PowerMap &map) const
 {
     if (map.grid() != params_.grid)
         fatal("HotSpotModel: power map grid ", map.grid(),
               " does not match model grid ", params_.grid);
+    const double power_w = power.value();
     if (power_w < 0.0)
         fatal("HotSpotModel: negative power ", power_w);
     powerScratch_.assign(net_.size(), 0.0);
@@ -170,27 +179,27 @@ HotSpotModel::nodePowers(double power_w, const PowerMap &map) const
 }
 
 ChipThermalField
-HotSpotModel::steady(double power_w, const PowerMap &map,
-                     double t_amb) const
+HotSpotModel::steady(Watts power, const PowerMap &map,
+                     Celsius t_amb) const
 {
     const auto temps =
-        net_.steadyState(nodePowers(power_w, map), t_amb);
+        net_.steadyState(nodePowers(power, map), t_amb);
     return summarize(temps);
 }
 
 void
-HotSpotModel::transientStep(std::vector<double> &state, double power_w,
-                            const PowerMap &map, double t_amb,
-                            double dt_seconds) const
+HotSpotModel::transientStep(std::vector<double> &state, Watts power,
+                            const PowerMap &map, Celsius t_amb,
+                            Seconds dt) const
 {
-    net_.transientStep(state, nodePowers(power_w, map), t_amb,
-                       dt_seconds);
+    net_.transientStep(state, nodePowers(power, map), t_amb,
+                       dt);
 }
 
 std::vector<double>
-HotSpotModel::initialState(double t_amb) const
+HotSpotModel::initialState(Celsius t_amb) const
 {
-    return std::vector<double>(net_.size(), t_amb);
+    return std::vector<double>(net_.size(), t_amb.value());
 }
 
 ChipThermalField
@@ -216,14 +225,14 @@ HotSpotModel::summarize(const std::vector<double> &state) const
 }
 
 double
-defaultHotFraction(double power_w)
+defaultHotFraction(Watts power)
 {
     // Low-power workloads keep one unit busy (concentrated); high
     // power means the whole die is active (flatter map). Calibrated
     // jointly with ChipStackParams so the residual
     // maxT - (T_amb + P*(R_int+R_ext)) tracks theta(P, sink) of
     // Table III within the 2 C envelope of Fig. 10.
-    return std::clamp(0.99 - 0.024 * power_w, 0.25, 0.95);
+    return std::clamp(0.99 - 0.024 * power.value(), 0.25, 0.95);
 }
 
 } // namespace densim

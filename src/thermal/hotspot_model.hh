@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "core/units.hh"
 #include "thermal/heatsink.hh"
 #include "thermal/rc_network.hh"
 
@@ -66,6 +67,14 @@ struct ChipStackParams
     double baseSpreadFactor = 4.0;
 };
 
+/** Placement of a square hot block on the die grid. */
+struct HotBlock
+{
+    int size; //!< Cells per side.
+    int row;  //!< Upper-left corner row.
+    int col;  //!< Upper-left corner column.
+};
+
 /**
  * Normalized per-cell power distribution (fractions sum to 1).
  */
@@ -76,13 +85,12 @@ class PowerMap
     static PowerMap uniform(int grid);
 
     /**
-     * Distribution with @p hot_fraction of total power spread over a
-     * square hot block of @p block cells per side whose upper-left
-     * corner is at (row, col); the remainder is uniform over all other
-     * cells.
+     * Distribution with @p hot_fraction of total power spread over the
+     * square hot block @p block; the remainder is uniform over all
+     * other cells.
      */
     static PowerMap concentrated(int grid, double hot_fraction,
-                                 int block, int row, int col);
+                                 HotBlock block);
 
     int grid() const { return grid_; }
 
@@ -118,21 +126,21 @@ class HotSpotModel
   public:
     HotSpotModel(const ChipStackParams &params, const HeatSink &sink);
 
-    /** Steady field for @p power_w distributed per @p map. */
-    ChipThermalField steady(double power_w, const PowerMap &map,
-                            double t_amb) const;
+    /** Steady field for @p power distributed per @p map. */
+    ChipThermalField steady(Watts power, const PowerMap &map,
+                            Celsius t_amb) const;
 
     /**
-     * Advance a transient temperature state by @p dt_seconds. The
+     * Advance a transient temperature state by @p dt. The
      * state vector layout matches network() nodes; initialize with
      * initialState().
      */
-    void transientStep(std::vector<double> &state, double power_w,
-                       const PowerMap &map, double t_amb,
-                       double dt_seconds) const;
+    void transientStep(std::vector<double> &state, Watts power,
+                       const PowerMap &map, Celsius t_amb,
+                       Seconds dt) const;
 
     /** All-nodes-at-ambient initial state. */
-    std::vector<double> initialState(double t_amb) const;
+    std::vector<double> initialState(Celsius t_amb) const;
 
     /** Summarize a state vector into a ChipThermalField. */
     ChipThermalField summarize(const std::vector<double> &state) const;
@@ -149,7 +157,7 @@ class HotSpotModel
      * a reference to an internal scratch buffer (valid until the next
      * call) so the steady/transient hot loops do not allocate.
      */
-    const std::vector<double> &nodePowers(double power_w,
+    const std::vector<double> &nodePowers(Watts power,
                                           const PowerMap &map) const;
 
     ChipStackParams params_;
@@ -162,12 +170,12 @@ class HotSpotModel
 };
 
 /**
- * Default power-map concentration for a workload drawing @p power_w:
+ * Default power-map concentration for a workload drawing @p power:
  * low-power (few active units) workloads concentrate power in a small
  * region while high-power workloads light up the whole die. This is
  * the empirical behaviour theta(P, sink)'s negative slope encodes.
  */
-double defaultHotFraction(double power_w);
+double defaultHotFraction(Watts power);
 
 } // namespace densim
 

@@ -10,12 +10,12 @@
 namespace densim {
 
 NodeId
-RCNetwork::addNode(std::string node_name, double node_capacitance)
+RCNetwork::addNode(std::string node_name, JoulePerKelvin node_capacitance)
 {
-    if (node_capacitance < 0.0)
+    if (node_capacitance.value() < 0.0)
         fatal("RCNetwork: negative capacitance for node '", node_name,
               "'");
-    nodes_.push_back(Node{std::move(node_name), node_capacitance});
+    nodes_.push_back(Node{std::move(node_name), node_capacitance.value()});
     invalidateCaches();
     return nodes_.size() - 1;
 }
@@ -36,26 +36,27 @@ RCNetwork::checkNode(NodeId a) const
 }
 
 void
-RCNetwork::connect(NodeId a, NodeId b, double resistance)
+RCNetwork::connect(NodeId a, NodeId b, KelvinPerWatt resistance)
 {
     checkNode(a);
     checkNode(b);
     if (a == b)
         panic("RCNetwork: self-loop on node ", a);
-    if (resistance <= 0.0)
-        fatal("RCNetwork: resistance must be positive, got ", resistance);
-    edges_.push_back(Edge{a, b, 1.0 / resistance});
+    if (resistance.value() <= 0.0)
+        fatal("RCNetwork: resistance must be positive, got ",
+              resistance.value());
+    edges_.push_back(Edge{a, b, 1.0 / resistance.value()});
     invalidateCaches();
 }
 
 void
-RCNetwork::connectAmbient(NodeId a, double resistance)
+RCNetwork::connectAmbient(NodeId a, KelvinPerWatt resistance)
 {
     checkNode(a);
-    if (resistance <= 0.0)
+    if (resistance.value() <= 0.0)
         fatal("RCNetwork: ambient resistance must be positive, got ",
-              resistance);
-    nodes_[a].ambientConductance += 1.0 / resistance;
+              resistance.value());
+    nodes_[a].ambientConductance += 1.0 / resistance.value();
     invalidateCaches();
 }
 
@@ -66,11 +67,11 @@ RCNetwork::name(NodeId a) const
     return nodes_[a].name;
 }
 
-double
+JoulePerKelvin
 RCNetwork::capacitance(NodeId a) const
 {
     checkNode(a);
-    return nodes_[a].capacitance;
+    return JoulePerKelvin(nodes_[a].capacitance);
 }
 
 const RCNetwork::Factorization &
@@ -132,8 +133,9 @@ RCNetwork::factorization() const
 
 std::vector<double>
 RCNetwork::steadyState(const std::vector<double> &powers_w,
-                       double t_ambient) const
+                       Celsius ambient) const
 {
+    const double t_ambient = ambient.value();
     const std::size_t n = nodes_.size();
     if (powers_w.size() != n)
         panic("RCNetwork::steadyState: ", powers_w.size(),
@@ -200,7 +202,7 @@ RCNetwork::steadyState(const std::vector<double> &powers_w,
     double injected = 0.0;
     for (std::size_t i = 0; i < n; ++i)
         injected += powers_w[i];
-    const double outflow = ambientHeatFlow(temps, t_ambient);
+    const double outflow = ambientHeatFlow(temps, ambient).value();
     DENSIM_PARANOID(
         std::fabs(outflow - injected) <= 1e-6 * std::max(1.0, injected),
         "RCNetwork: first-law violation — ", injected,
@@ -218,11 +220,11 @@ RCNetwork::debugCorruptFactorization()
     fact_.lu[0] = fact_.lu[0] * 3.0 + 1.0;
 }
 
-double
+Seconds
 RCNetwork::stableStep() const
 {
     if (stableStepS_ >= 0.0)
-        return stableStepS_;
+        return Seconds(stableStepS_);
     const std::size_t n = nodes_.size();
     std::vector<double> gtot(n, 0.0);
     for (std::size_t i = 0; i < n; ++i)
@@ -242,21 +244,23 @@ RCNetwork::stableStep() const
     }
     // Safety factor below the explicit-Euler limit.
     stableStepS_ = 0.5 * dt;
-    return stableStepS_;
+    return Seconds(stableStepS_);
 }
 
 void
 RCNetwork::transientStep(std::vector<double> &temps,
                          const std::vector<double> &powers_w,
-                         double t_ambient, double dt_seconds) const
+                         Celsius ambient, Seconds dt) const
 {
+    const double t_ambient = ambient.value();
+    const double dt_seconds = dt.value();
     const std::size_t n = nodes_.size();
     if (temps.size() != n || powers_w.size() != n)
         panic("RCNetwork::transientStep: vector size mismatch");
     if (dt_seconds < 0.0)
         panic("RCNetwork::transientStep: negative dt");
 
-    const double dt_max = stableStep();
+    const double dt_max = stableStep().value();
     const auto steps = static_cast<std::size_t>(
         std::ceil(dt_seconds / dt_max));
     if (steps == 0)
@@ -280,16 +284,17 @@ RCNetwork::transientStep(std::vector<double> &temps,
     }
 }
 
-double
+Watts
 RCNetwork::ambientHeatFlow(const std::vector<double> &temps,
-                           double t_ambient) const
+                           Celsius ambient) const
 {
+    const double t_ambient = ambient.value();
     if (temps.size() != nodes_.size())
         panic("RCNetwork::ambientHeatFlow: vector size mismatch");
     double total = 0.0;
     for (std::size_t i = 0; i < nodes_.size(); ++i)
         total += nodes_[i].ambientConductance * (temps[i] - t_ambient);
-    return total;
+    return Watts(total);
 }
 
 } // namespace densim

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Index of a node within an RCNetwork. */
@@ -48,17 +50,17 @@ class RCNetwork
     /**
      * Add a node.
      * @param name Diagnostic label.
-     * @param capacitance Heat capacitance in J/K (0 allowed for
+     * @param capacitance Heat capacitance (0 allowed for
      *        steady-state-only networks).
      * @return The new node's id.
      */
-    NodeId addNode(std::string name, double capacitance);
+    NodeId addNode(std::string name, JoulePerKelvin capacitance);
 
-    /** Connect two nodes with a thermal resistance (C/W, > 0). */
-    void connect(NodeId a, NodeId b, double resistance);
+    /** Connect two nodes with a thermal resistance (> 0). */
+    void connect(NodeId a, NodeId b, KelvinPerWatt resistance);
 
     /** Connect a node to the ambient with a thermal resistance. */
-    void connectAmbient(NodeId a, double resistance);
+    void connectAmbient(NodeId a, KelvinPerWatt resistance);
 
     /** Number of nodes. */
     std::size_t size() const { return nodes_.size(); }
@@ -67,35 +69,37 @@ class RCNetwork
     const std::string &name(NodeId a) const;
 
     /** Capacitance of node @p a. */
-    double capacitance(NodeId a) const;
+    JoulePerKelvin capacitance(NodeId a) const;
 
     /**
      * Steady-state temperatures for per-node injected @p powers_w and
      * ambient temperature @p t_ambient. Fails if any node is isolated
-     * from the ambient (the system would be singular).
+     * from the ambient (the system would be singular). Bulk
+     * power/temperature fields stay raw doubles across this interface
+     * — the engine's hot-path boundary (DESIGN.md Sec. 9).
      */
     std::vector<double> steadyState(const std::vector<double> &powers_w,
-                                    double t_ambient) const;
+                                    Celsius t_ambient) const;
 
     /**
-     * Advance @p temps by @p dt_seconds under constant @p powers_w and
+     * Advance @p temps by @p dt under constant @p powers_w and
      * ambient. Sub-steps internally for stability; requires all
      * capacitances positive.
      */
     void transientStep(std::vector<double> &temps,
                        const std::vector<double> &powers_w,
-                       double t_ambient, double dt_seconds) const;
+                       Celsius t_ambient, Seconds dt) const;
 
     /**
-     * Net heat flow (W) from the network into the ambient for the
+     * Net heat flow from the network into the ambient for the
      * given temperature field — equals total injected power at steady
      * state (energy-conservation invariant).
      */
-    double ambientHeatFlow(const std::vector<double> &temps,
-                           double t_ambient) const;
+    Watts ambientHeatFlow(const std::vector<double> &temps,
+                          Celsius t_ambient) const;
 
-    /** Largest stable explicit-Euler step, seconds. */
-    double stableStep() const;
+    /** Largest stable explicit-Euler step. */
+    Seconds stableStep() const;
 
     /**
      * Test-only: corrupt the cached LU factorization in place (the

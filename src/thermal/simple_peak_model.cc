@@ -6,38 +6,39 @@
 
 namespace densim {
 
-SimplePeakModel::SimplePeakModel(double r_int) : rInt_(r_int)
+SimplePeakModel::SimplePeakModel(KelvinPerWatt r_int) : rInt_(r_int)
 {
-    if (rInt_ <= 0.0)
-        fatal("SimplePeakModel: R_int must be positive, got ", rInt_);
+    if (rInt_.value() <= 0.0)
+        fatal("SimplePeakModel: R_int must be positive, got ",
+              rInt_.value());
 }
 
-double
-SimplePeakModel::peak(double t_amb, double power_w,
+Celsius
+SimplePeakModel::peak(Celsius t_amb, Watts power,
                       const HeatSink &sink) const
 {
-    if (power_w < 0.0)
-        fatal("SimplePeakModel::peak: negative power ", power_w);
-    return t_amb + power_w * (rInt_ + sink.rExt) + sink.theta(power_w);
+    if (power.value() < 0.0)
+        fatal("SimplePeakModel::peak: negative power ", power.value());
+    return t_amb + power * (rInt_ + sink.rExt) + sink.theta(power);
 }
 
-double
-SimplePeakModel::maxPower(double t_limit, double t_amb,
+Watts
+SimplePeakModel::maxPower(Celsius t_limit, Celsius t_amb,
                           const HeatSink &sink) const
 {
     // T_limit = T_amb + P (R_int + R_ext) + c0 + c1 P
-    const double slope = rInt_ + sink.rExt + sink.theta.c1;
-    if (slope <= 0.0)
+    const KelvinPerWatt slope = rInt_ + sink.rExt + sink.theta.c1;
+    if (slope.value() <= 0.0)
         panic("Eq. (1) slope non-positive for sink ", sink.name);
-    const double p = (t_limit - t_amb - sink.theta.c0) / slope;
-    return std::max(p, 0.0);
+    const Watts p = (t_limit - t_amb - sink.theta.c0) / slope;
+    return std::max(p, Watts(0.0));
 }
 
-double
-SimplePeakModel::maxAmbient(double t_limit, double power_w,
+Celsius
+SimplePeakModel::maxAmbient(Celsius t_limit, Watts power,
                             const HeatSink &sink) const
 {
-    return t_limit - power_w * (rInt_ + sink.rExt) - sink.theta(power_w);
+    return t_limit - power * (rInt_ + sink.rExt) - sink.theta(power);
 }
 
 } // namespace densim

@@ -14,6 +14,7 @@
 #ifndef DENSIM_THERMAL_SIMPLE_PEAK_MODEL_HH
 #define DENSIM_THERMAL_SIMPLE_PEAK_MODEL_HH
 
+#include "core/units.hh"
 #include "thermal/heatsink.hh"
 
 namespace densim {
@@ -26,33 +27,33 @@ class SimplePeakModel
 {
   public:
     /**
-     * @param r_int Chip internal thermal resistance, C/W (Table III:
-     *              0.205 for the X2150).
+     * @param r_int Chip internal thermal resistance (Table III:
+     *              0.205 C/W for the X2150).
      */
-    explicit SimplePeakModel(double r_int = 0.205);
+    explicit SimplePeakModel(KelvinPerWatt r_int = KelvinPerWatt(0.205));
 
-    /** Peak chip temperature for @p power_w at ambient @p t_amb. */
-    double peak(double t_amb, double power_w, const HeatSink &sink) const;
+    /** Peak chip temperature for @p power at ambient @p t_amb. */
+    Celsius peak(Celsius t_amb, Watts power, const HeatSink &sink) const;
 
     /**
-     * Largest power (W) whose predicted peak stays at or below
+     * Largest power whose predicted peak stays at or below
      * @p t_limit for ambient @p t_amb; clamped at 0 when even idle
      * power would exceed the limit.
      */
-    double maxPower(double t_limit, double t_amb,
-                    const HeatSink &sink) const;
+    Watts maxPower(Celsius t_limit, Celsius t_amb,
+                   const HeatSink &sink) const;
 
     /**
-     * Ambient temperature at which @p power_w exactly reaches
+     * Ambient temperature at which @p power exactly reaches
      * @p t_limit — the headroom question inverted.
      */
-    double maxAmbient(double t_limit, double power_w,
-                      const HeatSink &sink) const;
+    Celsius maxAmbient(Celsius t_limit, Watts power,
+                       const HeatSink &sink) const;
 
-    double rInt() const { return rInt_; }
+    KelvinPerWatt rInt() const { return rInt_; }
 
   private:
-    double rInt_;
+    KelvinPerWatt rInt_;
 };
 
 } // namespace densim

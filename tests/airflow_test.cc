@@ -33,7 +33,10 @@ class TableII : public ::testing::TestWithParam<TableIIRow>
 TEST_P(TableII, RequiredAirflowMatchesPaper)
 {
     const TableIIRow row = GetParam();
-    EXPECT_NEAR(requiredAirflow(row.powerPerU, 20.0), row.cfm, 0.06);
+    EXPECT_NEAR(requiredAirflow(Watts(row.powerPerU),
+                                CelsiusDelta(20.0))
+                    .value(),
+                row.cfm, 0.06);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperRows, TableII,
@@ -45,45 +48,47 @@ INSTANTIATE_TEST_SUITE_P(PaperRows, TableII,
 
 TEST(FirstLaw, RiseAndRequiredAreInverses)
 {
-    const double watts = 123.0;
-    const double cfm = requiredAirflow(watts, 20.0);
-    EXPECT_NEAR(airTemperatureRise(watts, cfm), 20.0, 1e-9);
+    const Watts watts(123.0);
+    const Cfm cfm = requiredAirflow(watts, CelsiusDelta(20.0));
+    EXPECT_NEAR(airTemperatureRise(watts, cfm).value(), 20.0, 1e-9);
 }
 
 TEST(FirstLaw, AbsorbableHeatInverts)
 {
-    const double q = absorbableHeat(10.0, 15.0);
-    EXPECT_NEAR(airTemperatureRise(q, 10.0), 15.0, 1e-9);
+    const Watts q = absorbableHeat(Cfm(10.0), CelsiusDelta(15.0));
+    EXPECT_NEAR(airTemperatureRise(q, Cfm(10.0)).value(), 15.0, 1e-9);
 }
 
 TEST(FirstLaw, RiseScalesLinearlyWithPower)
 {
-    const double r1 = airTemperatureRise(10.0, 6.35);
-    const double r2 = airTemperatureRise(20.0, 6.35);
-    EXPECT_NEAR(r2, 2.0 * r1, 1e-12);
+    const CelsiusDelta r1 = airTemperatureRise(Watts(10.0), Cfm(6.35));
+    const CelsiusDelta r2 = airTemperatureRise(Watts(20.0), Cfm(6.35));
+    EXPECT_NEAR(r2.value(), 2.0 * r1.value(), 1e-12);
 }
 
 TEST(FirstLaw, RiseInverseInFlow)
 {
-    const double r1 = airTemperatureRise(15.0, 5.0);
-    const double r2 = airTemperatureRise(15.0, 10.0);
-    EXPECT_NEAR(r1, 2.0 * r2, 1e-12);
+    const CelsiusDelta r1 = airTemperatureRise(Watts(15.0), Cfm(5.0));
+    const CelsiusDelta r2 =
+        airTemperatureRise(Watts(15.0), Cfm(10.0));
+    EXPECT_NEAR(r1.value(), 2.0 * r2.value(), 1e-12);
 }
 
 TEST(FirstLaw, ZeroPowerZeroRise)
 {
-    EXPECT_DOUBLE_EQ(airTemperatureRise(0.0, 6.35), 0.0);
+    EXPECT_DOUBLE_EQ(
+        airTemperatureRise(Watts(0.0), Cfm(6.35)).value(), 0.0);
 }
 
 TEST(FirstLaw, RejectsNonPositiveFlow)
 {
-    EXPECT_EXIT(airTemperatureRise(10.0, 0.0),
+    EXPECT_EXIT(airTemperatureRise(Watts(10.0), Cfm(0.0)),
                 ::testing::ExitedWithCode(1), "positive");
 }
 
 TEST(FirstLaw, RejectsNegativePower)
 {
-    EXPECT_EXIT(requiredAirflow(-1.0, 20.0),
+    EXPECT_EXIT(requiredAirflow(Watts(-1.0), CelsiusDelta(20.0)),
                 ::testing::ExitedWithCode(1), "negative");
 }
 
@@ -92,42 +97,43 @@ TEST(Fan, ActiveCoolBankMeetsServerBudget)
     // Five ActiveCool-class fans must deliver the 400 CFM Table III
     // server total.
     Fan bank(Fan::activeCoolSpec(), 5);
-    EXPECT_GE(bank.maxDeliveredCfm(), 400.0);
+    EXPECT_GE(bank.maxDeliveredCfm().value(), 400.0);
 }
 
 TEST(Fan, AirflowLinearInSpeed)
 {
     Fan fan(Fan::activeCoolSpec());
-    EXPECT_NEAR(fan.deliveredCfm(0.5), 0.5 * fan.deliveredCfm(1.0),
-                1e-12);
+    EXPECT_NEAR(fan.deliveredCfm(0.5).value(),
+                0.5 * fan.deliveredCfm(1.0).value(), 1e-12);
 }
 
 TEST(Fan, PowerCubicInSpeed)
 {
     Fan fan(Fan::activeCoolSpec());
-    EXPECT_NEAR(fan.electricalPowerW(0.5),
-                0.125 * fan.electricalPowerW(1.0), 1e-12);
+    EXPECT_NEAR(fan.electricalPower(0.5).value(),
+                0.125 * fan.electricalPower(1.0).value(), 1e-12);
 }
 
 TEST(Fan, SpeedForCfmRoundTrips)
 {
     Fan fan(Fan::activeCoolSpec());
-    const double target = 0.6 * fan.maxDeliveredCfm();
+    const Cfm target(0.6 * fan.maxDeliveredCfm().value());
     const double s = fan.speedForCfm(target);
-    EXPECT_NEAR(fan.deliveredCfm(s), target, 1e-9);
+    EXPECT_NEAR(fan.deliveredCfm(s).value(), target.value(), 1e-9);
 }
 
 TEST(Fan, SpeedClampsAtMinimum)
 {
     Fan fan(Fan::activeCoolSpec());
-    EXPECT_DOUBLE_EQ(fan.speedForCfm(0.0),
+    EXPECT_DOUBLE_EQ(fan.speedForCfm(Cfm(0.0)),
                      Fan::activeCoolSpec().minSpeedFrac);
 }
 
 TEST(Fan, OverCapacityIsFatal)
 {
     Fan fan(Fan::activeCoolSpec());
-    EXPECT_EXIT(fan.speedForCfm(10 * fan.maxDeliveredCfm()),
+    EXPECT_EXIT(
+        fan.speedForCfm(Cfm(10 * fan.maxDeliveredCfm().value())),
                 ::testing::ExitedWithCode(1), "cannot deliver");
 }
 
@@ -136,7 +142,7 @@ TEST(Fan, PowerForCfmMonotone)
     Fan fan(Fan::activeCoolSpec(), 5);
     double last = 0.0;
     for (double cfm = 50.0; cfm <= 400.0; cfm += 50.0) {
-        const double p = fan.powerForCfm(cfm);
+        const double p = fan.powerForCfm(Cfm(cfm)).value();
         EXPECT_GE(p, last);
         last = p;
     }
@@ -145,29 +151,30 @@ TEST(Fan, PowerForCfmMonotone)
 TEST(FlowBudget, SutMatchesTableIII)
 {
     const FlowBudget budget = FlowBudget::sutBudget();
-    EXPECT_DOUBLE_EQ(budget.totalCfm(), 400.0);
-    EXPECT_NEAR(budget.perSocketCfm(), 6.35, 1e-9);
-    EXPECT_NEAR(budget.zoneCfm(), 12.70, 1e-9);
+    EXPECT_DOUBLE_EQ(budget.totalCfm().value(), 400.0);
+    EXPECT_NEAR(budget.perSocketCfm().value(), 6.35, 1e-9);
+    EXPECT_NEAR(budget.zoneCfm().value(), 12.70, 1e-9);
 }
 
 TEST(FlowBudget, NoLeakageSplitsEvenly)
 {
-    const FlowBudget budget(100.0, 4, 2, 0.0);
-    EXPECT_DOUBLE_EQ(budget.ductCfm(), 25.0);
-    EXPECT_DOUBLE_EQ(budget.perSocketCfm(), 12.5);
+    const FlowBudget budget(Cfm(100.0), 4, 2, 0.0);
+    EXPECT_DOUBLE_EQ(budget.ductCfm().value(), 25.0);
+    EXPECT_DOUBLE_EQ(budget.perSocketCfm().value(), 12.5);
 }
 
 TEST(FlowBudget, LeakageReducesDuctFlow)
 {
-    const FlowBudget tight(100.0, 4, 2, 0.0);
-    const FlowBudget leaky(100.0, 4, 2, 0.3);
-    EXPECT_LT(leaky.ductCfm(), tight.ductCfm());
-    EXPECT_NEAR(leaky.ductCfm(), 0.7 * tight.ductCfm(), 1e-12);
+    const FlowBudget tight(Cfm(100.0), 4, 2, 0.0);
+    const FlowBudget leaky(Cfm(100.0), 4, 2, 0.3);
+    EXPECT_LT(leaky.ductCfm().value(), tight.ductCfm().value());
+    EXPECT_NEAR(leaky.ductCfm().value(),
+                0.7 * tight.ductCfm().value(), 1e-12);
 }
 
 TEST(FlowBudget, RejectsFullLeakage)
 {
-    EXPECT_EXIT(FlowBudget(100.0, 4, 2, 1.0),
+    EXPECT_EXIT(FlowBudget(Cfm(100.0), 4, 2, 1.0),
                 ::testing::ExitedWithCode(1), "leakage");
 }
 
@@ -176,7 +183,8 @@ TEST(FlowBudget, SutBudgetSupportsTableIIDensityOptRow)
     // The density-optimized class draws 588 W/U; a 4U SUT draws
     // ~2.3 kW. 400 CFM removes that within the 20 C ASHRAE rise
     // budget (first-law check linking Table II and Table III).
-    const double heat = absorbableHeat(400.0, 20.0);
+    const double heat =
+        absorbableHeat(Cfm(400.0), CelsiusDelta(20.0)).value();
     EXPECT_GT(heat, 4 * 588.0 * 0.9);
 }
 

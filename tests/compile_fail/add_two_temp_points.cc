@@ -1,0 +1,10 @@
+// Ill-formed: temperature points are affine; 45 C + 45 C is not 90 C.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Celsius a(45.0);
+    const densim::Celsius b(45.0);
+    return (a + b).value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// Ill-formed: power and energy have different dimensions.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Watts p(10.0);
+    const densim::Joules e(5.0);
+    return (p + e).value() > 0.0 ? 0 : 1;
+}

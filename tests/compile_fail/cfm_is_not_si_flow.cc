@@ -1,0 +1,11 @@
+// Ill-formed: CFM and m^3/s are distinct types so the 4.719e-4
+// conversion can never be skipped; use toM3PerS() explicitly.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Cfm flow(6.35);
+    const densim::CubicMetersPerSec si = flow;
+    return si.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// Ill-formed: a bare double is not a temperature; construction is
+// explicit so call sites must name the scale.
+#include "core/units.hh"
+
+densim::Celsius
+ambient()
+{
+    return 45.0;
+}
+
+int
+main()
+{
+    return ambient().value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Ill-formed: Celsius and Kelvin points differ by scale; convert with
+// toKelvin()/toCelsius() instead of subtracting across scales.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Celsius c(45.0);
+    const densim::Kelvin k(318.15);
+    return (c - k).value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Positive control: well-formed typed arithmetic must compile, or the
+// harness cannot be trusted to mean anything when a case fails.
+#include "core/units.hh"
+
+int
+main()
+{
+    using namespace densim;
+    const Celsius amb(45.0);
+    const Watts p(13.6);
+    const KelvinPerWatt r(0.205 + 1.578);
+    const Celsius peak = amb + p * r + CelsiusDelta(4.41);
+    const CubicMetersPerSec si = toM3PerS(Cfm(6.35));
+    const Joules e = p * Seconds(30.0);
+    return (peak > amb && si.value() > 0.0 && e.value() > 0.0) ? 0 : 1;
+}

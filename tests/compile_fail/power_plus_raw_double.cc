@@ -1,0 +1,10 @@
+// Ill-formed: adding a dimensionless double to a power silently drops
+// the unit check; wrap the raw value or use .value() deliberately.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Watts p(10.0);
+    return (p + 2.2).value() > 0.0 ? 0 : 1;
+}

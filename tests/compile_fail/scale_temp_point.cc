@@ -1,0 +1,10 @@
+// Ill-formed: scaling a temperature point is meaningless (2 x 20 C is
+// not 40 C in any physical sense); only deltas scale.
+#include "core/units.hh"
+
+int
+main()
+{
+    const densim::Celsius t(20.0);
+    return (t * 2.0).value() > 0.0 ? 0 : 1;
+}

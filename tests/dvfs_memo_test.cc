@@ -23,7 +23,7 @@ decision(std::size_t pstate, double power_w)
 {
     DvfsDecision d{};
     d.pstate = pstate;
-    d.powerW = power_w;
+    d.power = Watts(power_w);
     d.feasible = true;
     return d;
 }
@@ -32,20 +32,20 @@ TEST(DvfsMemo, ExactModeRequiresBitwiseEqualAmbient)
 {
     DvfsMemoTable memo;
     memo.reset(4, &memo);
-    memo.store(1, WorkloadSet::Computation, 5, 40.0,
+    memo.store(1, WorkloadSet::Computation, 5, Celsius(40.0),
                decision(5, 20.0));
 
     const DvfsDecision *hit =
-        memo.lookup(1, WorkloadSet::Computation, 5, 40.0, 0.0);
+        memo.lookup(1, WorkloadSet::Computation, 5, Celsius(40.0), 0.0);
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->pstate, 5u);
 
     // The tiniest ambient change misses in exact mode.
     EXPECT_EQ(memo.lookup(1, WorkloadSet::Computation, 5,
-                          40.0 + 1e-12, 0.0),
+                          Celsius(40.0 + 1e-12), 0.0),
               nullptr);
     // Other sockets are independent slots.
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 0.0),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 0.0),
               nullptr);
 }
 
@@ -53,19 +53,19 @@ TEST(DvfsMemo, QuantizedModeHitsWithinBucketOnly)
 {
     DvfsMemoTable memo;
     memo.reset(2, &memo);
-    memo.store(0, WorkloadSet::Computation, 5, 40.1,
+    memo.store(0, WorkloadSet::Computation, 5, Celsius(40.1),
                decision(4, 18.0));
 
     // 40.1 and 40.2 share the [40.0, 40.25) bucket at a 0.25 C step.
-    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, 40.2, 0.25),
+    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.2), 0.25),
               nullptr);
     // 40.3 lands in the next bucket.
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, 40.3, 0.25),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.3), 0.25),
               nullptr);
     // Negative ambients bucket consistently too.
-    memo.store(1, WorkloadSet::Computation, 5, -0.1,
+    memo.store(1, WorkloadSet::Computation, 5, Celsius(-0.1),
                decision(3, 15.0));
-    EXPECT_EQ(memo.lookup(1, WorkloadSet::Computation, 5, 0.1, 0.25),
+    EXPECT_EQ(memo.lookup(1, WorkloadSet::Computation, 5, Celsius(0.1), 0.25),
               nullptr);
 }
 
@@ -73,16 +73,16 @@ TEST(DvfsMemo, CapAndSetChangesMiss)
 {
     DvfsMemoTable memo;
     memo.reset(1, &memo);
-    memo.store(0, WorkloadSet::Computation, 7, 40.0,
+    memo.store(0, WorkloadSet::Computation, 7, Celsius(40.0),
                decision(7, 25.0));
 
     // The boost-dwell governor lowers the cap when credit runs out:
     // the memoized boost decision must not be replayed.
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 1.0),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 1.0),
               nullptr);
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Storage, 7, 40.0, 1.0),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Storage, 7, Celsius(40.0), 1.0),
               nullptr);
-    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 7, 40.0, 1.0),
+    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 7, Celsius(40.0), 1.0),
               nullptr);
 }
 
@@ -92,28 +92,28 @@ TEST(DvfsMemo, PStateTableChangeInvalidatesEverything)
     const int table_a = 0;
     const int table_b = 0;
     memo.reset(2, &table_a);
-    memo.store(0, WorkloadSet::Computation, 5, 40.0,
+    memo.store(0, WorkloadSet::Computation, 5, Celsius(40.0),
                decision(5, 20.0));
-    memo.store(1, WorkloadSet::Storage, 5, 35.0, decision(4, 16.0));
+    memo.store(1, WorkloadSet::Storage, 5, Celsius(35.0), decision(4, 16.0));
 
     // Same table: entries survive.
     memo.noteTable(&table_a);
-    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 0.0),
+    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 0.0),
               nullptr);
 
     // A different P-state table drops every memoized decision — a
     // decision made against one table must never be replayed against
     // another.
     memo.noteTable(&table_b);
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 0.0),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 0.0),
               nullptr);
-    EXPECT_EQ(memo.lookup(1, WorkloadSet::Storage, 5, 35.0, 0.0),
+    EXPECT_EQ(memo.lookup(1, WorkloadSet::Storage, 5, Celsius(35.0), 0.0),
               nullptr);
 
     // Entries stored after the swap hit again.
-    memo.store(0, WorkloadSet::Computation, 5, 40.0,
+    memo.store(0, WorkloadSet::Computation, 5, Celsius(40.0),
                decision(5, 20.0));
-    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 0.0),
+    EXPECT_NE(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 0.0),
               nullptr);
 }
 
@@ -121,10 +121,10 @@ TEST(DvfsMemo, InvalidateAllDropsEntries)
 {
     DvfsMemoTable memo;
     memo.reset(1, &memo);
-    memo.store(0, WorkloadSet::Computation, 5, 40.0,
+    memo.store(0, WorkloadSet::Computation, 5, Celsius(40.0),
                decision(5, 20.0));
     memo.invalidateAll();
-    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, 40.0, 0.0),
+    EXPECT_EQ(memo.lookup(0, WorkloadSet::Computation, 5, Celsius(40.0), 0.0),
               nullptr);
 }
 

@@ -113,7 +113,7 @@ smallMap()
 {
     std::vector<SocketSite> sites;
     for (int i = 0; i < 4; ++i)
-        sites.push_back(SocketSite{1.6 * i, 0, 6.35});
+        sites.push_back(SocketSite{1.6 * i, 0, Cfm(6.35)});
     return CouplingMap(sites, CouplingParams{});
 }
 
@@ -121,8 +121,9 @@ TEST(Invariant, CouplingFieldEnvelopeAcceptsTrueField)
 {
     const CouplingMap map = smallMap();
     const std::vector<double> powers{20.0, 15.0, 10.0, 5.0};
-    const std::vector<double> field = map.ambientTemps(powers, 18.0);
-    map.checkAmbientFieldPhysics(powers, 18.0, field);
+    const std::vector<double> field =
+        map.ambientTemps(powers, Celsius(18.0));
+    map.checkAmbientFieldPhysics(powers, Celsius(18.0), field);
 }
 
 TEST(InvariantDeath, CouplingFieldBelowInletTrips)
@@ -131,9 +132,11 @@ TEST(InvariantDeath, CouplingFieldBelowInletTrips)
         GTEST_SKIP() << "DENSIM_CHECKS not compiled in";
     const CouplingMap map = smallMap();
     const std::vector<double> powers{20.0, 15.0, 10.0, 5.0};
-    std::vector<double> field = map.ambientTemps(powers, 18.0);
+    std::vector<double> field =
+        map.ambientTemps(powers, Celsius(18.0));
     field[2] = 17.0; // Cooler than the inlet: unphysical.
-    EXPECT_DEATH(map.checkAmbientFieldPhysics(powers, 18.0, field),
+    EXPECT_DEATH(map.checkAmbientFieldPhysics(powers, Celsius(18.0),
+                                              field),
                  "heated air cannot cool");
 }
 
@@ -143,9 +146,11 @@ TEST(InvariantDeath, CouplingFieldAboveEnvelopeTrips)
         GTEST_SKIP() << "DENSIM_CHECKS not compiled in";
     const CouplingMap map = smallMap();
     const std::vector<double> powers{20.0, 15.0, 10.0, 5.0};
-    std::vector<double> field = map.ambientTemps(powers, 18.0);
+    std::vector<double> field =
+        map.ambientTemps(powers, Celsius(18.0));
     field[3] += 1000.0; // More enthalpy than the whole server emits.
-    EXPECT_DEATH(map.checkAmbientFieldPhysics(powers, 18.0, field),
+    EXPECT_DEATH(map.checkAmbientFieldPhysics(powers, Celsius(18.0),
+                                              field),
                  "first-law envelope");
 }
 
@@ -155,10 +160,10 @@ RCNetwork
 smallNetwork()
 {
     RCNetwork net;
-    const NodeId a = net.addNode("die", 10.0);
-    const NodeId b = net.addNode("sink", 200.0);
-    net.connect(a, b, 0.2);
-    net.connectAmbient(b, 0.5);
+    const NodeId a = net.addNode("die", JoulePerKelvin(10.0));
+    const NodeId b = net.addNode("sink", JoulePerKelvin(200.0));
+    net.connect(a, b, KelvinPerWatt(0.2));
+    net.connectAmbient(b, KelvinPerWatt(0.5));
     return net;
 }
 
@@ -170,8 +175,9 @@ TEST(Invariant, CachedSolveSurvivesParanoidValidation)
     RCNetwork net = smallNetwork();
     for (double p = 5.0; p <= 25.0; p += 5.0) {
         const std::vector<double> temps =
-            net.steadyState({p, 0.0}, 20.0);
-        EXPECT_NEAR(net.ambientHeatFlow(temps, 20.0), p, 1e-9 * p);
+            net.steadyState({p, 0.0}, Celsius(20.0));
+        EXPECT_NEAR(net.ambientHeatFlow(temps, Celsius(20.0)).value(),
+                    p, 1e-9 * p);
     }
 }
 
@@ -180,9 +186,9 @@ TEST(InvariantDeath, CorruptedFactorizationCacheTrips)
     if (!kParanoidEnabled)
         GTEST_SKIP() << "DENSIM_PARANOID not compiled in";
     RCNetwork net = smallNetwork();
-    (void)net.steadyState({10.0, 0.0}, 20.0); // Fill the cache.
+    (void)net.steadyState({10.0, 0.0}, Celsius(20.0)); // Fill cache.
     net.debugCorruptFactorization();
-    EXPECT_DEATH((void)net.steadyState({10.0, 0.0}, 20.0),
+    EXPECT_DEATH((void)net.steadyState({10.0, 0.0}, Celsius(20.0)),
                  "cached factorization is stale");
 }
 

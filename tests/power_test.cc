@@ -79,35 +79,36 @@ TEST(PState, BoostBelowSustainedIsFatal)
 TEST(Leakage, ThirtyPercentOfTdpAtReference)
 {
     const LeakageModel &leak = LeakageModel::x2150();
-    EXPECT_NEAR(leak.at(90.0), 0.30 * 22.0, 1e-9);
-    EXPECT_DOUBLE_EQ(leak.atRef(), 6.6);
+    EXPECT_NEAR(leak.at(Celsius(90.0)).value(), 0.30 * 22.0, 1e-9);
+    EXPECT_DOUBLE_EQ(leak.atRef().value(), 6.6);
 }
 
 TEST(Leakage, GrowsWithTemperature)
 {
     const LeakageModel &leak = LeakageModel::x2150();
-    EXPECT_GT(leak.at(95.0), leak.at(90.0));
-    EXPECT_LT(leak.at(60.0), leak.at(90.0));
+    EXPECT_GT(leak.at(Celsius(95.0)).value(), leak.at(Celsius(90.0)).value());
+    EXPECT_LT(leak.at(Celsius(60.0)).value(), leak.at(Celsius(90.0)).value());
 }
 
 TEST(Leakage, LinearSlopeAroundReference)
 {
     const LeakageModel &leak = LeakageModel::x2150();
-    const double slope = (leak.at(91.0) - leak.at(89.0)) / 2.0;
+    const double slope = (leak.at(Celsius(91.0)).value() - leak.at(Celsius(89.0)).value()) / 2.0;
     EXPECT_NEAR(slope, 6.6 * 0.012, 1e-9);
 }
 
 TEST(Leakage, FloorsAtColdTemperatures)
 {
     const LeakageModel &leak = LeakageModel::x2150();
-    EXPECT_NEAR(leak.at(-100.0), 0.2 * 6.6, 1e-9);
+    EXPECT_NEAR(leak.at(Celsius(-100.0)).value(), 0.2 * 6.6, 1e-9);
 }
 
 class PowerManagerTest : public ::testing::Test
 {
   protected:
     PowerManagerTest()
-        : pm_(PStateTable::x2150(), SimplePeakModel(), 95.0, 0.10)
+        : pm_(PStateTable::x2150(), SimplePeakModel(), Celsius(95.0),
+              0.10)
     {
     }
 
@@ -119,7 +120,7 @@ class PowerManagerTest : public ::testing::Test
 TEST_F(PowerManagerTest, CoolAmbientAllowsBoost)
 {
     const DvfsDecision d =
-        pm_.chooseAtAmbient(comp_, leak_, 20.0, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(20.0), HeatSink::fin18());
     EXPECT_DOUBLE_EQ(d.freqMhz, 1900.0);
     EXPECT_TRUE(d.feasible);
 }
@@ -127,9 +128,9 @@ TEST_F(PowerManagerTest, CoolAmbientAllowsBoost)
 TEST_F(PowerManagerTest, HotAmbientThrottles)
 {
     const DvfsDecision cool =
-        pm_.chooseAtAmbient(comp_, leak_, 30.0, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(30.0), HeatSink::fin18());
     const DvfsDecision hot =
-        pm_.chooseAtAmbient(comp_, leak_, 65.0, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(65.0), HeatSink::fin18());
     EXPECT_LT(hot.freqMhz, cool.freqMhz);
 }
 
@@ -138,7 +139,7 @@ TEST_F(PowerManagerTest, FrequencyMonotoneInAmbient)
     double last = 1e9;
     for (double amb = 20.0; amb <= 90.0; amb += 2.5) {
         const DvfsDecision d =
-            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin18());
+            pm_.chooseAtAmbient(comp_, leak_, Celsius(amb), HeatSink::fin18());
         EXPECT_LE(d.freqMhz, last);
         last = d.freqMhz;
     }
@@ -147,7 +148,7 @@ TEST_F(PowerManagerTest, FrequencyMonotoneInAmbient)
 TEST_F(PowerManagerTest, InfeasibleFallsToSlowestState)
 {
     const DvfsDecision d =
-        pm_.chooseAtAmbient(comp_, leak_, 94.0, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(94.0), HeatSink::fin18());
     EXPECT_DOUBLE_EQ(d.freqMhz, 1100.0);
     EXPECT_FALSE(d.feasible);
 }
@@ -156,9 +157,9 @@ TEST_F(PowerManagerTest, FeasibleDecisionRespectsLimit)
 {
     for (double amb = 20.0; amb <= 80.0; amb += 5.0) {
         const DvfsDecision d =
-            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+            pm_.chooseAtAmbient(comp_, leak_, Celsius(amb), HeatSink::fin30());
         if (d.feasible) {
-            EXPECT_LE(d.predictedPeakC, 95.0 + 1e-9);
+            EXPECT_LE(d.predictedPeak.value(), 95.0 + 1e-9);
         }
     }
 }
@@ -169,9 +170,9 @@ TEST_F(PowerManagerTest, BetterSinkSustainsHigherFrequency)
     // should hold a higher state — the Sec. II design rationale.
     const double amb = 62.0;
     const DvfsDecision d18 =
-        pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(amb), HeatSink::fin18());
     const DvfsDecision d30 =
-        pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(amb), HeatSink::fin30());
     EXPECT_GT(d30.freqMhz, d18.freqMhz);
 }
 
@@ -181,7 +182,7 @@ TEST_F(PowerManagerTest, CappedSearchNeverBoosts)
         PStateTable::x2150().highestSustainedIndex();
     for (double amb = 20.0; amb <= 80.0; amb += 10.0) {
         const DvfsDecision d = pm_.chooseAtAmbientCapped(
-            comp_, leak_, amb, HeatSink::fin18(), sustained);
+            comp_, leak_, Celsius(amb), HeatSink::fin18(), sustained);
         EXPECT_LE(d.freqMhz, 1500.0);
     }
 }
@@ -190,9 +191,9 @@ TEST_F(PowerManagerTest, CappedEqualsUncappedWhenFullRange)
 {
     for (double amb = 20.0; amb <= 80.0; amb += 7.0) {
         const DvfsDecision a =
-            pm_.chooseAtAmbient(comp_, leak_, amb, HeatSink::fin30());
+            pm_.chooseAtAmbient(comp_, leak_, Celsius(amb), HeatSink::fin30());
         const DvfsDecision b = pm_.chooseAtAmbientCapped(
-            comp_, leak_, amb, HeatSink::fin30(), 4);
+            comp_, leak_, Celsius(amb), HeatSink::fin30(), 4);
         EXPECT_EQ(a.pstate, b.pstate);
     }
 }
@@ -202,22 +203,25 @@ TEST_F(PowerManagerTest, LeakageCompensationSecondPass)
     // The decision's power must reflect leakage at the *predicted*
     // temperature, not the 90 C characterization point.
     const DvfsDecision d =
-        pm_.chooseAtAmbient(comp_, leak_, 20.0, HeatSink::fin30());
-    const double dyn = pm_.dynamicPower(comp_, leak_, d.pstate);
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(20.0), HeatSink::fin30());
+    const double dyn =
+        pm_.dynamicPower(comp_, leak_, d.pstate).value();
     // powerW carries leakage at the first-pass temperature estimate;
     // the second-pass temperature is slightly cooler, so allow the
     // one-iteration gap.
-    EXPECT_NEAR(d.powerW, dyn + leak_.at(d.predictedPeakC), 0.5);
+    EXPECT_NEAR(d.power.value(),
+                dyn + leak_.at(d.predictedPeak).value(), 0.5);
     // Predicted peak is well below 90 C here, so power is below the
     // 90 C characterization value.
-    EXPECT_LT(d.powerW, comp_.totalPowerAt90C[d.pstate]);
+    EXPECT_LT(d.power.value(), comp_.totalPowerAt90C[d.pstate]);
 }
 
 TEST_F(PowerManagerTest, DynamicPowerPositiveAndIncreasing)
 {
     double last = 0.0;
     for (std::size_t i = 0; i < PStateTable::x2150().size(); ++i) {
-        const double dyn = pm_.dynamicPower(comp_, leak_, i);
+        const double dyn =
+            pm_.dynamicPower(comp_, leak_, i).value();
         EXPECT_GT(dyn, 0.0);
         EXPECT_GT(dyn, last);
         last = dyn;
@@ -226,7 +230,7 @@ TEST_F(PowerManagerTest, DynamicPowerPositiveAndIncreasing)
 
 TEST_F(PowerManagerTest, GatedPowerIsTenPercentTdp)
 {
-    EXPECT_NEAR(pm_.gatedPower(leak_), 2.2, 1e-9);
+    EXPECT_NEAR(pm_.gatedPower(leak_).value(), 2.2, 1e-9);
 }
 
 TEST_F(PowerManagerTest, SteadyIncludesSelfHeating)
@@ -235,9 +239,10 @@ TEST_F(PowerManagerTest, SteadyIncludesSelfHeating)
     // must throttle earlier than chooseAtAmbient at the same entry.
     const double entry = 40.0;
     const DvfsDecision plain =
-        pm_.chooseAtAmbient(comp_, leak_, entry, HeatSink::fin18());
-    const DvfsDecision steady = pm_.chooseSteady(
-        comp_, leak_, entry, 1.5, HeatSink::fin18());
+        pm_.chooseAtAmbient(comp_, leak_, Celsius(entry), HeatSink::fin18());
+    const DvfsDecision steady =
+        pm_.chooseSteady(comp_, leak_, Celsius(entry),
+                         KelvinPerWatt(1.5), HeatSink::fin18());
     EXPECT_LE(steady.freqMhz, plain.freqMhz);
 }
 
@@ -246,16 +251,19 @@ TEST_F(PowerManagerTest, ResponsiveUsesSinkState)
     // With a cold sink, the responsive governor grants more than the
     // steady one; with a fully soaked sink they agree.
     const double entry = 30.0;
-    const double kappa = 1.5;
+    const KelvinPerWatt kappa(1.5);
     const DvfsDecision cold = pm_.chooseResponsive(
-        comp_, leak_, entry, kappa, 0.0, HeatSink::fin18());
+        comp_, leak_, Celsius(entry), kappa, CelsiusDelta(0.0),
+        HeatSink::fin18());
     const DvfsDecision steady = pm_.chooseSteady(
-        comp_, leak_, entry, kappa, HeatSink::fin18());
+        comp_, leak_, Celsius(entry), kappa, HeatSink::fin18());
     EXPECT_GE(cold.freqMhz, steady.freqMhz);
 
-    const double soaked_rise = steady.powerW * HeatSink::fin18().rExt;
+    const CelsiusDelta soaked_rise =
+        steady.power * HeatSink::fin18().rExt;
     const DvfsDecision soaked = pm_.chooseResponsive(
-        comp_, leak_, entry, kappa, soaked_rise, HeatSink::fin18());
+        comp_, leak_, Celsius(entry), kappa, soaked_rise,
+        HeatSink::fin18());
     EXPECT_NEAR(soaked.freqMhz, steady.freqMhz, 200.0 + 1e-9);
 }
 
@@ -265,7 +273,7 @@ TEST_F(PowerManagerTest, StorageNeverThrottlesAtModerateAmbient)
     // throttle Computation (the Sec. V "muted Storage behaviour").
     const auto &storage = freqCurveFor(WorkloadSet::Storage);
     const DvfsDecision d =
-        pm_.chooseAtAmbient(storage, leak_, 60.0, HeatSink::fin18());
+        pm_.chooseAtAmbient(storage, leak_, Celsius(60.0), HeatSink::fin18());
     EXPECT_DOUBLE_EQ(d.freqMhz, 1900.0);
 }
 
@@ -274,7 +282,7 @@ TEST_F(PowerManagerTest, WrongCurveSizePanics)
     FreqCurve bad;
     bad.totalPowerAt90C = {10.0, 11.0};
     bad.perfRel = {0.9, 1.0};
-    EXPECT_DEATH(pm_.chooseAtAmbient(bad, leak_, 30.0,
+    EXPECT_DEATH(pm_.chooseAtAmbient(bad, leak_, Celsius(30.0),
                                      HeatSink::fin18()),
                  "P-states");
 }

@@ -30,20 +30,25 @@ RCNetwork
 randomNetwork(Rng &rng, std::size_t n)
 {
     RCNetwork net;
-    for (std::size_t i = 0; i < n; ++i)
-        net.addNode("n" + std::to_string(i), rng.uniform(0.5, 5.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string name("n");
+        name += std::to_string(i);
+        net.addNode(name, JoulePerKelvin(rng.uniform(0.5, 5.0)));
+    }
     // Spanning chain keeps it connected.
     for (std::size_t i = 0; i + 1 < n; ++i)
-        net.connect(i, i + 1, rng.uniform(0.2, 3.0));
+        net.connect(i, i + 1, KelvinPerWatt(rng.uniform(0.2, 3.0)));
     // Random extra edges.
     for (std::size_t e = 0; e < n; ++e) {
         const std::size_t a = rng.nextBounded(n);
         const std::size_t b = rng.nextBounded(n);
         if (a != b)
-            net.connect(a, b, rng.uniform(0.2, 3.0));
+            net.connect(a, b, KelvinPerWatt(rng.uniform(0.2, 3.0)));
     }
-    net.connectAmbient(rng.nextBounded(n), rng.uniform(0.5, 2.0));
-    net.connectAmbient(rng.nextBounded(n), rng.uniform(0.5, 2.0));
+    net.connectAmbient(rng.nextBounded(n),
+                       KelvinPerWatt(rng.uniform(0.5, 2.0)));
+    net.connectAmbient(rng.nextBounded(n),
+                       KelvinPerWatt(rng.uniform(0.5, 2.0)));
     return net;
 }
 
@@ -62,8 +67,8 @@ TEST_P(RandomNetwork, SteadyStateConservesEnergy)
         p = rng.uniform(0.0, 10.0);
         total += p;
     }
-    const auto temps = net.steadyState(powers, 25.0);
-    EXPECT_NEAR(net.ambientHeatFlow(temps, 25.0), total,
+    const auto temps = net.steadyState(powers, Celsius(25.0));
+    EXPECT_NEAR(net.ambientHeatFlow(temps, Celsius(25.0)).value(), total,
                 1e-6 * std::max(total, 1.0));
 }
 
@@ -75,7 +80,7 @@ TEST_P(RandomNetwork, AllTemperaturesAboveAmbient)
     std::vector<double> powers(n);
     for (double &p : powers)
         p = rng.uniform(0.0, 10.0);
-    const auto temps = net.steadyState(powers, 30.0);
+    const auto temps = net.steadyState(powers, Celsius(30.0));
     for (double t : temps)
         EXPECT_GE(t, 30.0 - 1e-9);
 }
@@ -88,13 +93,13 @@ TEST_P(RandomNetwork, TransientApproachesSteady)
     std::vector<double> powers(n);
     for (double &p : powers)
         p = rng.uniform(0.0, 5.0);
-    const auto steady = net.steadyState(powers, 20.0);
+    const auto steady = net.steadyState(powers, Celsius(20.0));
     std::vector<double> temps(n, 20.0);
     // March many time constants forward: the slowest aggregate mode
     // can reach tau ~ (sum C) / (ambient conductance) ~ 100 s for
     // these random draws.
     for (int i = 0; i < 100; ++i)
-        net.transientStep(temps, powers, 20.0, 10.0);
+        net.transientStep(temps, powers, Celsius(20.0), Seconds(10.0));
     for (std::size_t i = 0; i < n; ++i)
         EXPECT_NEAR(temps[i], steady[i],
                     0.02 * std::max(1.0, steady[i] - 20.0));
@@ -129,12 +134,12 @@ TEST_P(RandomTopology, AmbientNeverBelowEntryNeverBelowInlet)
     std::vector<double> powers(topo.numSockets());
     for (double &p : powers)
         p = rng.uniform(0.0, 22.0);
-    const auto entry = map.entryTemps(powers, 18.0);
-    const auto ambient = map.ambientTemps(powers, 18.0);
+    const auto entry = map.entryTemps(powers, Celsius(18.0));
+    const auto ambient = map.ambientTemps(powers, Celsius(18.0));
     for (std::size_t s = 0; s < powers.size(); ++s) {
         EXPECT_GE(entry[s], 18.0 - 1e-9);
         EXPECT_GE(ambient[s] + 1e-9,
-                  18.0 + map.kappaLocal() * powers[s]);
+                  18.0 + map.kappaLocal().value() * powers[s]);
     }
 }
 
@@ -146,10 +151,10 @@ TEST_P(RandomTopology, AddingPowerNeverCoolsAnyone)
     std::vector<double> powers(topo.numSockets());
     for (double &p : powers)
         p = rng.uniform(0.0, 15.0);
-    const auto before = map.ambientTemps(powers, 18.0);
+    const auto before = map.ambientTemps(powers, Celsius(18.0));
     const std::size_t bump = rng.nextBounded(powers.size());
     powers[bump] += 5.0;
-    const auto after = map.ambientTemps(powers, 18.0);
+    const auto after = map.ambientTemps(powers, Celsius(18.0));
     for (std::size_t s = 0; s < powers.size(); ++s)
         EXPECT_GE(after[s], before[s] - 1e-12);
 }
@@ -162,8 +167,8 @@ TEST_P(RandomTopology, ImpactEqualsCoefficientSum)
     for (std::size_t from = 0; from < map.size(); from += 3) {
         double sum = 0.0;
         for (std::size_t to = 0; to < map.size(); ++to)
-            sum += map.coeff(from, to);
-        EXPECT_NEAR(map.downstreamImpact(from), sum, 1e-12);
+            sum += map.coeff(from, to).value();
+        EXPECT_NEAR(map.downstreamImpact(from).value(), sum, 1e-12);
     }
 }
 
@@ -177,7 +182,7 @@ TEST(PolicyFuzz, AllPoliciesValidOnRandomStates)
     const CouplingMap coupling =
         makeCouplingMap(topo, defaultCouplingParams());
     const PowerManager pm(PStateTable::x2150(), SimplePeakModel(),
-                          95.0, 0.10);
+                          Celsius(95.0), 0.10);
     Rng rng(99);
     const std::size_t n = topo.numSockets();
 

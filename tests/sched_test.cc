@@ -28,7 +28,8 @@ class SchedFixture : public ::testing::Test
     SchedFixture()
         : topo_(makeSutTopology()),
           coupling_(makeCouplingMap(topo_, defaultCouplingParams())),
-          pm_(PStateTable::x2150(), SimplePeakModel(), 95.0, 0.10),
+          pm_(PStateTable::x2150(), SimplePeakModel(), Celsius(95.0),
+              0.10),
           rng_(7)
     {
         const std::size_t n = topo_.numSockets();
@@ -303,7 +304,7 @@ TEST_F(SchedFixture, DownstreamPenaltyIgnoresBoostPlateau)
     makeBusy(row0[10], 1900.0, 18.0);
     ambient_[row0[10]] = 20.0; // deep in the plateau
     auto ctx = context();
-    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, row0[0], Watts(18.0)), 0.0);
 }
 
 TEST_F(SchedFixture, DownstreamPenaltyChargesOffPlateau)
@@ -315,13 +316,13 @@ TEST_F(SchedFixture, DownstreamPenaltyChargesOffPlateau)
     ambient_[row0[10]] = 40.0;
     credit_[row0[10]] = 0.0;
     auto ctx = context();
-    EXPECT_GT(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+    EXPECT_GT(downstreamPenaltyMhz(ctx, row0[0], Watts(18.0)), 0.0);
 }
 
 TEST_F(SchedFixture, DownstreamPenaltyZeroWhenBackIdle)
 {
     auto ctx = context();
-    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, 0, 18.0), 0.0);
+    EXPECT_DOUBLE_EQ(downstreamPenaltyMhz(ctx, 0, Watts(18.0)), 0.0);
 }
 
 TEST_F(SchedFixture, DownstreamPenaltyAppearsNearThrottlePoint)
@@ -333,10 +334,13 @@ TEST_F(SchedFixture, DownstreamPenaltyAppearsNearThrottlePoint)
     makeBusy(down, 1500.0, 13.6);
     // Find the ambient where 1500 MHz is right at the edge.
     const double amb_edge =
-        SimplePeakModel().maxAmbient(95.0, 13.6, topo_.sinkOf(down));
+        SimplePeakModel()
+            .maxAmbient(Celsius(95.0), Watts(13.6),
+                        topo_.sinkOf(down))
+            .value();
     ambient_[down] = amb_edge - 0.1;
     auto ctx = context();
-    const double penalty = downstreamPenaltyMhz(ctx, row0[0], 18.0);
+    const double penalty = downstreamPenaltyMhz(ctx, row0[0], Watts(18.0));
     EXPECT_GE(penalty, 200.0);
 }
 
@@ -346,7 +350,7 @@ TEST_F(SchedFixture, DownstreamPenaltyNeverNegative)
     makeBusy(row0[6], 1100.0, 9.8);
     ambient_[row0[6]] = 94.0; // already at the floor
     auto ctx = context();
-    EXPECT_GE(downstreamPenaltyMhz(ctx, row0[0], 18.0), 0.0);
+    EXPECT_GE(downstreamPenaltyMhz(ctx, row0[0], Watts(18.0)), 0.0);
 }
 
 TEST_F(SchedFixture, CouplingPredictorAvoidsHarmfulPlacement)
@@ -358,7 +362,10 @@ TEST_F(SchedFixture, CouplingPredictorAvoidsHarmfulPlacement)
     const std::size_t down = row0[10];
     makeBusy(down, 1500.0, 13.6);
     ambient_[down] =
-        SimplePeakModel().maxAmbient(95.0, 13.6, topo_.sinkOf(down)) -
+        SimplePeakModel()
+            .maxAmbient(Celsius(95.0), Watts(13.6),
+                        topo_.sinkOf(down))
+            .value() -
         0.1;
     // Make every socket ambient cool enough that own-frequency
     // predictions tie at the cap; disable boost so sinks tie too.

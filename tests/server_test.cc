@@ -120,13 +120,13 @@ TEST(Topology, SitesMatchGeometry)
     for (std::size_t s = 0; s < sites.size(); ++s) {
         EXPECT_EQ(sites[s].duct, sut.rowOf(s));
         EXPECT_NEAR(sites[s].streamPosInch, sut.streamPosOf(s), 1e-12);
-        EXPECT_NEAR(sites[s].ductCfm, 12.70, 1e-9);
+        EXPECT_NEAR(sites[s].ductCfm.value(), 12.70, 1e-9);
     }
 }
 
 TEST(Topology, ZoneCfmFromTableIII)
 {
-    EXPECT_NEAR(makeSutTopology().zoneCfm(), 2 * 6.35, 1e-9);
+    EXPECT_NEAR(makeSutTopology().zoneCfm().value(), 2 * 6.35, 1e-9);
 }
 
 TEST(Topology, TwoSocketCoupledIsOneDuct)
@@ -156,8 +156,8 @@ TEST(Topology, CouplingMapsReflectCoupling)
         makeCouplingMap(makeTwoSocketCoupled(), params);
     const CouplingMap uncoupled =
         makeCouplingMap(makeTwoSocketUncoupled(), params);
-    EXPECT_GT(coupled.coeff(0, 1), 0.0);
-    EXPECT_DOUBLE_EQ(uncoupled.coeff(0, 1), 0.0);
+    EXPECT_GT(coupled.coeff(0, 1).value(), 0.0);
+    EXPECT_DOUBLE_EQ(uncoupled.coeff(0, 1).value(), 0.0);
 }
 
 TEST(Topology, SinkOverride)

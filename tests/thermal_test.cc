@@ -27,16 +27,16 @@ namespace {
 
 TEST(HeatSink, TableIIIPresets)
 {
-    EXPECT_DOUBLE_EQ(HeatSink::fin18().rExt, 1.578);
-    EXPECT_DOUBLE_EQ(HeatSink::fin30().rExt, 1.056);
+    EXPECT_DOUBLE_EQ(HeatSink::fin18().rExt.value(), 1.578);
+    EXPECT_DOUBLE_EQ(HeatSink::fin30().rExt.value(), 1.056);
     EXPECT_EQ(HeatSink::fin18().finCount, 18);
     EXPECT_EQ(HeatSink::fin30().finCount, 30);
 }
 
 TEST(HeatSink, ThetaMatchesTableIII)
 {
-    EXPECT_NEAR(HeatSink::fin18().theta(10.0), 4.41 - 0.896, 1e-9);
-    EXPECT_NEAR(HeatSink::fin30().theta(10.0), 4.45 - 0.916, 1e-9);
+    EXPECT_NEAR(HeatSink::fin18().theta(Watts(10.0)).value(), 4.41 - 0.896, 1e-9);
+    EXPECT_NEAR(HeatSink::fin30().theta(Watts(10.0)).value(), 4.45 - 0.916, 1e-9);
 }
 
 TEST(HeatSink, MoreFinsLowerResistance)
@@ -45,8 +45,8 @@ TEST(HeatSink, MoreFinsLowerResistance)
     g18.finCount = 18;
     FinHeatsinkGeometry g30 = g18;
     g30.finCount = 30;
-    EXPECT_LT(finHeatsinkResistance(g30, 6.35),
-              finHeatsinkResistance(g18, 6.35));
+    EXPECT_LT(finHeatsinkResistance(g30, Cfm(6.35)).value(),
+              finHeatsinkResistance(g18, Cfm(6.35)).value());
 }
 
 TEST(HeatSink, ParametricModelNearTableIIIValues)
@@ -58,31 +58,31 @@ TEST(HeatSink, ParametricModelNearTableIIIValues)
     g18.finCount = 18;
     FinHeatsinkGeometry g30 = g18;
     g30.finCount = 30;
-    EXPECT_NEAR(finHeatsinkResistance(g18, 6.35), 1.578,
+    EXPECT_NEAR(finHeatsinkResistance(g18, Cfm(6.35)).value(), 1.578,
                 0.25 * 1.578);
-    EXPECT_NEAR(finHeatsinkResistance(g30, 6.35), 1.056,
+    EXPECT_NEAR(finHeatsinkResistance(g30, Cfm(6.35)).value(), 1.056,
                 0.25 * 1.056);
 }
 
 TEST(HeatSink, MoreAirflowLowerResistance)
 {
     FinHeatsinkGeometry g;
-    EXPECT_LT(finHeatsinkResistance(g, 12.0),
-              finHeatsinkResistance(g, 3.0));
+    EXPECT_LT(finHeatsinkResistance(g, Cfm(12.0)).value(),
+              finHeatsinkResistance(g, Cfm(3.0)).value());
 }
 
 TEST(HeatSink, ChannelVelocityScalesWithFlow)
 {
     FinHeatsinkGeometry g;
-    EXPECT_NEAR(finChannelVelocity(g, 12.7),
-                2.0 * finChannelVelocity(g, 6.35), 1e-9);
+    EXPECT_NEAR(finChannelVelocity(g, Cfm(12.7)),
+                2.0 * finChannelVelocity(g, Cfm(6.35)), 1e-9);
 }
 
 TEST(HeatSink, ImpossibleGeometryIsFatal)
 {
     FinHeatsinkGeometry g;
     g.finCount = 1000; // fins wider than the base
-    EXPECT_EXIT(finHeatsinkResistance(g, 6.35),
+    EXPECT_EXIT((void)finHeatsinkResistance(g, Cfm(6.35)),
                 ::testing::ExitedWithCode(1), "gap");
 }
 
@@ -94,15 +94,20 @@ TEST(SimplePeak, MatchesHandComputedValue)
     // 45 + 18 * (0.205 + 1.578) + (4.41 - 0.0896 * 18) = 79.89 C.
     SimplePeakModel model;
     const double t =
-        model.peak(45.0, 18.0, HeatSink::fin18());
+        model.peak(Celsius(45.0), Watts(18.0), HeatSink::fin18())
+            .value();
     EXPECT_NEAR(t, 45.0 + 18.0 * 1.783 + 4.41 - 1.6128, 1e-9);
 }
 
 TEST(SimplePeak, Fin30CoolerAtSamePower)
 {
     SimplePeakModel model;
-    const double t18 = model.peak(40.0, 15.0, HeatSink::fin18());
-    const double t30 = model.peak(40.0, 15.0, HeatSink::fin30());
+    const double t18 =
+        model.peak(Celsius(40.0), Watts(15.0), HeatSink::fin18())
+            .value();
+    const double t30 =
+        model.peak(Celsius(40.0), Watts(15.0), HeatSink::fin30())
+            .value();
     EXPECT_LT(t30, t18);
     // Fig. 9(b): the 30-fin sink is ~6-7 C cooler at high power.
     EXPECT_NEAR(t18 - t30, 15.0 * (1.578 - 1.056), 0.5);
@@ -112,8 +117,12 @@ TEST(SimplePeak, MaxPowerInverts)
 {
     SimplePeakModel model;
     for (double amb : {20.0, 45.0, 60.0}) {
-        const double p = model.maxPower(95.0, amb, HeatSink::fin18());
-        EXPECT_NEAR(model.peak(amb, p, HeatSink::fin18()), 95.0, 1e-9);
+        const double p =
+            model.maxPower(Celsius(95.0), Celsius(amb), HeatSink::fin18())
+                .value();
+        EXPECT_NEAR(
+            model.peak(Celsius(amb), Watts(p), HeatSink::fin18()).value(),
+            95.0, 1e-9);
     }
 }
 
@@ -121,14 +130,20 @@ TEST(SimplePeak, MaxAmbientInverts)
 {
     SimplePeakModel model;
     const double amb =
-        model.maxAmbient(95.0, 13.6, HeatSink::fin30());
-    EXPECT_NEAR(model.peak(amb, 13.6, HeatSink::fin30()), 95.0, 1e-9);
+        model.maxAmbient(Celsius(95.0), Watts(13.6), HeatSink::fin30())
+            .value();
+    EXPECT_NEAR(
+        model.peak(Celsius(amb), Watts(13.6), HeatSink::fin30()).value(),
+        95.0, 1e-9);
 }
 
 TEST(SimplePeak, MaxPowerClampsAtZero)
 {
     SimplePeakModel model;
-    EXPECT_DOUBLE_EQ(model.maxPower(95.0, 200.0, HeatSink::fin18()),
+    EXPECT_DOUBLE_EQ(model
+                         .maxPower(Celsius(95.0), Celsius(200.0),
+                                   HeatSink::fin18())
+                         .value(),
                      0.0);
 }
 
@@ -137,12 +152,15 @@ TEST(SimplePeak, MonotoneInAmbientAndPower)
     SimplePeakModel model;
     double last = 0.0;
     for (double p = 0.0; p <= 22.0; p += 2.0) {
-        const double t = model.peak(30.0, p, HeatSink::fin18());
+        const double t =
+            model.peak(Celsius(30.0), Watts(p), HeatSink::fin18())
+                .value();
         EXPECT_GT(t, last);
         last = t;
     }
-    EXPECT_LT(model.peak(20.0, 10.0, HeatSink::fin18()),
-              model.peak(40.0, 10.0, HeatSink::fin18()));
+    EXPECT_LT(
+        model.peak(Celsius(20.0), Watts(10.0), HeatSink::fin18()),
+        model.peak(Celsius(40.0), Watts(10.0), HeatSink::fin18()));
 }
 
 // ------------------------------------------------------------- transient
@@ -192,9 +210,9 @@ TEST(Transient, ResponseFractionBounds)
 TEST(RcNetwork, SingleNodeSteadyState)
 {
     RCNetwork net;
-    const NodeId n = net.addNode("chip", 1.0);
-    net.connectAmbient(n, 2.0); // 2 C/W
-    const auto temps = net.steadyState({10.0}, 25.0);
+    const NodeId n = net.addNode("chip", JoulePerKelvin(1.0));
+    net.connectAmbient(n, KelvinPerWatt(2.0)); // 2 C/W
+    const auto temps = net.steadyState({10.0}, Celsius(25.0));
     EXPECT_NEAR(temps[n], 25.0 + 20.0, 1e-9);
 }
 
@@ -202,11 +220,11 @@ TEST(RcNetwork, TwoNodeVoltageDivider)
 {
     // power -> a --1ohm-- b --1ohm-- ambient
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    const NodeId b = net.addNode("b", 1.0);
-    net.connect(a, b, 1.0);
-    net.connectAmbient(b, 1.0);
-    const auto temps = net.steadyState({5.0, 0.0}, 0.0);
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    const NodeId b = net.addNode("b", JoulePerKelvin(1.0));
+    net.connect(a, b, KelvinPerWatt(1.0));
+    net.connectAmbient(b, KelvinPerWatt(1.0));
+    const auto temps = net.steadyState({5.0, 0.0}, Celsius(0.0));
     EXPECT_NEAR(temps[b], 5.0, 1e-9);
     EXPECT_NEAR(temps[a], 10.0, 1e-9);
 }
@@ -215,17 +233,21 @@ TEST(RcNetwork, SteadyStateConservesEnergy)
 {
     RCNetwork net;
     std::vector<NodeId> nodes;
-    for (int i = 0; i < 10; ++i)
-        nodes.push_back(net.addNode("n" + std::to_string(i), 1.0));
+    for (int i = 0; i < 10; ++i) {
+        std::string name("n");
+        name += std::to_string(i);
+        nodes.push_back(net.addNode(name, JoulePerKelvin(1.0)));
+    }
     for (int i = 0; i + 1 < 10; ++i)
-        net.connect(nodes[i], nodes[i + 1], 0.5 + 0.1 * i);
-    net.connectAmbient(nodes[0], 1.0);
-    net.connectAmbient(nodes[9], 2.0);
+        net.connect(nodes[i], nodes[i + 1],
+                    KelvinPerWatt(0.5 + 0.1 * i));
+    net.connectAmbient(nodes[0], KelvinPerWatt(1.0));
+    net.connectAmbient(nodes[9], KelvinPerWatt(2.0));
     std::vector<double> powers(10, 0.0);
     powers[3] = 7.0;
     powers[8] = 2.5;
-    const auto temps = net.steadyState(powers, 20.0);
-    EXPECT_NEAR(net.ambientHeatFlow(temps, 20.0), 9.5, 1e-9);
+    const auto temps = net.steadyState(powers, Celsius(20.0));
+    EXPECT_NEAR(net.ambientHeatFlow(temps, Celsius(20.0)).value(), 9.5, 1e-9);
 }
 
 TEST(RcNetwork, SuperpositionHolds)
@@ -233,16 +255,16 @@ TEST(RcNetwork, SuperpositionHolds)
     // The network is linear: solving for the sum of two power
     // vectors equals the sum of solutions (relative to ambient).
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    const NodeId b = net.addNode("b", 1.0);
-    const NodeId c = net.addNode("c", 1.0);
-    net.connect(a, b, 1.5);
-    net.connect(b, c, 0.7);
-    net.connectAmbient(c, 1.2);
-    net.connectAmbient(a, 3.0);
-    const auto t1 = net.steadyState({4.0, 0.0, 0.0}, 0.0);
-    const auto t2 = net.steadyState({0.0, 0.0, 6.0}, 0.0);
-    const auto t12 = net.steadyState({4.0, 0.0, 6.0}, 0.0);
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    const NodeId b = net.addNode("b", JoulePerKelvin(1.0));
+    const NodeId c = net.addNode("c", JoulePerKelvin(1.0));
+    net.connect(a, b, KelvinPerWatt(1.5));
+    net.connect(b, c, KelvinPerWatt(0.7));
+    net.connectAmbient(c, KelvinPerWatt(1.2));
+    net.connectAmbient(a, KelvinPerWatt(3.0));
+    const auto t1 = net.steadyState({4.0, 0.0, 0.0}, Celsius(0.0));
+    const auto t2 = net.steadyState({0.0, 0.0, 6.0}, Celsius(0.0));
+    const auto t12 = net.steadyState({4.0, 0.0, 6.0}, Celsius(0.0));
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_NEAR(t12[i], t1[i] + t2[i], 1e-9);
 }
@@ -250,34 +272,34 @@ TEST(RcNetwork, SuperpositionHolds)
 TEST(RcNetwork, AmbientShiftsUniformly)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    net.connectAmbient(a, 1.0);
-    const auto cold = net.steadyState({3.0}, 0.0);
-    const auto warm = net.steadyState({3.0}, 30.0);
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    net.connectAmbient(a, KelvinPerWatt(1.0));
+    const auto cold = net.steadyState({3.0}, Celsius(0.0));
+    const auto warm = net.steadyState({3.0}, Celsius(30.0));
     EXPECT_NEAR(warm[a] - cold[a], 30.0, 1e-9);
 }
 
 TEST(RcNetwork, IsolatedNodeIsFatal)
 {
     RCNetwork net;
-    net.addNode("floating", 1.0);
-    EXPECT_EXIT(net.steadyState({1.0}, 0.0),
+    net.addNode("floating", JoulePerKelvin(1.0));
+    EXPECT_EXIT(net.steadyState({1.0}, Celsius(0.0)),
                 ::testing::ExitedWithCode(1), "singular");
 }
 
 TEST(RcNetwork, TransientConvergesToSteadyState)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 2.0);
-    const NodeId b = net.addNode("b", 5.0);
-    net.connect(a, b, 1.0);
-    net.connectAmbient(b, 0.5);
+    const NodeId a = net.addNode("a", JoulePerKelvin(2.0));
+    const NodeId b = net.addNode("b", JoulePerKelvin(5.0));
+    net.connect(a, b, KelvinPerWatt(1.0));
+    net.connectAmbient(b, KelvinPerWatt(0.5));
     const std::vector<double> powers{4.0, 1.0};
-    const auto steady = net.steadyState(powers, 22.0);
+    const auto steady = net.steadyState(powers, Celsius(22.0));
 
     std::vector<double> temps(2, 22.0);
     for (int i = 0; i < 200; ++i)
-        net.transientStep(temps, powers, 22.0, 0.5);
+        net.transientStep(temps, powers, Celsius(22.0), Seconds(0.5));
     EXPECT_NEAR(temps[a], steady[a], 0.01);
     EXPECT_NEAR(temps[b], steady[b], 0.01);
 }
@@ -285,12 +307,12 @@ TEST(RcNetwork, TransientConvergesToSteadyState)
 TEST(RcNetwork, TransientMonotoneHeating)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    net.connectAmbient(a, 1.0);
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    net.connectAmbient(a, KelvinPerWatt(1.0));
     std::vector<double> temps{20.0};
     double last = temps[0];
     for (int i = 0; i < 20; ++i) {
-        net.transientStep(temps, {5.0}, 20.0, 0.1);
+        net.transientStep(temps, {5.0}, Celsius(20.0), Seconds(0.1));
         EXPECT_GE(temps[0], last);
         last = temps[0];
         EXPECT_LE(temps[0], 25.0 + 1e-9);
@@ -300,18 +322,18 @@ TEST(RcNetwork, TransientMonotoneHeating)
 TEST(RcNetwork, TransientRequiresCapacitance)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 0.0);
-    net.connectAmbient(a, 1.0);
+    const NodeId a = net.addNode("a", JoulePerKelvin(0.0));
+    net.connectAmbient(a, KelvinPerWatt(1.0));
     std::vector<double> temps{20.0};
-    EXPECT_EXIT(net.transientStep(temps, {1.0}, 20.0, 0.1),
+    EXPECT_EXIT(net.transientStep(temps, {1.0}, Celsius(20.0), Seconds(0.1)),
                 ::testing::ExitedWithCode(1), "capacitance");
 }
 
 TEST(RcNetwork, SelfLoopPanics)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    EXPECT_DEATH(net.connect(a, a, 1.0), "self-loop");
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    EXPECT_DEATH(net.connect(a, a, KelvinPerWatt(1.0)), "self-loop");
 }
 
 // ---------------------------------------------------------- HotSpot model
@@ -323,7 +345,7 @@ TEST(HotSpot, UniformMapAverageMatchesEquationOne)
     ChipStackParams params;
     HotSpotModel model(params, HeatSink::fin18());
     const PowerMap map = PowerMap::uniform(params.grid);
-    const auto field = model.steady(15.0, map, 40.0);
+    const auto field = model.steady(Watts(15.0), map, Celsius(40.0));
     EXPECT_NEAR(field.avgT, 40.0 + 15.0 * (0.205 + 1.578), 1e-6);
 }
 
@@ -332,7 +354,7 @@ TEST(HotSpot, UniformMapHasSmallSpread)
     ChipStackParams params;
     HotSpotModel model(params, HeatSink::fin30());
     const auto field =
-        model.steady(18.0, PowerMap::uniform(params.grid), 30.0);
+        model.steady(Watts(18.0), PowerMap::uniform(params.grid), Celsius(30.0));
     EXPECT_LT(field.spread(), 0.5);
 }
 
@@ -346,8 +368,8 @@ TEST(HotSpot, ConcentratedMapSpreadInPaperRange)
         HotSpotModel model(params, *sink);
         for (double power : {8.0, 12.0, 15.0, 18.0}) {
             const PowerMap map = PowerMap::concentrated(
-                params.grid, defaultHotFraction(power), 4, 0, 0);
-            const auto field = model.steady(power, map, 40.0);
+                params.grid, defaultHotFraction(Watts(power)), HotBlock{4, 0, 0});
+            const auto field = model.steady(Watts(power), map, Celsius(40.0));
             EXPECT_GE(field.spread(), 3.0)
                 << sink->name << " @ " << power << " W";
             EXPECT_LE(field.spread(), 8.0)
@@ -367,9 +389,9 @@ TEST(HotSpot, EquationOneTracksDetailedModelWithin2C)
         HotSpotModel model(params, *sink);
         for (double power = 8.0; power <= 18.0; power += 1.0) {
             const PowerMap map = PowerMap::concentrated(
-                params.grid, defaultHotFraction(power), 4, 2, 2);
-            const auto field = model.steady(power, map, 45.0);
-            const double predicted = simple.peak(45.0, power, *sink);
+                params.grid, defaultHotFraction(Watts(power)), HotBlock{4, 2, 2});
+            const auto field = model.steady(Watts(power), map, Celsius(45.0));
+            const double predicted = simple.peak(Celsius(45.0), Watts(power), *sink).value();
             EXPECT_NEAR(predicted, field.maxT, 2.0)
                 << sink->name << " @ " << power << " W";
         }
@@ -382,11 +404,12 @@ TEST(HotSpot, SinkTimeConstantNearTableIII)
     // socket time constant.
     ChipStackParams params;
     HotSpotModel model(params, HeatSink::fin30());
-    auto state = model.initialState(20.0);
+    auto state = model.initialState(Celsius(20.0));
     const auto steady =
-        model.steady(15.0, PowerMap::uniform(params.grid), 20.0);
-    model.transientStep(state, 15.0, PowerMap::uniform(params.grid),
-                        20.0, params.socketTauS);
+        model.steady(Watts(15.0), PowerMap::uniform(params.grid), Celsius(20.0));
+    model.transientStep(state, Watts(15.0),
+                        PowerMap::uniform(params.grid), Celsius(20.0),
+                        Seconds(params.socketTauS));
     const auto field = model.summarize(state);
     const double frac = (field.sinkTemp - 20.0) /
                         (steady.sinkTemp - 20.0);
@@ -398,8 +421,9 @@ TEST(HotSpot, HotBlockIsHottest)
     ChipStackParams params;
     HotSpotModel model(params, HeatSink::fin18());
     const PowerMap map =
-        PowerMap::concentrated(params.grid, 0.7, 2, 0, 0);
-    const auto field = model.steady(15.0, map, 30.0);
+        PowerMap::concentrated(
+                params.grid, 0.7, HotBlock{2, 0, 0});
+    const auto field = model.steady(Watts(15.0), map, Celsius(30.0));
     // Cell (0,0) is inside the hot block.
     EXPECT_NEAR(field.dieTemps[0], field.maxT, 0.5);
 }
@@ -408,14 +432,15 @@ TEST(HotSpot, MismatchedMapGridIsFatal)
 {
     ChipStackParams params;
     HotSpotModel model(params, HeatSink::fin18());
-    EXPECT_EXIT(model.steady(10.0, PowerMap::uniform(4), 30.0),
+    EXPECT_EXIT(model.steady(Watts(10.0), PowerMap::uniform(4), Celsius(30.0)),
                 ::testing::ExitedWithCode(1), "grid");
 }
 
 TEST(PowerMap, FractionsSumToOne)
 {
     for (double hot : {0.0, 0.3, 0.7, 1.0}) {
-        const PowerMap map = PowerMap::concentrated(8, hot, 3, 1, 2);
+        const PowerMap map = PowerMap::concentrated(
+                8, hot, HotBlock{3, 1, 2});
         double sum = 0.0;
         for (double f : map.fractions())
             sum += f;
@@ -425,14 +450,15 @@ TEST(PowerMap, FractionsSumToOne)
 
 TEST(PowerMap, DefaultHotFractionDecreasesWithPower)
 {
-    EXPECT_GT(defaultHotFraction(8.0), defaultHotFraction(18.0));
-    EXPECT_GE(defaultHotFraction(100.0), 0.25);
-    EXPECT_LE(defaultHotFraction(0.0), 0.95);
+    EXPECT_GT(defaultHotFraction(Watts(8.0)), defaultHotFraction(Watts(18.0)));
+    EXPECT_GE(defaultHotFraction(Watts(100.0)), 0.25);
+    EXPECT_LE(defaultHotFraction(Watts(0.0)), 0.95);
 }
 
 TEST(PowerMap, BlockOutsideGridIsFatal)
 {
-    EXPECT_EXIT(PowerMap::concentrated(8, 0.5, 4, 6, 6),
+    EXPECT_EXIT(PowerMap::concentrated(
+                8, 0.5, HotBlock{4, 6, 6}),
                 ::testing::ExitedWithCode(1), "fit");
 }
 
@@ -443,7 +469,7 @@ chainSites(int n, double spacing, double duct_cfm)
 {
     std::vector<SocketSite> sites;
     for (int i = 0; i < n; ++i)
-        sites.push_back(SocketSite{i * spacing, 0, duct_cfm});
+        sites.push_back(SocketSite{i * spacing, 0, Cfm(duct_cfm)});
     return sites;
 }
 
@@ -453,10 +479,10 @@ TEST(CouplingMap, Figure2CartridgeCalibration)
     // 12.7 CFM duct; the measured left-to-right air temperature
     // difference is ~8 C. Model: two sites per station.
     std::vector<SocketSite> sites{
-        {0.0, 0, 12.7}, {0.0, 0, 12.7}, {1.6, 0, 12.7}, {1.6, 0, 12.7}};
+        {0.0, 0, Cfm(12.7)}, {0.0, 0, Cfm(12.7)}, {1.6, 0, Cfm(12.7)}, {1.6, 0, Cfm(12.7)}};
     CouplingMap map(sites, CouplingParams{});
     const std::vector<double> powers{15.0, 15.0, 0.0, 0.0};
-    const auto entry = map.entryTemps(powers, 18.0);
+    const auto entry = map.entryTemps(powers, Celsius(18.0));
     const double diff = entry[2] - entry[0];
     EXPECT_NEAR(diff, 8.0, 1.2);
 }
@@ -465,22 +491,22 @@ TEST(CouplingMap, NoUpstreamCouplingToFirstSocket)
 {
     CouplingMap map(chainSites(4, 1.6, 12.7), CouplingParams{});
     const std::vector<double> powers{0.0, 10.0, 10.0, 10.0};
-    EXPECT_DOUBLE_EQ(map.entryTemp(0, powers, 18.0), 18.0);
+    EXPECT_DOUBLE_EQ(map.entryTemp(0, powers, Celsius(18.0)).value(), 18.0);
 }
 
 TEST(CouplingMap, StrictlyDownstreamOnly)
 {
     CouplingMap map(chainSites(3, 1.6, 12.7), CouplingParams{});
-    EXPECT_GT(map.coeff(0, 2), 0.0);
-    EXPECT_DOUBLE_EQ(map.coeff(2, 0), 0.0);
-    EXPECT_DOUBLE_EQ(map.coeff(1, 1), 0.0);
+    EXPECT_GT(map.coeff(0, 2).value(), 0.0);
+    EXPECT_DOUBLE_EQ(map.coeff(2, 0).value(), 0.0);
+    EXPECT_DOUBLE_EQ(map.coeff(1, 1).value(), 0.0);
 }
 
 TEST(CouplingMap, CouplingDecaysWithDistance)
 {
     CouplingMap map(chainSites(6, 1.6, 12.7), CouplingParams{});
-    EXPECT_GT(map.coeff(0, 1), map.coeff(0, 3));
-    EXPECT_GT(map.coeff(0, 3), map.coeff(0, 5));
+    EXPECT_GT(map.coeff(0, 1).value(), map.coeff(0, 3).value());
+    EXPECT_GT(map.coeff(0, 3).value(), map.coeff(0, 5).value());
 }
 
 TEST(CouplingMap, EntryMonotoneInUpstreamPower)
@@ -488,8 +514,8 @@ TEST(CouplingMap, EntryMonotoneInUpstreamPower)
     CouplingMap map(chainSites(4, 1.6, 12.7), CouplingParams{});
     std::vector<double> low{5.0, 5.0, 5.0, 5.0};
     std::vector<double> high{15.0, 5.0, 5.0, 5.0};
-    EXPECT_GT(map.entryTemp(3, high, 18.0),
-              map.entryTemp(3, low, 18.0));
+    EXPECT_GT(map.entryTemp(3, high, Celsius(18.0)).value(),
+              map.entryTemp(3, low, Celsius(18.0)).value());
 }
 
 TEST(CouplingMap, AmbientIncludesSelfTerm)
@@ -497,8 +523,8 @@ TEST(CouplingMap, AmbientIncludesSelfTerm)
     CouplingParams params;
     CouplingMap map(chainSites(2, 1.6, 12.7), params);
     const std::vector<double> powers{0.0, 10.0};
-    EXPECT_NEAR(map.ambientTemp(1, powers, 18.0) -
-                    map.ambientEntryTemp(1, powers, 18.0),
+    EXPECT_NEAR(map.ambientTemp(1, powers, Celsius(18.0)).value() -
+                    map.ambientEntryTemp(1, powers, Celsius(18.0)).value(),
                 params.kappaLocal * 10.0, 1e-9);
 }
 
@@ -507,7 +533,7 @@ TEST(CouplingMap, WakeScalesAmbientCoupling)
     CouplingParams params;
     params.wakeFactor = 2.0;
     CouplingMap map(chainSites(2, 1.6, 12.7), params);
-    EXPECT_NEAR(map.coeff(0, 1), 2.0 * map.airCoeff(0, 1), 1e-12);
+    EXPECT_NEAR(map.coeff(0, 1).value(), 2.0 * map.airCoeff(0, 1).value(), 1e-12);
 }
 
 TEST(CouplingMap, DownstreamImpactDecreasesAlongDuct)
@@ -516,19 +542,19 @@ TEST(CouplingMap, DownstreamImpactDecreasesAlongDuct)
     // downstream impact; the last socket has none.
     CouplingMap map(chainSites(6, 1.6, 12.7), CouplingParams{});
     for (int i = 0; i + 1 < 6; ++i)
-        EXPECT_GT(map.downstreamImpact(i), map.downstreamImpact(i + 1));
-    EXPECT_DOUBLE_EQ(map.downstreamImpact(5), 0.0);
+        EXPECT_GT(map.downstreamImpact(i).value(), map.downstreamImpact(i + 1).value());
+    EXPECT_DOUBLE_EQ(map.downstreamImpact(5).value(), 0.0);
 }
 
 TEST(CouplingMap, VectorAndScalarEntryAgree)
 {
     CouplingMap map(chainSites(5, 2.0, 12.7), CouplingParams{});
     const std::vector<double> powers{3.0, 7.0, 1.0, 9.0, 2.0};
-    const auto vec = map.entryTemps(powers, 20.0);
-    const auto amb_vec = map.ambientTemps(powers, 20.0);
+    const auto vec = map.entryTemps(powers, Celsius(20.0));
+    const auto amb_vec = map.ambientTemps(powers, Celsius(20.0));
     for (std::size_t i = 0; i < 5; ++i) {
-        EXPECT_NEAR(vec[i], map.entryTemp(i, powers, 20.0), 1e-12);
-        EXPECT_NEAR(amb_vec[i], map.ambientTemp(i, powers, 20.0),
+        EXPECT_NEAR(vec[i], map.entryTemp(i, powers, Celsius(20.0)).value(), 1e-12);
+        EXPECT_NEAR(amb_vec[i], map.ambientTemp(i, powers, Celsius(20.0)).value(),
                     1e-12);
     }
 }
@@ -536,15 +562,15 @@ TEST(CouplingMap, VectorAndScalarEntryAgree)
 TEST(CouplingMap, VerticalLeakReachesNeighbourRows)
 {
     std::vector<SocketSite> sites{
-        {0.0, 0, 12.7}, {5.0, 0, 12.7}, {5.0, 1, 12.7}, {5.0, 3, 12.7}};
+        {0.0, 0, Cfm(12.7)}, {5.0, 0, Cfm(12.7)}, {5.0, 1, Cfm(12.7)}, {5.0, 3, Cfm(12.7)}};
     CouplingParams params;
     params.verticalLeak = 0.5;
     CouplingMap map(sites, params);
-    EXPECT_GT(map.coeff(0, 1), map.coeff(0, 2)); // same row strongest
-    EXPECT_GT(map.coeff(0, 2), 0.0);             // neighbour row leaks
+    EXPECT_GT(map.coeff(0, 1).value(), map.coeff(0, 2).value()); // same row strongest
+    EXPECT_GT(map.coeff(0, 2).value(), 0.0);             // neighbour row leaks
     // Three rows away with leak 0.5: 0.125 < 0.05 cutoff... 0.125 is
     // above the 5% cutoff, so it is present but weaker still.
-    EXPECT_GT(map.coeff(0, 2), map.coeff(0, 3));
+    EXPECT_GT(map.coeff(0, 2).value(), map.coeff(0, 3).value());
 }
 
 TEST(CouplingMap, VerticalLeakConservesTotalHeat)
@@ -555,7 +581,7 @@ TEST(CouplingMap, VerticalLeakConservesTotalHeat)
     std::vector<SocketSite> sites;
     for (int row = 0; row < 7; ++row)
         for (int k = 0; k < 2; ++k)
-            sites.push_back(SocketSite{k * 5.0, row, 12.7});
+            sites.push_back(SocketSite{k * 5.0, row, Cfm(12.7)});
     CouplingParams none;
     none.verticalLeak = 0.0;
     CouplingParams leaky;
@@ -563,9 +589,9 @@ TEST(CouplingMap, VerticalLeakConservesTotalHeat)
     CouplingMap a(sites, none), b(sites, leaky);
     // Socket 8 = row 4 upstream position (interior row).
     const std::size_t upstream = 8;
-    EXPECT_NEAR(a.downstreamImpact(upstream),
-                b.downstreamImpact(upstream),
-                0.10 * a.downstreamImpact(upstream));
+    EXPECT_NEAR(a.downstreamImpact(upstream).value(),
+                b.downstreamImpact(upstream).value(),
+                0.10 * a.downstreamImpact(upstream).value());
 }
 
 TEST(CouplingMap, MixFactorBelowOneIsFatal)
@@ -580,37 +606,38 @@ TEST(CouplingMap, MixFactorBelowOneIsFatal)
 
 TEST(EntryModel, SingleSocketSeesInlet)
 {
-    const auto r = serialChainEntryTemps(1, 15.0, 6.0, 18.0);
-    EXPECT_EQ(r.entryTempsC.size(), 1u);
-    EXPECT_DOUBLE_EQ(r.entryTempsC[0], 18.0);
-    EXPECT_DOUBLE_EQ(r.meanRiseC, 0.0);
+    const auto r = serialChainEntryTemps(1, Watts(15.0), Cfm(6.0), Celsius(18.0));
+    EXPECT_EQ(r.entryTemps.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.entryTemps[0].value(), 18.0);
+    EXPECT_DOUBLE_EQ(r.meanRise.value(), 0.0);
     EXPECT_DOUBLE_EQ(r.cov, 0.0);
 }
 
 TEST(EntryModel, MeanRiseClosedForm)
 {
     // Mean rise = step * (N-1) / 2 with step = 1.76 * P / CFM.
-    const auto r = serialChainEntryTemps(5, 15.0, 6.0, 18.0);
-    const double step = airTemperatureRise(15.0, 6.0);
-    EXPECT_NEAR(r.meanRiseC, step * 2.0, 1e-9);
+    const auto r = serialChainEntryTemps(5, Watts(15.0), Cfm(6.0), Celsius(18.0));
+    const double step =
+        airTemperatureRise(Watts(15.0), Cfm(6.0)).value();
+    EXPECT_NEAR(r.meanRise.value(), step * 2.0, 1e-9);
 }
 
 TEST(EntryModel, PaperExampleTenDegrees)
 {
     // Sec. II-B: a 15 W part at 6 CFM shows ~10 C higher mean entry
     // temperature at degree of coupling 5 versus 1.
-    const auto doc5 = serialChainEntryTemps(5, 15.0, 6.0, 18.0);
-    const auto doc1 = serialChainEntryTemps(1, 15.0, 6.0, 18.0);
-    EXPECT_NEAR(doc5.meanC - doc1.meanC, 10.0, 1.5);
+    const auto doc5 = serialChainEntryTemps(5, Watts(15.0), Cfm(6.0), Celsius(18.0));
+    const auto doc1 = serialChainEntryTemps(1, Watts(15.0), Cfm(6.0), Celsius(18.0));
+    EXPECT_NEAR(doc5.mean.value() - doc1.mean.value(), 10.0, 1.5);
 }
 
 TEST(EntryModel, MeanRiseGrowsWithCoupling)
 {
     double last = -1.0;
     for (int doc : {1, 2, 3, 5, 11}) {
-        const auto r = serialChainEntryTemps(doc, 15.0, 6.0, 18.0);
-        EXPECT_GT(r.meanRiseC, last);
-        last = r.meanRiseC;
+        const auto r = serialChainEntryTemps(doc, Watts(15.0), Cfm(6.0), Celsius(18.0));
+        EXPECT_GT(r.meanRise.value(), last);
+        last = r.meanRise.value();
     }
 }
 
@@ -620,7 +647,7 @@ TEST(EntryModel, CovGrowsWithCoupling)
     // coupling.
     double last = -1.0;
     for (int doc : {1, 2, 3, 5, 11}) {
-        const auto r = serialChainEntryTemps(doc, 15.0, 6.0, 18.0);
+        const auto r = serialChainEntryTemps(doc, Watts(15.0), Cfm(6.0), Celsius(18.0));
         EXPECT_GT(r.cov, last - 1e-12);
         last = r.cov;
     }
@@ -628,16 +655,16 @@ TEST(EntryModel, CovGrowsWithCoupling)
 
 TEST(EntryModel, CovGrowsWithPower)
 {
-    const auto lo = serialChainEntryTemps(5, 5.0, 6.0, 18.0);
-    const auto hi = serialChainEntryTemps(5, 50.0, 6.0, 18.0);
+    const auto lo = serialChainEntryTemps(5, Watts(5.0), Cfm(6.0), Celsius(18.0));
+    const auto hi = serialChainEntryTemps(5, Watts(50.0), Cfm(6.0), Celsius(18.0));
     EXPECT_GT(hi.cov, lo.cov);
 }
 
 TEST(EntryModel, MoreAirflowLowersRise)
 {
-    const auto lo = serialChainEntryTemps(5, 15.0, 2.0, 18.0);
-    const auto hi = serialChainEntryTemps(5, 15.0, 12.0, 18.0);
-    EXPECT_GT(lo.meanRiseC, hi.meanRiseC);
+    const auto lo = serialChainEntryTemps(5, Watts(15.0), Cfm(2.0), Celsius(18.0));
+    const auto hi = serialChainEntryTemps(5, Watts(15.0), Cfm(12.0), Celsius(18.0));
+    EXPECT_GT(lo.meanRise.value(), hi.meanRise.value());
 }
 
 // ---------------------------------------- incremental/cached hot paths
@@ -651,7 +678,7 @@ TEST(CouplingMap, ApplyPowerDeltaMatchesFreshField)
     const int n = 12;
     CouplingMap map(chainSites(n, 1.6, 12.7), CouplingParams{});
     std::vector<double> powers(n, 13.6);
-    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+    std::vector<double> temps = map.ambientTemps(powers, Celsius(18.0));
 
     std::uint64_t lcg = 12345;
     auto next_u = [&lcg]() {
@@ -665,7 +692,7 @@ TEST(CouplingMap, ApplyPowerDeltaMatchesFreshField)
         map.applyPowerDelta(temps, s, powers[s], new_p);
         powers[s] = new_p;
     }
-    const std::vector<double> fresh = map.ambientTemps(powers, 18.0);
+    const std::vector<double> fresh = map.ambientTemps(powers, Celsius(18.0));
     for (int i = 0; i < n; ++i)
         EXPECT_NEAR(temps[i], fresh[i], 1e-9) << "socket " << i;
 }
@@ -675,7 +702,7 @@ TEST(CouplingMap, ApplyPowerDeltaZeroIsIdentity)
     const int n = 4;
     CouplingMap map(chainSites(n, 1.6, 12.7), CouplingParams{});
     const std::vector<double> powers(n, 10.0);
-    std::vector<double> temps = map.ambientTemps(powers, 18.0);
+    std::vector<double> temps = map.ambientTemps(powers, Celsius(18.0));
     const std::vector<double> before = temps;
     map.applyPowerDelta(temps, 1, 10.0, 10.0);
     for (int i = 0; i < n; ++i)
@@ -687,12 +714,16 @@ ladderNetwork()
 {
     RCNetwork net;
     std::vector<NodeId> nodes;
-    for (int i = 0; i < 10; ++i)
-        nodes.push_back(net.addNode("n" + std::to_string(i), 1.0));
+    for (int i = 0; i < 10; ++i) {
+        std::string name("n");
+        name += std::to_string(i);
+        nodes.push_back(net.addNode(name, JoulePerKelvin(1.0)));
+    }
     for (int i = 0; i + 1 < 10; ++i)
-        net.connect(nodes[i], nodes[i + 1], 0.5 + 0.1 * i);
-    net.connectAmbient(nodes[0], 1.0);
-    net.connectAmbient(nodes[9], 2.0);
+        net.connect(nodes[i], nodes[i + 1],
+                    KelvinPerWatt(0.5 + 0.1 * i));
+    net.connectAmbient(nodes[0], KelvinPerWatt(1.0));
+    net.connectAmbient(nodes[9], KelvinPerWatt(2.0));
     return net;
 }
 
@@ -711,12 +742,12 @@ TEST(RcNetwork, CachedSolveMatchesFreshNetwork)
             injected += p;
 
         RCNetwork fresh = ladderNetwork();
-        const auto want = fresh.steadyState(powers, 20.0);
-        const auto got = cached.steadyState(powers, 20.0);
+        const auto want = fresh.steadyState(powers, Celsius(20.0));
+        const auto got = cached.steadyState(powers, Celsius(20.0));
         ASSERT_EQ(want.size(), got.size());
         for (std::size_t i = 0; i < want.size(); ++i)
             EXPECT_NEAR(got[i], want[i], 1e-9);
-        EXPECT_NEAR(cached.ambientHeatFlow(got, 20.0), injected, 1e-9);
+        EXPECT_NEAR(cached.ambientHeatFlow(got, Celsius(20.0)).value(), injected, 1e-9);
     }
 }
 
@@ -726,24 +757,23 @@ TEST(RcNetwork, FactorizationInvalidatedByStructuralChange)
     // factorization: results after the change have to match a fresh
     // network with the same final structure.
     RCNetwork grown = ladderNetwork();
-    const auto warmup = grown.steadyState(std::vector<double>(10, 1.0),
-                                          20.0);
+    const auto warmup = grown.steadyState(std::vector<double>(10, 1.0), Celsius(20.0));
     ASSERT_EQ(warmup.size(), 10u);
 
-    const NodeId extra = grown.addNode("extra", 1.0);
-    grown.connect(0, extra, 0.8);
-    grown.connectAmbient(extra, 1.7);
+    const NodeId extra = grown.addNode("extra", JoulePerKelvin(1.0));
+    grown.connect(0, extra, KelvinPerWatt(0.8));
+    grown.connectAmbient(extra, KelvinPerWatt(1.7));
 
     RCNetwork fresh = ladderNetwork();
-    const NodeId fresh_extra = fresh.addNode("extra", 1.0);
-    fresh.connect(0, fresh_extra, 0.8);
-    fresh.connectAmbient(fresh_extra, 1.7);
+    const NodeId fresh_extra = fresh.addNode("extra", JoulePerKelvin(1.0));
+    fresh.connect(0, fresh_extra, KelvinPerWatt(0.8));
+    fresh.connectAmbient(fresh_extra, KelvinPerWatt(1.7));
 
     std::vector<double> powers(11, 0.0);
     powers[4] = 6.0;
     powers[extra] = 2.0;
-    const auto want = fresh.steadyState(powers, 18.0);
-    const auto got = grown.steadyState(powers, 18.0);
+    const auto want = fresh.steadyState(powers, Celsius(18.0));
+    const auto got = grown.steadyState(powers, Celsius(18.0));
     for (std::size_t i = 0; i < want.size(); ++i)
         EXPECT_NEAR(got[i], want[i], 1e-9);
 }
@@ -751,15 +781,15 @@ TEST(RcNetwork, FactorizationInvalidatedByStructuralChange)
 TEST(RcNetwork, StableStepCacheInvalidated)
 {
     RCNetwork net;
-    const NodeId a = net.addNode("a", 1.0);
-    net.connectAmbient(a, 1.0);
-    const double before = net.stableStep();
-    EXPECT_DOUBLE_EQ(net.stableStep(), before); // Cached.
+    const NodeId a = net.addNode("a", JoulePerKelvin(1.0));
+    net.connectAmbient(a, KelvinPerWatt(1.0));
+    const double before = net.stableStep().value();
+    EXPECT_DOUBLE_EQ(net.stableStep().value(), before); // Cached.
 
     // A second path to ambient halves the RC product at node a; the
     // cached step must be recomputed, not reused.
-    net.connectAmbient(a, 1.0);
-    EXPECT_LT(net.stableStep(), before);
+    net.connectAmbient(a, KelvinPerWatt(1.0));
+    EXPECT_LT(net.stableStep().value(), before);
 }
 
 } // namespace

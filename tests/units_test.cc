@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the typed-quantity layer (core/units.hh): dimensional
+ * algebra, affine temperature points, explicit unit conversions, and
+ * — most importantly — bit-identity of the typed model-layer APIs
+ * against the raw-double formulas they replaced. The EXPECT_EQ (not
+ * EXPECT_NEAR) golden checks here are the proof that introducing the
+ * types changed zero bits of simulator arithmetic.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "airflow/first_law.hh"
+#include "core/units.hh"
+#include "power/leakage.hh"
+#include "thermal/heatsink.hh"
+#include "thermal/simple_peak_model.hh"
+
+namespace densim {
+namespace {
+
+// ----------------------------------------------------------- algebra
+
+TEST(Units, SameDimensionArithmetic)
+{
+    const Watts a(10.0);
+    const Watts b(2.5);
+    EXPECT_EQ((a + b).value(), 12.5);
+    EXPECT_EQ((a - b).value(), 7.5);
+    EXPECT_EQ((a * 2.0).value(), 20.0);
+    EXPECT_EQ((2.0 * a).value(), 20.0);
+    EXPECT_EQ((a / 2.0).value(), 5.0);
+    EXPECT_EQ(a / b, 4.0); // same-dimension ratio is a plain double
+    EXPECT_EQ((-b).value(), -2.5);
+    EXPECT_LT(b, a);
+    EXPECT_NE(a, b);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Watts p(10.0);
+    p += Watts(5.0);
+    p -= Watts(1.0);
+    p *= 2.0;
+    p /= 4.0;
+    EXPECT_EQ(p.value(), 7.0);
+}
+
+TEST(Units, DimensionCombiningProducts)
+{
+    // W * K/W = K (the Eq. (1) rise term).
+    const CelsiusDelta rise = Watts(13.6) * KelvinPerWatt(1.783);
+    EXPECT_EQ(rise.value(), 13.6 * 1.783);
+    // W * s = J (the energy accumulator).
+    const Joules e = Watts(100.0) * Seconds(30.0);
+    EXPECT_EQ(e.value(), 100.0 * 30.0);
+    // K / (K/W) = W (inverting Eq. (1) for max power).
+    const Watts p = CelsiusDelta(50.0) / KelvinPerWatt(2.0);
+    EXPECT_EQ(p.value(), 25.0);
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_EQ((22.0_W).value(), 22.0);
+    EXPECT_EQ((95_degC).value(), 95.0);
+    EXPECT_EQ((6.35_cfm).value(), 6.35);
+    EXPECT_EQ((0.205_KpW).value(), 0.205);
+    EXPECT_EQ((20.0_dC).value(), 20.0);
+    EXPECT_EQ((1.0_J).value(), 1.0);
+    EXPECT_EQ((10_s).value(), 10.0);
+    EXPECT_EQ((300.0_K).value(), 300.0);
+    EXPECT_EQ((1.5_JpK).value(), 1.5);
+    EXPECT_EQ((0.006_m3s).value(), 0.006);
+}
+
+TEST(Units, ConstexprUsable)
+{
+    constexpr CelsiusDelta rise = 10.0_W * 1.578_KpW;
+    static_assert(rise.value() == 10.0 * 1.578);
+    constexpr Celsius peak = 45.0_degC + rise;
+    static_assert(peak.value() == 45.0 + 10.0 * 1.578);
+    SUCCEED();
+}
+
+// ------------------------------------------------ temperature points
+
+TEST(Units, AffineTemperaturePoints)
+{
+    const Celsius amb(45.0);
+    const Celsius peak = amb + CelsiusDelta(34.89);
+    EXPECT_EQ(peak.value(), 45.0 + 34.89);
+    EXPECT_EQ((peak - amb).value(), peak.value() - amb.value());
+    EXPECT_EQ((peak - CelsiusDelta(34.89)).value(), amb.value());
+    EXPECT_GT(peak, amb);
+
+    Celsius t(20.0);
+    t += CelsiusDelta(5.0);
+    t -= CelsiusDelta(1.0);
+    EXPECT_EQ(t.value(), 24.0);
+}
+
+TEST(Units, CelsiusKelvinConversionIsExplicitAndExact)
+{
+    const Celsius c(95.0);
+    const Kelvin k = toKelvin(c);
+    EXPECT_EQ(k.value(), 95.0 + kCelsiusToKelvinOffset);
+    // x + 273.15 - 273.15 == x exactly for these magnitudes.
+    EXPECT_EQ(toCelsius(k).value(), c.value());
+    // A delta is scale-free: the same magnitude on both scales.
+    EXPECT_EQ((toKelvin(Celsius(40.0)) - toKelvin(Celsius(20.0))).value(),
+              20.0);
+}
+
+// -------------------------------------------------------------- flow
+
+TEST(Units, CfmStoresItsMagnitudeExactly)
+{
+    // Cfm deliberately stores the CFM number, not SI: Table II/III
+    // constants must survive construction bit-for-bit.
+    for (double cfm : {6.35, 12.70, 400.0, 18.30, 51.74}) {
+        EXPECT_EQ(Cfm(cfm).value(), cfm);
+    }
+}
+
+TEST(Units, CfmSiRoundTrip)
+{
+    const Cfm flow(6.35);
+    const CubicMetersPerSec si = toM3PerS(flow);
+    EXPECT_EQ(si.value(), 6.35 * kCfmToM3PerS);
+    EXPECT_NEAR(toCfm(si).value(), 6.35, 1e-12);
+}
+
+// ------------------------------------- bit-identical formula goldens
+
+TEST(UnitsGolden, FirstLawMatchesRawFormulaBitForBit)
+{
+    // Typed requiredAirflow/airTemperatureRise against the raw
+    // expressions the pre-units code evaluated. Table II rows.
+    const double rows[][2] = {{208.0, 20.0},
+                              {147.0, 20.0},
+                              {114.0, 20.0},
+                              {421.0, 20.0},
+                              {588.0, 20.0},
+                              {13.6, 7.3}};
+    for (const auto &row : rows) {
+        const double p = row[0], dt = row[1];
+        EXPECT_EQ(requiredAirflow(Watts(p), CelsiusDelta(dt)).value(),
+                  kCelsiusPerWattPerCfm * p / dt);
+        EXPECT_EQ(airTemperatureRise(Watts(p), Cfm(6.35)).value(),
+                  kCelsiusPerWattPerCfm * p / 6.35);
+        EXPECT_EQ(absorbableHeat(Cfm(12.7), CelsiusDelta(dt)).value(),
+                  12.7 * dt / kCelsiusPerWattPerCfm);
+    }
+}
+
+TEST(UnitsGolden, FirstLawRoundTripIsExactInTypedForm)
+{
+    // CFM -> dT -> CFM multiplies and divides by the same factors in
+    // the same order, so the round trip is bit-exact, typed or not.
+    const Watts p(123.0);
+    const CelsiusDelta dt = airTemperatureRise(p, Cfm(7.0));
+    EXPECT_EQ(requiredAirflow(p, dt).value(),
+              kCelsiusPerWattPerCfm * 123.0 /
+                  (kCelsiusPerWattPerCfm * 123.0 / 7.0));
+}
+
+TEST(UnitsGolden, Eq1MatchesRawFormulaBitForBit)
+{
+    // Typed Eq. (1) against the raw Table III arithmetic:
+    //   T_peak = T_amb + P * (R_int + R_ext) + (c0 + c1 * P).
+    const SimplePeakModel model;
+    for (const HeatSink *sink :
+         {&HeatSink::fin18(), &HeatSink::fin30()}) {
+        const double r_ext = sink->rExt.value();
+        const double c0 = sink->theta.c0.value();
+        const double c1 = sink->theta.c1.value();
+        for (double amb : {20.0, 45.0, 60.0}) {
+            for (double p = 0.0; p <= 22.0; p += 1.7) {
+                const double raw =
+                    amb + p * (0.205 + r_ext) + (c0 + c1 * p);
+                EXPECT_EQ(model.peak(Celsius(amb), Watts(p), *sink)
+                              .value(),
+                          raw);
+            }
+        }
+    }
+}
+
+TEST(UnitsGolden, Eq1TableIIIConstantsSurviveTyping)
+{
+    EXPECT_EQ(HeatSink::fin18().rExt.value(), 1.578);
+    EXPECT_EQ(HeatSink::fin30().rExt.value(), 1.056);
+    EXPECT_EQ(HeatSink::fin18().theta.c0.value(), 4.41);
+    EXPECT_EQ(HeatSink::fin18().theta.c1.value(), -0.0896);
+    EXPECT_EQ(HeatSink::fin30().theta.c0.value(), 4.45);
+    EXPECT_EQ(HeatSink::fin30().theta.c1.value(), -0.0916);
+    EXPECT_EQ(SimplePeakModel().rInt().value(), 0.205);
+}
+
+TEST(UnitsGolden, LeakageMatchesRawFormulaBitForBit)
+{
+    // Linear leakage around the 90 C reference (floor not hit in the
+    // operating range probed here), typed API vs raw arithmetic.
+    const LeakageModel &leak = LeakageModel::x2150();
+    const double ref_c = leak.refTemperature().value();
+    const double at_ref = leak.atRef().value();
+    for (double t : {60.0, 90.0, 95.0}) {
+        EXPECT_EQ(leak.at(Celsius(t)).value(),
+                  at_ref * (1.0 + 0.012 * (t - ref_c)));
+    }
+}
+
+// ---------------------------------------------- layout / ABI checks
+
+TEST(Units, TypedVectorsShareDoubleLayout)
+{
+    // DESIGN.md Sec. 9: bulk state crosses the hot-path boundary as
+    // std::vector<double>; this only works because every unit type is
+    // exactly one double.
+    static_assert(sizeof(Watts) == sizeof(double));
+    static_assert(alignof(Celsius) == alignof(double));
+    static_assert(std::is_trivially_copyable_v<Cfm>);
+    static_assert(
+        std::is_trivially_copyable_v<KelvinPerWatt>);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace densim

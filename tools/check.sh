@@ -12,8 +12,14 @@
 #             differential tests (the only multithreaded paths)
 #   paranoid  DENSIM_PARANOID build + the reduced-workload invariant
 #             and differential tests (every epoch cross-validated)
-#   lint      clang-tidy over every compiled file (DENSIM_LINT=ON);
-#             skipped with a notice when clang-tidy is absent
+#   lint      densim_lint.py (typed-quantity boundary scan + header
+#             self-containment, tools/lint/) then clang-tidy over
+#             every compiled file (DENSIM_LINT=ON); the clang-tidy
+#             half is skipped with a notice when the tool is absent
+#
+# The units negative-compile harness (tests/compile_fail/) runs at
+# configure time of every stage, so each build below also proves the
+# dimensional-analysis rules still reject ill-formed code.
 #
 # Each stage configures its own build tree (build-<stage>) so stages
 # never contaminate each other. Any failure aborts the whole run.
@@ -73,8 +79,12 @@ stage_paranoid() {
 }
 
 stage_lint() {
+    # The custom densim lint bank needs only python3 + a compiler;
+    # it runs (and gates) even where clang-tidy is unavailable.
+    python3 tools/lint/densim_lint.py --self-test
+    python3 tools/lint/densim_lint.py
     if ! command -v clang-tidy >/dev/null 2>&1; then
-        echo "check.sh: clang-tidy not on PATH — skipping lint stage" >&2
+        echo "check.sh: clang-tidy not on PATH — skipping clang-tidy half" >&2
         return 0
     fi
     configure build-lint -DDENSIM_LINT=ON

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""densim custom lint bank.
+
+Two checks, both aimed at keeping the typed-quantity discipline of
+src/core/units.hh (DESIGN.md Sec. 9) from eroding:
+
+1. raw-double boundary scan: no *new* raw `double` parameter whose
+   name says it is a temperature, power, energy, airflow, time
+   constant or thermal resistance may appear in a public header.
+   Such parameters must be typed (Celsius, Watts, Cfm, ...). Existing
+   deliberate raw-double crossings (hot-path bulk vectors, config
+   aggregates, I/O) live in the reviewed allowlist next to this
+   script; anything not on the list fails the build.
+
+2. header self-containment: every header in the model layers
+   (src/thermal, src/airflow, plus src/core and src/power) must
+   compile on its own with only its own #includes — no
+   include-order luck. Checked with `g++ -fsyntax-only` when a
+   compiler is available.
+
+Usage:
+    tools/lint/densim_lint.py [--repo DIR] [--skip-selfcontain]
+    tools/lint/densim_lint.py --self-test
+
+Exits non-zero on any finding. `--self-test` seeds a synthetic
+regression and verifies the scanner flags it (the lint gate's own
+lint).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# Parameter names that denote a dimensioned physical quantity. A raw
+# `double` parameter matching one of these in a header is a finding.
+UNIT_NAME_RE = re.compile(
+    r"""(?x)
+    ^(
+        .*(_c|_k|_w|_j|_cfm|_m3s|_kpw|_jpk)$   # unit suffixes
+      | .*(celsius|kelvin|watt|joule|cfm)$     # spelled-out units
+      | (t|temp|temperature)(_.*)?             # t, temp_*, ...
+      | .*(ambient|inlet|entry)(_c)?$          # temperature roles
+      | .*(power|leak|heat|energy)(_w|_j)?$    # power/energy roles
+      | .*(air)?flow$                          # airflow roles
+      | .*(rise|delta_t)$                      # temperature deltas
+      | (r_int|r_ext|theta|kappa.*|resistance) # thermal resistances
+    )$
+    """
+)
+
+# Parameter names that merely *sound* physical but are dimensionless
+# by design; never flagged.
+DIMENSIONLESS = {
+    "frac",
+    "fraction",
+    "scale",
+    "slope_per_c",
+    "gated_frac_tdp",
+    "frac_at_ref",
+    "hot_fraction",
+    "leakage_frac",
+    "quant",
+    "quant_c",
+}
+
+PARAM_RE = re.compile(r"\bdouble\s+([a-z][a-z0-9_]*)\s*(?:=[^,)]*)?[,)]")
+
+SELFCONTAIN_DIRS = ("src/thermal", "src/airflow", "src/core", "src/power")
+
+
+def strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def scan_header(path, rel, allow):
+    """Yield (rel, name) findings for raw unit-named double params."""
+    with open(path, encoding="utf-8") as fh:
+        text = strip_comments(fh.read())
+    for match in PARAM_RE.finditer(text):
+        name = match.group(1)
+        if name in DIMENSIONLESS:
+            continue
+        if not UNIT_NAME_RE.match(name):
+            continue
+        key = "{}:{}".format(rel, name)
+        if key in allow:
+            continue
+        yield rel, name
+
+
+def load_allowlist(repo):
+    allow = set()
+    path = os.path.join(repo, "tools", "lint", "raw_double_allowlist.txt")
+    if not os.path.exists(path):
+        return allow
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                allow.add(line)
+    return allow
+
+
+def headers_under(repo, subdir):
+    root = os.path.join(repo, subdir)
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".hh"):
+                full = os.path.join(dirpath, name)
+                yield full, os.path.relpath(full, repo)
+
+
+def check_raw_doubles(repo):
+    allow = load_allowlist(repo)
+    findings = []
+    for full, rel in headers_under(repo, "src"):
+        findings.extend(scan_header(full, rel, allow))
+    for rel, name in findings:
+        print(
+            "densim_lint: {}: raw `double {}` crosses a header API "
+            "boundary; use a typed quantity from core/units.hh or add "
+            "'{}:{}' to tools/lint/raw_double_allowlist.txt with a "
+            "review".format(rel, name, rel, name)
+        )
+    return len(findings)
+
+
+def check_self_contained(repo):
+    compiler = shutil.which("g++") or shutil.which("c++")
+    if compiler is None:
+        print("densim_lint: no C++ compiler found — skipping header "
+              "self-containment check", file=sys.stderr)
+        return 0
+    failures = 0
+    for subdir in SELFCONTAIN_DIRS:
+        for full, rel in headers_under(repo, subdir):
+            cmd = [
+                compiler,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-x",
+                "c++",
+                "-I",
+                os.path.join(repo, "src"),
+                full,
+            ]
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=False
+            )
+            if proc.returncode != 0:
+                failures += 1
+                print(
+                    "densim_lint: {} is not self-contained:\n{}".format(
+                        rel, proc.stderr.strip()
+                    )
+                )
+    return failures
+
+
+SELF_TEST_HEADER = """\
+#ifndef DENSIM_LINT_SELF_TEST_HH
+#define DENSIM_LINT_SELF_TEST_HH
+namespace densim {
+// Seeded regression: a raw temperature double at an API boundary.
+void setAmbient(double ambient_c);
+}
+#endif
+"""
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src", "core"))
+        seeded = os.path.join(tmp, "src", "core", "seeded.hh")
+        with open(seeded, "w", encoding="utf-8") as fh:
+            fh.write(SELF_TEST_HEADER)
+        found = check_raw_doubles(tmp)
+        if found == 0:
+            print("densim_lint: SELF-TEST FAILED — seeded raw-double "
+                  "regression was not detected")
+            return 1
+        # And the allowlist must actually suppress it.
+        os.makedirs(os.path.join(tmp, "tools", "lint"))
+        allowfile = os.path.join(
+            tmp, "tools", "lint", "raw_double_allowlist.txt"
+        )
+        with open(allowfile, "w", encoding="utf-8") as fh:
+            fh.write("src/core/seeded.hh:ambient_c\n")
+        if check_raw_doubles(tmp) != 0:
+            print("densim_lint: SELF-TEST FAILED — allowlist entry did "
+                  "not suppress the seeded finding")
+            return 1
+    print("densim_lint: self-test passed "
+          "(seeded regression detected, allowlist honored)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo",
+        default=os.path.join(os.path.dirname(__file__), "..", ".."),
+        help="repository root (default: two levels up)",
+    )
+    parser.add_argument(
+        "--skip-selfcontain",
+        action="store_true",
+        help="skip the per-header -fsyntax-only compile check",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the scanner catches a seeded regression",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    repo = os.path.abspath(args.repo)
+    failures = check_raw_doubles(repo)
+    if not args.skip_selfcontain:
+        failures += check_self_contained(repo)
+    if failures:
+        print(
+            "densim_lint: {} finding(s)".format(failures),
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("densim_lint: clean")
+
+
+if __name__ == "__main__":
+    main()
