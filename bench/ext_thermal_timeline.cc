@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/dense_server_sim.hh"
+#include "core/metrics_io.hh"
 #include "sched/factory.hh"
 #include "util/table.hh"
 
@@ -48,5 +49,11 @@ main()
                   << formatFixed(last.back() - last.front(), 1)
                   << " C from zone 1 to zone 6.\n";
     }
+
+    // The same timeline as the machine-readable JSONL stream a run
+    // writes when obs.timelinePath is set (one strict-JSON object per
+    // sample; pipe into jq / pandas instead of re-parsing the table).
+    std::cout << "\nJSONL stream (obs.timelinePath format):\n"
+              << timelineToJsonl(m);
     return 0;
 }

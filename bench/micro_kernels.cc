@@ -176,4 +176,34 @@ BM_SimulatedServerSecond(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatedServerSecond)->Unit(benchmark::kMillisecond);
 
+// --- observability overhead (DESIGN.md Sec. 10) ---------------------
+// Two benches pin the disabled-overhead policy: the always-compiled
+// counter increment must stay a plain u64 add, and the engine's
+// DENSIM_OBS_PHASE hook must cost nothing in a default build (it
+// expands to `static_cast<void>(0)`; in a DENSIM_OBS build this bench
+// instead measures the two steady_clock reads of a real PhaseScope).
+
+void
+BM_ObsCounterIncrement(benchmark::State &state)
+{
+    obs::Registry registry;
+    obs::Counter *c = &registry.counter("bench.counter");
+    for (auto _ : state) {
+        c->inc();
+        benchmark::DoNotOptimize(*c);
+    }
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void
+BM_ObsPhaseHook(benchmark::State &state)
+{
+    obs::PhaseProfiler profiler;
+    for (auto _ : state) {
+        DENSIM_OBS_PHASE(profiler, obs::Phase::ThermalStep);
+        benchmark::DoNotOptimize(profiler);
+    }
+}
+BENCHMARK(BM_ObsPhaseHook);
+
 } // namespace

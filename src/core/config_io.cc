@@ -141,6 +141,13 @@ keyTable()
             },
         };
     };
+    auto strf = [](std::string SimConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &,
+                    const std::string &v) { c.*field = v; },
+            [field](const SimConfig &c) { return c.*field; },
+        };
+    };
     auto coup_dbl = [](double CouplingParams::*field) {
         return KeyOps{
             [field](SimConfig &c, const std::string &k,
@@ -186,6 +193,8 @@ keyTable()
         {"sensorNoiseC", dbl(&SimConfig::sensorNoiseC)},
         {"sensorQuantC", dbl(&SimConfig::sensorQuantC)},
         {"timelineSampleS", dbl(&SimConfig::timelineSampleS)},
+        {"obs.tracePath", strf(&SimConfig::obsTracePath)},
+        {"obs.timelinePath", strf(&SimConfig::obsTimelinePath)},
         {"incrementalThermal", boolf(&SimConfig::incrementalThermal)},
         {"dvfsMemoQuantC", dbl(&SimConfig::dvfsMemoQuantC)},
         {"warmStart", boolf(&SimConfig::warmStart)},

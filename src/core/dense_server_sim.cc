@@ -59,6 +59,35 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     relFreqByPstate_.resize(table.size());
     for (std::size_t p = 0; p < table.size(); ++p)
         relFreqByPstate_[p] = table.relativeFreq(p);
+
+    registerObs();
+}
+
+void
+DenseServerSim::registerObs()
+{
+    count_.epochs = &obsRegistry_.counter("engine.epochs");
+    count_.jobsPlaced = &obsRegistry_.counter("engine.jobsPlaced");
+    count_.jobsCompleted =
+        &obsRegistry_.counter("engine.jobsCompleted");
+    count_.migrations = &obsRegistry_.counter("engine.migrations");
+    count_.schedDecisions =
+        &obsRegistry_.counter("engine.schedDecisions");
+    count_.dvfsMemoHits = &obsRegistry_.counter("dvfs.memoHits");
+    count_.dvfsMemoMisses = &obsRegistry_.counter("dvfs.memoMisses");
+    count_.ambientRefreshes =
+        &obsRegistry_.counter("thermal.ambientRefreshes");
+    count_.ambientDeltas =
+        &obsRegistry_.counter("thermal.ambientDeltaUpdates");
+    count_.timelineSamples =
+        &obsRegistry_.counter("obs.timelineSamples");
+    gaugePowerW_ =
+        obsRegistry_.typedGauge<Watts>("engine.endPowerW", "W");
+    gaugeMaxChipC_ =
+        obsRegistry_.typedGauge<Celsius>("engine.maxChipTempC", "C");
+    pm_.attachObs(obsRegistry_);
+    policy_->attachObs(obsRegistry_);
+    sampler_.configure(config_.timelineSampleS);
 }
 
 DenseServerSim::~DenseServerSim() = default;
@@ -123,7 +152,10 @@ DenseServerSim::resetState()
     metrics_ = SimMetrics{};
     decisions_ = 0;
     tCursor_ = 0.0;
-    nextSampleS_ = 0.0;
+    obsRegistry_.resetValues();
+    profiler_.reset();
+    trace_.clear();
+    sampler_.reset();
     policy_->reset();
     policyRng_ = Rng(config_.seed ^ 0xdeadbeefcafef00dULL);
     sensorRng_ = Rng(config_.seed ^ 0x5ca1ab1e0ddba11ULL);
@@ -182,6 +214,19 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
     if (config_.warmStart)
         warmStart();
 
+    if (!config_.obsTracePath.empty()) {
+        trace_.enable(true);
+        trace_.setProcessName(std::string("densim:") +
+                              policy_->name());
+#if DENSIM_ENABLE_OBS
+        profiler_.setSink(&trace_);
+#else
+        warn("obs.tracePath is set but this build has no DENSIM_OBS; "
+             "the trace will carry counter tracks only (no phase "
+             "events)");
+#endif
+    }
+
     const double epoch = config_.pmEpochS;
     const double hard_stop = config_.simTimeS * config_.drainFactor;
     std::size_t next_job = 0;
@@ -192,21 +237,9 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
         if (!arrivals_left && queue_.empty() && busyTotal_ == 0)
             break;
 
+        count_.epochs->inc();
         thermalStep(epoch);
-        if (config_.timelineSampleS > 0.0 && t0 >= nextSampleS_) {
-            metrics_.timelineS.push_back(t0);
-            std::vector<double> zones;
-            zones.reserve(zoneSockets_.size());
-            for (const auto &members : zoneSockets_) {
-                double acc = 0.0;
-                for (std::size_t s : members)
-                    acc += ambientC_[s];
-                zones.push_back(acc /
-                                static_cast<double>(members.size()));
-            }
-            metrics_.zoneAmbientC.push_back(std::move(zones));
-            nextSampleS_ += config_.timelineSampleS;
-        }
+        sampleTimeline(t0);
         powerManage(t0);
         if (config_.migrationEnabled) {
             const auto stride = static_cast<std::size_t>(
@@ -224,7 +257,54 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
 
     metrics_.measuredS = std::max(t0 - config_.warmupS, 0.0);
     metrics_.jobsUnfinished = queue_.size() + busyTotal_;
+    writeObsOutputs();
     return metrics_;
+}
+
+void
+DenseServerSim::sampleTimeline(double epoch_end_s)
+{
+    // The fixed-grid replacement for the historical drifting sampler
+    // (obs/timeline.hh documents the grid and skip semantics; the obs
+    // regression tests pin the emitted timestamps).
+    double grid_s = 0.0;
+    if (!sampler_.due(epoch_end_s, &grid_s))
+        return;
+    metrics_.timelineS.push_back(grid_s);
+    std::vector<double> zones;
+    zones.reserve(zoneSockets_.size());
+    for (const auto &members : zoneSockets_) {
+        double acc = 0.0;
+        for (std::size_t s : members)
+            acc += ambientC_[s];
+        zones.push_back(acc / static_cast<double>(members.size()));
+    }
+    metrics_.zoneAmbientC.push_back(std::move(zones));
+    count_.timelineSamples->inc();
+}
+
+void
+DenseServerSim::writeObsOutputs()
+{
+    gaugePowerW_.set(Watts(totalPowerW_));
+    gaugeMaxChipC_.set(Celsius(metrics_.maxChipTempC));
+
+    if (!config_.obsTracePath.empty()) {
+        // End-of-run counter tracks: one sample per counter so the
+        // viewer shows final tallies alongside the phase events.
+        for (const auto &c : obsRegistry_.counters()) {
+            trace_.addCounter(c.name, 0.0,
+                              static_cast<double>(c.value));
+        }
+        trace_.writeFile(config_.obsTracePath);
+        trace_.enable(false);
+        profiler_.setSink(nullptr);
+    }
+    if (!config_.obsTimelinePath.empty()) {
+        obs::writeTimelineJsonlFile(config_.obsTimelinePath,
+                                    metrics_.timelineS,
+                                    metrics_.zoneAmbientC);
+    }
 }
 
 void
@@ -239,6 +319,7 @@ DenseServerSim::markPowerDirty(std::size_t socket)
 void
 DenseServerSim::refreshAmbientTargets()
 {
+    count_.ambientRefreshes->inc();
     ambTargets_ = coupling_.ambientTemps(powerW_, config_.topo.inlet());
     targetPowerW_ = powerW_;
     for (std::size_t s : dirtySockets_)
@@ -250,6 +331,7 @@ DenseServerSim::refreshAmbientTargets()
 void
 DenseServerSim::thermalStep(double dt)
 {
+    DENSIM_OBS_PHASE(profiler_, obs::Phase::ThermalStep);
     // The ambient field lags the power field with the 30 s socket
     // time constant; the chip's own Eq. (1) rise follows with the
     // 5 ms chip time constant. The target field is the coupling-map
@@ -259,6 +341,7 @@ DenseServerSim::thermalStep(double dt)
         ++epochsSinceAmbientRefresh_ >= kAmbientRefreshEpochs) {
         refreshAmbientTargets();
     } else if (!dirtySockets_.empty()) {
+        count_.ambientDeltas->inc(dirtySockets_.size());
         for (std::size_t s : dirtySockets_) {
             coupling_.applyPowerDelta(ambTargets_, s, targetPowerW_[s],
                                       powerW_[s]);
@@ -312,8 +395,11 @@ DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
 {
     const Celsius ambient{ambientC_[socket]};
     if (const DvfsDecision *hit = dvfsMemo_.lookup(
-            socket, set, cap, ambient, config_.dvfsMemoQuantC))
+            socket, set, cap, ambient, config_.dvfsMemoQuantC)) {
+        count_.dvfsMemoHits->inc();
         return *hit;
+    }
+    count_.dvfsMemoMisses->inc();
     const DvfsDecision d = pm_.chooseAtAmbientCapped(
         freqCurveFor(set), leak_, ambient, *sinkCache_[socket], cap);
     dvfsMemo_.store(socket, set, cap, ambient, d);
@@ -323,6 +409,7 @@ DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
 void
 DenseServerSim::powerManage(double now)
 {
+    DENSIM_OBS_PHASE(profiler_, obs::Phase::PowerManage);
     const std::size_t n = topo_.numSockets();
     for (std::size_t s = 0; s < n; ++s) {
         if (!busyFlag_[s])
@@ -343,6 +430,7 @@ void
 DenseServerSim::processWindow(const std::vector<Job> &jobs,
                               std::size_t &next_job, double t0, double t1)
 {
+    DENSIM_OBS_PHASE(profiler_, obs::Phase::ProcessWindow);
     (void)t0;
     const double inf = std::numeric_limits<double>::infinity();
     for (;;) {
@@ -477,8 +565,9 @@ DenseServerSim::tryScheduleQueue(double now)
     const SchedContext ctx = makeSchedContext();
     while (!queue_.empty() && !idleList_.empty()) {
         const Job &job = queue_.front();
-        const std::size_t pick = policy_->pick(job, ctx);
+        const std::size_t pick = policy_->pickCounted(job, ctx);
         ++decisions_;
+        count_.schedDecisions->inc();
         if (pick >= topo_.numSockets() || busyFlag_[pick])
             panic("policy '", policy_->name(),
                   "' picked an invalid socket ", pick);
@@ -512,6 +601,7 @@ DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
 
     if (job.arrivalS >= config_.warmupS)
         metrics_.queueDelayS.add(now - job.arrivalS);
+    count_.jobsPlaced->inc();
 }
 
 void
@@ -533,6 +623,7 @@ DenseServerSim::completeJob(std::size_t socket, double now)
     completionHeap_.erase(socket);
     setIdlePower(socket);
     idleInsert(socket);
+    count_.jobsCompleted->inc();
     tryScheduleQueue(now);
 }
 
@@ -563,11 +654,13 @@ DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
     const DvfsDecision d = chooseDvfs(to, dst.set, cap);
     setSocketRate(to, d.pstate, d.power.value(), now);
     ++metrics_.migrations;
+    count_.migrations->inc();
 }
 
 void
 DenseServerSim::attemptMigrations(double now)
 {
+    DENSIM_OBS_PHASE(profiler_, obs::Phase::Migration);
     // Move long-running, throttled jobs to sockets where the active
     // policy would place them now — if that destination actually runs
     // faster. This is the paper's Sec. VI suggestion of reusing the
@@ -591,7 +684,7 @@ DenseServerSim::attemptMigrations(double now)
         remainder.set = sockets_[s].set;
         remainder.arrivalS = sockets_[s].arrivalS;
         remainder.nominalS = sockets_[s].remainingS;
-        const std::size_t dest = policy_->pick(remainder, ctx);
+        const std::size_t dest = policy_->pickCounted(remainder, ctx);
         if (dest >= topo_.numSockets() || busyFlag_[dest])
             panic("policy '", policy_->name(),
                   "' picked an invalid migration target ", dest);

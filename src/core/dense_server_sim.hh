@@ -49,6 +49,10 @@
 #include "core/event_heap.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
+#include "obs/phase_profiler.hh"
+#include "obs/registry.hh"
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
 #include "power/power_manager.hh"
 #include "sched/scheduler.hh"
 #include "server/topology.hh"
@@ -85,6 +89,20 @@ class DenseServerSim
 
     /** Scheduling decisions made during the last run. */
     std::size_t decisions() const { return decisions_; }
+
+    /**
+     * Counters and gauges of the last run (reset at the start of each
+     * run). The engine, power manager and the active policy register
+     * into this registry at construction.
+     */
+    const obs::Registry &observability() const { return obsRegistry_; }
+
+    /**
+     * Wall-clock phase totals of the last run. Only populated in
+     * DENSIM_OBS builds — the default build compiles the hot-loop
+     * timer scopes out entirely.
+     */
+    const obs::PhaseProfiler &phaseProfile() const { return profiler_; }
 
   private:
     struct SocketState
@@ -184,9 +202,42 @@ class DenseServerSim
     std::vector<bool> isFront_;
     std::vector<bool> isEven_;
     std::vector<std::vector<std::size_t>> zoneSockets_;
-    double nextSampleS_ = 0.0;
 
     std::deque<Job> queue_;
+
+    // --- observability (src/obs, DESIGN.md Sec. 10) ------------------
+    obs::Registry obsRegistry_;
+    obs::PhaseProfiler profiler_;
+    obs::TraceSink trace_;
+    obs::TimelineSampler sampler_; //!< Fixed k*timelineSampleS grid.
+
+    /** Cached registry instruments (stable addresses, registered at
+     *  construction; incremented from the hot paths). */
+    struct EngineCounters
+    {
+        obs::Counter *epochs = nullptr;
+        obs::Counter *jobsPlaced = nullptr;
+        obs::Counter *jobsCompleted = nullptr;
+        obs::Counter *migrations = nullptr;
+        obs::Counter *schedDecisions = nullptr;
+        obs::Counter *dvfsMemoHits = nullptr;
+        obs::Counter *dvfsMemoMisses = nullptr;
+        obs::Counter *ambientRefreshes = nullptr;
+        obs::Counter *ambientDeltas = nullptr;
+        obs::Counter *timelineSamples = nullptr;
+    };
+    EngineCounters count_;
+    obs::TypedGauge<Watts> gaugePowerW_;   //!< Server power at run end.
+    obs::TypedGauge<Celsius> gaugeMaxChipC_;
+
+    /** Take a timeline sample at grid time @p grid_s if one is due. */
+    void sampleTimeline(double epoch_end_s);
+
+    /** Register every engine instrument (constructor helper). */
+    void registerObs();
+
+    /** Flush trace/timeline sinks configured in SimConfig. */
+    void writeObsOutputs();
 
     // --- incremental engine state ------------------------------------
     EventHeap completionHeap_; //!< Busy sockets keyed on completionS.

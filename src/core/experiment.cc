@@ -1,10 +1,29 @@
 #include "core/experiment.hh"
 
+#include "obs/trace.hh"
 #include "sched/factory.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace densim {
+
+namespace {
+
+/** Rewrite a spec's obs sinks to per-run file names (run @p i). */
+RunSpec
+perRunSpec(const RunSpec &spec, std::size_t i)
+{
+    RunSpec out = spec;
+    if (!out.config.obsTracePath.empty())
+        out.config.obsTracePath =
+            obs::perRunPath(out.config.obsTracePath, i);
+    if (!out.config.obsTimelinePath.empty())
+        out.config.obsTimelinePath =
+            obs::perRunPath(out.config.obsTimelinePath, i);
+    return out;
+}
+
+} // namespace
 
 RunResult
 runOne(const RunSpec &spec)
@@ -22,8 +41,11 @@ runAll(const std::vector<RunSpec> &specs, unsigned threads)
     if (specs.empty())
         return {};
     std::vector<RunResult> results(specs.size());
-    parallelFor(specs.size(), threads,
-                [&](std::size_t i) { results[i] = runOne(specs[i]); });
+    const bool per_run = specs.size() > 1;
+    parallelFor(specs.size(), threads, [&](std::size_t i) {
+        results[i] =
+            runOne(per_run ? perRunSpec(specs[i], i) : specs[i]);
+    });
     return results;
 }
 

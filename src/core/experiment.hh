@@ -43,6 +43,11 @@ RunResult runOne(const RunSpec &spec);
  * count. An empty @p specs yields an empty result, and the first
  * exception thrown by a worker is rethrown here after the pool
  * drains (util/parallel.hh).
+ *
+ * Observability sinks are merge-safe: when more than one cell is run
+ * and a spec sets obs.tracePath / obs.timelinePath, the path is
+ * rewritten to a per-run name ("trace.json" -> "trace-run3.json",
+ * obs::perRunPath) so concurrent cells never write the same file.
  */
 std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
                               unsigned threads = 0);

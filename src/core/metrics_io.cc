@@ -3,54 +3,127 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/timeline.hh"
+
 namespace densim {
 
 namespace {
 
-void
-field(std::ostringstream &os, const char *name, double value,
-      bool first = false)
+/**
+ * Strict-JSON object writer. Tracks first-field placement itself so
+ * every field goes through one path — the historical overload pair
+ * disagreed about who writes the separating comma, which produced
+ * objects like {,"a":1} whenever the first field was an integer. All
+ * numbers go through obs::json::appendNumber, which emits `null` for
+ * non-finite values instead of the bare `nan`/`inf` tokens no JSON
+ * parser accepts (e.g. runtimeExpansionMax is -inf on a run that
+ * completed zero jobs).
+ */
+class ObjectWriter
 {
-    if (!first)
-        os << ",";
-    os << "\"" << name << "\":" << value;
-}
+  public:
+    void
+    field(const char *name, double value)
+    {
+        key(name);
+        obs::json::appendNumber(out_, value);
+    }
 
-void
-field(std::ostringstream &os, const char *name, std::size_t value)
-{
-    os << ",\"" << name << "\":" << value;
-}
+    void
+    field(const char *name, std::size_t value)
+    {
+        key(name);
+        out_ += std::to_string(value);
+    }
+
+    std::string
+    finish()
+    {
+        out_ += "}";
+        return std::move(out_);
+    }
+
+  private:
+    void
+    key(const char *name)
+    {
+        out_ += first_ ? "\"" : ",\"";
+        first_ = false;
+        out_ += name;
+        out_ += "\":";
+    }
+
+    std::string out_ = "{";
+    bool first_ = true;
+};
 
 } // namespace
 
 std::string
 metricsToJson(const SimMetrics &m)
 {
+    ObjectWriter w;
+    w.field("jobsArrived", m.jobsArrived);
+    w.field("jobsCompleted", m.jobsCompleted);
+    w.field("jobsUnfinished", m.jobsUnfinished);
+    w.field("migrations", m.migrations);
+    w.field("runtimeExpansionMean", m.runtimeExpansion.mean());
+    w.field("runtimeExpansionMax", m.runtimeExpansion.max());
+    w.field("serviceExpansionMean", m.serviceExpansion.mean());
+    w.field("queueDelayMeanS", m.queueDelayS.mean());
+    w.field("energyJ", m.energyJ);
+    w.field("ed2", m.ed2());
+    w.field("measuredS", m.measuredS);
+    w.field("makespanS", m.makespanS);
+    w.field("avgRelFreq", m.avgRelFreq());
+    w.field("boostFraction", m.boostFraction());
+    w.field("workFront", m.workFraction(m.front));
+    w.field("workBack", m.workFraction(m.back));
+    w.field("workEven", m.workFraction(m.even));
+    w.field("freqFront", m.front.avgRelFreq());
+    w.field("freqBack", m.back.avgRelFreq());
+    w.field("chipTempMeanC", m.chipTempC.mean());
+    w.field("maxChipTempC", m.maxChipTempC);
+    return w.finish();
+}
+
+std::string
+countersToJson(const obs::Registry &registry)
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &c : registry.counters()) {
+        if (!first)
+            out += ",";
+        first = false;
+        obs::json::appendString(out, c.name);
+        out += ":";
+        out += std::to_string(c.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &g : registry.gauges()) {
+        if (!first)
+            out += ",";
+        first = false;
+        obs::json::appendString(out, g.name);
+        out += ":{\"value\":";
+        obs::json::appendNumber(out, g.value);
+        out += ",\"unit\":";
+        obs::json::appendString(out, g.unit);
+        out += "}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+timelineToJsonl(const SimMetrics &m)
+{
     std::ostringstream os;
-    os << std::setprecision(10) << "{";
-    field(os, "jobsArrived", static_cast<double>(m.jobsArrived), true);
-    field(os, "jobsCompleted", m.jobsCompleted);
-    field(os, "jobsUnfinished", m.jobsUnfinished);
-    field(os, "migrations", m.migrations);
-    field(os, "runtimeExpansionMean", m.runtimeExpansion.mean());
-    field(os, "runtimeExpansionMax", m.runtimeExpansion.max());
-    field(os, "serviceExpansionMean", m.serviceExpansion.mean());
-    field(os, "queueDelayMeanS", m.queueDelayS.mean());
-    field(os, "energyJ", m.energyJ);
-    field(os, "ed2", m.ed2());
-    field(os, "measuredS", m.measuredS);
-    field(os, "makespanS", m.makespanS);
-    field(os, "avgRelFreq", m.avgRelFreq());
-    field(os, "boostFraction", m.boostFraction());
-    field(os, "workFront", m.workFraction(m.front));
-    field(os, "workBack", m.workFraction(m.back));
-    field(os, "workEven", m.workFraction(m.even));
-    field(os, "freqFront", m.front.avgRelFreq());
-    field(os, "freqBack", m.back.avgRelFreq());
-    field(os, "chipTempMeanC", m.chipTempC.mean());
-    field(os, "maxChipTempC", m.maxChipTempC);
-    os << "}";
+    obs::writeTimelineJsonl(os, m.timelineS, m.zoneAmbientC);
     return os.str();
 }
 

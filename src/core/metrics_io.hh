@@ -14,8 +14,29 @@
 
 namespace densim {
 
-/** Serialize @p metrics as a single JSON object (no trailing \n). */
+namespace obs {
+class Registry;
+} // namespace obs
+
+/**
+ * Serialize @p metrics as a single strict-JSON object (no trailing
+ * \n). Non-finite values (e.g. runtimeExpansionMax on a run with zero
+ * completed jobs) are emitted as `null` — JSON has no nan/inf tokens.
+ */
 std::string metricsToJson(const SimMetrics &metrics);
+
+/**
+ * Serialize an observability registry snapshot:
+ * {"counters":{name:value,...},"gauges":{name:{"value":v,"unit":u}}}.
+ */
+std::string countersToJson(const obs::Registry &registry);
+
+/**
+ * The zone-ambient timeline of @p metrics as JSONL (one strict-JSON
+ * object per sample; empty string when sampling was off). Same format
+ * obs::writeTimelineJsonlFile writes for SimConfig::obsTimelinePath.
+ */
+std::string timelineToJsonl(const SimMetrics &metrics);
 
 /** Header row matching metricsToCsvRow(). */
 std::string metricsCsvHeader();

@@ -38,6 +38,11 @@ SimConfig::validate() const
     if (dvfsMemoQuantC < 0.0)
         fatal("SimConfig: DVFS memo quantization must be "
               "non-negative");
+    if (timelineSampleS < 0.0)
+        fatal("SimConfig: timeline sample period must be "
+              "non-negative");
+    if (!obsTimelinePath.empty() && timelineSampleS <= 0.0)
+        fatal("SimConfig: obs.timelinePath needs timelineSampleS > 0");
 }
 
 } // namespace densim

@@ -20,6 +20,7 @@
 #define DENSIM_CORE_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "core/units.hh"
 #include "server/topology.hh"
@@ -85,9 +86,29 @@ struct SimConfig
      * Zone-ambient timeline sampling period, seconds; 0 disables.
      * When enabled, SimMetrics carries the mean ambient temperature
      * of each zone at this cadence — the Fig. 4-style view of the
-     * thermal field developing.
+     * thermal field developing. Samples lie on the exact fixed grid
+     * k * timelineSampleS (obs/timeline.hh documents the catch-up/
+     * skip semantics when the period is shorter than pmEpochS).
      */
     double timelineSampleS = 0.0;
+
+    // Observability sinks (src/obs, DESIGN.md Sec. 10). Set by the
+    // CLI/config keys "obs.tracePath" / "obs.timelinePath"; each run
+    // writes its file when the run finishes. Experiment::runAll
+    // rewrites both to per-run names so parallel grid cells never
+    // collide (obs::perRunPath).
+    /**
+     * Chrome trace_event JSON output path; "" disables. Phase-timer
+     * events require a DENSIM_OBS build — without it the engine
+     * warns and writes a trace containing only counter tracks.
+     */
+    std::string obsTracePath;
+    /**
+     * Zone-ambient timeline as JSONL (one strict-JSON object per
+     * sample); "" disables. Needs timelineSampleS > 0 to produce
+     * rows; works in every build.
+     */
+    std::string obsTimelinePath;
 
     /**
      * Constant electrical fan power (W) added to the energy integral;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Phase timers — wall-clock profiling of the engine's per-epoch
+ * phases (thermalStep, powerManage, processWindow, migrations).
+ *
+ * Two layers:
+ *
+ *  - PhaseProfiler / PhaseScope are ordinary, always-compiled
+ *    classes: an RAII scope reads std::chrono::steady_clock on entry
+ *    and exit and accumulates inclusive call count + nanoseconds per
+ *    phase. Scopes nest (a stack tracks the current depth), and when
+ *    a TraceSink is attached every scope additionally emits a Chrome
+ *    "X" complete event, giving the per-epoch flame view.
+ *
+ *  - DENSIM_OBS_PHASE(profiler, phase) is what the engine hot loop
+ *    uses. It expands to a PhaseScope only when the DENSIM_OBS build
+ *    option defined DENSIM_ENABLE_OBS; otherwise it expands to
+ *    nothing at all, so a default build has *zero* instructions — no
+ *    clock reads, no branches — at the instrumentation points. This
+ *    is the disabled-overhead policy the obs benches pin down
+ *    (DESIGN.md Sec. 10): simulation results are bit-identical either
+ *    way because wall-clock time never feeds back into the model.
+ */
+
+#ifndef DENSIM_OBS_PHASE_PROFILER_HH
+#define DENSIM_OBS_PHASE_PROFILER_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/trace.hh"
+
+namespace densim::obs {
+
+/** The engine phases worth a timer of their own. */
+enum class Phase : unsigned {
+    ThermalStep,
+    PowerManage,
+    ProcessWindow,
+    Migration,
+    Count //!< Sentinel, not a phase.
+};
+
+/** Stable display name ("thermalStep", ...). */
+const char *phaseName(Phase phase);
+
+/** Inclusive per-phase wall-clock accumulator with nesting support. */
+class PhaseProfiler
+{
+  public:
+    struct Totals
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t ns = 0; //!< Inclusive wall time.
+    };
+
+    /**
+     * Forward every scope to @p sink as a complete event (timestamps
+     * are microseconds since the last reset()). Null detaches.
+     */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+
+    /** Zero totals and restart the trace timestamp origin. */
+    void reset();
+
+    Totals totals(Phase phase) const
+    {
+        return totals_[static_cast<std::size_t>(phase)];
+    }
+
+    /** Current scope nesting depth (0 outside any scope). */
+    int depth() const { return depth_; }
+
+    /** @name PhaseScope internals */
+    ///@{
+    void begin(Phase phase);
+    void end(Phase phase);
+    ///@}
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static constexpr int kMaxDepth = 16;
+
+    std::array<Totals, static_cast<std::size_t>(Phase::Count)>
+        totals_{};
+    std::array<Clock::time_point, kMaxDepth> starts_{};
+    int depth_ = 0;
+    Clock::time_point origin_ = Clock::now();
+    TraceSink *sink_ = nullptr;
+};
+
+/** RAII scope timing one phase (see file comment for the macro). */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseProfiler &profiler, Phase phase)
+        : profiler_(profiler), phase_(phase)
+    {
+        profiler_.begin(phase_);
+    }
+    ~PhaseScope() { profiler_.end(phase_); }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseProfiler &profiler_;
+    Phase phase_;
+};
+
+} // namespace densim::obs
+
+// The engine-side hook: a real scope only in DENSIM_OBS builds.
+#if DENSIM_ENABLE_OBS
+#define DENSIM_OBS_PHASE_CAT2(a, b) a##b
+#define DENSIM_OBS_PHASE_CAT(a, b) DENSIM_OBS_PHASE_CAT2(a, b)
+#define DENSIM_OBS_PHASE(profiler, phase)                              \
+    ::densim::obs::PhaseScope DENSIM_OBS_PHASE_CAT(densim_obs_scope_,  \
+                                                   __COUNTER__)(       \
+        (profiler), (phase))
+#else
+#define DENSIM_OBS_PHASE(profiler, phase) static_cast<void>(0)
+#endif
+
+#endif // DENSIM_OBS_PHASE_PROFILER_HH

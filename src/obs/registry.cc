@@ -1,0 +1,55 @@
+#include "obs/registry.hh"
+
+#include "util/logging.hh"
+
+namespace densim::obs {
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &unit)
+{
+    auto [it, inserted] = gauges_.try_emplace(name);
+    if (inserted) {
+        it->second.unit = unit;
+    } else if (!unit.empty() && it->second.unit != unit) {
+        panic("obs: gauge '", name, "' re-registered with unit '",
+              unit, "' (was '", it->second.unit, "')");
+    }
+    return it->second.gauge;
+}
+
+void
+Registry::resetValues()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    for (auto &[name, entry] : gauges_)
+        entry.gauge.reset();
+}
+
+std::vector<CounterSample>
+Registry::counters() const
+{
+    std::vector<CounterSample> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.push_back({name, counter.value()});
+    return out;
+}
+
+std::vector<GaugeSample>
+Registry::gauges() const
+{
+    std::vector<GaugeSample> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, entry] : gauges_)
+        out.push_back({name, entry.unit, entry.gauge.value()});
+    return out;
+}
+
+} // namespace densim::obs

@@ -1,0 +1,48 @@
+#include "obs/timeline.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace densim::obs {
+
+void
+writeTimelineJsonl(std::ostream &os, const std::vector<double> &times,
+                   const std::vector<std::vector<double>> &zone_rows)
+{
+    if (times.size() != zone_rows.size())
+        panic("obs: timeline has ", times.size(), " timestamps but ",
+              zone_rows.size(), " zone rows");
+    std::string line;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        line.clear();
+        line += "{\"tS\":";
+        json::appendNumber(line, times[i]);
+        line += ",\"zoneAmbientC\":[";
+        for (std::size_t z = 0; z < zone_rows[i].size(); ++z) {
+            if (z > 0)
+                line += ',';
+            json::appendNumber(line, zone_rows[i][z]);
+        }
+        line += "]}";
+        os << line << "\n";
+    }
+}
+
+void
+writeTimelineJsonlFile(const std::string &path,
+                       const std::vector<double> &times,
+                       const std::vector<std::vector<double>> &zone_rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("obs: cannot open timeline file '", path,
+              "' for writing");
+    writeTimelineJsonl(out, times, zone_rows);
+    if (!out)
+        fatal("obs: failed writing timeline file '", path, "'");
+}
+
+} // namespace densim::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fixed-grid timeline sampler and the JSONL time-series writer.
+ *
+ * Replaces the engine's historical ad-hoc sampler, which had two
+ * bugs: (1) it advanced its next-sample mark by exactly one period
+ * per power-management epoch, so whenever the sample period was
+ * shorter than the epoch the mark fell permanently behind simulated
+ * time and *every* epoch emitted a sample regardless of the
+ * configured cadence, and (2) it stamped samples with the epoch
+ * boundary time (an accumulated `t += epoch` value with float drift)
+ * rather than the grid point, so timestamps drifted off the
+ * configured cadence over long runs.
+ *
+ * Semantics of the fixed grid (pinned by the obs regression tests):
+ *
+ *  - Sample timestamps are *exactly* `k * periodS` for integer k >= 0,
+ *    computed as `double(k) * periodS` — never by accumulation.
+ *  - The field is only defined at epoch boundaries, so a grid point
+ *    is emitted at the first epoch boundary at or after it, stamped
+ *    with the grid time.
+ *  - Catch-up/skip: when an epoch straddles several grid points
+ *    (periodS < epoch length, or a long drain epoch), the sampler
+ *    emits ONE sample stamped with the *latest* straddled grid point
+ *    and skips the earlier ones — the field carries no information
+ *    between epoch boundaries, so replaying identical values onto
+ *    intermediate grid points would only pad the stream. Consequence:
+ *    at most one sample per epoch; when periodS >= epoch length every
+ *    grid point in the run is emitted.
+ */
+
+#ifndef DENSIM_OBS_TIMELINE_HH
+#define DENSIM_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace densim::obs {
+
+/** The fixed-cadence sampling grid (see file comment). */
+class TimelineSampler
+{
+  public:
+    /** Set the cadence; @p period_s <= 0 disables sampling. */
+    void configure(double period_s)
+    {
+        periodS_ = period_s;
+        next_ = 0;
+    }
+
+    /** Rewind to grid point 0 (between runs). */
+    void reset() { next_ = 0; }
+
+    double periodS() const { return periodS_; }
+
+    /**
+     * Called once per epoch boundary at simulated time @p now_s
+     * (non-decreasing across calls). Returns true when a sample is
+     * due and stores its exact grid timestamp in @p grid_s.
+     */
+    bool
+    due(double now_s, double *grid_s)
+    {
+        if (periodS_ <= 0.0)
+            return false;
+        // Absorb accumulated epoch-sum float error: a boundary that
+        // is a rounding whisker short of its grid point still counts.
+        const double slack = now_s + 1e-9 * periodS_;
+        if (slack < static_cast<double>(next_) * periodS_)
+            return false;
+        const auto k = static_cast<std::uint64_t>(slack / periodS_);
+        *grid_s = static_cast<double>(k) * periodS_;
+        next_ = k + 1;
+        return true;
+    }
+
+  private:
+    double periodS_ = 0.0;
+    std::uint64_t next_ = 0; //!< Index of the next pending grid point.
+};
+
+/**
+ * Write a zone-ambient timeline as a JSONL stream: one strict-JSON
+ * object per sample, `{"tS":<grid time>,"zoneAmbientC":[...]}`.
+ * @p times and @p zone_rows must be the same length (they are the
+ * SimMetrics::timelineS / zoneAmbientC pair).
+ */
+void writeTimelineJsonl(std::ostream &os,
+                        const std::vector<double> &times,
+                        const std::vector<std::vector<double>> &zone_rows);
+
+/** writeTimelineJsonl() to @p path; fatal() on I/O failure. */
+void writeTimelineJsonlFile(const std::string &path,
+                            const std::vector<double> &times,
+                            const std::vector<std::vector<double>> &zone_rows);
+
+} // namespace densim::obs
+
+#endif // DENSIM_OBS_TIMELINE_HH

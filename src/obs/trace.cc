@@ -1,0 +1,122 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace densim::obs {
+
+bool
+TraceSink::admit()
+{
+    if (!enabled_)
+        return false;
+    if (events_.size() >= eventCap_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+TraceSink::addComplete(const std::string &name, const std::string &cat,
+                       double ts_us, double dur_us, int tid)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Kind::Complete, tid, ts_us, dur_us, 0.0, name, cat});
+}
+
+void
+TraceSink::addCounter(const std::string &name, double ts_us,
+                      double value)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Kind::CounterSample, 0, ts_us, 0.0, value, name, ""});
+}
+
+void
+TraceSink::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::string out;
+    out.reserve(128 + events_.size() * 96);
+    out += "{\"traceEvents\":[";
+
+    // Process-name metadata event first, so the viewer labels the row.
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"name\":\"process_name\",\"args\":{\"name\":";
+    json::appendString(out, processName_);
+    out += "}}";
+
+    for (const Event &e : events_) {
+        out += ",{\"ph\":\"";
+        out += e.kind == Kind::Complete ? 'X' : 'C';
+        out += "\",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        json::appendNumber(out, e.tsUs);
+        out += ",\"name\":";
+        json::appendString(out, e.name);
+        if (e.kind == Kind::Complete) {
+            out += ",\"dur\":";
+            json::appendNumber(out, e.durUs);
+            if (!e.cat.empty()) {
+                out += ",\"cat\":";
+                json::appendString(out, e.cat);
+            }
+        } else {
+            out += ",\"args\":{\"value\":";
+            json::appendNumber(out, e.value);
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\"";
+    if (dropped_ > 0) {
+        out += ",\"metadata\":{\"densimDroppedEvents\":";
+        out += std::to_string(dropped_);
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+void
+TraceSink::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("obs: cannot open trace file '", path, "' for writing");
+    out << toJson() << "\n";
+    if (!out)
+        fatal("obs: failed writing trace file '", path, "'");
+    if (dropped_ > 0) {
+        warn("obs: trace '", path, "' dropped ", dropped_,
+             " events past the ", eventCap_, "-event cap");
+    }
+}
+
+std::string
+perRunPath(const std::string &path, std::size_t run)
+{
+    const std::string tag = "-run" + std::to_string(run);
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+} // namespace densim::obs

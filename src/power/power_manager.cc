@@ -19,6 +19,12 @@ PowerManager::PowerManager(const PStateTable &pstate_table,
 }
 
 void
+PowerManager::attachObs(obs::Registry &registry)
+{
+    searches_ = &registry.counter("power.dvfsSearches");
+}
+
+void
 PowerManager::checkCurve(const FreqCurve &curve) const
 {
     if (curve.totalPowerAt90C.size() != table_.size() ||
@@ -71,6 +77,7 @@ PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
                                     std::size_t max_pstate) const
 {
     checkCurve(curve);
+    countSearch();
     if (max_pstate >= table_.size())
         panic("chooseAtAmbientCapped: max P-state ", max_pstate,
               " out of range");
@@ -105,6 +112,7 @@ PowerManager::chooseSteady(const FreqCurve &curve,
                            const HeatSink &sink) const
 {
     checkCurve(curve);
+    countSearch();
     const double entry_c = entry.value();
     const double kappa = kappa_local.value();
     DvfsDecision decision{};
@@ -140,6 +148,7 @@ PowerManager::chooseWithSinkState(const FreqCurve &curve,
                                   const HeatSink &sink) const
 {
     checkCurve(curve);
+    countSearch();
     const double base = ambient.value() + sink_rise.value();
     const double r_int = peak_.rInt().value();
     auto instant_peak = [&](double p) {
@@ -172,6 +181,7 @@ PowerManager::chooseResponsive(const FreqCurve &curve,
                                const HeatSink &sink) const
 {
     checkCurve(curve);
+    countSearch();
     const double base = entry.value() + sink_rise.value();
     const double kappa = kappa_local.value();
     const double r_int = peak_.rInt().value();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/units.hh"
+#include "obs/registry.hh"
 #include "power/leakage.hh"
 #include "power/pstate.hh"
 #include "thermal/heatsink.hh"
@@ -152,13 +153,30 @@ class PowerManager
     Celsius temperatureLimit() const { return Celsius(tLimitC_); }
     const SimplePeakModel &peakModel() const { return peak_; }
 
+    /**
+     * Register this power manager's instruments into @p registry
+     * ("power.dvfsSearches": full P-state searches executed). The
+     * registry must outlive the manager; without a registry attached
+     * the choose* paths skip accounting entirely.
+     */
+    void attachObs(obs::Registry &registry);
+
   private:
     void checkCurve(const FreqCurve &curve) const;
+
+    /** One per choose* call — a full (possibly capped) state search. */
+    void
+    countSearch() const
+    {
+        if (searches_ != nullptr)
+            searches_->inc();
+    }
 
     const PStateTable &table_;
     SimplePeakModel peak_;
     double tLimitC_;
     double gatedFracTdp_;
+    obs::Counter *searches_ = nullptr; //!< Owned by the registry.
 };
 
 } // namespace densim

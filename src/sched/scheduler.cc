@@ -51,6 +51,13 @@ pickExtremeBy(const SchedContext &ctx, const std::vector<double> &key,
 
 } // namespace
 
+void
+Scheduler::attachObs(obs::Registry &registry)
+{
+    picks_ = &registry.counter(std::string("sched.") + name() +
+                               ".picks");
+}
+
 std::size_t
 pickMinBy(const SchedContext &ctx, const std::vector<double> &key,
           double tie_eps, bool random_tiebreak)

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "power/leakage.hh"
 #include "power/power_manager.hh"
 #include "server/topology.hh"
@@ -75,6 +76,29 @@ class Scheduler
 
     /** Reset internal state between runs (default: nothing). */
     virtual void reset() {}
+
+    /**
+     * Register this policy's instruments into @p registry. The base
+     * registers "sched.<name>.picks"; subclasses may override to add
+     * their own (and should call the base). The registry must outlive
+     * the policy.
+     */
+    virtual void attachObs(obs::Registry &registry);
+
+    /**
+     * pick() plus observability accounting — what the engine calls
+     * at every placement and migration decision.
+     */
+    std::size_t
+    pickCounted(const Job &job, const SchedContext &ctx)
+    {
+        if (picks_ != nullptr)
+            picks_->inc();
+        return pick(job, ctx);
+    }
+
+  private:
+    obs::Counter *picks_ = nullptr; //!< Owned by the registry.
 };
 
 /**

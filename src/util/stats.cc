@@ -109,8 +109,16 @@ percentile(std::vector<double> xs, double p)
 {
     if (xs.empty())
         panic("percentile of empty sample");
+    return *tryPercentile(std::move(xs), p);
+}
+
+std::optional<double>
+tryPercentile(std::vector<double> xs, double p)
+{
     if (p < 0.0 || p > 100.0)
         panic("percentile ", p, " outside [0, 100]");
+    if (xs.empty())
+        return std::nullopt;
     std::sort(xs.begin(), xs.end());
     if (xs.size() == 1)
         return xs.front();

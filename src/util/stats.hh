@@ -11,6 +11,7 @@
 #define DENSIM_UTIL_STATS_HH
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace densim {
@@ -75,9 +76,19 @@ double coefficientOfVariation(const std::vector<double> &xs);
 
 /**
  * Linear-interpolated percentile, p in [0, 100]. The input need not be
- * sorted; a sorted copy is made.
+ * sorted; a sorted copy is made. An empty sample panic()s — use this
+ * where emptiness is a programmer error; reporting paths that may
+ * legitimately see zero samples (e.g. a run that completed no jobs)
+ * should call tryPercentile() instead.
  */
 double percentile(std::vector<double> xs, double p);
+
+/**
+ * Total variant of percentile(): std::nullopt on an empty sample
+ * instead of a panic (p outside [0, 100] still panics — that is
+ * always a programmer error).
+ */
+std::optional<double> tryPercentile(std::vector<double> xs, double p);
 
 /**
  * Fixed-width-bin histogram over [lo, hi); samples outside the range

@@ -112,6 +112,46 @@ TEST(PerfEquivalence, QuantizedDvfsMemoStaysClose)
     EXPECT_NEAR(ma.energyJ, mb.energyJ, 0.05 * ma.energyJ);
 }
 
+TEST(PerfEquivalence, ObservabilityIsBitIdentical)
+{
+    // The disabled-overhead contract (DESIGN.md Sec. 10) is stronger
+    // than "equivalent": turning on every runtime observability
+    // feature — timeline sampling, trace and JSONL sinks — must leave
+    // SimMetrics *bit-identical*, because counters and sinks only
+    // read model state, never feed back into it. EXPECT_EQ on
+    // doubles, not NEAR.
+    SimConfig plain = diffConfig();
+    SimConfig observed = diffConfig();
+    observed.timelineSampleS = 0.25;
+    observed.obsTracePath =
+        testing::TempDir() + "perf_equiv_trace.json";
+    observed.obsTimelinePath =
+        testing::TempDir() + "perf_equiv_timeline.jsonl";
+
+    DenseServerSim a(plain, makeScheduler("CP"));
+    DenseServerSim b(observed, makeScheduler("CP"));
+    const SimMetrics ma = a.run();
+    const SimMetrics mb = b.run();
+
+    EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+    EXPECT_EQ(ma.jobsCompleted, mb.jobsCompleted);
+    EXPECT_EQ(ma.jobsUnfinished, mb.jobsUnfinished);
+    EXPECT_EQ(ma.energyJ, mb.energyJ);
+    EXPECT_EQ(ma.makespanS, mb.makespanS);
+    EXPECT_EQ(ma.totalWork, mb.totalWork);
+    EXPECT_EQ(ma.totalBusyTime, mb.totalBusyTime);
+    EXPECT_EQ(ma.totalFreqTime, mb.totalFreqTime);
+    EXPECT_EQ(ma.boostTimeS, mb.boostTimeS);
+    EXPECT_EQ(ma.maxChipTempC, mb.maxChipTempC);
+    EXPECT_EQ(ma.runtimeExpansion.mean(), mb.runtimeExpansion.mean());
+    EXPECT_EQ(ma.serviceExpansion.mean(), mb.serviceExpansion.mean());
+    EXPECT_EQ(ma.queueDelayS.mean(), mb.queueDelayS.mean());
+    EXPECT_EQ(ma.chipTempC.mean(), mb.chipTempC.mean());
+    EXPECT_EQ(ma.front.workDone, mb.front.workDone);
+    EXPECT_EQ(ma.back.workDone, mb.back.workDone);
+    EXPECT_EQ(ma.even.workDone, mb.even.workDone);
+}
+
 // ------------------------------------------------------- event heap
 
 TEST(EventHeap, OrdersByKeyThenId)

@@ -245,6 +245,18 @@ TEST(Stats, PercentileInterpolates)
     EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
 }
 
+TEST(Stats, TryPercentileIsTotal)
+{
+    // The total variant for reporting paths that may legitimately see
+    // an empty sample (a run completing zero jobs): nullopt instead
+    // of the panic percentile() keeps for programmer-error call sites.
+    EXPECT_EQ(tryPercentile({}, 50.0), std::nullopt);
+    const std::vector<double> xs{5.0, 1.0, 3.0};
+    ASSERT_TRUE(tryPercentile(xs, 50.0).has_value());
+    EXPECT_DOUBLE_EQ(*tryPercentile(xs, 50.0), percentile(xs, 50.0));
+    EXPECT_DOUBLE_EQ(*tryPercentile({7.0}, 99.0), 7.0);
+}
+
 TEST(Histogram, BinningAndClamping)
 {
     Histogram h(0.0, 10.0, 10);

@@ -16,6 +16,10 @@
 #             self-containment, tools/lint/) then clang-tidy over
 #             every compiled file (DENSIM_LINT=ON); the clang-tidy
 #             half is skipped with a notice when the tool is absent
+#   obs       DENSIM_OBS=ON build + the obs/equivalence tests, then a
+#             CLI smoke run with tracing and the timeline stream on;
+#             the emitted trace JSON and JSONL are parsed with
+#             python3 -m json.tool / json.loads (DESIGN.md Sec. 10)
 #
 # The units negative-compile harness (tests/compile_fail/) runs at
 # configure time of every stage, so each build below also proves the
@@ -78,6 +82,32 @@ stage_paranoid() {
     run_ctest build-paranoid -R "$PARANOID_FILTER"
 }
 
+stage_obs() {
+    configure build-obs -DDENSIM_OBS=ON
+    build build-obs
+    run_ctest build-obs -R 'Obs|PerfEquivalence'
+    # End-to-end: a small sim with every sink on must emit JSON that
+    # strict parsers accept and a timeline on the exact sample grid.
+    local out="build-obs/obs-smoke"
+    mkdir -p "$out"
+    ./build-obs/tools/densim run --scheduler CP --load 0.6 \
+        --set simTimeS=2 --set warmupS=0.5 --set timelineSampleS=0.25 \
+        --set obs.tracePath="$out/trace.json" \
+        --set obs.timelinePath="$out/timeline.jsonl" \
+        --json --counters > "$out/run.json"
+    python3 -m json.tool "$out/trace.json" > /dev/null
+    python3 -m json.tool "$out/run.json" > /dev/null
+    python3 - "$out/timeline.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "timeline stream is empty"
+for i, line in enumerate(lines):
+    row = json.loads(line)
+    assert row["tS"] == 0.25 * i, f"line {i}: {row['tS']} off-grid"
+print(f"obs smoke: {len(lines)} timeline samples on the exact grid")
+EOF
+}
+
 stage_lint() {
     # The custom densim lint bank needs only python3 + a compiler;
     # it runs (and gates) even where clang-tidy is unavailable.
@@ -94,12 +124,12 @@ stage_lint() {
 if [ "$#" -gt 0 ]; then
     stages=("$@")
 else
-    stages=(plain asan tsan paranoid lint)
+    stages=(plain asan tsan paranoid obs lint)
 fi
 
 for stage in "${stages[@]}"; do
     case "$stage" in
-        plain|asan|tsan|paranoid|lint) ;;
+        plain|asan|tsan|paranoid|obs|lint) ;;
         *)
             echo "check.sh: unknown stage '$stage'" >&2
             exit 2

@@ -26,6 +26,7 @@
 #include "core/dense_server_sim.hh"
 #include "core/experiment.hh"
 #include "core/metrics_io.hh"
+#include "obs/registry.hh"
 #include "sched/factory.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -59,8 +60,18 @@ usage()
         "  --loads A,B,...      sweep loads\n"
         "  --seed N             RNG seed\n"
         "  --json / --csv       machine-readable output\n"
+        "  --counters           report observability counters/gauges\n"
         "  --trace FILE         trace path for trace-* commands\n"
-        "  --jobs N             jobs to capture (trace-capture)\n";
+        "  --jobs N             jobs to capture (trace-capture)\n"
+        "\n"
+        "observability (DESIGN.md Sec. 10):\n"
+        "  --set obs.tracePath=F     write a Chrome trace_event JSON\n"
+        "                            (phase events need a DENSIM_OBS\n"
+        "                            build; load in chrome://tracing\n"
+        "                            or Perfetto)\n"
+        "  --set obs.timelinePath=F  write the zone-ambient timeline\n"
+        "                            as JSONL; needs --set\n"
+        "                            timelineSampleS=X (X > 0)\n";
 }
 
 struct Cli
@@ -74,6 +85,7 @@ struct Cli
     std::size_t traceJobs = 100000;
     bool json = false;
     bool csv = false;
+    bool counters = false;
 };
 
 std::vector<std::string>
@@ -139,6 +151,8 @@ parseArgs(int argc, char **argv)
             cli.json = true;
         } else if (flag == "--csv") {
             cli.csv = true;
+        } else if (flag == "--counters") {
+            cli.counters = true;
         } else if (flag == "--help" || flag == "-h") {
             usage();
             std::exit(0);
@@ -181,15 +195,45 @@ printRunTable(const std::string &scheduler, const SimConfig &config,
     table.print(std::cout);
 }
 
+void
+printCounterTable(const obs::Registry &registry)
+{
+    TableWriter table({"Counter", "Value"});
+    for (const auto &c : registry.counters())
+        table.newRow().cell(c.name).cell(
+            static_cast<long long>(c.value));
+    table.print(std::cout);
+    TableWriter gauges({"Gauge", "Value", "Unit"});
+    for (const auto &g : registry.gauges())
+        gauges.newRow().cell(g.name).cell(g.value, 3).cell(g.unit);
+    gauges.print(std::cout);
+}
+
+void
+report(const Cli &cli, const SimConfig &config,
+       const DenseServerSim &sim, const SimMetrics &m)
+{
+    if (cli.json) {
+        if (cli.counters) {
+            std::cout << "{\"metrics\":" << metricsToJson(m)
+                      << ",\"obs\":"
+                      << countersToJson(sim.observability()) << "}\n";
+        } else {
+            std::cout << metricsToJson(m) << "\n";
+        }
+        return;
+    }
+    printRunTable(cli.scheduler, config, m);
+    if (cli.counters)
+        printCounterTable(sim.observability());
+}
+
 int
 cmdRun(const Cli &cli)
 {
     DenseServerSim sim(cli.config, makeScheduler(cli.scheduler));
     const SimMetrics m = sim.run();
-    if (cli.json)
-        std::cout << metricsToJson(m) << "\n";
-    else
-        printRunTable(cli.scheduler, cli.config, m);
+    report(cli, cli.config, sim, m);
     return 0;
 }
 
@@ -270,10 +314,7 @@ cmdTraceReplay(const Cli &cli)
     config.workload = trace.set();
     DenseServerSim sim(config, makeScheduler(cli.scheduler));
     const SimMetrics m = sim.run(jobs);
-    if (cli.json)
-        std::cout << metricsToJson(m) << "\n";
-    else
-        printRunTable(cli.scheduler, config, m);
+    report(cli, config, sim, m);
     return 0;
 }
 

@@ -69,7 +69,13 @@ DIMENSIONLESS = {
 
 PARAM_RE = re.compile(r"\bdouble\s+([a-z][a-z0-9_]*)\s*(?:=[^,)]*)?[,)]")
 
-SELFCONTAIN_DIRS = ("src/thermal", "src/airflow", "src/core", "src/power")
+SELFCONTAIN_DIRS = (
+    "src/thermal",
+    "src/airflow",
+    "src/core",
+    "src/power",
+    "src/obs",
+)
 
 
 def strip_comments(text):
