@@ -1,10 +1,13 @@
 #include "core/config_io.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <map>
 #include <sstream>
+#include <vector>
 
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -47,6 +50,26 @@ parseInt(const std::string &key, const std::string &value)
         fatal("config: key '", key, "' needs an integer, got '", value,
               "'");
     return i;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    // Not via parseDouble: a 64-bit seed has more digits than a
+    // double has mantissa, and a seed that silently rounds is a
+    // reproducibility bug.
+    std::size_t used = 0;
+    std::uint64_t out = 0;
+    try {
+        out = std::stoull(value, &used);
+    } catch (const std::exception &) {
+        fatal("config: cannot parse '", value, "' for key '", key,
+              "'");
+    }
+    if (used != value.size())
+        fatal("config: trailing junk in '", value, "' for key '", key,
+              "'");
+    return out;
 }
 
 bool
@@ -141,11 +164,45 @@ keyTable()
             },
         };
     };
-    auto strf = [](std::string SimConfig::*field) {
+    // Output sinks fail fast at key-apply time: the files are only
+    // written at the end of a run, and a typo'd directory should not
+    // surface minutes into a sweep.
+    auto pathf = [](std::string SimConfig::*field) {
         return KeyOps{
-            [field](SimConfig &c, const std::string &,
-                    const std::string &v) { c.*field = v; },
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                if (!v.empty() && !pathWritable(v)) {
+                    fatal("config: key '", k, "' = '", v,
+                          "': directory '", parentDir(v),
+                          "' does not exist or is not writable");
+                }
+                c.*field = v;
+            },
             [field](const SimConfig &c) { return c.*field; },
+        };
+    };
+    auto fault_dbl = [](double FaultConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.fault.*field = parseDouble(k, v);
+            },
+            [field](const SimConfig &c) {
+                std::ostringstream os;
+                os << c.fault.*field;
+                return os.str();
+            },
+        };
+    };
+    auto fault_int = [](int FaultConfig::*field) {
+        return KeyOps{
+            [field](SimConfig &c, const std::string &k,
+                    const std::string &v) {
+                c.fault.*field = parseInt(k, v);
+            },
+            [field](const SimConfig &c) {
+                return std::to_string(c.fault.*field);
+            },
         };
     };
     auto coup_dbl = [](double CouplingParams::*field) {
@@ -193,14 +250,14 @@ keyTable()
         {"sensorNoiseC", dbl(&SimConfig::sensorNoiseC)},
         {"sensorQuantC", dbl(&SimConfig::sensorQuantC)},
         {"timelineSampleS", dbl(&SimConfig::timelineSampleS)},
-        {"obs.tracePath", strf(&SimConfig::obsTracePath)},
-        {"obs.timelinePath", strf(&SimConfig::obsTimelinePath)},
+        {"obs.tracePath", pathf(&SimConfig::obsTracePath)},
+        {"obs.timelinePath", pathf(&SimConfig::obsTimelinePath)},
         {"incrementalThermal", boolf(&SimConfig::incrementalThermal)},
         {"dvfsMemoQuantC", dbl(&SimConfig::dvfsMemoQuantC)},
         {"warmStart", boolf(&SimConfig::warmStart)},
         {"seed",
          {[](SimConfig &c, const std::string &k, const std::string &v) {
-              c.seed = static_cast<std::uint64_t>(parseDouble(k, v));
+              c.seed = parseU64(k, v);
           },
           [](const SimConfig &c) { return std::to_string(c.seed); }}},
         {"topo.rows", topo_int(&TopologySpec::rows)},
@@ -215,6 +272,67 @@ keyTable()
          topo_dbl(&TopologySpec::interCartridgeGapInch)},
         {"topo.perSocketCfm", topo_dbl(&TopologySpec::perSocketCfm)},
         {"topo.inletC", topo_dbl(&TopologySpec::inletC)},
+        {"fault.seed",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.fault.seed = parseU64(k, v);
+          },
+          [](const SimConfig &c) {
+              return std::to_string(c.fault.seed);
+          }}},
+        {"fault.fanFailS", fault_dbl(&FaultConfig::fanFailS)},
+        {"fault.fanRecoverS", fault_dbl(&FaultConfig::fanRecoverS)},
+        {"fault.fanSpeedFrac", fault_dbl(&FaultConfig::fanSpeedFrac)},
+        {"fault.fanCount", fault_int(&FaultConfig::fanCount)},
+        {"fault.sensorStuckCount",
+         fault_int(&FaultConfig::sensorStuckCount)},
+        {"fault.sensorStuckAtS",
+         fault_dbl(&FaultConfig::sensorStuckAtS)},
+        {"fault.sensorNoisyCount",
+         fault_int(&FaultConfig::sensorNoisyCount)},
+        {"fault.sensorNoiseSigmaC",
+         fault_dbl(&FaultConfig::sensorNoiseSigmaC)},
+        {"fault.sensorNoisyAtS",
+         fault_dbl(&FaultConfig::sensorNoisyAtS)},
+        {"fault.sensorDropoutCount",
+         fault_int(&FaultConfig::sensorDropoutCount)},
+        {"fault.sensorDropoutAtS",
+         fault_dbl(&FaultConfig::sensorDropoutAtS)},
+        {"fault.sensorDropoutDurS",
+         fault_dbl(&FaultConfig::sensorDropoutDurS)},
+        {"fault.dropoutPolicy",
+         {[](SimConfig &c, const std::string &, const std::string &v) {
+              c.fault.dropoutPolicy = parseDropoutPolicy(v);
+          },
+          [](const SimConfig &c) {
+              return std::string(
+                  dropoutPolicyName(c.fault.dropoutPolicy));
+          }}},
+        {"fault.fallbackAmbientC",
+         fault_dbl(&FaultConfig::fallbackAmbientC)},
+        {"fault.socketFailCount",
+         fault_int(&FaultConfig::socketFailCount)},
+        {"fault.socketFailS", fault_dbl(&FaultConfig::socketFailS)},
+        {"fault.socketRecoverS",
+         fault_dbl(&FaultConfig::socketRecoverS)},
+        {"fault.emergencyMarginC",
+         fault_dbl(&FaultConfig::emergencyMarginC)},
+        {"fault.emergencySustainS",
+         fault_dbl(&FaultConfig::emergencySustainS)},
+        {"fault.quarantineSustainS",
+         fault_dbl(&FaultConfig::quarantineSustainS)},
+        {"fault.quarantineExitC",
+         fault_dbl(&FaultConfig::quarantineExitC)},
+        {"fault.abortRunS", fault_dbl(&FaultConfig::abortRunS)},
+        {"fault.logPath",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              if (!v.empty() && !pathWritable(v)) {
+                  fatal("config: key '", k, "' = '", v,
+                        "': directory '", parentDir(v),
+                        "' does not exist or is not writable");
+              }
+              c.fault.logPath = v;
+          },
+          [](const SimConfig &c) { return c.fault.logPath; }}},
         {"coupling.mixFactor", coup_dbl(&CouplingParams::mixFactor)},
         {"coupling.decayLengthInch",
          coup_dbl(&CouplingParams::decayLengthInch)},
@@ -226,6 +344,47 @@ keyTable()
     return table;
 }
 
+/** Classic dynamic-programming Levenshtein distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+/**
+ * " (did you mean 'X'?)" for the nearest known key within an edit
+ * distance of 3, or "" when nothing plausible is close enough.
+ */
+std::string
+suggestKey(const std::string &unknown)
+{
+    std::size_t best_dist = 4; // Suggest only within distance 3.
+    std::string best;
+    for (const auto &[key, ops] : keyTable()) {
+        const std::size_t d = editDistance(unknown, key);
+        if (d < best_dist) {
+            best_dist = d;
+            best = key;
+        }
+    }
+    if (best.empty() || best_dist >= unknown.size())
+        return "";
+    return " (did you mean '" + best + "'?)";
+}
+
 } // namespace
 
 void
@@ -235,7 +394,7 @@ applyConfigKey(SimConfig &config, const std::string &key,
     const std::string k = trim(key);
     const auto it = keyTable().find(k);
     if (it == keyTable().end())
-        fatal("config: unknown key '", k, "'");
+        fatal("config: unknown key '", k, "'", suggestKey(k));
     it->second.apply(config, k, trim(value));
 }
 
@@ -244,6 +403,7 @@ loadConfig(SimConfig &config, std::istream &in)
 {
     std::string line;
     int lineno = 0;
+    std::map<std::string, int> first_seen;
     while (std::getline(in, line)) {
         ++lineno;
         const auto hash = line.find('#');
@@ -256,7 +416,18 @@ loadConfig(SimConfig &config, std::istream &in)
         if (eq == std::string::npos)
             fatal("config: line ", lineno, " is not 'key = value': '",
                   body, "'");
-        applyConfigKey(config, body.substr(0, eq), body.substr(eq + 1));
+        const std::string k = trim(body.substr(0, eq));
+        const auto it = keyTable().find(k);
+        if (it == keyTable().end()) {
+            fatal("config: line ", lineno, ": unknown key '", k, "'",
+                  suggestKey(k));
+        }
+        const auto [seen, fresh] = first_seen.emplace(k, lineno);
+        if (!fresh) {
+            fatal("config: line ", lineno, ": duplicate key '", k,
+                  "' (first set at line ", seen->second, ")");
+        }
+        it->second.apply(config, k, trim(body.substr(eq + 1)));
     }
 }
 

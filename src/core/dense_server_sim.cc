@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
+#include "airflow/fan.hh"
 #include "core/invariant.hh"
+#include "fault/fault_log.hh"
 #include "power/leakage.hh"
 #include "power/pstate.hh"
 #include "util/logging.hh"
@@ -22,6 +26,39 @@ namespace {
  * O(n x downstream) evaluation per ~1 simulated second.
  */
 constexpr std::size_t kAmbientRefreshEpochs = 1024;
+
+/**
+ * Joint delivered-flow and electrical-power fractions of a fan bank
+ * whose speed is capped at @p speed_cap (0..1 of full speed). The
+ * nominal operating point is the speed that delivers the server's
+ * design airflow; a bank too small for the design flow nominally runs
+ * flat out. Both fractions follow the affinity laws of airflow/fan.hh:
+ * flow is linear in speed, electrical power cubic.
+ */
+struct FanDerateEffect
+{
+    double flowFrac;  //!< Delivered / nominal CFM, floored at 2 %.
+    double powerFrac; //!< Electrical / nominal power (cube law).
+};
+
+FanDerateEffect
+fanDerateEffect(double speed_cap, int fan_count, double required_cfm)
+{
+    const Fan bank(Fan::activeCoolSpec(), fan_count);
+    double s_nom = 1.0;
+    if (required_cfm < bank.maxDeliveredCfm().value())
+        s_nom = bank.speedForCfm(Cfm(required_cfm));
+    const double s = std::min(speed_cap, s_nom);
+    const double flow =
+        bank.deliveredCfm(s).value() / bank.deliveredCfm(s_nom).value();
+    const double p_nom = bank.electricalPower(s_nom).value();
+    const double power =
+        p_nom > 0.0 ? bank.electricalPower(s).value() / p_nom : 1.0;
+    // A natural-convection floor: even a dead bank leaks some air
+    // through the chassis, and it keeps the 1/CFM coupling
+    // coefficients finite.
+    return {std::max(flow, 0.02), power};
+}
 
 } // namespace
 
@@ -60,6 +97,10 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     for (std::size_t p = 0; p < table.size(); ++p)
         relFreqByPstate_[p] = table.relativeFreq(p);
 
+    faultsEnabled_ = config_.fault.enabled();
+    faultState_.configure(config_.fault, config_.tLimitC);
+    faultTimeline_ = FaultTimeline(config_.fault, n, config_.seed);
+
     registerObs();
 }
 
@@ -88,6 +129,31 @@ DenseServerSim::registerObs()
     pm_.attachObs(obsRegistry_);
     policy_->attachObs(obsRegistry_);
     sampler_.configure(config_.timelineSampleS);
+
+    // Fault instruments exist only when faults are armed, so a
+    // zero-fault run's counter report is byte-identical to the
+    // pre-fault engine's.
+    if (faultsEnabled_) {
+        fcount_.fanEvents = &obsRegistry_.counter("fault.fanEvents");
+        fcount_.sensorFaults =
+            &obsRegistry_.counter("fault.sensorFaults");
+        fcount_.dropoutFallbacks =
+            &obsRegistry_.counter("fault.dropoutFallbacks");
+        fcount_.socketFailures =
+            &obsRegistry_.counter("fault.socketFailures");
+        fcount_.socketRecoveries =
+            &obsRegistry_.counter("fault.socketRecoveries");
+        fcount_.jobsRequeued =
+            &obsRegistry_.counter("fault.jobsRequeued");
+        fcount_.emergencyThrottles =
+            &obsRegistry_.counter("fault.emergencyThrottles");
+        fcount_.throttleReleases =
+            &obsRegistry_.counter("fault.throttleReleases");
+        fcount_.quarantines =
+            &obsRegistry_.counter("fault.quarantines");
+        fcount_.quarantineExits =
+            &obsRegistry_.counter("fault.quarantineExits");
+    }
 }
 
 DenseServerSim::~DenseServerSim() = default;
@@ -96,6 +162,20 @@ void
 DenseServerSim::resetState()
 {
     const std::size_t n = topo_.numSockets();
+    if (couplingDerated_) {
+        // A previous run's fan fault left derated coefficients in
+        // place; restore the pristine map before any field is derived
+        // from it.
+        coupling_ = CouplingMap(topo_.sites(), config_.coupling);
+        couplingDerated_ = false;
+        ++couplingEpoch_;
+    }
+    fanPowerW_ = config_.fanPowerW;
+    nextFaultEvent_ = 0;
+    faultState_.reset(n);
+    faultRng_ = Rng(config_.fault.effectiveSeed(config_.seed) ^
+                    0x0badcab1efa57f00ULL);
+    faultLog_.clear();
     sockets_.assign(n, SocketState{});
     powerW_.assign(n, pm_.gatedPower(leak_).value());
     freqMhz_.assign(n, 0.0);
@@ -238,8 +318,12 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
             break;
 
         count_.epochs->inc();
+        if (faultsEnabled_)
+            applyFaultEvents(t0);
         thermalStep(epoch);
         sampleTimeline(t0);
+        if (faultsEnabled_)
+            emergencyResponse(t0);
         powerManage(t0);
         if (config_.migrationEnabled) {
             const auto stride = static_cast<std::size_t>(
@@ -305,6 +389,8 @@ DenseServerSim::writeObsOutputs()
                                     metrics_.timelineS,
                                     metrics_.zoneAmbientC);
     }
+    if (!config_.fault.logPath.empty())
+        writeFaultLogFile(config_.fault.logPath, faultLog_);
 }
 
 void
@@ -379,6 +465,11 @@ DenseServerSim::thermalStep(double dt)
             sensed = config_.sensorQuantC *
                      std::floor(sensed / config_.sensorQuantC + 0.5);
         }
+        if (faultsEnabled_) {
+            sensed = faultState_.schedSensedC(s, sensed,
+                                              sensedTempC_[s],
+                                              faultRng_);
+        }
         sensedTempC_[s] = sensed;
         histTempC_[s] = histTracker_[s].step(sensed, dt);
         if (measure && busyFlag_[s]) {
@@ -393,7 +484,14 @@ DvfsDecision
 DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
                            std::size_t cap)
 {
-    const Celsius ambient{ambientC_[socket]};
+    double ambient_c = ambientC_[socket];
+    if (faultsEnabled_) {
+        if (faultState_.sensorMode(socket) == SensorMode::Dropout)
+            fcount_.dropoutFallbacks->inc();
+        ambient_c =
+            faultState_.dvfsAmbientC(socket, ambient_c, faultRng_);
+    }
+    const Celsius ambient{ambient_c};
     if (const DvfsDecision *hit = dvfsMemo_.lookup(
             socket, set, cap, ambient, config_.dvfsMemoQuantC)) {
         count_.dvfsMemoHits->inc();
@@ -415,9 +513,8 @@ DenseServerSim::powerManage(double now)
         if (!busyFlag_[s])
             continue;
         syncProgress(s, now);
-        const std::size_t cap =
-            boostCreditS_[s] > 0.0 ? boostCap_ : sustainedIdx_;
-        const DvfsDecision d = chooseDvfs(s, sockets_[s].set, cap);
+        const DvfsDecision d =
+            chooseDvfs(s, sockets_[s].set, dvfsCap(s));
         setSocketRate(s, d.pstate, d.power.value(), now);
     }
     // Re-derive the piecewise sums once per epoch: cheap with the
@@ -523,6 +620,7 @@ DenseServerSim::makeSchedContext() const
     SchedContext ctx;
     ctx.topo = &topo_;
     ctx.coupling = &coupling_;
+    ctx.couplingEpoch = couplingEpoch_;
     ctx.pm = &pm_;
     ctx.leak = &leak_;
     ctx.inletC = config_.topo.inletC;
@@ -594,9 +692,7 @@ DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
 
     // A freshly placed job gets its frequency immediately (the power
     // manager would confirm it within at most one epoch anyway).
-    const std::size_t cap =
-        boostCreditS_[socket] > 0.0 ? boostCap_ : sustainedIdx_;
-    const DvfsDecision d = chooseDvfs(socket, job.set, cap);
+    const DvfsDecision d = chooseDvfs(socket, job.set, dvfsCap(socket));
     setSocketRate(socket, d.pstate, d.power.value(), now);
 
     if (job.arrivalS >= config_.warmupS)
@@ -607,6 +703,8 @@ DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
 void
 DenseServerSim::completeJob(std::size_t socket, double now)
 {
+    DENSIM_CHECK(!faultsEnabled_ || !faultState_.offline(socket),
+                 "job completion on offline socket ", socket);
     SocketState &st = sockets_[socket];
     syncProgress(socket, now);
     if (st.arrivalS >= config_.warmupS) {
@@ -649,9 +747,7 @@ DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
     setIdlePower(from);
     idleInsert(from);
 
-    const std::size_t cap =
-        boostCreditS_[to] > 0.0 ? boostCap_ : sustainedIdx_;
-    const DvfsDecision d = chooseDvfs(to, dst.set, cap);
+    const DvfsDecision d = chooseDvfs(to, dst.set, dvfsCap(to));
     setSocketRate(to, d.pstate, d.power.value(), now);
     ++metrics_.migrations;
     count_.migrations->inc();
@@ -689,9 +785,8 @@ DenseServerSim::attemptMigrations(double now)
             panic("policy '", policy_->name(),
                   "' picked an invalid migration target ", dest);
 
-        const std::size_t cap =
-            boostCreditS_[dest] > 0.0 ? boostCap_ : sustainedIdx_;
-        const DvfsDecision d = chooseDvfs(dest, sockets_[s].set, cap);
+        const DvfsDecision d =
+            chooseDvfs(dest, sockets_[s].set, dvfsCap(dest));
         if (d.pstate <= sockets_[s].pstate)
             continue; // Not actually faster there.
 
@@ -801,10 +896,18 @@ DenseServerSim::checkEpochInvariants() const
                      static_cast<std::size_t>(busyTotal_),
                  completionHeap_.size(), " pending completions for ",
                  busyTotal_, " busy sockets");
+    const std::size_t offline = faultState_.offlineCount();
     DENSIM_CHECK(idleList_.size() + static_cast<std::size_t>(busyTotal_)
-                     == n,
-                 idleList_.size(), " idle + ", busyTotal_,
-                 " busy sockets on a ", n, "-socket server");
+                     + offline == n,
+                 idleList_.size(), " idle + ", busyTotal_, " busy + ",
+                 offline, " offline sockets on a ", n,
+                 "-socket server");
+    if (faultsEnabled_) {
+        for (std::size_t s = 0; s < n; ++s) {
+            DENSIM_CHECK(!(busyFlag_[s] && faultState_.offline(s)),
+                         "offline socket ", s, " is running a job");
+        }
+    }
     DENSIM_CHECK(completionHeap_.topKey() >= tCursor_,
                  "next completion ", completionHeap_.topKey(),
                  " s lies before the integration cursor ", tCursor_,
@@ -857,6 +960,264 @@ DenseServerSim::checkEpochInvariants() const
 }
 
 void
+DenseServerSim::applyFaultEvents(double now)
+{
+    const std::vector<FaultEvent> &events = faultTimeline_.events();
+    while (nextFaultEvent_ < events.size() &&
+           events[nextFaultEvent_].timeS <= now) {
+        // Advance the cursor first: AbortRun throws, and a hypothetical
+        // retry must not re-apply the same event.
+        const FaultEvent &event = events[nextFaultEvent_++];
+        applyFaultEvent(event, now);
+    }
+}
+
+void
+DenseServerSim::applyFaultEvent(const FaultEvent &event, double now)
+{
+    const auto s = static_cast<std::size_t>(event.socket);
+    switch (event.kind) {
+    case FaultKind::FanDerate: {
+        const FanDerateEffect effect = fanDerateEffect(
+            event.value, config_.fault.fanCount,
+            config_.topo.perSocketCfm *
+                static_cast<double>(topo_.numSockets()));
+        applyFanFlowFraction(effect.flowFrac);
+        fanPowerW_ = config_.fanPowerW * effect.powerFrac;
+        fcount_.fanEvents->inc();
+        recordFault(FaultKind::FanDerate, kFaultNoSocket, now,
+                    effect.flowFrac);
+        break;
+    }
+    case FaultKind::FanRestore:
+        applyFanFlowFraction(1.0);
+        fanPowerW_ = config_.fanPowerW;
+        fcount_.fanEvents->inc();
+        recordFault(FaultKind::FanRestore, kFaultNoSocket, now, 1.0);
+        break;
+    case FaultKind::SensorStuck:
+        faultState_.stickSensor(s, ambientC_[s], sensedTempC_[s]);
+        fcount_.sensorFaults->inc();
+        recordFault(FaultKind::SensorStuck, s, now, sensedTempC_[s]);
+        break;
+    case FaultKind::SensorNoisy:
+        faultState_.noisySensor(s, event.value);
+        fcount_.sensorFaults->inc();
+        recordFault(FaultKind::SensorNoisy, s, now, event.value);
+        break;
+    case FaultKind::SensorDropout:
+        faultState_.dropSensor(s, ambientC_[s]);
+        fcount_.sensorFaults->inc();
+        recordFault(FaultKind::SensorDropout, s, now, ambientC_[s]);
+        break;
+    case FaultKind::SensorRestore:
+        faultState_.restoreSensor(s);
+        recordFault(FaultKind::SensorRestore, s, now, 0.0);
+        break;
+    case FaultKind::SocketFail:
+        failSocket(s, now);
+        break;
+    case FaultKind::SocketRecover:
+        recoverSocket(s, now);
+        break;
+    case FaultKind::AbortRun:
+        recordFault(FaultKind::AbortRun, kFaultNoSocket, now, 0.0);
+        throw std::runtime_error(
+            "fault.abortRunS: injected harness fault at t=" +
+            std::to_string(now) + " s");
+    default:
+        // Response kinds never appear in a timeline.
+        break;
+    }
+}
+
+void
+DenseServerSim::applyFanFlowFraction(double flow_frac)
+{
+    std::vector<SocketSite> sites = topo_.sites();
+    for (SocketSite &site : sites)
+        site.ductCfm = Cfm(site.ductCfm.value() * flow_frac);
+    CouplingParams params = config_.coupling;
+    // The first-law rise per watt scales as 1/CFM; the local
+    // recirculation term grows by the same factor.
+    params.kappaLocal /= flow_frac;
+    coupling_ = CouplingMap(std::move(sites), params);
+    couplingDerated_ = flow_frac != 1.0;
+    ++couplingEpoch_;
+    faultState_.setFlowFrac(flow_frac);
+    // Retarget the slow ambient field; the trackers then converge to
+    // the hotter (or restored) steady state with the 30 s tau.
+    refreshAmbientTargets();
+}
+
+double
+DenseServerSim::fanFlowFraction(double speed_cap) const
+{
+    return fanDerateEffect(speed_cap, config_.fault.fanCount,
+                           config_.topo.perSocketCfm *
+                               static_cast<double>(topo_.numSockets()))
+        .flowFrac;
+}
+
+std::size_t
+DenseServerSim::dvfsCap(std::size_t socket) const
+{
+    if (faultsEnabled_ && faultState_.throttled(socket))
+        return 0; // Emergency: pin to the lowest P-state.
+    return boostCreditS_[socket] > 0.0 ? boostCap_ : sustainedIdx_;
+}
+
+void
+DenseServerSim::failSocket(std::size_t socket, double now)
+{
+    if (faultState_.failed(socket))
+        return;
+    if (faultState_.quarantined(socket)) {
+        // Already out of every pool; only the label escalates.
+        faultState_.markFailed(socket);
+    } else {
+        if (busyFlag_[socket])
+            requeueJob(socket, now);
+        else
+            idleRemove(socket);
+        faultState_.markFailed(socket);
+    }
+    // Electrically dead: not even the gated draw.
+    if (powerW_[socket] != 0.0) {
+        totalPowerW_ -= powerW_[socket];
+        powerW_[socket] = 0.0;
+        markPowerDirty(socket);
+    }
+    freqMhz_[socket] = 0.0;
+    rateCache_[socket] = 0.0;
+    relFreqCache_[socket] = 0.0;
+    fcount_.socketFailures->inc();
+    recordFault(FaultKind::SocketFail, socket, now, 0.0);
+    // The displaced job may fit on another idle socket right away.
+    tryScheduleQueue(now);
+}
+
+void
+DenseServerSim::recoverSocket(std::size_t socket, double now)
+{
+    if (!faultState_.failed(socket))
+        return;
+    faultState_.markOnline(socket);
+    setIdlePower(socket);
+    idleInsert(socket);
+    fcount_.socketRecoveries->inc();
+    recordFault(FaultKind::SocketRecover, socket, now, 0.0);
+    tryScheduleQueue(now);
+}
+
+void
+DenseServerSim::quarantineSocket(std::size_t socket, double now)
+{
+    if (faultState_.offline(socket))
+        return;
+    if (busyFlag_[socket])
+        requeueJob(socket, now);
+    else
+        idleRemove(socket);
+    faultState_.markQuarantined(socket);
+    // Quarantined silicon keeps its gated draw while it cools.
+    setIdlePower(socket);
+    fcount_.quarantines->inc();
+    recordFault(FaultKind::Quarantine, socket, now,
+                chipTempC_[socket]);
+    tryScheduleQueue(now);
+}
+
+void
+DenseServerSim::requeueJob(std::size_t socket, double now)
+{
+    SocketState &st = sockets_[socket];
+    syncProgress(socket, now);
+    Job job;
+    job.id = 0;
+    job.benchmark = st.benchmark;
+    job.set = st.set;
+    job.arrivalS = st.arrivalS;
+    // The remaining work plus the checkpoint/restore cost of the
+    // forced move, floored so a job caught at the instant of its
+    // completion still re-runs for a representable duration.
+    job.nominalS =
+        std::max(st.remainingS + config_.migrationCostS, 1e-9);
+    busySumsRemove(socket);
+    st = SocketState{};
+    busyFlag_[socket] = false;
+    completionHeap_.erase(socket);
+    queue_.push_front(job);
+    fcount_.jobsRequeued->inc();
+    recordFault(FaultKind::JobRequeue, socket, now, job.nominalS);
+}
+
+void
+DenseServerSim::emergencyResponse(double now)
+{
+    const std::size_t n = topo_.numSockets();
+    for (std::size_t s = 0; s < n; ++s) {
+        if (faultState_.failed(s))
+            continue;
+        if (faultState_.quarantined(s)) {
+            if (faultState_.readmit(s, chipTempC_[s])) {
+                faultState_.markOnline(s);
+                idleInsert(s);
+                fcount_.quarantineExits->inc();
+                recordFault(FaultKind::QuarantineExit, s, now,
+                            chipTempC_[s]);
+                tryScheduleQueue(now);
+            }
+            continue;
+        }
+        switch (faultState_.escalate(s, chipTempC_[s], now)) {
+        case EscalationAction::Throttle:
+            fcount_.emergencyThrottles->inc();
+            recordFault(FaultKind::EmergencyThrottle, s, now,
+                        chipTempC_[s]);
+            break;
+        case EscalationAction::Quarantine:
+            quarantineSocket(s, now);
+            break;
+        case EscalationAction::Release:
+            fcount_.throttleReleases->inc();
+            recordFault(FaultKind::ThrottleRelease, s, now,
+                        chipTempC_[s]);
+            break;
+        case EscalationAction::None:
+            break;
+        }
+    }
+}
+
+void
+DenseServerSim::recordFault(FaultKind kind, std::size_t socket,
+                            double now, double value)
+{
+    // Cap the in-memory log so a pathological throttle/release
+    // oscillation cannot grow it without bound.
+    constexpr std::size_t kFaultLogCap = 100000;
+    if (faultLog_.size() < kFaultLogCap) {
+        FaultEvent e;
+        e.timeS = now;
+        e.kind = kind;
+        e.socket = socket >= static_cast<std::size_t>(kFaultNoSocket)
+                       ? kFaultNoSocket
+                       : static_cast<std::uint32_t>(socket);
+        e.value = value;
+        faultLog_.push_back(e);
+    }
+    if (trace_.enabled()) {
+        trace_.addComplete(faultKindName(kind), "fault", now * 1e6,
+                           0.0,
+                           socket >= static_cast<std::size_t>(
+                                         kFaultNoSocket)
+                               ? -1
+                               : static_cast<int>(socket));
+    }
+}
+
+void
 DenseServerSim::accumulate(double to)
 {
     // Split any interval straddling the warmup boundary so only the
@@ -867,7 +1228,7 @@ DenseServerSim::accumulate(double to)
     if (dt <= 0.0)
         return;
     {
-        metrics_.energyJ += (totalPowerW_ + config_.fanPowerW) * dt;
+        metrics_.energyJ += (totalPowerW_ + fanPowerW_) * dt;
         metrics_.totalBusyTime += busyTotal_ * dt;
         metrics_.totalFreqTime += relFreqSumTotal_ * dt;
         metrics_.totalWork += workRateTotal_ * dt;

@@ -49,6 +49,8 @@
 #include "core/event_heap.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
+#include "fault/fault_state.hh"
+#include "fault/fault_timeline.hh"
 #include "obs/phase_profiler.hh"
 #include "obs/registry.hh"
 #include "obs/timeline.hh"
@@ -135,6 +137,30 @@ class DenseServerSim
     void completeJob(std::size_t socket, double now);
     void attemptMigrations(double now);
     void migrateJob(std::size_t from, std::size_t to, double now);
+
+    // --- fault injection & graceful degradation (DESIGN.md Sec. 11) --
+    /** Apply every timeline event due at or before @p now. */
+    void applyFaultEvents(double now);
+    void applyFaultEvent(const FaultEvent &event, double now);
+    /** Advance the escalation ladder and act on its verdicts. */
+    void emergencyResponse(double now);
+    /** Take @p socket offline; its running job goes back in queue. */
+    void failSocket(std::size_t socket, double now);
+    /** Readmit a failed socket to the idle pool. */
+    void recoverSocket(std::size_t socket, double now);
+    /** Quarantine an over-temperature socket (escalation stage 2). */
+    void quarantineSocket(std::size_t socket, double now);
+    /** Push the running job of @p socket back onto the queue front. */
+    void requeueJob(std::size_t socket, double now);
+    /** Rebuild coupling_ for the fan bank capped at @p flow_frac. */
+    void applyFanFlowFraction(double flow_frac);
+    /** Delivered-flow fraction for a bank speed cap (affinity laws). */
+    double fanFlowFraction(double speed_cap) const;
+    /** Boost cap for powerManage/placeJob, honoring the throttle. */
+    std::size_t dvfsCap(std::size_t socket) const;
+    /** Record (log + trace + counter hook) one fault event. */
+    void recordFault(FaultKind kind, std::size_t socket, double now,
+                     double value);
 
     // --- bookkeeping -------------------------------------------------
     void syncProgress(std::size_t socket, double now);
@@ -286,6 +312,35 @@ class DenseServerSim
     int busyBack_ = 0;
     int busyEven_ = 0;
     int busyBoost_ = 0;
+
+    // --- fault subsystem state (src/fault, DESIGN.md Sec. 11) --------
+    // Everything below is inert unless faultsEnabled_: the zero-fault
+    // hot path takes no fault branch, draws nothing from faultRng_,
+    // and SimMetrics stay bit-identical to the pre-fault engine.
+    bool faultsEnabled_ = false;
+    FaultTimeline faultTimeline_; //!< Built once at construction.
+    std::size_t nextFaultEvent_ = 0; //!< Timeline cursor.
+    FaultState faultState_;
+    Rng faultRng_; //!< Separate stream: sensor-noise draws.
+    std::vector<FaultEvent> faultLog_; //!< Applied + response events.
+    double fanPowerW_ = 0.0; //!< Effective fan power (cube-law derate).
+    bool couplingDerated_ = false; //!< coupling_ differs from pristine.
+    std::uint64_t couplingEpoch_ = 0; //!< Bumped on each rebuild.
+
+    struct FaultCounters
+    {
+        obs::Counter *fanEvents = nullptr;
+        obs::Counter *sensorFaults = nullptr;
+        obs::Counter *dropoutFallbacks = nullptr;
+        obs::Counter *socketFailures = nullptr;
+        obs::Counter *socketRecoveries = nullptr;
+        obs::Counter *jobsRequeued = nullptr;
+        obs::Counter *emergencyThrottles = nullptr;
+        obs::Counter *throttleReleases = nullptr;
+        obs::Counter *quarantines = nullptr;
+        obs::Counter *quarantineExits = nullptr;
+    };
+    FaultCounters fcount_; //!< Registered only when faults are armed.
 
     SimMetrics metrics_;
     std::size_t decisions_ = 0;

@@ -53,6 +53,60 @@ std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
                               unsigned threads = 0);
 
 /**
+ * Outcome of one cell under the keep-going harness. Exactly one of
+ * three states: skipped (resume manifest already had the digest),
+ * ok (metrics valid), or failed (error holds the diagnostic).
+ */
+struct RunOutcome
+{
+    RunSpec spec;
+    SimMetrics metrics;   //!< Valid only when ok and not skipped.
+    std::string digest;   //!< runDigest(spec): resume identity.
+    bool ok = false;
+    bool skipped = false;
+    std::string error;    //!< One-line diagnostic when !ok.
+};
+
+/** Knobs of runAllOutcomes. */
+struct SweepOptions
+{
+    unsigned threads = 0;    //!< 0 = hardware concurrency.
+    bool keepGoing = false;  //!< Capture failures; finish the rest.
+    std::string summaryPath; //!< Sweep-summary JSON sink ("" = none).
+    std::string resumePath;  //!< Append-as-completed digest manifest.
+};
+
+/**
+ * Stable identity of a cell: FNV-1a 64 over the scheduler name and
+ * the full serialized configuration (config_io saveConfig), as 16 hex
+ * digits. Any knob that changes the simulation changes the digest, so
+ * a resumed sweep re-runs exactly the cells whose meaning changed.
+ */
+std::string runDigest(const RunSpec &spec);
+
+/**
+ * runAll with per-cell fault containment. With keepGoing set, a cell
+ * that throws (including fatal() diagnostics, which are converted to
+ * exceptions for the workers' duration) is captured as a failed
+ * RunOutcome and every other cell still runs; without it the first
+ * failure propagates exactly like runAll. When resumePath names a
+ * manifest, cells whose digest appears in it are skipped, and every
+ * cell that completes is appended, so re-invoking after a crash picks
+ * up where the sweep stopped (failed cells are re-attempted). When
+ * summaryPath is set the sweepSummaryJson document is written there.
+ */
+std::vector<RunOutcome>
+runAllOutcomes(const std::vector<RunSpec> &specs,
+               const SweepOptions &options);
+
+/**
+ * The sweep-summary document: totals plus one entry per run with
+ * scheduler, load, digest, status ("ok" / "skipped" / "failed") and
+ * the error string for failed cells. Strict JSON (obs/json.hh).
+ */
+std::string sweepSummaryJson(const std::vector<RunOutcome> &outcomes);
+
+/**
  * Build the full grid of @p schedulers x @p loads for one workload
  * set on a base configuration.
  */

@@ -1,8 +1,30 @@
 #include "core/sim_config.hh"
 
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim {
+
+namespace {
+
+/**
+ * Fail fast on an unwritable output sink: these files are written at
+ * the *end* of a run, and a typo'd directory used to fatal() only
+ * after minutes of simulation.
+ */
+void
+checkSinkPath(const char *key, const std::string &path)
+{
+    if (path.empty())
+        return;
+    if (!pathWritable(path)) {
+        fatal("SimConfig: ", key, " = '", path, "': directory '",
+              parentDir(path),
+              "' does not exist or is not writable");
+    }
+}
+
+} // namespace
 
 void
 SimConfig::validate() const
@@ -43,6 +65,10 @@ SimConfig::validate() const
               "non-negative");
     if (!obsTimelinePath.empty() && timelineSampleS <= 0.0)
         fatal("SimConfig: obs.timelinePath needs timelineSampleS > 0");
+    checkSinkPath("obs.tracePath", obsTracePath);
+    checkSinkPath("obs.timelinePath", obsTimelinePath);
+    checkSinkPath("fault.logPath", fault.logPath);
+    fault.validate(tLimitC);
 }
 
 } // namespace densim

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/units.hh"
+#include "fault/fault_config.hh"
 #include "server/topology.hh"
 #include "thermal/coupling_map.hh"
 #include "workload/benchmark.hh"
@@ -142,6 +143,15 @@ struct SimConfig
      * large design-space sweeps.
      */
     double dvfsMemoQuantC = 0.0;
+
+    /**
+     * Fault injection and graceful degradation (src/fault, DESIGN.md
+     * Sec. 11), set via the "fault.*" config keys. Disarmed by
+     * default; with no fault key set the engine takes no fault branch
+     * at all and SimMetrics stay bit-identical to the fault-free
+     * build (pinned by tests/fault_test.cc).
+     */
+    FaultConfig fault{};
 
     // Run control.
     std::uint64_t seed = 42;    //!< Drives workload and policy RNG.

@@ -1,0 +1,41 @@
+#include "fault/fault_event.hh"
+
+namespace densim {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::FanDerate:
+        return "fanDerate";
+    case FaultKind::FanRestore:
+        return "fanRestore";
+    case FaultKind::SensorStuck:
+        return "sensorStuck";
+    case FaultKind::SensorNoisy:
+        return "sensorNoisy";
+    case FaultKind::SensorDropout:
+        return "sensorDropout";
+    case FaultKind::SensorRestore:
+        return "sensorRestore";
+    case FaultKind::SocketFail:
+        return "socketFail";
+    case FaultKind::SocketRecover:
+        return "socketRecover";
+    case FaultKind::AbortRun:
+        return "abortRun";
+    case FaultKind::EmergencyThrottle:
+        return "emergencyThrottle";
+    case FaultKind::ThrottleRelease:
+        return "throttleRelease";
+    case FaultKind::Quarantine:
+        return "quarantine";
+    case FaultKind::QuarantineExit:
+        return "quarantineExit";
+    case FaultKind::JobRequeue:
+        return "jobRequeue";
+    }
+    return "unknown";
+}
+
+} // namespace densim

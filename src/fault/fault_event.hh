@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The fault event vocabulary: what can happen to the server, and to
+ * which socket, at which simulated time.
+ *
+ * Timeline kinds (FanDerate .. AbortRun) are produced by the seeded
+ * FaultTimeline; response kinds (EmergencyThrottle .. JobRequeue) are
+ * recorded by the engine as the escalation ladder reacts. Both flow
+ * into the same per-run fault log (fault_log.hh) so the log reads as
+ * a complete cause-and-effect record of the degradation.
+ */
+
+#ifndef DENSIM_FAULT_FAULT_EVENT_HH
+#define DENSIM_FAULT_FAULT_EVENT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace densim {
+
+/** What happened. */
+enum class FaultKind : std::uint8_t
+{
+    // Injected by the timeline.
+    FanDerate,     //!< Fan bank capped at a speed fraction (value).
+    FanRestore,    //!< Fan bank back to nominal speed.
+    SensorStuck,   //!< Sensor freezes at its last reading.
+    SensorNoisy,   //!< Sensor gains Gaussian error (sigma = value).
+    SensorDropout, //!< Sensor stops reporting.
+    SensorRestore, //!< Sensor healthy again.
+    SocketFail,    //!< Socket dies; its job is re-queued.
+    SocketRecover, //!< Failed socket rejoins the idle pool.
+    AbortRun,      //!< Harness fault: the run throws.
+
+    // Recorded by the engine's graceful-degradation response.
+    EmergencyThrottle, //!< Sustained over-trip: forced lowest P-state.
+    ThrottleRelease,   //!< Chip cooled below the limit again.
+    Quarantine,        //!< Throttle failed: socket taken offline.
+    QuarantineExit,    //!< Quarantined socket cooled and readmitted.
+    JobRequeue,        //!< A displaced job went back to the queue.
+};
+
+/** Stable name of a fault kind (log/trace vocabulary). */
+const char *faultKindName(FaultKind kind);
+
+/** Socket id meaning "the whole server" (fan/abort events). */
+inline constexpr std::uint32_t kFaultNoSocket =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** One fault occurrence. */
+struct FaultEvent
+{
+    double timeS = 0.0; //!< Simulated time of the event.
+    FaultKind kind = FaultKind::FanDerate;
+    std::uint32_t socket = kFaultNoSocket;
+    double value = 0.0; //!< Kind-specific payload (speed frac, sigma,
+                        //!< chip temperature at an escalation, ...).
+};
+
+} // namespace densim
+
+#endif // DENSIM_FAULT_FAULT_EVENT_HH

@@ -1,0 +1,43 @@
+#include "fault/fault_log.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace densim {
+
+std::string
+faultLogToJsonl(const std::vector<FaultEvent> &events)
+{
+    std::string out;
+    for (const FaultEvent &e : events) {
+        out += "{\"tS\":";
+        obs::json::appendNumber(out, e.timeS);
+        out += ",\"kind\":";
+        obs::json::appendString(out, faultKindName(e.kind));
+        out += ",\"socket\":";
+        if (e.socket == kFaultNoSocket)
+            out += "null";
+        else
+            obs::json::appendNumber(out, static_cast<double>(e.socket));
+        out += ",\"value\":";
+        obs::json::appendNumber(out, e.value);
+        out += "}\n";
+    }
+    return out;
+}
+
+void
+writeFaultLogFile(const std::string &path,
+                  const std::vector<FaultEvent> &events)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("fault log: cannot open '", path, "' for writing");
+    out << faultLogToJsonl(events);
+    if (!out)
+        fatal("fault log: write to '", path, "' failed");
+}
+
+} // namespace densim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSONL export of the applied fault / escalation events of one run.
+ *
+ * One strict-JSON object per line:
+ *   {"tS":1.0,"kind":"fanDerate","socket":null,"value":0.2}
+ * with "socket" null for server-wide events. Built on obs/json.hh so
+ * every number and string obeys the same RFC 8259 discipline as the
+ * other exporters; `python -m json.tool`-per-line clean (the CI fault
+ * stage parses it).
+ */
+
+#ifndef DENSIM_FAULT_FAULT_LOG_HH
+#define DENSIM_FAULT_FAULT_LOG_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_event.hh"
+
+namespace densim {
+
+/** Serialize @p events as JSONL (possibly empty). */
+std::string faultLogToJsonl(const std::vector<FaultEvent> &events);
+
+/** faultLogToJsonl() to @p path; fatal() on I/O failure. */
+void writeFaultLogFile(const std::string &path,
+                       const std::vector<FaultEvent> &events);
+
+} // namespace densim
+
+#endif // DENSIM_FAULT_FAULT_LOG_HH

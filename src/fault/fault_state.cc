@@ -1,0 +1,160 @@
+#include "fault/fault_state.hh"
+
+namespace densim {
+
+void
+FaultState::configure(const FaultConfig &config, double t_limit_c)
+{
+    config_ = config;
+    limitC_ = t_limit_c;
+    tripC_ = t_limit_c + config.emergencyMarginC;
+}
+
+void
+FaultState::reset(std::size_t n)
+{
+    sensorMode_.assign(n, SensorMode::Healthy);
+    stuckAmbientC_.assign(n, 0.0);
+    stuckChipC_.assign(n, 0.0);
+    noiseSigmaC_.assign(n, 0.0);
+    lastGoodAmbientC_.assign(n, 0.0);
+    offline_.assign(n, 0);
+    offlineCount_ = 0;
+    escStage_.assign(n, 0);
+    overTripSinceS_.assign(n, -1.0);
+    flowFrac_ = 1.0;
+}
+
+void
+FaultState::stickSensor(std::size_t s, double ambient_c, double chip_c)
+{
+    sensorMode_[s] = SensorMode::Stuck;
+    stuckAmbientC_[s] = ambient_c;
+    stuckChipC_[s] = chip_c;
+}
+
+void
+FaultState::noisySensor(std::size_t s, double sigma_c)
+{
+    sensorMode_[s] = SensorMode::Noisy;
+    noiseSigmaC_[s] = sigma_c;
+}
+
+void
+FaultState::dropSensor(std::size_t s, double last_good_ambient_c)
+{
+    sensorMode_[s] = SensorMode::Dropout;
+    lastGoodAmbientC_[s] = last_good_ambient_c;
+}
+
+void
+FaultState::restoreSensor(std::size_t s)
+{
+    sensorMode_[s] = SensorMode::Healthy;
+}
+
+double
+FaultState::dvfsAmbientC(std::size_t s, double ambient_c,
+                         Rng &rng) const
+{
+    switch (sensorMode_[s]) {
+    case SensorMode::Healthy:
+        return ambient_c;
+    case SensorMode::Stuck:
+        return stuckAmbientC_[s];
+    case SensorMode::Noisy:
+        return ambient_c + rng.normal(0.0, noiseSigmaC_[s]);
+    case SensorMode::Dropout:
+        return config_.dropoutPolicy == DropoutPolicy::Conservative
+                   ? config_.fallbackAmbientC
+                   : lastGoodAmbientC_[s];
+    }
+    return ambient_c;
+}
+
+double
+FaultState::schedSensedC(std::size_t s, double sensed_c, double held_c,
+                         Rng &rng) const
+{
+    switch (sensorMode_[s]) {
+    case SensorMode::Healthy:
+        return sensed_c;
+    case SensorMode::Stuck:
+        return stuckChipC_[s];
+    case SensorMode::Noisy:
+        return sensed_c + rng.normal(0.0, noiseSigmaC_[s]);
+    case SensorMode::Dropout:
+        // The scheduler keeps seeing the last reported value: a
+        // dropped-out sensor register simply stops updating.
+        return held_c;
+    }
+    return sensed_c;
+}
+
+void
+FaultState::markFailed(std::size_t s)
+{
+    if (offline_[s] == 0)
+        ++offlineCount_;
+    offline_[s] = 1;
+}
+
+void
+FaultState::markQuarantined(std::size_t s)
+{
+    if (offline_[s] == 0)
+        ++offlineCount_;
+    offline_[s] = 2;
+}
+
+void
+FaultState::markOnline(std::size_t s)
+{
+    if (offline_[s] != 0)
+        --offlineCount_;
+    offline_[s] = 0;
+    escStage_[s] = 0;
+    overTripSinceS_[s] = -1.0;
+}
+
+EscalationAction
+FaultState::escalate(std::size_t s, double chip_c, double now_s)
+{
+    if (escStage_[s] == 0) {
+        if (chip_c <= tripC_) {
+            overTripSinceS_[s] = -1.0;
+            return EscalationAction::None;
+        }
+        if (overTripSinceS_[s] < 0.0)
+            overTripSinceS_[s] = now_s;
+        if (now_s - overTripSinceS_[s] >= config_.emergencySustainS) {
+            escStage_[s] = 1;
+            // The quarantine dwell starts fresh once throttled.
+            overTripSinceS_[s] = now_s;
+            return EscalationAction::Throttle;
+        }
+        return EscalationAction::None;
+    }
+
+    // Throttled. Hysteresis band [limitC_, tripC_]: release below the
+    // limit, escalate only on a fresh sustained excursion above trip.
+    if (chip_c < limitC_) {
+        escStage_[s] = 0;
+        overTripSinceS_[s] = -1.0;
+        return EscalationAction::Release;
+    }
+    if (chip_c > tripC_) {
+        if (overTripSinceS_[s] < 0.0)
+            overTripSinceS_[s] = now_s;
+        if (now_s - overTripSinceS_[s] >= config_.quarantineSustainS) {
+            escStage_[s] = 0;
+            overTripSinceS_[s] = -1.0;
+            return EscalationAction::Quarantine;
+        }
+    } else {
+        overTripSinceS_[s] = -1.0;
+    }
+    return EscalationAction::None;
+}
+
+} // namespace densim

@@ -1,0 +1,96 @@
+#include "fault/fault_timeline.hh"
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace densim {
+
+namespace {
+
+/**
+ * Draw @p count distinct socket ids from [0, n) in ascending order.
+ * Rejection sampling off the shared fault stream keeps the draw
+ * portable and deterministic; counts are clamped to n.
+ */
+std::vector<std::uint32_t>
+pickDistinctSockets(Rng &rng, std::size_t n, int count)
+{
+    const std::size_t want =
+        std::min<std::size_t>(n, count < 0 ? 0 : count);
+    std::vector<std::uint32_t> picked;
+    picked.reserve(want);
+    while (picked.size() < want) {
+        const auto s = static_cast<std::uint32_t>(rng.nextBounded(n));
+        if (std::find(picked.begin(), picked.end(), s) == picked.end())
+            picked.push_back(s);
+    }
+    std::sort(picked.begin(), picked.end());
+    return picked;
+}
+
+} // namespace
+
+FaultTimeline::FaultTimeline(const FaultConfig &config,
+                             std::size_t num_sockets,
+                             std::uint64_t run_seed)
+{
+    if (num_sockets == 0)
+        return;
+    Rng rng(config.effectiveSeed(run_seed));
+
+    // Fixed category order — part of the determinism contract: the
+    // draws below consume the stream in this exact sequence.
+    const auto stuck =
+        pickDistinctSockets(rng, num_sockets, config.sensorStuckCount);
+    const auto noisy =
+        pickDistinctSockets(rng, num_sockets, config.sensorNoisyCount);
+    const auto dropped = pickDistinctSockets(rng, num_sockets,
+                                             config.sensorDropoutCount);
+    const auto failed =
+        pickDistinctSockets(rng, num_sockets, config.socketFailCount);
+
+    if (config.fanFailS >= 0.0) {
+        events_.push_back({config.fanFailS, FaultKind::FanDerate,
+                           kFaultNoSocket, config.fanSpeedFrac});
+        if (config.fanRecoverS >= 0.0) {
+            events_.push_back({config.fanRecoverS, FaultKind::FanRestore,
+                               kFaultNoSocket, 1.0});
+        }
+    }
+    for (std::uint32_t s : stuck)
+        events_.push_back(
+            {config.sensorStuckAtS, FaultKind::SensorStuck, s, 0.0});
+    for (std::uint32_t s : noisy)
+        events_.push_back({config.sensorNoisyAtS, FaultKind::SensorNoisy,
+                           s, config.sensorNoiseSigmaC});
+    for (std::uint32_t s : dropped) {
+        events_.push_back(
+            {config.sensorDropoutAtS, FaultKind::SensorDropout, s, 0.0});
+        if (config.sensorDropoutDurS >= 0.0) {
+            events_.push_back(
+                {config.sensorDropoutAtS + config.sensorDropoutDurS,
+                 FaultKind::SensorRestore, s, 0.0});
+        }
+    }
+    for (std::uint32_t s : failed) {
+        events_.push_back(
+            {config.socketFailS, FaultKind::SocketFail, s, 0.0});
+        if (config.socketRecoverS >= 0.0) {
+            events_.push_back(
+                {config.socketRecoverS, FaultKind::SocketRecover, s,
+                 0.0});
+        }
+    }
+    if (config.abortRunS >= 0.0) {
+        events_.push_back(
+            {config.abortRunS, FaultKind::AbortRun, kFaultNoSocket, 0.0});
+    }
+
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.timeS < b.timeS;
+                     });
+}
+
+} // namespace densim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic expansion of a FaultConfig into a time-ordered event
+ * sequence.
+ *
+ * The timeline is a pure function of (FaultConfig, socket count, run
+ * seed): no wall-clock, no global state, no dependence on how many
+ * worker threads an experiment sweep uses — each simulation owns its
+ * engine, and the engine owns its timeline, so the same seed always
+ * reproduces the same events (the determinism contract of DESIGN.md
+ * Sec. 11, pinned by tests/fault_test.cc across --threads 1/4/8).
+ *
+ * Affected sockets are drawn without replacement from the fault RNG
+ * stream in a fixed category order (stuck, noisy, dropout, socket
+ * failure), then all events are stably sorted by time, so equal-time
+ * events keep that category order.
+ */
+
+#ifndef DENSIM_FAULT_FAULT_TIMELINE_HH
+#define DENSIM_FAULT_FAULT_TIMELINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_config.hh"
+#include "fault/fault_event.hh"
+
+namespace densim {
+
+/** The ordered fault events of one run. */
+class FaultTimeline
+{
+  public:
+    FaultTimeline() = default;
+
+    /**
+     * Expand @p config for a @p num_sockets server. Per-category
+     * counts are clamped to the socket count; categories may overlap
+     * (one socket can be both noisy and later fail outright).
+     */
+    FaultTimeline(const FaultConfig &config, std::size_t num_sockets,
+                  std::uint64_t run_seed);
+
+    /** Events sorted ascending by time (stable within a time). */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_FAULT_FAULT_TIMELINE_HH

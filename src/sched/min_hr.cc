@@ -9,12 +9,16 @@ std::size_t
 MinHr::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
-    if (cachedFor_ != ctx.coupling) {
-        // The offline profiling pass: one fixed map per server.
+    if (cachedFor_ != ctx.coupling ||
+        cachedEpoch_ != ctx.couplingEpoch) {
+        // The offline profiling pass: one fixed map per server (per
+        // coupling generation — a fan fault rebuilds the map in
+        // place, so the epoch is part of the cache key).
         impact_.resize(ctx.coupling->size());
         for (std::size_t s = 0; s < impact_.size(); ++s)
             impact_[s] = ctx.coupling->downstreamImpact(s).value();
         cachedFor_ = ctx.coupling;
+        cachedEpoch_ = ctx.couplingEpoch;
     }
 
     // Least recirculation first; among equal-impact candidates (one

@@ -28,6 +28,7 @@ class MinHr : public Scheduler
   private:
     std::vector<double> impact_; //!< Cached offline map.
     const CouplingMap *cachedFor_ = nullptr;
+    std::uint64_t cachedEpoch_ = 0; //!< couplingEpoch of the cache.
 };
 
 } // namespace densim

@@ -16,6 +16,7 @@
 #define DENSIM_SCHED_SCHEDULER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "obs/registry.hh"
@@ -37,6 +38,15 @@ struct SchedContext
 {
     const ServerTopology *topo;
     const CouplingMap *coupling;
+    /**
+     * Generation counter of *coupling's coefficients. The engine
+     * bumps it whenever the map is rebuilt in place (a fan fault
+     * derating every duct's airflow); policies that cache
+     * coupling-derived state must key their cache on (coupling,
+     * couplingEpoch) — the rebuilt map reuses the same address, so
+     * the pointer alone cannot detect the change.
+     */
+    std::uint64_t couplingEpoch = 0;
     const PowerManager *pm;
     const LeakageModel *leak;
     double inletC;

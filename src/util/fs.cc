@@ -1,0 +1,36 @@
+#include "util/fs.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace densim {
+
+std::string
+parentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+dirWritable(const std::string &dir)
+{
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) != 0)
+        return false;
+    if (!S_ISDIR(st.st_mode))
+        return false;
+    return ::access(dir.c_str(), W_OK) == 0;
+}
+
+bool
+pathWritable(const std::string &path)
+{
+    return dirWritable(parentDir(path));
+}
+
+} // namespace densim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tiny filesystem probes for fail-fast output-path validation.
+ *
+ * densim writes its observability and fault sinks at the *end* of a
+ * run; a typo'd directory used to surface as a fatal() minutes into a
+ * sweep. SimConfig::validate() uses these helpers to reject an
+ * unwritable sink directory before the first epoch executes.
+ */
+
+#ifndef DENSIM_UTIL_FS_HH
+#define DENSIM_UTIL_FS_HH
+
+#include <string>
+
+namespace densim {
+
+/**
+ * Directory component of @p path ("." when the path has no
+ * separator; "/" for root-level paths).
+ */
+std::string parentDir(const std::string &path);
+
+/** Does @p dir exist, is it a directory, and is it writable? */
+bool dirWritable(const std::string &dir);
+
+/**
+ * Would creating/overwriting @p path succeed? True iff its parent
+ * directory exists and is writable. Does not touch the file.
+ */
+bool pathWritable(const std::string &path);
+
+} // namespace densim
+
+#endif // DENSIM_UTIL_FS_HH

@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -7,6 +8,7 @@ namespace densim {
 
 namespace {
 LogLevel gLogLevel = LogLevel::Warning;
+std::atomic<bool> gFatalThrows{false};
 } // namespace
 
 LogLevel
@@ -21,6 +23,18 @@ setLogLevel(LogLevel level)
     gLogLevel = level;
 }
 
+bool
+fatalThrows()
+{
+    return gFatalThrows.load();
+}
+
+void
+setFatalThrows(bool on)
+{
+    gFatalThrows.store(on);
+}
+
 namespace detail {
 
 void
@@ -33,6 +47,8 @@ panicImpl(const std::string &msg, const char *file, int line)
 void
 fatalImpl(const std::string &msg)
 {
+    if (gFatalThrows.load())
+        throw FatalError(msg);
     std::cerr << "fatal: " << msg << "\n";
     std::exit(1);
 }

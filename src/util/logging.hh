@@ -11,6 +11,7 @@
 #define DENSIM_UTIL_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace densim {
@@ -23,6 +24,37 @@ LogLevel logLevel();
 
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
+
+/** What fatal() throws when the throwing mode is enabled. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * When enabled, fatal() throws FatalError instead of printing and
+ * calling std::exit(1). Default off — the CLI's historical contract
+ * (and the death tests pinning it) keep working. The keep-going
+ * experiment harness enables it around worker runs so one cell's bad
+ * configuration becomes a captured RunOutcome instead of taking the
+ * whole sweep down. Process-global and sequentially consistent:
+ * workers started while the mode is on observe it.
+ */
+bool fatalThrows();
+void setFatalThrows(bool on);
+
+/** RAII guard enabling the fatal-throws mode for a scope. */
+class ScopedFatalThrows
+{
+  public:
+    ScopedFatalThrows() : prev_(fatalThrows()) { setFatalThrows(true); }
+    ~ScopedFatalThrows() { setFatalThrows(prev_); }
+    ScopedFatalThrows(const ScopedFatalThrows &) = delete;
+    ScopedFatalThrows &operator=(const ScopedFatalThrows &) = delete;
+
+  private:
+    bool prev_;
+};
 
 namespace detail {
 

@@ -119,6 +119,84 @@ TEST(ConfigIo, SaveCoversEveryAppliedDefault)
     EXPECT_DOUBLE_EQ(loaded.socketTauS, config.socketTauS);
 }
 
+TEST(ConfigIo, UnknownKeySuggestsTheNearestKey)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyConfigKey(config, "socketTauX", "3"),
+                ::testing::ExitedWithCode(1),
+                "did you mean 'socketTauS'");
+    EXPECT_EXIT(applyConfigKey(config, "fault.fanFails", "1"),
+                ::testing::ExitedWithCode(1),
+                "did you mean 'fault.fanFailS'");
+}
+
+TEST(ConfigIo, StreamErrorsCarryLineNumbers)
+{
+    {
+        SimConfig config;
+        std::stringstream in("load = 0.5\n\n# comment\nloda = 0.6\n");
+        EXPECT_EXIT(loadConfig(config, in),
+                    ::testing::ExitedWithCode(1),
+                    "line 4: unknown key 'loda'");
+    }
+    {
+        SimConfig config;
+        std::stringstream in("load = 0.5\nseed = 1\nload = 0.6\n");
+        EXPECT_EXIT(loadConfig(config, in),
+                    ::testing::ExitedWithCode(1),
+                    "line 3: duplicate key 'load' \\(first set at "
+                    "line 1\\)");
+    }
+}
+
+TEST(ConfigIo, FaultKeysRoundTrip)
+{
+    SimConfig config;
+    applyConfigKey(config, "fault.fanFailS", "2.5");
+    applyConfigKey(config, "fault.fanSpeedFrac", "0.25");
+    applyConfigKey(config, "fault.sensorStuckCount", "3");
+    applyConfigKey(config, "fault.dropoutPolicy", "conservative");
+    applyConfigKey(config, "fault.seed", "12345678901234567");
+    EXPECT_DOUBLE_EQ(config.fault.fanFailS, 2.5);
+    EXPECT_EQ(config.fault.sensorStuckCount, 3);
+    EXPECT_EQ(config.fault.dropoutPolicy,
+              DropoutPolicy::Conservative);
+    EXPECT_EQ(config.fault.seed, 12345678901234567ULL);
+    EXPECT_TRUE(config.fault.enabled());
+
+    const std::string text = saveConfig(config);
+    SimConfig loaded;
+    std::stringstream in(text);
+    loadConfig(loaded, in);
+    EXPECT_DOUBLE_EQ(loaded.fault.fanFailS, 2.5);
+    EXPECT_DOUBLE_EQ(loaded.fault.fanSpeedFrac, 0.25);
+    EXPECT_EQ(loaded.fault.sensorStuckCount, 3);
+    EXPECT_EQ(loaded.fault.dropoutPolicy,
+              DropoutPolicy::Conservative);
+    EXPECT_EQ(loaded.fault.seed, 12345678901234567ULL);
+
+    EXPECT_EXIT(
+        applyConfigKey(config, "fault.dropoutPolicy", "optimistic"),
+        ::testing::ExitedWithCode(1),
+        "'lastGood' or 'conservative'");
+}
+
+TEST(ConfigIo, UnwritableSinkDirectoryIsFatalAtApplyTime)
+{
+    SimConfig config;
+    EXPECT_EXIT(applyConfigKey(config, "obs.tracePath",
+                               "/no/such/dir/trace.json"),
+                ::testing::ExitedWithCode(1),
+                "does not exist or is not writable");
+    EXPECT_EXIT(applyConfigKey(config, "fault.logPath",
+                               "/no/such/dir/faults.jsonl"),
+                ::testing::ExitedWithCode(1),
+                "does not exist or is not writable");
+    // A writable directory is accepted.
+    applyConfigKey(config, "obs.timelinePath",
+                   testing::TempDir() + "timeline.jsonl");
+}
+
 TEST(MetricsIo, JsonContainsHeadlineFields)
 {
     SimConfig config;

@@ -20,6 +20,12 @@
 #             CLI smoke run with tracing and the timeline stream on;
 #             the emitted trace JSON and JSONL are parsed with
 #             python3 -m json.tool / json.loads (DESIGN.md Sec. 10)
+#   fault     ASan+UBSan+DENSIM_CHECKS build + the fault-injection and
+#             keep-going tests, then two CLI smokes: a fan-failure run
+#             whose JSON output and JSONL fault log must parse
+#             strictly, and a keep-going sweep with a deliberately bad
+#             cell that must finish the rest, exit nonzero, and emit a
+#             strict summary JSON (DESIGN.md Sec. 11)
 #
 # The units negative-compile harness (tests/compile_fail/) runs at
 # configure time of every stage, so each build below also proves the
@@ -108,6 +114,54 @@ print(f"obs smoke: {len(lines)} timeline samples on the exact grid")
 EOF
 }
 
+stage_fault() {
+    # The fault paths mutate coupling maps, requeue jobs, and unwind
+    # through exceptions — exactly the code that deserves sanitizers
+    # and the runtime invariant bank.
+    configure build-fault "-DDENSIM_SANITIZE=address;undefined" \
+              -DDENSIM_CHECKS=ON
+    build build-fault
+    run_ctest build-fault -R 'Fault|KeepGoing'
+    local out="build-fault/fault-smoke"
+    mkdir -p "$out"
+    # A fan-bank failure at t=1s capped to 20% speed: the run must
+    # survive to completion and every sink must be strict JSON.
+    ./build-fault/tools/densim run --scheduler CF --load 0.7 \
+        --set topo.rows=2 --set simTimeS=3 --set warmupS=0.5 \
+        --set fault.fanFailS=1 --set fault.fanSpeedFrac=0.2 \
+        --set fault.logPath="$out/faults.jsonl" \
+        --json --counters > "$out/run.json"
+    python3 -m json.tool "$out/run.json" > /dev/null
+    python3 - "$out/faults.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "fault log is empty"
+kinds = {json.loads(l)["kind"] for l in lines}
+assert "fanDerate" in kinds, f"no fanDerate event in {kinds}"
+print(f"fault smoke: {len(lines)} fault events, kinds={sorted(kinds)}")
+EOF
+    # Keep-going sweep with one unresolvable cell: the good cells
+    # must complete, the exit code must be nonzero, and the summary
+    # must be strict JSON that admits the failure.
+    if ./build-fault/tools/densim sweep --schedulers CF,Bogus \
+        --loads 0.4,0.6 --set topo.rows=2 --set simTimeS=1 \
+        --set warmupS=0.2 --keep-going \
+        --summary "$out/summary.json" > "$out/sweep.csv"; then
+        echo "check.sh: keep-going sweep with a bad cell exited 0" >&2
+        exit 1
+    fi
+    python3 - "$out/summary.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["total"] == 4, doc
+assert doc["completed"] == 2, doc
+assert doc["failed"] == 2, doc
+assert any(r["status"] == "failed" for r in doc["runs"])
+print(f"fault smoke: sweep summary {doc['completed']}/{doc['total']} "
+      "completed, failures reported")
+EOF
+}
+
 stage_lint() {
     # The custom densim lint bank needs only python3 + a compiler;
     # it runs (and gates) even where clang-tidy is unavailable.
@@ -124,12 +178,12 @@ stage_lint() {
 if [ "$#" -gt 0 ]; then
     stages=("$@")
 else
-    stages=(plain asan tsan paranoid obs lint)
+    stages=(plain asan tsan paranoid obs fault lint)
 fi
 
 for stage in "${stages[@]}"; do
     case "$stage" in
-        plain|asan|tsan|paranoid|obs|lint) ;;
+        plain|asan|tsan|paranoid|obs|fault|lint) ;;
         *)
             echo "check.sh: unknown stage '$stage'" >&2
             exit 2

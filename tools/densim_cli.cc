@@ -63,6 +63,24 @@ usage()
         "  --counters           report observability counters/gauges\n"
         "  --trace FILE         trace path for trace-* commands\n"
         "  --jobs N             jobs to capture (trace-capture)\n"
+        "  --threads N          sweep worker threads (0 = all cores)\n"
+        "\n"
+        "keep-going sweeps (DESIGN.md Sec. 11):\n"
+        "  --keep-going         capture per-run failures and finish\n"
+        "                       the remaining cells; exit 1 if any\n"
+        "                       cell failed\n"
+        "  --summary FILE       write the sweep-summary JSON (totals\n"
+        "                       plus per-run status and error)\n"
+        "  --resume FILE        digest manifest: completed cells are\n"
+        "                       skipped, finished cells appended\n"
+        "\n"
+        "fault injection (DESIGN.md Sec. 11):\n"
+        "  --set fault.fanFailS=T        fan derate at T s (speed cap\n"
+        "                                fault.fanSpeedFrac)\n"
+        "  --set fault.sensorStuckCount=N  freeze N sensors\n"
+        "  --set fault.socketFailCount=N   kill N sockets outright\n"
+        "  --set fault.logPath=F         applied + response events as\n"
+        "                                JSONL\n"
         "\n"
         "observability (DESIGN.md Sec. 10):\n"
         "  --set obs.tracePath=F     write a Chrome trace_event JSON\n"
@@ -83,9 +101,13 @@ struct Cli
     std::vector<double> loads;
     std::string tracePath;
     std::size_t traceJobs = 100000;
+    unsigned threads = 0;
     bool json = false;
     bool csv = false;
     bool counters = false;
+    bool keepGoing = false;
+    std::string summaryPath;
+    std::string resumePath;
 };
 
 std::vector<std::string>
@@ -147,6 +169,15 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--jobs") {
             cli.traceJobs =
                 static_cast<std::size_t>(std::atoll(need(i).c_str()));
+        } else if (flag == "--threads") {
+            cli.threads = static_cast<unsigned>(
+                std::atoi(need(i).c_str()));
+        } else if (flag == "--keep-going") {
+            cli.keepGoing = true;
+        } else if (flag == "--summary") {
+            cli.summaryPath = need(i);
+        } else if (flag == "--resume") {
+            cli.resumePath = need(i);
         } else if (flag == "--json") {
             cli.json = true;
         } else if (flag == "--csv") {
@@ -213,14 +244,18 @@ void
 report(const Cli &cli, const SimConfig &config,
        const DenseServerSim &sim, const SimMetrics &m)
 {
+    // Assemble the full report before emitting a single byte, so a
+    // mid-serialization failure can never leave a truncated JSON
+    // document (or half a table) on stdout.
+    std::ostringstream out;
     if (cli.json) {
         if (cli.counters) {
-            std::cout << "{\"metrics\":" << metricsToJson(m)
-                      << ",\"obs\":"
-                      << countersToJson(sim.observability()) << "}\n";
+            out << "{\"metrics\":" << metricsToJson(m) << ",\"obs\":"
+                << countersToJson(sim.observability()) << "}\n";
         } else {
-            std::cout << metricsToJson(m) << "\n";
+            out << metricsToJson(m) << "\n";
         }
+        std::cout << out.str();
         return;
     }
     printRunTable(cli.scheduler, config, m);
@@ -250,17 +285,73 @@ cmdSweep(const Cli &cli)
 
     std::vector<RunSpec> specs =
         makeGrid(schedulers, cli.config.workload, loads, cli.config);
-    const auto results = runAll(specs);
+
+    if (cli.keepGoing || !cli.summaryPath.empty() ||
+        !cli.resumePath.empty()) {
+        SweepOptions options;
+        options.threads = cli.threads;
+        options.keepGoing = cli.keepGoing;
+        options.summaryPath = cli.summaryPath;
+        options.resumePath = cli.resumePath;
+        const std::vector<RunOutcome> outcomes =
+            runAllOutcomes(specs, options);
+
+        std::ostringstream out;
+        std::size_t failed = 0;
+        if (cli.csv) {
+            out << metricsCsvHeader() << "\n";
+            for (const RunOutcome &o : outcomes) {
+                if (o.ok && !o.skipped) {
+                    out << metricsToCsvRow(
+                               o.spec.scheduler,
+                               workloadSetName(o.spec.config.workload),
+                               o.spec.config.load, o.metrics)
+                        << "\n";
+                }
+                if (!o.ok)
+                    ++failed;
+            }
+        } else {
+            TableWriter table(
+                {"Run", "Scheme", "Load", "Status", "Detail"});
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                const RunOutcome &o = outcomes[i];
+                const char *status =
+                    o.skipped ? "skipped" : (o.ok ? "ok" : "FAILED");
+                if (!o.ok)
+                    ++failed;
+                table.newRow()
+                    .cell(static_cast<long long>(i))
+                    .cell(o.spec.scheduler)
+                    .cell(o.spec.config.load, 2)
+                    .cell(status)
+                    .cell(o.error);
+            }
+            table.print(out);
+        }
+        std::cout << out.str();
+        if (failed != 0) {
+            std::cerr << "densim: sweep: " << failed << " of "
+                      << outcomes.size() << " runs failed\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    const auto results = runAll(specs, cli.threads);
 
     if (cli.csv) {
-        std::cout << metricsCsvHeader() << "\n";
+        // Buffered so an exporter failure cannot truncate the CSV.
+        std::ostringstream out;
+        out << metricsCsvHeader() << "\n";
         for (const RunResult &r : results) {
-            std::cout << metricsToCsvRow(
-                             r.spec.scheduler,
-                             workloadSetName(r.spec.config.workload),
-                             r.spec.config.load, r.metrics)
-                      << "\n";
+            out << metricsToCsvRow(
+                       r.spec.scheduler,
+                       workloadSetName(r.spec.config.workload),
+                       r.spec.config.load, r.metrics)
+                << "\n";
         }
+        std::cout << out.str();
         return 0;
     }
 
@@ -340,10 +431,8 @@ cmdTopology(const Cli &cli)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+densimMain(int argc, char **argv)
 {
     const Cli cli = parseArgs(argc, argv);
     if (cli.command == "run")
@@ -362,4 +451,24 @@ main(int argc, char **argv)
     }
     usage();
     fatal("unknown command '", cli.command, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Nothing may escape main: an uncaught exception (an injected
+    // fault.abortRunS, a filesystem error from a sink) becomes one
+    // diagnostic line on stderr and a nonzero exit, never a core dump
+    // or a partially-written stdout document.
+    try {
+        return densimMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "densim: error: " << e.what() << "\n";
+        return 1;
+    } catch (...) {
+        std::cerr << "densim: error: unknown failure\n";
+        return 1;
+    }
 }
