@@ -7,13 +7,17 @@
  * experiment benches take.
  */
 
+#include <limits>
+
 #include <benchmark/benchmark.h>
 
 #include "core/dense_server_sim.hh"
 #include "power/leakage.hh"
 #include "sched/factory.hh"
+#include "sched/prediction.hh"
 #include "server/sut.hh"
 #include "thermal/hotspot_model.hh"
+#include "util/arena.hh"
 #include "workload/curves.hh"
 
 using namespace densim;
@@ -122,7 +126,7 @@ BM_SchedulerDecision(benchmark::State &state)
     std::vector<double> chip(n, 40.0), hist(n, 40.0), amb(n, 35.0),
         credit(n, 2.0), power(n, 2.2), freq(n, 0.0);
     std::vector<WorkloadSet> sets(n, WorkloadSet::Computation);
-    std::vector<bool> busy(n, false);
+    std::vector<std::uint8_t> busy(n, 0);
     std::vector<std::size_t> idle;
     for (std::size_t s = 0; s < n; ++s) {
         if (s % 2 == 0) {
@@ -141,14 +145,15 @@ BM_SchedulerDecision(benchmark::State &state)
     ctx.leak = &LeakageModel::x2150();
     ctx.inletC = 18.0;
     ctx.idle = &idle;
-    ctx.chipTempC = &chip;
-    ctx.histTempC = &hist;
-    ctx.ambientC = &amb;
-    ctx.boostCreditS = &credit;
-    ctx.powerW = &power;
-    ctx.freqMhz = &freq;
-    ctx.runningSet = &sets;
-    ctx.busy = &busy;
+    ctx.nSockets = n;
+    ctx.chipTempC = chip.data();
+    ctx.histTempC = hist.data();
+    ctx.ambientC = amb.data();
+    ctx.boostCreditS = credit.data();
+    ctx.powerW = power.data();
+    ctx.freqMhz = freq.data();
+    ctx.runningSet = sets.data();
+    ctx.busy = busy.data();
     ctx.rng = &rng;
 
     auto policy = makeScheduler(name);
@@ -159,6 +164,106 @@ BM_SchedulerDecision(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SchedulerDecision)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_SchedulerDecisionBatch(benchmark::State &state)
+{
+    // A scheduling epoch's worth of placement decisions with the full
+    // engine-side fast path wired up: epoch arena for decision-local
+    // scratch, prediction cache (placement/penalty memos + the
+    // feasibility ladder), precomputed row map, and the exact-DVFS
+    // prune. Unlike BM_SchedulerDecision this measures the amortized
+    // per-decision cost the simulator actually pays when several jobs
+    // land in one epoch; the cache epoch is bumped between batches
+    // exactly as thermalStep does.
+    constexpr std::size_t kBatch = 8;
+    const char *names[] = {"CF", "Predictive", "CP"};
+    const char *name = names[state.range(0)];
+    state.SetLabel(name);
+
+    const ServerTopology topo = makeSutTopology();
+    const CouplingMap coupling =
+        makeCouplingMap(topo, defaultCouplingParams());
+    const PStateTable &table = PStateTable::x2150();
+    const PowerManager pm(table, SimplePeakModel(), Celsius(95.0),
+                          0.10);
+    const LeakageModel &leak = LeakageModel::x2150();
+    Rng rng(1);
+    const std::size_t n = topo.numSockets();
+    std::vector<double> chip(n, 40.0), hist(n, 40.0), amb(n, 35.0),
+        credit(n, 0.0), power(n, 2.2), freq(n, 0.0);
+    std::vector<WorkloadSet> sets(n, WorkloadSet::Computation);
+    std::vector<std::uint8_t> busy(n, 0);
+    std::vector<std::size_t> pstates(n, 0), idle;
+    std::vector<int> rows(n, 0);
+    for (std::size_t s = 0; s < n; ++s)
+        rows[s] = topo.rowOf(s);
+    for (std::size_t s = 0; s < n; ++s) {
+        if (s % 2 == 0) {
+            // The exact-DVFS prune's contract: each busy socket's
+            // P-state really was chosen at its current ambient, so
+            // starting the downstream search there is sound.
+            busy[s] = true;
+            const DvfsDecision d = pm.chooseAtAmbientCapped(
+                freqCurveFor(sets[s]), leak, Celsius(amb[s]),
+                topo.sinkOf(s), table.highestSustainedIndex());
+            pstates[s] = d.pstate;
+            freq[s] = d.freqMhz;
+            power[s] = d.power.value();
+        } else {
+            idle.push_back(s);
+            chip[s] = 30.0 + static_cast<double>(s % 17);
+        }
+    }
+
+    Arena arena(64 * 1024);
+    PredictionCache cache;
+    cache.reset(n, table.size());
+    for (std::size_t i = 0; i < table.size(); ++i)
+        cache.stateFreqMhz[i] = table.at(i).freqMhz;
+    cache.pstate = pstates.data();
+    cache.exactDvfs = true;
+    // Busy sockets start with no fast-path snapshot (the engine only
+    // installs one at setSocketRate), so force the slow path there.
+    for (std::size_t s = 0; s < n; ++s)
+        if (busy[s])
+            cache.fastFeasC[s] =
+                -std::numeric_limits<double>::infinity();
+
+    SchedContext ctx;
+    ctx.topo = &topo;
+    ctx.coupling = &coupling;
+    ctx.pm = &pm;
+    ctx.leak = &leak;
+    ctx.inletC = 18.0;
+    ctx.idle = &idle;
+    ctx.nSockets = n;
+    ctx.chipTempC = chip.data();
+    ctx.histTempC = hist.data();
+    ctx.ambientC = amb.data();
+    ctx.boostCreditS = credit.data();
+    ctx.powerW = power.data();
+    ctx.freqMhz = freq.data();
+    ctx.runningSet = sets.data();
+    ctx.busy = busy.data();
+    ctx.socketRow = rows.data();
+    ctx.rng = &rng;
+    ctx.scratch = &arena;
+    ctx.cache = &cache;
+
+    auto policy = makeScheduler(name);
+    Job job{0, 0, WorkloadSet::Computation, 0.0, 5e-3};
+    for (auto _ : state) {
+        cache.invalidate(); // New epoch, as after a thermalStep.
+        for (std::size_t k = 0; k < kBatch; ++k) {
+            auto pick = policy->pick(job, ctx);
+            benchmark::DoNotOptimize(pick);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_SchedulerDecisionBatch)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SimulatedServerSecond(benchmark::State &state)

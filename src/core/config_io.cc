@@ -254,6 +254,9 @@ keyTable()
         {"obs.timelinePath", pathf(&SimConfig::obsTimelinePath)},
         {"incrementalThermal", boolf(&SimConfig::incrementalThermal)},
         {"dvfsMemoQuantC", dbl(&SimConfig::dvfsMemoQuantC)},
+        {"schedPredictionCache",
+         boolf(&SimConfig::schedPredictionCache)},
+        {"ambientBatchFrac", dbl(&SimConfig::ambientBatchFrac)},
         {"warmStart", boolf(&SimConfig::warmStart)},
         {"seed",
          {[](SimConfig &c, const std::string &k, const std::string &v) {

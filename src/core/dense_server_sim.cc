@@ -81,14 +81,28 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     isFront_.resize(n);
     isEven_.resize(n);
     sinkCache_.resize(n);
+    rowCache_.resize(n);
     for (std::size_t s = 0; s < n; ++s) {
         isFront_[s] = topo_.inFrontHalf(s);
         isEven_[s] = topo_.inEvenZone(s);
         sinkCache_[s] = &topo_.sinkOf(s);
+        rowCache_[s] = topo_.rowOf(s);
     }
     zoneSockets_.resize(topo_.zonesPerRow());
     for (std::size_t s = 0; s < n; ++s)
         zoneSockets_[topo_.zoneIndexOf(s)].push_back(s);
+
+    // Hoist the Eq. (1) per-socket constants once: the batched thermal
+    // kernel consumes them as flat arrays.
+    rTotCW_.resize(n);
+    thetaC0_.resize(n);
+    thetaC1_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        const HeatSink &sink = *sinkCache_[s];
+        rTotCW_[s] = (peak_.rInt() + sink.rExt).value();
+        thetaC0_[s] = sink.theta.c0.value();
+        thetaC1_[s] = sink.theta.c1.value();
+    }
 
     const PStateTable &table = PStateTable::x2150();
     sustainedIdx_ = table.highestSustainedIndex();
@@ -96,6 +110,13 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     relFreqByPstate_.resize(table.size());
     for (std::size_t p = 0; p < table.size(); ++p)
         relFreqByPstate_[p] = table.relativeFreq(p);
+    freqByPstate_.resize(table.size());
+    boostByPstate_.resize(table.size());
+    for (std::size_t p = 0; p < table.size(); ++p) {
+        freqByPstate_[p] = table.at(p).freqMhz;
+        boostByPstate_[p] = table.at(p).boost ? 1 : 0;
+    }
+    fastestMhz_ = table.fastest().freqMhz;
 
     faultsEnabled_ = config_.fault.enabled();
     faultState_.configure(config_.fault, config_.tLimitC);
@@ -176,34 +197,34 @@ DenseServerSim::resetState()
     faultRng_ = Rng(config_.fault.effectiveSeed(config_.seed) ^
                     0x0badcab1efa57f00ULL);
     faultLog_.clear();
-    sockets_.assign(n, SocketState{});
     powerW_.assign(n, pm_.gatedPower(leak_).value());
     freqMhz_.assign(n, 0.0);
     chipTempC_.assign(n, config_.topo.inletC);
     sensedTempC_.assign(n, config_.topo.inletC);
     histTempC_.assign(n, config_.topo.inletC);
     runningSet_.assign(n, config_.workload);
-    busyFlag_.assign(n, false);
+    busyFlag_.assign(n, 0);
+    jobBenchmark_.assign(n, 0);
+    jobArrivalS_.assign(n, 0.0);
+    jobStartS_.assign(n, 0.0);
+    jobNominalS_.assign(n, 0.0);
+    jobRemainingS_.assign(n, 0.0);
+    lastSyncS_.assign(n, 0.0);
+    completionS_.assign(n, 0.0);
+    pstate_.assign(n, 0);
+    boostFlag_.assign(n, 0);
 
-    ambTracker_.clear();
-    chipRise_.clear();
-    histTracker_.clear();
-    ambTracker_.reserve(n);
-    chipRise_.reserve(n);
-    histTracker_.reserve(n);
     const Watts gated = pm_.gatedPower(leak_);
     const std::vector<double> amb0 =
         coupling_.ambientTemps(powerW_, config_.topo.inlet());
     ambientC_ = amb0;
+    chipRiseC_.assign(n, 0.0);
     for (std::size_t s = 0; s < n; ++s) {
         const HeatSink &sink = *sinkCache_[s];
-        ambTracker_.emplace_back(config_.socketTauS, amb0[s]);
-        chipRise_.emplace_back(config_.chipTauS,
-                               (gated * (peak_.rInt() + sink.rExt) +
-                                sink.theta(gated))
-                                   .value());
-        chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
-        histTracker_.emplace_back(config_.histTauS, chipTempC_[s]);
+        chipRiseC_[s] = (gated * (peak_.rInt() + sink.rExt) +
+                         sink.theta(gated))
+                            .value();
+        chipTempC_[s] = ambientC_[s] + chipRiseC_[s];
         histTempC_[s] = chipTempC_[s];
     }
 
@@ -227,6 +248,25 @@ DenseServerSim::resetState()
     contribRate_.assign(n, 0.0);
     contribRel_.assign(n, 0.0);
     contribBoost_.assign(n, 0);
+
+    // Pre-reserve the per-epoch scratch arena: one n-double thermal
+    // target frame plus CP's decision-local candidate lists, with
+    // headroom. checkEpochInvariants asserts it never grows past this
+    // reserve — the zero-heap-per-epoch contract.
+    arena_.reserve(32 * n + 256);
+    predCache_.reset(n, pm_.pstates().size());
+    for (std::size_t i = 0; i < pm_.pstates().size(); ++i)
+        predCache_.stateFreqMhz[i] = pm_.pstates().at(i).freqMhz;
+    predCache_.pstate = pstate_.data();
+    predCache_.exactDvfs =
+        !faultsEnabled_ && config_.dvfsMemoQuantC == 0.0;
+    ambientBatchMin_ =
+        config_.ambientBatchFrac <= 0.0
+            ? 0
+            : std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         std::ceil(config_.ambientBatchFrac *
+                                   static_cast<double>(n))));
 
     queue_.clear();
     metrics_ = SimMetrics{};
@@ -260,10 +300,8 @@ DenseServerSim::warmStart()
     const std::vector<double> amb = coupling_.ambientTemps(
         std::vector<double>(n, expected), config_.topo.inlet());
     for (std::size_t s = 0; s < n; ++s) {
-        ambTracker_[s].reset(amb[s]);
         ambientC_[s] = amb[s];
-        const double chip = ambientC_[s] + chipRise_[s].value();
-        histTracker_[s].reset(chip);
+        const double chip = ambientC_[s] + chipRiseC_[s];
         chipTempC_[s] = chip;
         histTempC_[s] = chip;
     }
@@ -406,7 +444,8 @@ void
 DenseServerSim::refreshAmbientTargets()
 {
     count_.ambientRefreshes->inc();
-    ambTargets_ = coupling_.ambientTemps(powerW_, config_.topo.inlet());
+    coupling_.ambientTempsInto(ambTargets_.data(), ambTargets_.size(),
+                               powerW_.data(), config_.topo.inlet());
     targetPowerW_ = powerW_;
     for (std::size_t s : dirtySockets_)
         powerDirty_[s] = 0;
@@ -427,57 +466,109 @@ DenseServerSim::thermalStep(double dt)
         ++epochsSinceAmbientRefresh_ >= kAmbientRefreshEpochs) {
         refreshAmbientTargets();
     } else if (!dirtySockets_.empty()) {
-        count_.ambientDeltas->inc(dirtySockets_.size());
-        for (std::size_t s : dirtySockets_) {
-            coupling_.applyPowerDelta(ambTargets_, s, targetPowerW_[s],
-                                      powerW_[s]);
-            targetPowerW_[s] = powerW_[s];
-            powerDirty_[s] = 0;
+        if (ambientBatchMin_ != 0 &&
+            dirtySockets_.size() >= ambientBatchMin_) {
+            // Crossover heuristic: enough sockets changed power this
+            // epoch that one flat batched pass beats the per-socket
+            // delta scatter. The refresh re-derives the field exactly,
+            // but it changes *when* accumulated rounding is flushed —
+            // tolerance mode, off by default (ambientBatchFrac = 0).
+            refreshAmbientTargets();
+        } else {
+            count_.ambientDeltas->inc(dirtySockets_.size());
+            for (std::size_t s : dirtySockets_) {
+                coupling_.applyPowerDelta(ambTargets_, s,
+                                          targetPowerW_[s],
+                                          powerW_[s]);
+                targetPowerW_[s] = powerW_[s];
+                powerDirty_[s] = 0;
+            }
+            dirtySockets_.clear();
         }
-        dirtySockets_.clear();
     }
-    const std::vector<double> &targets = ambTargets_;
     const std::size_t n = topo_.numSockets();
     const bool measure = tCursor_ >= config_.warmupS;
+
+    // Boost-dwell accounting: drain while boosting, refill otherwise
+    // (busy-sustained or idle).
+    const double refill = config_.boostRefillRate * dt;
     for (std::size_t s = 0; s < n; ++s) {
-        // Boost-dwell accounting: drain while boosting, refill
-        // otherwise (busy-sustained or idle).
-        if (busyFlag_[s] && sockets_[s].boost) {
+        if (busyFlag_[s] && boostFlag_[s]) {
             boostCreditS_[s] = std::max(0.0, boostCreditS_[s] - dt);
         } else {
-            boostCreditS_[s] =
-                std::min(config_.boostBurstS,
-                         boostCreditS_[s] +
-                             config_.boostRefillRate * dt);
+            boostCreditS_[s] = std::min(config_.boostBurstS,
+                                        boostCreditS_[s] + refill);
         }
-        const HeatSink &sink = *sinkCache_[s];
-        const Watts p{powerW_[s]};
-        ambientC_[s] = ambTracker_[s].step(targets[s], dt);
-        chipRise_[s].step(
-            (p * (peak_.rInt() + sink.rExt) + sink.theta(p)).value(),
-            dt);
-        chipTempC_[s] = ambientC_[s] + chipRise_[s].value();
-        // What the scheduler's sensor reports: noisy, quantized.
-        double sensed = chipTempC_[s];
-        if (config_.sensorNoiseC > 0.0)
-            sensed += sensorRng_.normal(0.0, config_.sensorNoiseC);
-        if (config_.sensorQuantC > 0.0) {
-            sensed = config_.sensorQuantC *
-                     std::floor(sensed / config_.sensorQuantC + 0.5);
+    }
+
+    // Bank 1: socket ambient toward the coupling-map field (tau 30 s,
+    // Table III). One shared response fraction per bank — every
+    // tracker in a bank has the same tau, so this is bit-identical to
+    // the retired per-socket FirstOrderTracker::step and drops the
+    // per-socket exp() calls.
+    const double amb_alpha = responseFraction(dt, config_.socketTauS);
+    firstOrderStepBatch(ambientC_.data(), ambTargets_.data(), n,
+                        amb_alpha);
+
+    // Bank 2: Eq. (1) chip rise (tau 5 ms). The target field lives in
+    // the per-epoch arena — zero heap in steady state. The expression
+    // mirrors the typed-quantity evaluation order exactly:
+    // P * (R_int + R_ext) + (theta.c0 + theta.c1 * P).
+    const Arena::Marker marker = arena_.mark();
+    double *rise_target = arena_.alloc<double>(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        const double p = powerW_[s];
+        rise_target[s] =
+            p * rTotCW_[s] + (thetaC0_[s] + thetaC1_[s] * p);
+    }
+    const double rise_alpha = responseFraction(dt, config_.chipTauS);
+    firstOrderStepBatch(chipRiseC_.data(), rise_target, n, rise_alpha);
+    arena_.release(marker);
+
+    for (std::size_t s = 0; s < n; ++s)
+        chipTempC_[s] = ambientC_[s] + chipRiseC_[s];
+
+    // What the scheduler's sensor reports: noisy, quantized. The
+    // pristine configuration is a straight copy.
+    if (config_.sensorNoiseC <= 0.0 && config_.sensorQuantC <= 0.0 &&
+        !faultsEnabled_) {
+        std::copy(chipTempC_.begin(), chipTempC_.end(),
+                  sensedTempC_.begin());
+    } else {
+        for (std::size_t s = 0; s < n; ++s) {
+            double sensed = chipTempC_[s];
+            if (config_.sensorNoiseC > 0.0)
+                sensed += sensorRng_.normal(0.0, config_.sensorNoiseC);
+            if (config_.sensorQuantC > 0.0) {
+                sensed =
+                    config_.sensorQuantC *
+                    std::floor(sensed / config_.sensorQuantC + 0.5);
+            }
+            if (faultsEnabled_) {
+                sensed = faultState_.schedSensedC(
+                    s, sensed, sensedTempC_[s], faultRng_);
+            }
+            sensedTempC_[s] = sensed;
         }
-        if (faultsEnabled_) {
-            sensed = faultState_.schedSensedC(s, sensed,
-                                              sensedTempC_[s],
-                                              faultRng_);
-        }
-        sensedTempC_[s] = sensed;
-        histTempC_[s] = histTracker_[s].step(sensed, dt);
-        if (measure && busyFlag_[s]) {
+    }
+
+    // Bank 3: the scheduler's slow history of the sensed temperature.
+    const double hist_alpha = responseFraction(dt, config_.histTauS);
+    firstOrderStepBatch(histTempC_.data(), sensedTempC_.data(), n,
+                        hist_alpha);
+
+    if (measure) {
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!busyFlag_[s])
+                continue;
             metrics_.chipTempC.add(chipTempC_[s]);
             metrics_.maxChipTempC =
                 std::max(metrics_.maxChipTempC, chipTempC_[s]);
         }
     }
+    // Ambient, chip and history fields all moved: every cached
+    // scheduler prediction is stale.
+    predCache_.invalidate();
 }
 
 DvfsDecision
@@ -498,8 +589,16 @@ DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
         return *hit;
     }
     count_.dvfsMemoMisses->inc();
-    const DvfsDecision d = pm_.chooseAtAmbientCapped(
-        freqCurveFor(set), leak_, ambient, *sinkCache_[socket], cap);
+    // The learned feasibility ladder lets the descending search skip
+    // states already known infeasible at this ambient. Valid even
+    // under faults or memo quantization: fan derates and sensor
+    // faults perturb the ambient *input*, never the sink/curve/leak
+    // feasibility function the bounds describe, and the chosen
+    // state's decision fields are always computed exactly.
+    predCache_.touchLadder(socket, set);
+    const DvfsDecision d = pm_.chooseAtAmbientBounded(
+        freqCurveFor(set), leak_, ambient, *sinkCache_[socket], cap,
+        predCache_.ladderLo(socket), predCache_.ladderHi(socket));
     dvfsMemo_.store(socket, set, cap, ambient, d);
     return d;
 }
@@ -514,13 +613,15 @@ DenseServerSim::powerManage(double now)
             continue;
         syncProgress(s, now);
         const DvfsDecision d =
-            chooseDvfs(s, sockets_[s].set, dvfsCap(s));
+            chooseDvfs(s, runningSet_[s], dvfsCap(s));
         setSocketRate(s, d.pstate, d.power.value(), now);
     }
     // Re-derive the piecewise sums once per epoch: cheap with the
     // cached rates, and it pins any incremental floating-point drift
     // to at most one epoch's worth of delta updates.
     rebuildScalars();
+    // Frequencies and powers were refreshed wholesale.
+    predCache_.invalidate();
 }
 
 void
@@ -556,26 +657,43 @@ DenseServerSim::processWindow(const std::vector<Job> &jobs,
 void
 DenseServerSim::syncProgress(std::size_t socket, double now)
 {
-    SocketState &st = sockets_[socket];
-    if (!st.busy)
+    if (!busyFlag_[socket])
         return;
-    const double dt = now - st.lastSyncS;
+    const double dt = now - lastSyncS_[socket];
     if (dt > 0.0) {
-        st.remainingS =
-            std::max(0.0, st.remainingS - dt * rateCache_[socket]);
-        st.lastSyncS = now;
+        jobRemainingS_[socket] = std::max(
+            0.0, jobRemainingS_[socket] - dt * rateCache_[socket]);
+        lastSyncS_[socket] = now;
     }
+}
+
+void
+DenseServerSim::clearJobState(std::size_t socket)
+{
+    jobBenchmark_[socket] = 0;
+    jobArrivalS_[socket] = 0.0;
+    jobStartS_[socket] = 0.0;
+    jobNominalS_[socket] = 0.0;
+    jobRemainingS_[socket] = 0.0;
+    lastSyncS_[socket] = 0.0;
+    completionS_[socket] = 0.0;
+    pstate_[socket] = 0;
+    boostFlag_[socket] = 0;
+    // Idle sockets contribute nothing downstream: the penalty fast
+    // path accepts any probe with zero slope.
+    predCache_.fastFeasC[socket] =
+        std::numeric_limits<double>::infinity();
+    predCache_.fastSlope[socket] = 0.0;
 }
 
 void
 DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
                               double power_w, double now)
 {
-    SocketState &st = sockets_[socket];
     busySumsRemove(socket);
-    st.pstate = new_pstate;
-    st.boost = PStateTable::x2150().at(new_pstate).boost;
-    freqMhz_[socket] = PStateTable::x2150().at(new_pstate).freqMhz;
+    pstate_[socket] = new_pstate;
+    boostFlag_[socket] = boostByPstate_[new_pstate];
+    freqMhz_[socket] = freqByPstate_[new_pstate];
     if (powerW_[socket] != power_w) {
         totalPowerW_ -= powerW_[socket];
         powerW_[socket] = power_w;
@@ -586,17 +704,37 @@ DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
     // seconds: boost states advance a job faster than 1x. This is the
     // design point of the SUT — 100% load is exactly sustainable at
     // 1500 MHz (Sec. III-D).
-    const auto &curve = freqCurveFor(st.set);
+    const auto &curve = freqCurveFor(runningSet_[socket]);
     const double rate =
         curve.perfRel[new_pstate] / curve.perfRel[sustainedIdx_];
     if (rate <= 0.0)
         panic("socket ", socket, " has non-positive progress rate");
     rateCache_[socket] = rate;
     relFreqCache_[socket] = relFreqByPstate_[new_pstate];
-    st.completionS = now + st.remainingS / rate;
+    completionS_[socket] = now + jobRemainingS_[socket] / rate;
     busySumsAdd(socket);
     if (busyFlag_[socket])
-        completionHeap_.upsert(socket, st.completionS);
+        completionHeap_.upsert(socket, completionS_[socket]);
+    // Refresh the downstream-penalty fast path (prediction.hh): the
+    // socket's rate just changed, so recompute the known-feasible
+    // ambient for its (possibly new) P-state and its penalty slope.
+    // Only meaningful when pruned predictions are exact.
+    if (predCache_.exactDvfs) {
+        predCache_.touchLadder(socket, runningSet_[socket]);
+        const double mpc = predCache_.feasMhzPerC[socket];
+        const bool sub_fastest =
+            freqMhz_[socket] < fastestMhz_ - 1e-9;
+        if (sub_fastest && mpc <= 0.0) {
+            // Penalty slope not learned yet: force the slow path
+            // until a probe computes mhzPerCelsius for this socket.
+            predCache_.fastFeasC[socket] =
+                -std::numeric_limits<double>::infinity();
+        } else {
+            predCache_.fastFeasC[socket] =
+                predCache_.ladderLo(socket)[new_pstate];
+            predCache_.fastSlope[socket] = sub_fastest ? mpc : 0.0;
+        }
+    }
 }
 
 void
@@ -612,6 +750,12 @@ DenseServerSim::setIdlePower(std::size_t socket)
     freqMhz_[socket] = 0.0;
     rateCache_[socket] = 0.0;
     relFreqCache_[socket] = 0.0;
+    // An idle socket contributes nothing to downstream penalties:
+    // park the fast-path snapshot at (+inf, 0) so any probe passes
+    // with zero charge (subsuming the busy check).
+    predCache_.fastFeasC[socket] =
+        std::numeric_limits<double>::infinity();
+    predCache_.fastSlope[socket] = 0.0;
 }
 
 SchedContext
@@ -625,16 +769,34 @@ DenseServerSim::makeSchedContext() const
     ctx.leak = &leak_;
     ctx.inletC = config_.topo.inletC;
     ctx.idle = &idleList_;
-    ctx.chipTempC = &sensedTempC_;
-    ctx.histTempC = &histTempC_;
-    ctx.ambientC = &ambientC_;
-    ctx.boostCreditS = &boostCreditS_;
-    ctx.powerW = &powerW_;
-    ctx.freqMhz = &freqMhz_;
-    ctx.runningSet = &runningSet_;
-    ctx.busy = &busyFlag_;
+    ctx.nSockets = topo_.numSockets();
+    ctx.chipTempC = sensedTempC_.data();
+    ctx.histTempC = histTempC_.data();
+    ctx.ambientC = ambientC_.data();
+    ctx.boostCreditS = boostCreditS_.data();
+    ctx.powerW = powerW_.data();
+    ctx.freqMhz = freqMhz_.data();
+    ctx.runningSet = runningSet_.data();
+    ctx.busy = busyFlag_.data();
+    ctx.socketRow = rowCache_.data();
     ctx.rng = const_cast<Rng *>(&policyRng_);
+    ctx.scratch = const_cast<Arena *>(&arena_);
+    ctx.cache = config_.schedPredictionCache
+                    ? const_cast<PredictionCache *>(&predCache_)
+                    : nullptr;
     return ctx;
+}
+
+void
+DenseServerSim::invalidatePenaltyAround(std::size_t socket)
+{
+    // Drop the cached downstream penalties of every socket whose
+    // prediction window contains this one: its busy / power /
+    // frequency state just changed. The placement entries need no
+    // surgical treatment — their inputs only move at thermalStep,
+    // which bumps the epoch wholesale.
+    for (std::size_t u : coupling_.upstream(socket))
+        predCache_.invalidatePenalty(u);
 }
 
 void
@@ -677,23 +839,21 @@ DenseServerSim::tryScheduleQueue(double now)
 void
 DenseServerSim::placeJob(std::size_t socket, const Job &job, double now)
 {
-    SocketState &st = sockets_[socket];
-    st.busy = true;
-    st.set = job.set;
-    st.benchmark = job.benchmark;
-    st.arrivalS = job.arrivalS;
-    st.startS = now;
-    st.nominalS = job.nominalS;
-    st.remainingS = job.nominalS;
-    st.lastSyncS = now;
-    busyFlag_[socket] = true;
+    busyFlag_[socket] = 1;
     runningSet_[socket] = job.set;
+    jobBenchmark_[socket] = job.benchmark;
+    jobArrivalS_[socket] = job.arrivalS;
+    jobStartS_[socket] = now;
+    jobNominalS_[socket] = job.nominalS;
+    jobRemainingS_[socket] = job.nominalS;
+    lastSyncS_[socket] = now;
     idleRemove(socket);
 
     // A freshly placed job gets its frequency immediately (the power
     // manager would confirm it within at most one epoch anyway).
     const DvfsDecision d = chooseDvfs(socket, job.set, dvfsCap(socket));
     setSocketRate(socket, d.pstate, d.power.value(), now);
+    invalidatePenaltyAround(socket);
 
     if (job.arrivalS >= config_.warmupS)
         metrics_.queueDelayS.add(now - job.arrivalS);
@@ -705,22 +865,22 @@ DenseServerSim::completeJob(std::size_t socket, double now)
 {
     DENSIM_CHECK(!faultsEnabled_ || !faultState_.offline(socket),
                  "job completion on offline socket ", socket);
-    SocketState &st = sockets_[socket];
     syncProgress(socket, now);
-    if (st.arrivalS >= config_.warmupS) {
+    if (jobArrivalS_[socket] >= config_.warmupS) {
         ++metrics_.jobsCompleted;
-        metrics_.runtimeExpansion.add((now - st.arrivalS) /
-                                      st.nominalS);
-        metrics_.serviceExpansion.add((now - st.startS) / st.nominalS);
+        metrics_.runtimeExpansion.add((now - jobArrivalS_[socket]) /
+                                      jobNominalS_[socket]);
+        metrics_.serviceExpansion.add((now - jobStartS_[socket]) /
+                                      jobNominalS_[socket]);
     }
     metrics_.makespanS = now;
 
     busySumsRemove(socket);
-    st.busy = false;
-    busyFlag_[socket] = false;
+    busyFlag_[socket] = 0;
     completionHeap_.erase(socket);
     setIdlePower(socket);
     idleInsert(socket);
+    invalidatePenaltyAround(socket);
     count_.jobsCompleted->inc();
     tryScheduleQueue(now);
 }
@@ -728,27 +888,32 @@ DenseServerSim::completeJob(std::size_t socket, double now)
 void
 DenseServerSim::migrateJob(std::size_t from, std::size_t to, double now)
 {
-    SocketState &src = sockets_[from];
-    SocketState &dst = sockets_[to];
-
     busySumsRemove(from);
-    dst = src;
-    dst.lastSyncS = now;
+    jobBenchmark_[to] = jobBenchmark_[from];
+    jobArrivalS_[to] = jobArrivalS_[from];
+    jobStartS_[to] = jobStartS_[from];
+    jobNominalS_[to] = jobNominalS_[from];
     // The move costs work: checkpoint/transfer/warm-up, expressed in
     // nominal seconds.
-    dst.remainingS += config_.migrationCostS;
-    busyFlag_[to] = true;
-    runningSet_[to] = dst.set;
+    jobRemainingS_[to] = jobRemainingS_[from] + config_.migrationCostS;
+    lastSyncS_[to] = now;
+    completionS_[to] = completionS_[from];
+    pstate_[to] = pstate_[from];
+    boostFlag_[to] = boostFlag_[from];
+    busyFlag_[to] = 1;
+    runningSet_[to] = runningSet_[from];
     idleRemove(to);
 
-    src = SocketState{};
-    busyFlag_[from] = false;
+    clearJobState(from);
+    busyFlag_[from] = 0;
     completionHeap_.erase(from);
     setIdlePower(from);
     idleInsert(from);
 
-    const DvfsDecision d = chooseDvfs(to, dst.set, dvfsCap(to));
+    const DvfsDecision d = chooseDvfs(to, runningSet_[to], dvfsCap(to));
     setSocketRate(to, d.pstate, d.power.value(), now);
+    invalidatePenaltyAround(from);
+    invalidatePenaltyAround(to);
     ++metrics_.migrations;
     count_.migrations->inc();
 }
@@ -766,28 +931,28 @@ DenseServerSim::attemptMigrations(double now)
     for (std::size_t s = 0;
          s < topo_.numSockets() && moved < config_.migrationMaxPerPass;
          ++s) {
-        if (!busyFlag_[s] || sockets_[s].pstate >= sustainedIdx_)
+        if (!busyFlag_[s] || pstate_[s] >= sustainedIdx_)
             continue;
         syncProgress(s, now);
-        if (sockets_[s].remainingS < config_.migrationMinRemainingS)
+        if (jobRemainingS_[s] < config_.migrationMinRemainingS)
             continue;
         if (idleList_.empty())
             break;
 
         Job remainder;
         remainder.id = 0;
-        remainder.benchmark = sockets_[s].benchmark;
-        remainder.set = sockets_[s].set;
-        remainder.arrivalS = sockets_[s].arrivalS;
-        remainder.nominalS = sockets_[s].remainingS;
+        remainder.benchmark = jobBenchmark_[s];
+        remainder.set = runningSet_[s];
+        remainder.arrivalS = jobArrivalS_[s];
+        remainder.nominalS = jobRemainingS_[s];
         const std::size_t dest = policy_->pickCounted(remainder, ctx);
         if (dest >= topo_.numSockets() || busyFlag_[dest])
             panic("policy '", policy_->name(),
                   "' picked an invalid migration target ", dest);
 
         const DvfsDecision d =
-            chooseDvfs(dest, sockets_[s].set, dvfsCap(dest));
-        if (d.pstate <= sockets_[s].pstate)
+            chooseDvfs(dest, runningSet_[s], dvfsCap(dest));
+        if (d.pstate <= pstate_[s])
             continue; // Not actually faster there.
 
         migrateJob(s, dest, now);
@@ -834,7 +999,7 @@ DenseServerSim::busySumsAdd(std::size_t s)
     const double rel = relFreqCache_[s];
     contribRate_[s] = rate;
     contribRel_[s] = rel;
-    contribBoost_[s] = sockets_[s].boost ? 1 : 0;
+    contribBoost_[s] = boostFlag_[s] ? 1 : 0;
     ++busyTotal_;
     workRateTotal_ += rate;
     relFreqSumTotal_ += rel;
@@ -913,6 +1078,14 @@ DenseServerSim::checkEpochInvariants() const
                  " s lies before the integration cursor ", tCursor_,
                  " s");
 
+    // The zero-heap-per-epoch contract: the scratch arena must never
+    // outgrow its resetState reserve in steady state.
+    DENSIM_CHECK(arena_.stats().growths == 0,
+                 "per-epoch arena grew ", arena_.stats().growths,
+                 " times past its resetState reserve of ",
+                 arena_.stats().capacityBytes,
+                 " bytes — heap allocation on the hot path");
+
 #if DENSIM_ENABLE_PARANOID
     completionHeap_.checkInvariants();
 
@@ -946,9 +1119,10 @@ DenseServerSim::checkEpochInvariants() const
                     " vs rebuilt ", rel_sum);
 
     // The delta-maintained ambient-target field must match a fresh
-    // reference evaluation of the powers it claims to represent
-    // (drift is bounded by the periodic refresh), and must sit inside
-    // the coupling map's first-law envelope.
+    // batched evaluation of the powers it claims to represent —
+    // the batched-vs-incremental drift bound (the refresh cadence
+    // keeps accumulated delta rounding under 1e-6) — and must sit
+    // inside the coupling map's first-law envelope.
     const std::vector<double> reference =
         coupling_.ambientTemps(targetPowerW_, config_.topo.inlet());
     invariant::checkFieldsClose("ambient-target field", ambTargets_,
@@ -1044,6 +1218,9 @@ DenseServerSim::applyFanFlowFraction(double flow_frac)
     coupling_ = CouplingMap(std::move(sites), params);
     couplingDerated_ = flow_frac != 1.0;
     ++couplingEpoch_;
+    // The coupling coefficients every cached prediction was derived
+    // from just changed.
+    predCache_.invalidate();
     faultState_.setFlowFrac(flow_frac);
     // Retarget the slow ambient field; the trackers then converge to
     // the hotter (or restored) steady state with the 30 s tau.
@@ -1091,6 +1268,7 @@ DenseServerSim::failSocket(std::size_t socket, double now)
     freqMhz_[socket] = 0.0;
     rateCache_[socket] = 0.0;
     relFreqCache_[socket] = 0.0;
+    invalidatePenaltyAround(socket);
     fcount_.socketFailures->inc();
     recordFault(FaultKind::SocketFail, socket, now, 0.0);
     // The displaced job may fit on another idle socket right away.
@@ -1105,6 +1283,7 @@ DenseServerSim::recoverSocket(std::size_t socket, double now)
     faultState_.markOnline(socket);
     setIdlePower(socket);
     idleInsert(socket);
+    invalidatePenaltyAround(socket);
     fcount_.socketRecoveries->inc();
     recordFault(FaultKind::SocketRecover, socket, now, 0.0);
     tryScheduleQueue(now);
@@ -1122,6 +1301,7 @@ DenseServerSim::quarantineSocket(std::size_t socket, double now)
     faultState_.markQuarantined(socket);
     // Quarantined silicon keeps its gated draw while it cools.
     setIdlePower(socket);
+    invalidatePenaltyAround(socket);
     fcount_.quarantines->inc();
     recordFault(FaultKind::Quarantine, socket, now,
                 chipTempC_[socket]);
@@ -1131,23 +1311,23 @@ DenseServerSim::quarantineSocket(std::size_t socket, double now)
 void
 DenseServerSim::requeueJob(std::size_t socket, double now)
 {
-    SocketState &st = sockets_[socket];
     syncProgress(socket, now);
     Job job;
     job.id = 0;
-    job.benchmark = st.benchmark;
-    job.set = st.set;
-    job.arrivalS = st.arrivalS;
+    job.benchmark = jobBenchmark_[socket];
+    job.set = runningSet_[socket];
+    job.arrivalS = jobArrivalS_[socket];
     // The remaining work plus the checkpoint/restore cost of the
     // forced move, floored so a job caught at the instant of its
     // completion still re-runs for a representable duration.
     job.nominalS =
-        std::max(st.remainingS + config_.migrationCostS, 1e-9);
+        std::max(jobRemainingS_[socket] + config_.migrationCostS, 1e-9);
     busySumsRemove(socket);
-    st = SocketState{};
-    busyFlag_[socket] = false;
+    clearJobState(socket);
+    busyFlag_[socket] = 0;
     completionHeap_.erase(socket);
     queue_.push_front(job);
+    invalidatePenaltyAround(socket);
     fcount_.jobsRequeued->inc();
     recordFault(FaultKind::JobRequeue, socket, now, job.nominalS);
 }

@@ -56,11 +56,13 @@
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "power/power_manager.hh"
+#include "sched/prediction.hh"
 #include "sched/scheduler.hh"
 #include "server/topology.hh"
 #include "thermal/coupling_map.hh"
 #include "thermal/simple_peak_model.hh"
 #include "thermal/transient.hh"
+#include "util/arena.hh"
 #include "util/rng.hh"
 #include "workload/job_generator.hh"
 
@@ -107,21 +109,6 @@ class DenseServerSim
     const obs::PhaseProfiler &phaseProfile() const { return profiler_; }
 
   private:
-    struct SocketState
-    {
-        bool busy = false;
-        WorkloadSet set = WorkloadSet::Computation;
-        std::size_t benchmark = 0;
-        double arrivalS = 0.0;    //!< Arrival of the running job.
-        double startS = 0.0;      //!< Placement time.
-        double nominalS = 0.0;    //!< Job's nominal duration.
-        double remainingS = 0.0;  //!< Nominal seconds left.
-        double lastSyncS = 0.0;   //!< remainingS valid at this time.
-        double completionS = 0.0; //!< Predicted completion.
-        std::size_t pstate = 0;
-        bool boost = false;
-    };
-
     // --- run phases -------------------------------------------------
     void resetState();
     void warmStart();
@@ -164,6 +151,8 @@ class DenseServerSim
 
     // --- bookkeeping -------------------------------------------------
     void syncProgress(std::size_t socket, double now);
+    /** Zero the running-job arrays of a socket going idle. */
+    void clearJobState(std::size_t socket);
     void setSocketRate(std::size_t socket, std::size_t pstate,
                        double power_w, double now);
     void setIdlePower(std::size_t socket);
@@ -208,26 +197,45 @@ class DenseServerSim
     Rng policyRng_;
     Rng sensorRng_;
 
-    // Per-socket state (struct-of-arrays for the hot vectors).
-    std::vector<SocketState> sockets_;
+    // Per-socket state — pure structure-of-arrays. Every field the
+    // hot loops touch is a contiguous flat array indexed by socket id;
+    // the batched thermal kernels and the scheduler scoring loops scan
+    // them directly.
     std::vector<double> powerW_;
     std::vector<double> freqMhz_;
     std::vector<double> chipTempC_;
     std::vector<double> sensedTempC_; //!< What schedulers see.
-    std::vector<double> histTempC_;
+    std::vector<double> histTempC_;   //!< First-order bank, histTauS.
     std::vector<WorkloadSet> runningSet_;
-    std::vector<bool> busyFlag_;
-    std::vector<double> ambientC_; //!< Snapshot of ambTracker_ values.
+    std::vector<std::uint8_t> busyFlag_;
+    std::vector<double> ambientC_; //!< First-order bank toward the
+        //!< coupling-map field, tau 30 s (Table III).
+    std::vector<double> chipRiseC_; //!< Eq. (1) chip-rise bank toward
+        //!< P*(R_int+R_ext) + theta, tau 5 ms (Table III).
     std::vector<double> boostCreditS_; //!< Boost-dwell credit, seconds.
 
-    std::vector<FirstOrderTracker> ambTracker_; //!< Socket ambient
-        //!< toward the coupling-map field, tau 30 s (Table III).
-    std::vector<FirstOrderTracker> chipRise_; //!< Eq. (1) chip rise
-        //!< P*(R_int+R_ext) + theta, tau 5 ms (Table III).
-    std::vector<FirstOrderTracker> histTracker_;
-    std::vector<bool> isFront_;
-    std::vector<bool> isEven_;
+    // Running-job bookkeeping (valid while busyFlag_ is set).
+    std::vector<std::size_t> jobBenchmark_;
+    std::vector<double> jobArrivalS_;   //!< Arrival of the running job.
+    std::vector<double> jobStartS_;     //!< Placement time.
+    std::vector<double> jobNominalS_;   //!< Job's nominal duration.
+    std::vector<double> jobRemainingS_; //!< Nominal seconds left.
+    std::vector<double> lastSyncS_;   //!< jobRemainingS valid at this.
+    std::vector<double> completionS_; //!< Predicted completion.
+    std::vector<std::size_t> pstate_;
+    std::vector<std::uint8_t> boostFlag_;
+
+    std::vector<std::uint8_t> isFront_;
+    std::vector<std::uint8_t> isEven_;
     std::vector<std::vector<std::size_t>> zoneSockets_;
+
+    // Per-socket Eq. (1) constants hoisted out of the thermal loop:
+    // chip-rise target = P * rTotCW_ + (thetaC0_ + thetaC1_ * P),
+    // evaluated in exactly the typed-quantity order so the batched
+    // kernel is bit-identical to the per-socket unit math.
+    std::vector<double> rTotCW_;  //!< (R_int + R_ext).value().
+    std::vector<double> thetaC0_; //!< sink.theta.c0.value().
+    std::vector<double> thetaC1_; //!< sink.theta.c1.value().
 
     std::deque<Job> queue_;
 
@@ -278,9 +286,42 @@ class DenseServerSim
     /** Last DVFS decision per socket and the inputs it was made for. */
     DvfsMemoTable dvfsMemo_;
 
+    /**
+     * Per-epoch scratch arena (thermal kernel targets, CP candidate
+     * lists). Pre-reserved in resetState; checkEpochInvariants asserts
+     * it never grows in steady state — the zero-heap-per-epoch
+     * contract of DESIGN.md Sec. 12.
+     */
+    Arena arena_;
+
+    /**
+     * Scheduler prediction memo (sched/prediction.hh). Epoch-bumped
+     * after every thermal and power-management step, surgically
+     * invalidated along coupling_.upstream() edges on job placement /
+     * completion / migration / fault transitions. Handed to policies
+     * only when config_.schedPredictionCache is on.
+     */
+    PredictionCache predCache_;
+
+    /** Drop cached penalties of sockets upstream of @p socket. */
+    void invalidatePenaltyAround(std::size_t socket);
+
+    /**
+     * Crossover threshold of the batched coupling-field refresh: when
+     * at least this many sockets are power-dirty in one epoch, the
+     * incremental delta path switches to one flat ambientTempsInto
+     * pass. 0 = disabled (exact default); derived from
+     * config_.ambientBatchFrac in resetState.
+     */
+    std::size_t ambientBatchMin_ = 0;
+
     // Construction-time lookups for the per-epoch loops.
     std::vector<const HeatSink *> sinkCache_; //!< topo_.sinkOf(s).
+    std::vector<int> rowCache_;               //!< topo_.rowOf(s).
     std::vector<double> relFreqByPstate_;
+    std::vector<double> freqByPstate_;       //!< table.at(p).freqMhz.
+    std::vector<std::uint8_t> boostByPstate_; //!< table.at(p).boost.
+    double fastestMhz_ = 0.0; //!< table.fastest().freqMhz.
     std::size_t sustainedIdx_ = 0;
     std::size_t boostCap_ = 0; //!< Highest P-state index.
 

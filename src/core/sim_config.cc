@@ -60,6 +60,9 @@ SimConfig::validate() const
     if (dvfsMemoQuantC < 0.0)
         fatal("SimConfig: DVFS memo quantization must be "
               "non-negative");
+    if (ambientBatchFrac < 0.0 || ambientBatchFrac > 1.0)
+        fatal("SimConfig: ambient batch crossover fraction must lie "
+              "in [0, 1]");
     if (timelineSampleS < 0.0)
         fatal("SimConfig: timeline sample period must be "
               "non-negative");

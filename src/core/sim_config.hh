@@ -143,6 +143,26 @@ struct SimConfig
      * large design-space sweeps.
      */
     double dvfsMemoQuantC = 0.0;
+    /**
+     * Hand schedulers the per-socket prediction memo
+     * (sched/prediction.hh): placement and downstream-penalty results
+     * are reused within an epoch and dropped the moment any input
+     * moves. Decisions are bit-identical either way (pinned by the
+     * perf-equivalence bank); the knob exists so the differential
+     * tests can run the pristine uncached arithmetic.
+     */
+    bool schedPredictionCache = true;
+    /**
+     * Crossover fraction for the batched ambient-target refresh: when
+     * more than this fraction of sockets changed power in one epoch,
+     * the incremental delta scatter is replaced by one flat
+     * coupling-field pass. 0 (default) disables the heuristic — the
+     * exact mode; a positive fraction only changes when accumulated
+     * delta rounding (~1e-12 C) is flushed, so metrics may differ in
+     * the last bits (tolerance mode, bounded by the perf-equivalence
+     * crossover test).
+     */
+    double ambientBatchFrac = 0.0;
 
     /**
      * Fault injection and graceful degradation (src/fault, DESIGN.md

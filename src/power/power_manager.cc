@@ -1,5 +1,7 @@
 #include "power/power_manager.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace densim {
@@ -70,19 +72,13 @@ PowerManager::chooseAtAmbient(const FreqCurve &curve,
 }
 
 DvfsDecision
-PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
-                                    const LeakageModel &leak,
-                                    Celsius ambient,
-                                    const HeatSink &sink,
-                                    std::size_t max_pstate) const
+PowerManager::searchDownFrom(const FreqCurve &curve,
+                             const LeakageModel &leak, Celsius ambient,
+                             const HeatSink &sink,
+                             std::size_t first) const
 {
-    checkCurve(curve);
-    countSearch();
-    if (max_pstate >= table_.size())
-        panic("chooseAtAmbientCapped: max P-state ", max_pstate,
-              " out of range");
     DvfsDecision decision{};
-    for (std::size_t idx = max_pstate + 1; idx-- > 0;) {
+    for (std::size_t idx = first + 1; idx-- > 0;) {
         // Two-pass leakage compensation: estimate the peak at the
         // 90 C-characterized power, correct leakage for the estimated
         // temperature, and re-estimate.
@@ -99,6 +95,95 @@ PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
             decision.power = Watts(p2);
             decision.predictedPeak = Celsius(t2);
             decision.feasible = t2 <= tLimitC_;
+            return decision;
+        }
+    }
+    panic("unreachable: P-state loop fell through");
+}
+
+DvfsDecision
+PowerManager::chooseAtAmbientCapped(const FreqCurve &curve,
+                                    const LeakageModel &leak,
+                                    Celsius ambient,
+                                    const HeatSink &sink,
+                                    std::size_t max_pstate) const
+{
+    checkCurve(curve);
+    countSearch();
+    if (max_pstate >= table_.size())
+        panic("chooseAtAmbientCapped: max P-state ", max_pstate,
+              " out of range");
+    return searchDownFrom(curve, leak, ambient, sink, max_pstate);
+}
+
+DvfsDecision
+PowerManager::chooseAtAmbientFrom(const FreqCurve &curve,
+                                  const LeakageModel &leak,
+                                  Celsius ambient, const HeatSink &sink,
+                                  std::size_t max_pstate,
+                                  std::size_t start_pstate) const
+{
+    checkCurve(curve);
+    countSearch();
+    if (max_pstate >= table_.size())
+        panic("chooseAtAmbientFrom: max P-state ", max_pstate,
+              " out of range");
+    return searchDownFrom(curve, leak, ambient, sink,
+                          std::min(start_pstate, max_pstate));
+}
+
+bool
+PowerManager::feasibleAt(const FreqCurve &curve,
+                         const LeakageModel &leak, Celsius ambient,
+                         const HeatSink &sink, std::size_t pstate) const
+{
+    const double p90 = curve.totalPowerAt90C[pstate];
+    const double t1 = peak_.peak(ambient, Watts(p90), sink).value();
+    const double p2 = dynamicPower(curve, leak, pstate).value() +
+                      leak.at(Celsius(t1)).value();
+    const double t2 = peak_.peak(ambient, Watts(p2), sink).value();
+    return t2 <= tLimitC_;
+}
+
+DvfsDecision
+PowerManager::chooseAtAmbientBounded(const FreqCurve &curve,
+                                     const LeakageModel &leak,
+                                     Celsius ambient,
+                                     const HeatSink &sink,
+                                     std::size_t max_pstate,
+                                     double *max_feas_c,
+                                     double *min_infeas_c) const
+{
+    checkCurve(curve);
+    countSearch();
+    if (max_pstate >= table_.size())
+        panic("chooseAtAmbientBounded: max P-state ", max_pstate,
+              " out of range");
+    const double amb_c = ambient.value();
+    DvfsDecision decision{};
+    for (std::size_t idx = max_pstate + 1; idx-- > 0;) {
+        if (idx > 0 && amb_c >= min_infeas_c[idx])
+            continue; // Known infeasible at a cooler-or-equal probe.
+        const double p90 = curve.totalPowerAt90C[idx];
+        const double t1 =
+            peak_.peak(ambient, Watts(p90), sink).value();
+        const double p2 = dynamicPower(curve, leak, idx).value() +
+                          leak.at(Celsius(t1)).value();
+        const double t2 =
+            peak_.peak(ambient, Watts(p2), sink).value();
+        const bool ok = t2 <= tLimitC_;
+        if (ok) {
+            if (amb_c > max_feas_c[idx])
+                max_feas_c[idx] = amb_c;
+        } else if (amb_c < min_infeas_c[idx]) {
+            min_infeas_c[idx] = amb_c;
+        }
+        if (ok || idx == 0) {
+            decision.pstate = idx;
+            decision.freqMhz = table_.at(idx).freqMhz;
+            decision.power = Watts(p2);
+            decision.predictedPeak = Celsius(t2);
+            decision.feasible = ok;
             return decision;
         }
     }

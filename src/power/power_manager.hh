@@ -93,6 +93,61 @@ class PowerManager
                                        std::size_t max_pstate) const;
 
     /**
+     * chooseAtAmbientCapped with the descending feasibility search
+     * started at min(@p start_pstate, @p max_pstate) instead of
+     * @p max_pstate. Returns the identical decision *provided* every
+     * state above the start point is already known infeasible at this
+     * (curve, ambient, sink) — which holds when @p start_pstate is the
+     * state a previous capped search chose for the same curve and cap
+     * at an ambient no hotter than @p ambient (feasibility regions
+     * only shrink as ambient rises). The scheduler's downstream-
+     * penalty prediction uses this to prune its per-candidate P-state
+     * searches down from each downstream socket's current state.
+     */
+    DvfsDecision chooseAtAmbientFrom(const FreqCurve &curve,
+                                     const LeakageModel &leak,
+                                     Celsius ambient,
+                                     const HeatSink &sink,
+                                     std::size_t max_pstate,
+                                     std::size_t start_pstate) const;
+
+    /**
+     * Exactly the per-state feasibility test searchDownFrom applies:
+     * two-pass leakage-compensated peak at @p ambient for P-state
+     * @p pstate, compared against the junction limit. The test is
+     * monotone in ambient — Eq. (1) is affine in ambient with unit
+     * slope and leakage is non-decreasing in temperature — so a
+     * `true` at some ambient implies `true` at every cooler one and
+     * a `false` implies `false` at every hotter one. Callers exploit
+     * this to memoize feasibility as two per-state ambient bounds
+     * (see chooseAtAmbientBounded and PredictionCache).
+     */
+    bool feasibleAt(const FreqCurve &curve, const LeakageModel &leak,
+                    Celsius ambient, const HeatSink &sink,
+                    std::size_t pstate) const;
+
+    /**
+     * chooseAtAmbientCapped accelerated by learned feasibility
+     * bounds. @p max_feas_c / @p min_infeas_c are caller-owned
+     * per-state arrays (indexed by P-state, at least table().size()
+     * entries) holding the hottest ambient each state is known
+     * feasible at and the coolest it is known infeasible at, for
+     * this exact (curve, sink) pair; initialize to -inf / +inf.
+     * States with ambient >= min_infeas_c[i] are skipped without
+     * evaluation (provably infeasible by monotonicity); every state
+     * actually evaluated tightens its bounds. The chosen state's
+     * decision fields are always computed exactly, so the returned
+     * decision is bit-identical to chooseAtAmbientCapped.
+     */
+    DvfsDecision chooseAtAmbientBounded(const FreqCurve &curve,
+                                        const LeakageModel &leak,
+                                        Celsius ambient,
+                                        const HeatSink &sink,
+                                        std::size_t max_pstate,
+                                        double *max_feas_c,
+                                        double *min_infeas_c) const;
+
+    /**
      * Pick the highest P-state whose *instantaneous* peak stays under
      * the limit given the current ambient and the current heatsink
      * thermal rise @p sink_rise (the slow 30 s state):
@@ -163,6 +218,12 @@ class PowerManager
 
   private:
     void checkCurve(const FreqCurve &curve) const;
+
+    /** Shared descending feasibility scan from state @p first down. */
+    DvfsDecision searchDownFrom(const FreqCurve &curve,
+                                const LeakageModel &leak,
+                                Celsius ambient, const HeatSink &sink,
+                                std::size_t first) const;
 
     /** One per choose* call — a full (possibly capped) state search. */
     void

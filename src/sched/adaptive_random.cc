@@ -17,8 +17,8 @@ std::size_t
 AdaptiveRandom::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
-    const auto &now = *ctx.chipTempC;
-    const auto &hist = *ctx.histTempC;
+    const double *now = ctx.chipTempC;
+    const double *hist = ctx.histTempC;
 
     double min_now = std::numeric_limits<double>::infinity();
     for (std::size_t s : *ctx.idle)

@@ -14,11 +14,11 @@ Balanced::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
     const auto &topo = *ctx.topo;
-    const auto &temp = *ctx.chipTempC;
+    const double *temp = ctx.chipTempC;
 
     // Locate the hottest point in the server (busy or not).
     std::size_t hottest = 0;
-    for (std::size_t s = 1; s < temp.size(); ++s) {
+    for (std::size_t s = 1; s < ctx.nSockets; ++s) {
         if (temp[s] > temp[hottest])
             hottest = s;
     }

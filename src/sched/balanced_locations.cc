@@ -12,7 +12,7 @@ BalancedLocations::pick(const Job &job, const SchedContext &ctx)
             pos_[s] = ctx.topo->streamPosOf(s);
         cachedFor_ = ctx.topo;
     }
-    return pickMinBy(ctx, pos_, 1e-9, true);
+    return pickMinBy(ctx, pos_.data(), 1e-9, true);
 }
 
 } // namespace densim

@@ -6,7 +6,7 @@ std::size_t
 CoolestFirst::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
-    return pickMinBy(ctx, *ctx.chipTempC, 1e-9, false);
+    return pickMinBy(ctx, ctx.chipTempC, 1e-9, false);
 }
 
 } // namespace densim

@@ -11,7 +11,7 @@ CoolestNeighbors::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
     const auto &topo = *ctx.topo;
-    const auto &temp = *ctx.chipTempC;
+    const double *temp = ctx.chipTempC;
 
     double best_score = std::numeric_limits<double>::infinity();
     std::size_t best = (*ctx.idle)[0];

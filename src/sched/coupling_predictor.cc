@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "sched/prediction.hh"
+#include "util/arena.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -19,13 +20,15 @@ CouplingPredictor::CouplingPredictor(double downstream_weight,
 
 std::size_t
 CouplingPredictor::pickWithin(const Job &job, const SchedContext &ctx,
-                              const std::vector<std::size_t> &candidates)
+                              const std::size_t *candidates,
+                              std::size_t count)
 {
     double best_score = -std::numeric_limits<double>::infinity();
     double best_peak = std::numeric_limits<double>::infinity();
     std::size_t best = candidates[0];
     std::size_t n_best = 0;
-    for (std::size_t s : candidates) {
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t s = candidates[k];
         const DvfsDecision d = predictPlacement(ctx, s, job.set);
         const double penalty =
             downstreamWeight_ == 0.0
@@ -58,33 +61,49 @@ std::size_t
 CouplingPredictor::pick(const Job &job, const SchedContext &ctx)
 {
     if (globalSearch_)
-        return pickWithin(job, ctx, *ctx.idle);
+        return pickWithin(job, ctx, ctx.idle->data(),
+                          ctx.idle->size());
 
     // Paper mechanics: choose a row with idle sockets at random, then
-    // evaluate only that row's idle sockets.
+    // evaluate only that row's idle sockets. Idle ids ascend, so each
+    // row's sockets are one contiguous span of the idle list: one
+    // pass records the span boundaries and the chosen row's
+    // candidates are a pointer range into the idle array itself — no
+    // copy. The boundary scratch lives in the per-epoch arena (zero
+    // heap in steady state); the owned vector is only a fallback for
+    // hand-built test contexts with no arena.
     const auto &idle = *ctx.idle;
-    std::vector<int> rows;
-    rows.reserve(8);
+    Arena *arena = ctx.scratch;
+    const Arena::Marker marker =
+        arena != nullptr ? arena->mark() : Arena::Marker{};
+    std::size_t *starts;
+    if (arena != nullptr) {
+        starts = arena->alloc<std::size_t>(idle.size() + 1);
+    } else {
+        startsFallback_.resize(idle.size() + 1);
+        starts = startsFallback_.data();
+    }
+
+    const int *row_of = ctx.socketRow;
+    std::size_t n_rows = 0;
     int last_row = -1;
-    for (std::size_t s : idle) {
-        const int row = ctx.topo->rowOf(s);
+    for (std::size_t k = 0; k < idle.size(); ++k) {
+        const int row = row_of != nullptr
+                            ? row_of[idle[k]]
+                            : ctx.topo->rowOf(idle[k]);
         if (row != last_row) {
-            // Idle ids ascend, so sockets of one row are contiguous.
-            rows.push_back(row);
+            starts[n_rows++] = k;
             last_row = row;
         }
     }
-    const int row = rows[ctx.rng->nextBounded(rows.size())];
-
-    std::vector<std::size_t> candidates;
-    candidates.reserve(ctx.topo->socketsPerRow());
-    for (std::size_t s : idle) {
-        if (ctx.topo->rowOf(s) == row)
-            candidates.push_back(s);
-    }
-    if (candidates.empty())
-        panic("CP: selected row has no idle sockets");
-    return pickWithin(job, ctx, candidates);
+    starts[n_rows] = idle.size();
+    const std::size_t pick_at = ctx.rng->nextBounded(n_rows);
+    const std::size_t best =
+        pickWithin(job, ctx, idle.data() + starts[pick_at],
+                   starts[pick_at + 1] - starts[pick_at]);
+    if (arena != nullptr)
+        arena->release(marker);
+    return best;
 }
 
 } // namespace densim

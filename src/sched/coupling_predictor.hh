@@ -52,10 +52,14 @@ class CouplingPredictor : public Scheduler
 
   private:
     std::size_t pickWithin(const Job &job, const SchedContext &ctx,
-                           const std::vector<std::size_t> &candidates);
+                           const std::size_t *candidates,
+                           std::size_t count);
 
     double downstreamWeight_;
     bool globalSearch_;
+    // Decision-local buffer used only when the context carries no
+    // arena (hand-built test contexts).
+    std::vector<std::size_t> startsFallback_;
 };
 
 } // namespace densim

@@ -6,7 +6,7 @@ std::size_t
 HottestFirst::pick(const Job &job, const SchedContext &ctx)
 {
     (void)job;
-    return pickMaxBy(ctx, *ctx.chipTempC, 1e-9, false);
+    return pickMaxBy(ctx, ctx.chipTempC, 1e-9, false);
 }
 
 } // namespace densim

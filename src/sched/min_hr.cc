@@ -32,8 +32,8 @@ MinHr::pick(const Job &job, const SchedContext &ctx)
     for (std::size_t s : *ctx.idle) {
         if (impact_[s] > best_impact + 1e-12)
             continue;
-        if ((*ctx.chipTempC)[s] < best_temp) {
-            best_temp = (*ctx.chipTempC)[s];
+        if (ctx.chipTempC[s] < best_temp) {
+            best_temp = ctx.chipTempC[s];
             best = s;
         }
     }

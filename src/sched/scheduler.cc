@@ -9,7 +9,7 @@ namespace densim {
 namespace {
 
 std::size_t
-pickExtremeBy(const SchedContext &ctx, const std::vector<double> &key,
+pickExtremeBy(const SchedContext &ctx, const double *key,
               double tie_eps, bool random_tiebreak, bool want_max)
 {
     const auto &idle = *ctx.idle;
@@ -59,15 +59,15 @@ Scheduler::attachObs(obs::Registry &registry)
 }
 
 std::size_t
-pickMinBy(const SchedContext &ctx, const std::vector<double> &key,
-          double tie_eps, bool random_tiebreak)
+pickMinBy(const SchedContext &ctx, const double *key, double tie_eps,
+          bool random_tiebreak)
 {
     return pickExtremeBy(ctx, key, tie_eps, random_tiebreak, false);
 }
 
 std::size_t
-pickMaxBy(const SchedContext &ctx, const std::vector<double> &key,
-          double tie_eps, bool random_tiebreak)
+pickMaxBy(const SchedContext &ctx, const double *key, double tie_eps,
+          bool random_tiebreak)
 {
     return pickExtremeBy(ctx, key, tie_eps, random_tiebreak, true);
 }

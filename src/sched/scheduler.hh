@@ -29,10 +29,16 @@
 
 namespace densim {
 
+class Arena;
+struct PredictionCache;
+
 /**
  * Snapshot of simulator state offered to a policy for one decision.
- * All vectors are indexed by socket id. Pointers are non-owning and
- * valid only for the duration of the pick() call.
+ * The per-socket fields are raw pointers into the engine's flat
+ * structure-of-arrays state, indexed by socket id over [0, nSockets)
+ * — policies score candidates by scanning these arrays directly, with
+ * no per-socket accessor calls in the inner loop. Pointers are
+ * non-owning and valid only for the duration of the pick() call.
  */
 struct SchedContext
 {
@@ -54,18 +60,42 @@ struct SchedContext
     /** Idle sockets, ascending ids; never empty during pick(). */
     const std::vector<std::size_t> *idle;
 
-    const std::vector<double> *chipTempC;  //!< Instantaneous chip T.
-    const std::vector<double> *histTempC;  //!< Exponentially averaged.
-    const std::vector<double> *ambientC;   //!< Current (slow, 30 s)
-                                           //!< socket ambient field.
-    const std::vector<double> *boostCreditS; //!< Remaining boost-dwell
-                                             //!< credit per socket, s.
-    const std::vector<double> *powerW;     //!< Current socket power.
-    const std::vector<double> *freqMhz;    //!< 0 when idle.
-    const std::vector<WorkloadSet> *runningSet; //!< Valid when busy.
-    const std::vector<bool> *busy;
+    std::size_t nSockets = 0;      //!< Length of every array below.
+    const double *chipTempC;       //!< Instantaneous chip T (sensed).
+    const double *histTempC;       //!< Exponentially averaged.
+    const double *ambientC;        //!< Current (slow, 30 s) ambient.
+    const double *boostCreditS;    //!< Remaining boost-dwell credit, s.
+    const double *powerW;          //!< Current socket power.
+    const double *freqMhz;         //!< 0 when idle.
+    const WorkloadSet *runningSet; //!< Valid when busy.
+    const std::uint8_t *busy;      //!< Nonzero when busy.
+
+    /**
+     * Precomputed topo->rowOf(s) per socket, or null in hand-built
+     * test contexts (policies fall back to querying the topology).
+     * Saves a bounds-checked topology lookup per candidate in the
+     * row-local CP fast path.
+     */
+    const int *socketRow = nullptr;
 
     Rng *rng; //!< Policy-visible randomness (deterministic per run).
+
+    /**
+     * Per-epoch scratch arena for decision-local allocations
+     * (candidate lists, row tallies). Policies must bracket use with
+     * mark()/release(); may be null in hand-built test contexts, in
+     * which case policies fall back to owned buffers.
+     */
+    Arena *scratch = nullptr;
+
+    /**
+     * Engine-maintained memo for predictPlacement /
+     * downstreamPenaltyMhz (see sched/prediction.hh). Null when the
+     * schedPredictionCache knob is off — the prediction helpers then
+     * recompute everything from scratch, which is the reference
+     * behaviour the cached path is tested bit-identical against.
+     */
+    PredictionCache *cache = nullptr;
 };
 
 /** Base class for all scheduling policies. */
@@ -114,13 +144,12 @@ class Scheduler
 /**
  * Helpers shared by several policies: pick the extreme-valued idle
  * socket with deterministic (lowest-id) or random tie-breaking.
+ * @p key is a flat per-socket array (ctx.nSockets long).
  */
-std::size_t pickMinBy(const SchedContext &ctx,
-                      const std::vector<double> &key, double tie_eps,
-                      bool random_tiebreak);
-std::size_t pickMaxBy(const SchedContext &ctx,
-                      const std::vector<double> &key, double tie_eps,
-                      bool random_tiebreak);
+std::size_t pickMinBy(const SchedContext &ctx, const double *key,
+                      double tie_eps, bool random_tiebreak);
+std::size_t pickMaxBy(const SchedContext &ctx, const double *key,
+                      double tie_eps, bool random_tiebreak);
 
 } // namespace densim
 

@@ -40,6 +40,7 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
     ambMatrix_.assign(n * n, 0.0);
     impact_.assign(n, 0.0);
     downstream_.assign(n, {});
+    upstream_.assign(n, {});
 
     // Heat leaking into neighbour ducts comes out of the same-duct
     // share, so the per-source normalization is the sum of leak
@@ -96,6 +97,25 @@ CouplingMap::CouplingMap(std::vector<SocketSite> map_sites,
             ambMatrix_[from * n + to] = air * params_.wakeFactor;
             impact_[from] += air * params_.wakeFactor;
             downstream_[from].push_back(to);
+            upstream_[to].push_back(from);
+        }
+    }
+
+    // Pack the sparse downstream structure as CSR so the field
+    // kernels walk two flat arrays instead of chasing per-source
+    // vectors. Row order and in-row order match downstream_, so the
+    // packed kernels accumulate in exactly the same order as the
+    // vector-based ones (bit-identical fields).
+    dsOff_.assign(n + 1, 0);
+    for (std::size_t from = 0; from < n; ++from)
+        dsOff_[from + 1] = dsOff_[from] + downstream_[from].size();
+    dsIdx_.reserve(dsOff_[n]);
+    dsAmb_.reserve(dsOff_[n]);
+    for (std::size_t from = 0; from < n; ++from) {
+        const double *row = &ambMatrix_[from * n];
+        for (std::size_t to : downstream_[from]) {
+            dsIdx_.push_back(to);
+            dsAmb_.push_back(row[to]);
         }
     }
 }
@@ -221,18 +241,35 @@ CouplingMap::ambientTemps(const std::vector<double> &powers_w,
         panic("CouplingMap::ambientTemps: ", powers_w.size(),
               " powers for ", sites_.size(), " sockets");
     const std::size_t n = sites_.size();
-    std::vector<double> temps(n, inlet.value());
+    std::vector<double> temps(n);
+    ambientTempsInto(temps.data(), n, powers_w.data(), inlet);
+    return temps;
+}
+
+void
+CouplingMap::ambientTempsInto(double *out_c, std::size_t n,
+                              const double *powers_w,
+                              Celsius inlet) const
+{
+    if (n != sites_.size())
+        panic("CouplingMap::ambientTempsInto: ", n, " temps for ",
+              sites_.size(), " sockets");
+    const double inlet_c = inlet.value();
+    for (std::size_t i = 0; i < n; ++i)
+        out_c[i] = inlet_c;
+    const std::size_t *idx = dsIdx_.data();
+    const double *amb = dsAmb_.data();
     for (std::size_t j = 0; j < n; ++j) {
         const double p = powers_w[j];
         if (p == 0.0)
             continue;
-        const double *row = &ambMatrix_[j * n];
-        for (std::size_t i : downstream_[j])
-            temps[i] += row[i] * p;
+        const std::size_t end = dsOff_[j + 1];
+        for (std::size_t k = dsOff_[j]; k < end; ++k)
+            out_c[idx[k]] += amb[k] * p;
     }
+    const double kappa = params_.kappaLocal;
     for (std::size_t i = 0; i < n; ++i)
-        temps[i] += params_.kappaLocal * powers_w[i];
-    return temps;
+        out_c[i] += kappa * powers_w[i];
 }
 
 void
@@ -248,9 +285,11 @@ CouplingMap::applyPowerDelta(std::vector<double> &temps,
     const double dp = new_p - old_p;
     if (dp == 0.0)
         return;
-    const double *row = &ambMatrix_[socket * n];
-    for (std::size_t i : downstream_[socket])
-        temps[i] += row[i] * dp;
+    const std::size_t *idx = dsIdx_.data() + dsOff_[socket];
+    const double *amb = dsAmb_.data() + dsOff_[socket];
+    const std::size_t count = dsOff_[socket + 1] - dsOff_[socket];
+    for (std::size_t k = 0; k < count; ++k)
+        temps[idx[k]] += amb[k] * dp;
     temps[socket] += params_.kappaLocal * dp;
 }
 
@@ -308,6 +347,13 @@ CouplingMap::downstream(std::size_t from) const
 {
     checkIndex(from);
     return downstream_[from];
+}
+
+const std::vector<std::size_t> &
+CouplingMap::upstream(std::size_t to) const
+{
+    checkIndex(to);
+    return upstream_[to];
 }
 
 } // namespace densim

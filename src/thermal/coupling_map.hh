@@ -147,6 +147,17 @@ class CouplingMap
     std::vector<double> ambientTemps(const std::vector<double> &powers_w,
                                      Celsius inlet) const;
 
+    /**
+     * Allocation-free form of ambientTemps(): evaluate the whole
+     * ambient field in one flat pass over the packed (CSR) coupling
+     * coefficients into caller-owned storage. Bit-identical to
+     * ambientTemps() — same traversal order, same accumulation order —
+     * so the engine's batched refresh path and the legacy vector form
+     * are interchangeable.
+     */
+    void ambientTempsInto(double *out_c, std::size_t n,
+                          const double *powers_w, Celsius inlet) const;
+
     /** Ambient temperature of one socket. */
     Celsius ambientTemp(std::size_t i,
                         const std::vector<double> &powers_w,
@@ -174,6 +185,35 @@ class CouplingMap
     /** Indices of sockets strictly downstream of @p from. */
     const std::vector<std::size_t> &
     downstream(std::size_t from) const;
+
+    /**
+     * Indices of sockets strictly upstream of @p to — the transpose of
+     * downstream(). A power change at any of these moves @p to's
+     * ambient; the scheduler prediction cache invalidates along these
+     * edges.
+     */
+    const std::vector<std::size_t> &upstream(std::size_t to) const;
+
+    /** Number of sockets strictly downstream of @p from (CSR row). */
+    std::size_t downstreamCount(std::size_t from) const
+    {
+        return dsOff_[from + 1] - dsOff_[from];
+    }
+
+    /** Packed downstream indices of @p from (downstreamCount long). */
+    const std::size_t *downstreamIds(std::size_t from) const
+    {
+        return dsIdx_.data() + dsOff_[from];
+    }
+
+    /**
+     * Packed ambient coefficients aligned with downstreamIds(from):
+     * downstreamAmbCoeffs(from)[k] == coeff(from, downstreamIds(from)[k]).
+     */
+    const double *downstreamAmbCoeffs(std::size_t from) const
+    {
+        return dsAmb_.data() + dsOff_[from];
+    }
 
     /**
      * Assert the first-law envelope of an ambient field produced from
@@ -204,6 +244,12 @@ class CouplingMap
     std::vector<double> ambMatrix_; //!< coeff[from * n + to].
     std::vector<double> impact_;    //!< downstream impact per socket.
     std::vector<std::vector<std::size_t>> downstream_;
+    std::vector<std::vector<std::size_t>> upstream_;
+    // CSR packing of the sparse downstream structure for the flat-pass
+    // field kernels: row `from` spans [dsOff_[from], dsOff_[from+1]).
+    std::vector<std::size_t> dsOff_;
+    std::vector<std::size_t> dsIdx_;
+    std::vector<double> dsAmb_;
 };
 
 } // namespace densim

@@ -13,6 +13,8 @@
 #ifndef DENSIM_THERMAL_TRANSIENT_HH
 #define DENSIM_THERMAL_TRANSIENT_HH
 
+#include <cstddef>
+
 namespace densim {
 
 /**
@@ -51,6 +53,30 @@ class FirstOrderTracker
  * tracker against the closed form.
  */
 double responseFraction(double dt_seconds, double tau_seconds);
+
+/**
+ * Advance a whole bank of first-order trackers that share one time
+ * constant: values[i] += (targets[i] - values[i]) * response_fraction.
+ *
+ * This is the SoA form of FirstOrderTracker::step for the engine's
+ * per-socket banks (ambient, chip rise, history), where every tracker
+ * in a bank has the same tau and sees the same dt. Computing the
+ * response fraction once per bank (instead of one exp() per socket)
+ * is bit-identical to stepping each tracker individually because the
+ * per-element update is literally the same expression with the same
+ * operand values.
+ *
+ * @param response_fraction responseFraction(dt, tau) for the bank.
+ */
+void firstOrderStepBatch(double *values, const double *targets,
+                         std::size_t n, double response_fraction);
+
+/**
+ * Same as firstOrderStepBatch with a single shared target — used for
+ * banks relaxing toward one field value (e.g. warm-start settling).
+ */
+void firstOrderStepBatchUniform(double *values, double target,
+                                std::size_t n, double response_fraction);
 
 } // namespace densim
 

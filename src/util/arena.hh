@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Per-epoch bump allocator for hot-path scratch memory.
+ *
+ * The engine's inner loops (thermalStep's batched chip-rise targets,
+ * the CP scheduler's candidate lists, timeline sampling) need small
+ * transient arrays every epoch. Allocating them from the heap costs a
+ * malloc/free pair per epoch — and, worse, makes steady-state
+ * allocation behaviour nondeterministic. Arena replaces those with
+ * pointer bumps inside a pre-reserved block.
+ *
+ * Lifetime rules (DESIGN.md Sec. 12):
+ *  - Every user brackets its scratch with mark()/release(); nesting is
+ *    allowed as long as releases unwind in LIFO order.
+ *  - Pointers obtained from alloc() are invalid after the matching
+ *    release() (or reset()); nothing long-lived may point into the
+ *    arena.
+ *  - The owner pre-reserves capacity once (reserve()); any growth
+ *    afterwards increments stats().growths, which the engine asserts
+ *    to be zero each epoch under DENSIM_CHECKS — the steady-state
+ *    zero-heap-allocation contract.
+ *
+ * Growth is still correct when it happens (a fresh block is chained;
+ * live allocations are never moved or invalidated), so an undersized
+ * reserve degrades to a perf bug caught by the stats counter, not a
+ * correctness bug.
+ */
+
+#ifndef DENSIM_UTIL_ARENA_HH
+#define DENSIM_UTIL_ARENA_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace densim {
+
+/** Chained-block bump allocator with LIFO mark/release. */
+class Arena
+{
+  public:
+    /** Position cookie returned by mark() and consumed by release(). */
+    struct Marker
+    {
+        std::size_t block;
+        std::size_t offset;
+    };
+
+    /** Allocation statistics — the zero-heap-per-epoch evidence. */
+    struct Stats
+    {
+        std::size_t capacityBytes = 0;  //!< Total reserved capacity.
+        std::size_t highWaterBytes = 0; //!< Peak concurrently live.
+        std::uint64_t allocCalls = 0;   //!< Total alloc() calls.
+        std::uint64_t growths = 0;      //!< Blocks added after reserve.
+    };
+
+    Arena() = default;
+
+    explicit Arena(std::size_t capacity_bytes) { reserve(capacity_bytes); }
+
+    /**
+     * Ensure at least @p bytes of contiguous capacity and rewind to
+     * empty. Called once per run from resetState; does not count as a
+     * growth.
+     */
+    void reserve(std::size_t bytes)
+    {
+        blocks_.clear();
+        cur_ = 0;
+        off_ = 0;
+        base_ = 0;
+        stats_ = Stats{};
+        if (bytes > 0)
+            addBlock(bytes, /*is_growth=*/false);
+    }
+
+    /** Current position; allocations after it die at release(). */
+    Marker mark() const { return Marker{cur_, off_}; }
+
+    /** Unwind to @p m, freeing (logically) everything allocated since. */
+    void release(Marker m)
+    {
+        cur_ = m.block;
+        off_ = m.offset;
+        base_ = 0;
+        for (std::size_t b = 0; b < cur_; ++b)
+            base_ += blocks_[b].size;
+    }
+
+    /** Rewind to empty without touching reserved capacity. */
+    void reset()
+    {
+        cur_ = 0;
+        off_ = 0;
+        base_ = 0;
+    }
+
+    /**
+     * Allocate @p count default-constructible T's, 16-byte aligned.
+     * The memory is uninitialized.
+     */
+    template <typename T>
+    T *alloc(std::size_t count)
+    {
+        static_assert(alignof(T) <= kAlign, "over-aligned type");
+        const std::size_t bytes = alignUp(count * sizeof(T));
+        ++stats_.allocCalls;
+        if (blocks_.empty() || off_ + bytes > blocks_[cur_].size)
+            grow(bytes);
+        T *out = reinterpret_cast<T *>(blocks_[cur_].data.get() + off_);
+        off_ += bytes;
+        const std::size_t live = base_ + off_;
+        if (live > stats_.highWaterBytes)
+            stats_.highWaterBytes = live;
+        return out;
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    static constexpr std::size_t kAlign = 16;
+
+    static std::size_t alignUp(std::size_t bytes)
+    {
+        return (bytes + (kAlign - 1)) & ~(kAlign - 1);
+    }
+
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void addBlock(std::size_t bytes, bool is_growth)
+    {
+        Block b;
+        b.size = alignUp(bytes);
+        b.data = std::make_unique<std::byte[]>(b.size);
+        blocks_.push_back(std::move(b));
+        stats_.capacityBytes += blocks_.back().size;
+        if (is_growth)
+            ++stats_.growths;
+    }
+
+    void grow(std::size_t bytes)
+    {
+        // Advance into the next existing block with room, if any
+        // (release() may have rewound past blocks added earlier).
+        while (cur_ + 1 < blocks_.size()) {
+            base_ += blocks_[cur_].size;
+            ++cur_;
+            off_ = 0;
+            if (bytes <= blocks_[cur_].size)
+                return;
+        }
+        const std::size_t last =
+            blocks_.empty() ? 0 : blocks_.back().size;
+        addBlock(std::max(bytes, std::max<std::size_t>(last * 2, 256)),
+                 /*is_growth=*/true);
+        if (blocks_.size() > 1) {
+            base_ += blocks_[cur_].size;
+            ++cur_;
+        }
+        off_ = 0;
+    }
+
+    std::vector<Block> blocks_;
+    std::size_t cur_ = 0;  //!< Block currently bump-allocated from.
+    std::size_t off_ = 0;  //!< Offset within the current block.
+    std::size_t base_ = 0; //!< Bytes in blocks before cur_.
+    Stats stats_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_UTIL_ARENA_HH

@@ -7,6 +7,7 @@
  */
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +151,228 @@ TEST(PerfEquivalence, ObservabilityIsBitIdentical)
     EXPECT_EQ(ma.front.workDone, mb.front.workDone);
     EXPECT_EQ(ma.back.workDone, mb.back.workDone);
     EXPECT_EQ(ma.even.workDone, mb.even.workDone);
+}
+
+// ----------------------------------------------------- golden seeds
+
+/**
+ * Pre-SoA-refactor SimMetrics captured from the seed engine (hex
+ * float literals, so the expected values round-trip exactly). The
+ * SoA hot paths — flat state arrays, the feasibility ladder, the
+ * fused scoring context, the epoch arena — are all claimed to be
+ * *exact* rewrites, so the refactored engine must reproduce these
+ * numbers for every scheduler, with faults armed, and with
+ * migration on.
+ */
+struct GoldenRow
+{
+    const char *name;
+    std::size_t jobsArrived, jobsCompleted, jobsUnfinished, migrations;
+    double energyJ, makespanS, totalWork, totalBusyTime, totalFreqTime,
+        boostTimeS, maxChipTempC, runtimeExpansion, serviceExpansion,
+        queueDelayS, chipTempC;
+};
+
+constexpr GoldenRow kGoldens[] = {
+    {"CF", 9647, 7241, 0, 0,
+     0x1.5542ba6fa8c35p+9, 0x1.11e9161e38482p+1,
+     0x1.7064ff552a54dp+5, 0x1.51945ef131924p+5,
+     0x1.2917ec1050151p+5, 0x1.dc24800af28e5p+4,
+     0x1.80365f643ae5dp+6, 0x1.01e3e9624cfb8p+0,
+     0x1.d2131ef92788ep-1, 0x1.8dbc5a193e07ap-14,
+     0x1.50b2678f70475p+6},
+    {"HF", 9647, 7241, 0, 0,
+     0x1.4f8e6a7f8c2bep+9, 0x1.0dfeb3f563588p+1,
+     0x1.71093a010d1c7p+5, 0x1.5d68d26bd1759p+5,
+     0x1.27541e3fd8ddp+5, 0x1.a1207ed6e2b52p+4,
+     0x1.8a3b47fa03eb9p+6, 0x1.05eceee97d77p+0,
+     0x1.de49f48d9d6e9p-1, 0x1.2a20246a56abcp-14,
+     0x1.5205e2c98bb88p+6},
+    {"Random", 9647, 7241, 0, 0,
+     0x1.517ad3414c87ep+9, 0x1.0df6634acec3bp+1,
+     0x1.707e015d19d21p+5, 0x1.56603a02ab7d1p+5,
+     0x1.28377a638ee4p+5, 0x1.b99e1cfa3e665p+4,
+     0x1.8627510d61c4fp+6, 0x1.023c08ef6505cp+0,
+     0x1.d8859499a6314p-1, 0x1.41d8628865a42p-14,
+     0x1.4c873e1b2dda6p+6},
+    {"MinHR", 9647, 7241, 0, 0,
+     0x1.4f460606b2fbep+9, 0x1.0dfb92749bdeep+1,
+     0x1.7106b95c5cd72p+5, 0x1.5d75b216f93c5p+5,
+     0x1.274f0560a0e35p+5, 0x1.a07a082d12131p+4,
+     0x1.8854998e8f1c8p+6, 0x1.09e3030b96a59p+0,
+     0x1.dcfe95e88faefp-1, 0x1.59ff1ab31092ap-14,
+     0x1.506690d2212e4p+6},
+    {"CN", 9647, 7241, 0, 0,
+     0x1.546a02966547fp+9, 0x1.0eb46cbf9ea2p+1,
+     0x1.703897815cc25p+5, 0x1.508c33f5cf649p+5,
+     0x1.29217a7e9bd1fp+5, 0x1.de89eac573f1ap+4,
+     0x1.83d362e9bddccp+6, 0x1.039dc72cb539ep+0,
+     0x1.d3524d8497251p-1, 0x1.65c8e359bcbc9p-14,
+     0x1.5118b1ced9f51p+6},
+    {"Balanced", 9647, 7241, 0, 0,
+     0x1.546a5c8499da9p+9, 0x1.110817335dcdfp+1,
+     0x1.707a2714c4284p+5, 0x1.526785e2f61b8p+5,
+     0x1.29020d88382ebp+5, 0x1.dae853bb09f6cp+4,
+     0x1.815c8f75993c7p+6, 0x1.007739256d118p+0,
+     0x1.d63ed66f9b6a2p-1, 0x1.233bf7960c76bp-14,
+     0x1.50ee5ac29db56p+6},
+    {"Balanced-L", 9647, 7241, 0, 0,
+     0x1.53dfdfce483b1p+9, 0x1.0dfeb3f563588p+1,
+     0x1.70c5d725c6c98p+5, 0x1.524540fdc78ffp+5,
+     0x1.295420e0a6669p+5, 0x1.d7a564aa6c784p+4,
+     0x1.833b125ba29cep+6, 0x1.09a6eba0b6e71p+0,
+     0x1.d507f8fa156f6p-1, 0x1.c2f859774ab9fp-14,
+     0x1.53014b714f283p+6},
+    {"A-Random", 9647, 7241, 0, 0,
+     0x1.543d7c825ef51p+9, 0x1.0dfe9dcdd6b36p+1,
+     0x1.705f82776859p+5, 0x1.511e3642a0ad1p+5,
+     0x1.292a767861e77p+5, 0x1.deb4a2d12d0f2p+4,
+     0x1.7e626d96f2a07p+6, 0x1.021d75735289cp+0,
+     0x1.d27969a3bd036p-1, 0x1.6aebf88a9383p-14,
+     0x1.50c2cd314692ep+6},
+    {"Predictive", 9647, 7241, 0, 0,
+     0x1.54a6c66734595p+9, 0x1.0ed68a6e131c4p+1,
+     0x1.707fd78d3b77ap+5, 0x1.5013a55b51c2p+5,
+     0x1.2980aabd00183p+5, 0x1.e5bf5915c9324p+4,
+     0x1.7c0ec74fa52f3p+6, 0x1.04207565ffc2bp+0,
+     0x1.d09e520d7914bp-1, 0x1.9d7600aaac7c7p-14,
+     0x1.528311c1e03cp+6},
+    {"CP", 9647, 7241, 0, 0,
+     0x1.5150671913124p+9, 0x1.0df6634acec3bp+1,
+     0x1.707a1869b6192p+5, 0x1.5841e57c54868p+5,
+     0x1.27d1d09e98075p+5, 0x1.a9b800e2e93bp+4,
+     0x1.88443b2ec411cp+6, 0x1.03bc2f278daap+0,
+     0x1.df78eff921406p-1, 0x1.14d237b07ee33p-14,
+     0x1.4f60b54c466f5p+6},
+    {"CP+faults", 9647, 7241, 0, 0,
+     0x1.6d83f20f75ab6p+9, 0x1.4fd04652ef671p+1,
+     0x1.70dc663ca7c5ap+5, 0x1.522961dbb0d73p+5,
+     0x1.29702d07e6b31p+5, 0x1.b2ba505cb5e5p+4,
+     0x1.c7a3b17d13dafp+6, 0x1.1a46712a096ddp+8,
+     0x1.d6425ff66ea98p-1, 0x1.dccb69f262778p-3,
+     0x1.61a70ec568e16p+6},
+    {"CP+migration", 9647, 7241, 0, 7,
+     0x1.50ff3d8c0a83p+9, 0x1.0dfe9dcdd6b36p+1,
+     0x1.7096c471e73fdp+5, 0x1.5895daf80bbbcp+5,
+     0x1.27dd3a1fe50fep+5, 0x1.a8a524282d1d7p+4,
+     0x1.88610aa666b29p+6, 0x1.0957820ea96abp+0,
+     0x1.df215b77feab5p-1, 0x1.75716686c338dp-14,
+     0x1.4eb75639a664bp+6},
+};
+
+/** Build the scenario config for a golden row from its name. */
+SimConfig
+goldenConfig(const char *name)
+{
+    SimConfig config = diffConfig();
+    if (std::string(name) == "CP+faults") {
+        config.fault.fanFailS = 0.8;
+        config.fault.fanSpeedFrac = 0.3;
+        config.fault.fanRecoverS = 1.5;
+        config.fault.sensorStuckAtS = 0.9;
+        config.fault.socketFailS = 1.0;
+        config.fault.socketRecoverS = 1.6;
+    } else if (std::string(name) == "CP+migration") {
+        config.migrationEnabled = true;
+    }
+    return config;
+}
+
+const char *
+goldenScheduler(const char *name)
+{
+    return std::string(name).rfind("CP", 0) == 0 ? "CP" : name;
+}
+
+TEST(PerfEquivalence, GoldenMetricsMatchPreRefactorSeed)
+{
+    for (const GoldenRow &g : kGoldens) {
+        SCOPED_TRACE(g.name);
+        DenseServerSim sim(goldenConfig(g.name),
+                           makeScheduler(goldenScheduler(g.name)));
+        const SimMetrics m = sim.run();
+        EXPECT_EQ(m.jobsArrived, g.jobsArrived);
+        EXPECT_EQ(m.jobsCompleted, g.jobsCompleted);
+        EXPECT_EQ(m.jobsUnfinished, g.jobsUnfinished);
+        EXPECT_EQ(m.migrations, g.migrations);
+        expectNearRel(m.energyJ, g.energyJ, "energy");
+        expectNearRel(m.makespanS, g.makespanS, "makespan");
+        expectNearRel(m.totalWork, g.totalWork, "total work");
+        expectNearRel(m.totalBusyTime, g.totalBusyTime, "busy time");
+        expectNearRel(m.totalFreqTime, g.totalFreqTime, "freq time");
+        expectNearRel(m.boostTimeS, g.boostTimeS, "boost time");
+        expectNearRel(m.maxChipTempC, g.maxChipTempC, "max chip temp");
+        expectNearRel(m.runtimeExpansion.mean(), g.runtimeExpansion,
+                      "runtime expansion");
+        expectNearRel(m.serviceExpansion.mean(), g.serviceExpansion,
+                      "service expansion");
+        expectNearRel(m.queueDelayS.mean(), g.queueDelayS,
+                      "queue delay");
+        expectNearRel(m.chipTempC.mean(), g.chipTempC, "chip temp");
+    }
+}
+
+TEST(PerfEquivalence, PredictionCacheIsBitIdentical)
+{
+    // The prediction cache (placement/penalty memos, the feasibility
+    // ladder, and the fast-path snapshot) returns cached values
+    // verbatim, so disabling it must change nothing at all —
+    // EXPECT_EQ on doubles, including with faults armed (where the
+    // exact-DVFS prune turns itself off) and with migration on.
+    for (const GoldenRow &g : kGoldens) {
+        if (std::string(g.name).rfind("CP", 0) != 0)
+            continue; // Only CP exercises the penalty paths.
+        SCOPED_TRACE(g.name);
+        SimConfig cached = goldenConfig(g.name);
+        SimConfig uncached = cached;
+        uncached.schedPredictionCache = false;
+
+        DenseServerSim a(cached, makeScheduler("CP"));
+        DenseServerSim b(uncached, makeScheduler("CP"));
+        const SimMetrics ma = a.run();
+        const SimMetrics mb = b.run();
+        EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+        EXPECT_EQ(ma.jobsCompleted, mb.jobsCompleted);
+        EXPECT_EQ(ma.migrations, mb.migrations);
+        EXPECT_EQ(ma.energyJ, mb.energyJ);
+        EXPECT_EQ(ma.makespanS, mb.makespanS);
+        EXPECT_EQ(ma.totalWork, mb.totalWork);
+        EXPECT_EQ(ma.totalBusyTime, mb.totalBusyTime);
+        EXPECT_EQ(ma.totalFreqTime, mb.totalFreqTime);
+        EXPECT_EQ(ma.boostTimeS, mb.boostTimeS);
+        EXPECT_EQ(ma.maxChipTempC, mb.maxChipTempC);
+        EXPECT_EQ(ma.runtimeExpansion.mean(),
+                  mb.runtimeExpansion.mean());
+        EXPECT_EQ(ma.serviceExpansion.mean(),
+                  mb.serviceExpansion.mean());
+        EXPECT_EQ(ma.queueDelayS.mean(), mb.queueDelayS.mean());
+        EXPECT_EQ(ma.chipTempC.mean(), mb.chipTempC.mean());
+    }
+}
+
+TEST(PerfEquivalence, AmbientBatchCrossoverStaysClose)
+{
+    // The batched ambient-target refresh is a documented tolerance
+    // mode (like the quantized DVFS memo): when enough sockets are
+    // dirty it recomputes the whole field from busy sums instead of
+    // applying per-socket deltas, reordering float accumulation.
+    // Results must stay close, not identical.
+    SimConfig exact = diffConfig();
+    SimConfig batched = diffConfig();
+    batched.ambientBatchFrac = 0.05; // Batch aggressively.
+
+    DenseServerSim a(exact, makeScheduler("CP"));
+    DenseServerSim b(batched, makeScheduler("CP"));
+    const SimMetrics ma = a.run();
+    const SimMetrics mb = b.run();
+    EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+    EXPECT_NEAR(ma.jobsCompleted, mb.jobsCompleted,
+                0.05 * ma.jobsCompleted);
+    EXPECT_NEAR(ma.runtimeExpansion.mean(), mb.runtimeExpansion.mean(),
+                0.05 * ma.runtimeExpansion.mean());
+    EXPECT_NEAR(ma.energyJ, mb.energyJ, 0.05 * ma.energyJ);
+    EXPECT_NEAR(ma.maxChipTempC, mb.maxChipTempC,
+                0.05 * ma.maxChipTempC);
 }
 
 // ------------------------------------------------------- event heap

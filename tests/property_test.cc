@@ -193,7 +193,7 @@ TEST(PolicyFuzz, AllPoliciesValidOnRandomStates)
                 power(n), freq(n);
             std::vector<WorkloadSet> sets(n,
                                           WorkloadSet::Computation);
-            std::vector<bool> busy(n);
+            std::vector<std::uint8_t> busy(n);
             std::vector<std::size_t> idle;
             for (std::size_t s = 0; s < n; ++s) {
                 busy[s] = rng.bernoulli(0.6);
@@ -218,14 +218,15 @@ TEST(PolicyFuzz, AllPoliciesValidOnRandomStates)
             ctx.leak = &LeakageModel::x2150();
             ctx.inletC = 18.0;
             ctx.idle = &idle;
-            ctx.chipTempC = &chip;
-            ctx.histTempC = &hist;
-            ctx.ambientC = &amb;
-            ctx.boostCreditS = &credit;
-            ctx.powerW = &power;
-            ctx.freqMhz = &freq;
-            ctx.runningSet = &sets;
-            ctx.busy = &busy;
+            ctx.nSockets = n;
+            ctx.chipTempC = chip.data();
+            ctx.histTempC = hist.data();
+            ctx.ambientC = amb.data();
+            ctx.boostCreditS = credit.data();
+            ctx.powerW = power.data();
+            ctx.freqMhz = freq.data();
+            ctx.runningSet = sets.data();
+            ctx.busy = busy.data();
             ctx.rng = &rng;
 
             Job job{0, 0, WorkloadSet::Computation, 0.0,

@@ -75,14 +75,15 @@ class SchedFixture : public ::testing::Test
         ctx.leak = &LeakageModel::x2150();
         ctx.inletC = 18.0;
         ctx.idle = &idle_;
-        ctx.chipTempC = &chip_;
-        ctx.histTempC = &hist_;
-        ctx.ambientC = &ambient_;
-        ctx.boostCreditS = &credit_;
-        ctx.powerW = &power_;
-        ctx.freqMhz = &freq_;
-        ctx.runningSet = &set_;
-        ctx.busy = &busy_;
+        ctx.nSockets = topo_.numSockets();
+        ctx.chipTempC = chip_.data();
+        ctx.histTempC = hist_.data();
+        ctx.ambientC = ambient_.data();
+        ctx.boostCreditS = credit_.data();
+        ctx.powerW = power_.data();
+        ctx.freqMhz = freq_.data();
+        ctx.runningSet = set_.data();
+        ctx.busy = busy_.data();
         ctx.rng = &rng_;
         return ctx;
     }
@@ -106,7 +107,7 @@ class SchedFixture : public ::testing::Test
     std::vector<std::size_t> idle_;
     std::vector<double> chip_, hist_, ambient_, credit_, power_, freq_;
     std::vector<WorkloadSet> set_;
-    std::vector<bool> busy_;
+    std::vector<std::uint8_t> busy_;
 };
 
 TEST_F(SchedFixture, FactoryKnowsAllPaperNames)
@@ -419,9 +420,9 @@ TEST_F(SchedFixture, PickHelpersTieBreakDeterministically)
     auto ctx = context();
     std::vector<double> key(topo_.numSockets(), 1.0);
     key[99] = 0.5;
-    EXPECT_EQ(pickMinBy(ctx, key, 1e-9, false), 99u);
+    EXPECT_EQ(pickMinBy(ctx, key.data(), 1e-9, false), 99u);
     key[99] = 2.0;
-    EXPECT_EQ(pickMaxBy(ctx, key, 1e-9, false), 99u);
+    EXPECT_EQ(pickMaxBy(ctx, key.data(), 1e-9, false), 99u);
 }
 
 TEST_F(SchedFixture, PickHelperRandomTieBreakSpreads)
@@ -430,7 +431,7 @@ TEST_F(SchedFixture, PickHelperRandomTieBreakSpreads)
     const std::vector<double> key(topo_.numSockets(), 1.0);
     std::vector<bool> seen(topo_.numSockets(), false);
     for (int i = 0; i < 1000; ++i)
-        seen[pickMinBy(ctx, key, 1e-9, true)] = true;
+        seen[pickMinBy(ctx, key.data(), 1e-9, true)] = true;
     std::size_t covered = 0;
     for (bool b : seen)
         covered += b;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs benchmark by benchmark.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Both inputs are files produced by
+`micro_kernels --benchmark_format=json --benchmark_out=FILE` (or the
+same JSON captured from stdout). The script prints a per-benchmark
+delta table (baseline time, candidate time, delta %) and exits
+nonzero when any benchmark present in both files regressed by more
+than --threshold percent (default 10). Benchmarks present in only one
+file are listed but never gate.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Return {name: (real_time, time_unit)} from a benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev from --benchmark_repetitions).
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        if name is None or "real_time" not in row:
+            continue
+        out[name] = (float(row["real_time"]), row.get("time_unit", "ns"))
+    return out
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * UNIT_NS.get(unit, 1.0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a benchmark slows down by more than PCT%% "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    if not base or not cand:
+        print("bench_diff: no benchmark rows found", file=sys.stderr)
+        return 2
+
+    shared = [n for n in base if n in cand]
+    only_base = sorted(n for n in base if n not in cand)
+    only_cand = sorted(n for n in cand if n not in base)
+
+    width = max((len(n) for n in shared), default=9)
+    width = max(width, len("benchmark"))
+    header = "{:<{w}}  {:>12}  {:>12}  {:>8}".format(
+        "benchmark", "base", "cand", "delta", w=width
+    )
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name in shared:
+        b_ns = to_ns(*base[name])
+        c_ns = to_ns(*cand[name])
+        delta = (c_ns - b_ns) / b_ns * 100.0 if b_ns > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(
+            "{:<{w}}  {:>10.1f}ns  {:>10.1f}ns  {:>+7.1f}%{}".format(
+                name, b_ns, c_ns, delta, flag, w=width
+            )
+        )
+
+    for name in only_base:
+        print("{:<{w}}  {:>12}  {:>12}".format(name, "(removed)", "-", w=width))
+    for name in only_cand:
+        print("{:<{w}}  {:>12}  {:>12}".format(name, "-", "(new)", w=width))
+
+    if regressions:
+        print(
+            "\nbench_diff: {} benchmark(s) regressed more than {:.1f}%:".format(
+                len(regressions), args.threshold
+            ),
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print("  {}  +{:.1f}%".format(name, delta), file=sys.stderr)
+        return 1
+    print("\nbench_diff: no regression beyond {:.1f}%".format(args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,11 @@
 #             strictly, and a keep-going sweep with a deliberately bad
 #             cell that must finish the rest, exit nonzero, and emit a
 #             strict summary JSON (DESIGN.md Sec. 11)
+#   bench     opt-in (never in the default matrix): Release build,
+#             one short pass of micro_kernels with JSON output, and a
+#             strict parse of that JSON — rot protection for the
+#             benches, with no perf gating (compare runs locally with
+#             tools/bench_diff.py)
 #
 # The units negative-compile harness (tests/compile_fail/) runs at
 # configure time of every stage, so each build below also proves the
@@ -162,6 +167,35 @@ print(f"fault smoke: sweep summary {doc['completed']}/{doc['total']} "
 EOF
 }
 
+stage_bench() {
+    # Opt-in rot protection for the microbenchmarks (not in the
+    # default matrix): Release build, one short pass of every bench,
+    # and a strict parse of the JSON output. No timing is gated —
+    # CI machines are too noisy for that; use tools/bench_diff.py
+    # locally to compare two runs.
+    configure build-bench -DCMAKE_BUILD_TYPE=Release
+    build build-bench
+    local out="build-bench/bench-smoke"
+    mkdir -p "$out"
+    ./build-bench/bench/micro_kernels --benchmark_format=json \
+        --benchmark_min_time=0.01 > "$out/micro_kernels.json"
+    python3 - "$out/micro_kernels.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc.get("benchmarks", [])
+assert rows, "micro_kernels emitted no benchmark rows"
+names = {r["name"] for r in rows}
+for required in ("BM_SimulatedServerSecond",
+                 "BM_SchedulerDecisionBatch/2"):
+    assert required in names, f"{required} missing from {sorted(names)}"
+print(f"bench smoke: {len(rows)} benchmarks ran and parsed")
+EOF
+    # The diff tool itself must keep working: identical inputs never
+    # regress, so this exercises parse + compare + exit-code logic.
+    python3 tools/bench_diff.py "$out/micro_kernels.json" \
+        "$out/micro_kernels.json" > /dev/null
+}
+
 stage_lint() {
     # The custom densim lint bank needs only python3 + a compiler;
     # it runs (and gates) even where clang-tidy is unavailable.
@@ -183,7 +217,7 @@ fi
 
 for stage in "${stages[@]}"; do
     case "$stage" in
-        plain|asan|tsan|paranoid|obs|fault|lint) ;;
+        plain|asan|tsan|paranoid|obs|fault|lint|bench) ;;
         *)
             echo "check.sh: unknown stage '$stage'" >&2
             exit 2
