@@ -119,7 +119,7 @@ DenseServerSim::DenseServerSim(const SimConfig &sim_config,
     fastestMhz_ = table.fastest().freqMhz;
 
     faultsEnabled_ = config_.fault.enabled();
-    faultState_.configure(config_.fault, config_.tLimitC);
+    faultState_.configure(config_.fault, config_.tLimit());
     faultTimeline_ = FaultTimeline(config_.fault, n, config_.seed);
 
     registerObs();
@@ -546,7 +546,8 @@ DenseServerSim::thermalStep(double dt)
             }
             if (faultsEnabled_) {
                 sensed = faultState_.schedSensedC(
-                    s, sensed, sensedTempC_[s], faultRng_);
+                    s, Celsius(sensed), Celsius(sensedTempC_[s]),
+                    faultRng_);
             }
             sensedTempC_[s] = sensed;
         }
@@ -579,8 +580,8 @@ DenseServerSim::chooseDvfs(std::size_t socket, WorkloadSet set,
     if (faultsEnabled_) {
         if (faultState_.sensorMode(socket) == SensorMode::Dropout)
             fcount_.dropoutFallbacks->inc();
-        ambient_c =
-            faultState_.dvfsAmbientC(socket, ambient_c, faultRng_);
+        ambient_c = faultState_.dvfsAmbientC(socket, Celsius(ambient_c),
+                                             faultRng_);
     }
     const Celsius ambient{ambient_c};
     if (const DvfsDecision *hit = dvfsMemo_.lookup(
@@ -690,16 +691,6 @@ void
 DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
                               double power_w, double now)
 {
-    busySumsRemove(socket);
-    pstate_[socket] = new_pstate;
-    boostFlag_[socket] = boostByPstate_[new_pstate];
-    freqMhz_[socket] = freqByPstate_[new_pstate];
-    if (powerW_[socket] != power_w) {
-        totalPowerW_ -= powerW_[socket];
-        powerW_[socket] = power_w;
-        totalPowerW_ += power_w;
-        markPowerDirty(socket);
-    }
     // Progress is measured in nominal (highest-sustained-frequency)
     // seconds: boost states advance a job faster than 1x. This is the
     // design point of the SUT — 100% load is exactly sustainable at
@@ -709,10 +700,35 @@ DenseServerSim::setSocketRate(std::size_t socket, std::size_t new_pstate,
         curve.perfRel[new_pstate] / curve.perfRel[sustainedIdx_];
     if (rate <= 0.0)
         panic("socket ", socket, " has non-positive progress rate");
+    const double rel = relFreqByPstate_[new_pstate];
+    const char boost = boostByPstate_[new_pstate] ? 1 : 0;
+    // Skip the busy-sum remove/add round-trip when the socket is
+    // already summed with bitwise-identical contributions — the
+    // common case of powerManage confirming last epoch's decision.
+    // Exact because the skip can only trigger inside powerManage
+    // (every other caller places onto a socket that is not yet in the
+    // sums), and powerManage rebuilds the sums from scratch before
+    // they are next read (rebuildScalars).
+    const bool resum = !(config_.busySumSkip && inBusySums_[socket] &&
+                         contribRate_[socket] == rate &&
+                         contribRel_[socket] == rel &&
+                         contribBoost_[socket] == boost);
+    if (resum)
+        busySumsRemove(socket);
+    pstate_[socket] = new_pstate;
+    boostFlag_[socket] = boostByPstate_[new_pstate];
+    freqMhz_[socket] = freqByPstate_[new_pstate];
+    if (powerW_[socket] != power_w) {
+        totalPowerW_ -= powerW_[socket];
+        powerW_[socket] = power_w;
+        totalPowerW_ += power_w;
+        markPowerDirty(socket);
+    }
     rateCache_[socket] = rate;
-    relFreqCache_[socket] = relFreqByPstate_[new_pstate];
+    relFreqCache_[socket] = rel;
     completionS_[socket] = now + jobRemainingS_[socket] / rate;
-    busySumsAdd(socket);
+    if (resum)
+        busySumsAdd(socket);
     if (busyFlag_[socket])
         completionHeap_.upsert(socket, completionS_[socket]);
     // Refresh the downstream-penalty fast path (prediction.hh): the
@@ -1170,17 +1186,18 @@ DenseServerSim::applyFaultEvent(const FaultEvent &event, double now)
         recordFault(FaultKind::FanRestore, kFaultNoSocket, now, 1.0);
         break;
     case FaultKind::SensorStuck:
-        faultState_.stickSensor(s, ambientC_[s], sensedTempC_[s]);
+        faultState_.stickSensor(s, Celsius(ambientC_[s]),
+                                Celsius(sensedTempC_[s]));
         fcount_.sensorFaults->inc();
         recordFault(FaultKind::SensorStuck, s, now, sensedTempC_[s]);
         break;
     case FaultKind::SensorNoisy:
-        faultState_.noisySensor(s, event.value);
+        faultState_.noisySensor(s, CelsiusDelta(event.value));
         fcount_.sensorFaults->inc();
         recordFault(FaultKind::SensorNoisy, s, now, event.value);
         break;
     case FaultKind::SensorDropout:
-        faultState_.dropSensor(s, ambientC_[s]);
+        faultState_.dropSensor(s, Celsius(ambientC_[s]));
         fcount_.sensorFaults->inc();
         recordFault(FaultKind::SensorDropout, s, now, ambientC_[s]);
         break;
@@ -1340,7 +1357,7 @@ DenseServerSim::emergencyResponse(double now)
         if (faultState_.failed(s))
             continue;
         if (faultState_.quarantined(s)) {
-            if (faultState_.readmit(s, chipTempC_[s])) {
+            if (faultState_.readmit(s, Celsius(chipTempC_[s]))) {
                 faultState_.markOnline(s);
                 idleInsert(s);
                 fcount_.quarantineExits->inc();
@@ -1350,7 +1367,8 @@ DenseServerSim::emergencyResponse(double now)
             }
             continue;
         }
-        switch (faultState_.escalate(s, chipTempC_[s], now)) {
+        switch (faultState_.escalate(s, Celsius(chipTempC_[s]),
+                                     Seconds(now))) {
         case EscalationAction::Throttle:
             fcount_.emergencyThrottles->inc();
             recordFault(FaultKind::EmergencyThrottle, s, now,

@@ -71,7 +71,7 @@ SimConfig::validate() const
     checkSinkPath("obs.tracePath", obsTracePath);
     checkSinkPath("obs.timelinePath", obsTimelinePath);
     checkSinkPath("fault.logPath", fault.logPath);
-    fault.validate(tLimitC);
+    fault.validate(tLimit());
 }
 
 } // namespace densim

@@ -163,6 +163,18 @@ struct SimConfig
      * crossover test).
      */
     double ambientBatchFrac = 0.0;
+    /**
+     * Skip the busy-sum remove/add round-trip in setSocketRate when a
+     * socket's contributions (progress rate, relative frequency,
+     * boost flag) are bitwise unchanged — the common case of a
+     * powerManage epoch confirming last epoch's DVFS decision. Exact:
+     * the skip can only trigger on already-summed sockets inside
+     * powerManage, whose piecewise sums are rebuilt from scratch
+     * before the next read (rebuildScalars), so metrics are
+     * bit-identical either way (pinned by the perf-equivalence
+     * bank). The knob exists for the differential test.
+     */
+    bool busySumSkip = true;
 
     /**
      * Fault injection and graceful degradation (src/fault, DESIGN.md

@@ -19,8 +19,9 @@ FaultConfig::effectiveSeed(std::uint64_t run_seed) const
 }
 
 void
-FaultConfig::validate(double t_limit_c) const
+FaultConfig::validate(Celsius t_limit) const
 {
+    const double t_limit_c = t_limit.value();
     if (fanSpeedFrac < 0.0 || fanSpeedFrac > 1.0)
         fatal("FaultConfig: fault.fanSpeedFrac ", fanSpeedFrac,
               " outside [0, 1]");

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/units.hh"
+
 namespace densim {
 
 /** Which reading a dropped-out sensor is replaced with. */
@@ -121,8 +123,8 @@ struct FaultConfig
     /** Fault RNG stream seed for a run seeded with @p run_seed. */
     std::uint64_t effectiveSeed(std::uint64_t run_seed) const;
 
-    /** Validate ranges; fatal() on nonsense. @p t_limit_c for exits. */
-    void validate(double t_limit_c) const;
+    /** Validate ranges; fatal() on nonsense. @p t_limit for exits. */
+    void validate(Celsius t_limit) const;
 };
 
 /** Parse "lastGood" / "conservative"; fatal() on anything else. */

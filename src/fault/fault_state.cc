@@ -3,11 +3,11 @@
 namespace densim {
 
 void
-FaultState::configure(const FaultConfig &config, double t_limit_c)
+FaultState::configure(const FaultConfig &config, Celsius t_limit)
 {
     config_ = config;
-    limitC_ = t_limit_c;
-    tripC_ = t_limit_c + config.emergencyMarginC;
+    limitC_ = t_limit.value();
+    tripC_ = t_limit.value() + config.emergencyMarginC;
 }
 
 void
@@ -26,25 +26,25 @@ FaultState::reset(std::size_t n)
 }
 
 void
-FaultState::stickSensor(std::size_t s, double ambient_c, double chip_c)
+FaultState::stickSensor(std::size_t s, Celsius ambient, Celsius chip)
 {
     sensorMode_[s] = SensorMode::Stuck;
-    stuckAmbientC_[s] = ambient_c;
-    stuckChipC_[s] = chip_c;
+    stuckAmbientC_[s] = ambient.value();
+    stuckChipC_[s] = chip.value();
 }
 
 void
-FaultState::noisySensor(std::size_t s, double sigma_c)
+FaultState::noisySensor(std::size_t s, CelsiusDelta sigma)
 {
     sensorMode_[s] = SensorMode::Noisy;
-    noiseSigmaC_[s] = sigma_c;
+    noiseSigmaC_[s] = sigma.value();
 }
 
 void
-FaultState::dropSensor(std::size_t s, double last_good_ambient_c)
+FaultState::dropSensor(std::size_t s, Celsius last_good_ambient)
 {
     sensorMode_[s] = SensorMode::Dropout;
-    lastGoodAmbientC_[s] = last_good_ambient_c;
+    lastGoodAmbientC_[s] = last_good_ambient.value();
 }
 
 void
@@ -54,9 +54,10 @@ FaultState::restoreSensor(std::size_t s)
 }
 
 double
-FaultState::dvfsAmbientC(std::size_t s, double ambient_c,
+FaultState::dvfsAmbientC(std::size_t s, Celsius ambient,
                          Rng &rng) const
 {
+    const double ambient_c = ambient.value();
     switch (sensorMode_[s]) {
     case SensorMode::Healthy:
         return ambient_c;
@@ -73,9 +74,11 @@ FaultState::dvfsAmbientC(std::size_t s, double ambient_c,
 }
 
 double
-FaultState::schedSensedC(std::size_t s, double sensed_c, double held_c,
+FaultState::schedSensedC(std::size_t s, Celsius sensed, Celsius held,
                          Rng &rng) const
 {
+    const double sensed_c = sensed.value();
+    const double held_c = held.value();
     switch (sensorMode_[s]) {
     case SensorMode::Healthy:
         return sensed_c;
@@ -118,8 +121,10 @@ FaultState::markOnline(std::size_t s)
 }
 
 EscalationAction
-FaultState::escalate(std::size_t s, double chip_c, double now_s)
+FaultState::escalate(std::size_t s, Celsius chip, Seconds now)
 {
+    const double chip_c = chip.value();
+    const double now_s = now.value();
     if (escStage_[s] == 0) {
         if (chip_c <= tripC_) {
             overTripSinceS_[s] = -1.0;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.hh"
 #include "fault/fault_config.hh"
 #include "util/rng.hh"
 
@@ -55,18 +56,18 @@ class FaultState
 {
   public:
     /** Bind the configuration; call once at engine construction. */
-    void configure(const FaultConfig &config, double t_limit_c);
+    void configure(const FaultConfig &config, Celsius t_limit);
 
     /** Reset to all-healthy for an @p n -socket run. */
     void reset(std::size_t n);
 
     // --- sensors -----------------------------------------------------
     /** Freeze sensor @p s at its current readings. */
-    void stickSensor(std::size_t s, double ambient_c, double chip_c);
-    /** Degrade sensor @p s with Gaussian sigma @p sigma_c. */
-    void noisySensor(std::size_t s, double sigma_c);
-    /** Drop sensor @p s; @p last_good_ambient_c is held if configured. */
-    void dropSensor(std::size_t s, double last_good_ambient_c);
+    void stickSensor(std::size_t s, Celsius ambient, Celsius chip);
+    /** Degrade sensor @p s with Gaussian sigma @p sigma. */
+    void noisySensor(std::size_t s, CelsiusDelta sigma);
+    /** Drop sensor @p s; @p last_good_ambient is held if configured. */
+    void dropSensor(std::size_t s, Celsius last_good_ambient);
     /** Sensor @p s healthy again. */
     void restoreSensor(std::size_t s);
 
@@ -77,16 +78,16 @@ class FaultState
 
     /**
      * The ambient the DVFS loop should act on given the true
-     * @p ambient_c. Draws from @p rng only in Noisy mode.
+     * @p ambient. Draws from @p rng only in Noisy mode.
      */
-    double dvfsAmbientC(std::size_t s, double ambient_c,
+    double dvfsAmbientC(std::size_t s, Celsius ambient,
                         Rng &rng) const;
 
     /**
      * The chip reading the scheduler's sensor reports given the fresh
-     * @p sensed_c and the previously reported @p held_c.
+     * @p sensed and the previously reported @p held.
      */
-    double schedSensedC(std::size_t s, double sensed_c, double held_c,
+    double schedSensedC(std::size_t s, Celsius sensed, Celsius held,
                         Rng &rng) const;
 
     // --- offline bookkeeping -----------------------------------------
@@ -101,21 +102,21 @@ class FaultState
 
     // --- escalation ladder -------------------------------------------
     /**
-     * Advance socket @p s on the ladder given the true @p chip_c at
-     * time @p now_s. Healthy -> (dwell over trip) Throttle -> (dwell
+     * Advance socket @p s on the ladder given the true @p chip at
+     * time @p now. Healthy -> (dwell over trip) Throttle -> (dwell
      * still over trip) Quarantine; a throttled socket that cools
      * below tLimitC yields Release. The caller applies the action.
      */
-    EscalationAction escalate(std::size_t s, double chip_c,
-                              double now_s);
+    EscalationAction escalate(std::size_t s, Celsius chip,
+                              Seconds now);
 
     /** Is the socket under the emergency throttle? */
     bool throttled(std::size_t s) const { return escStage_[s] == 1; }
 
     /** Should a quarantined socket rejoin the idle pool? */
-    bool readmit(std::size_t s, double chip_c) const
+    bool readmit(std::size_t s, Celsius chip) const
     {
-        return quarantined(s) && chip_c < config_.quarantineExitC;
+        return quarantined(s) && chip.value() < config_.quarantineExitC;
     }
 
     // --- fan ---------------------------------------------------------

@@ -395,23 +395,23 @@ TEST(FaultConfigValidate, RejectsBadValues)
         FaultConfig config;
         config.fanFailS = 1.0;
         config.fanSpeedFrac = 2.0;
-        EXPECT_THROW(config.validate(95.0), FatalError);
+        EXPECT_THROW(config.validate(Celsius(95.0)), FatalError);
     }
     {
         FaultConfig config;
         config.fanFailS = 2.0;
         config.fanRecoverS = 1.0; // Recover before the failure.
-        EXPECT_THROW(config.validate(95.0), FatalError);
+        EXPECT_THROW(config.validate(Celsius(95.0)), FatalError);
     }
     {
         FaultConfig config;
         config.sensorStuckCount = -1;
-        EXPECT_THROW(config.validate(95.0), FatalError);
+        EXPECT_THROW(config.validate(Celsius(95.0)), FatalError);
     }
     {
         FaultConfig config;
         config.quarantineExitC = 200.0; // Above the trip point.
-        EXPECT_THROW(config.validate(95.0), FatalError);
+        EXPECT_THROW(config.validate(Celsius(95.0)), FatalError);
     }
 }
 

@@ -350,6 +350,49 @@ TEST(PerfEquivalence, PredictionCacheIsBitIdentical)
     }
 }
 
+TEST(PerfEquivalence, BusySumSkipIsBitIdentical)
+{
+    // setSocketRate elides the busy-sum remove/add round-trip when a
+    // powerManage epoch confirms the previous DVFS decision (the
+    // contributions are bitwise unchanged). The skip must be *exact*,
+    // not merely close: it can only trigger on sockets already in the
+    // sums — which happens only inside powerManage, whose sums are
+    // rebuilt from scratch (rebuildScalars) before the next read — so
+    // every metric must match EXPECT_EQ on doubles across every
+    // golden scenario, faults and migration included.
+    for (const GoldenRow &g : kGoldens) {
+        SCOPED_TRACE(g.name);
+        SimConfig skip = goldenConfig(g.name);
+        SimConfig resum = goldenConfig(g.name);
+        resum.busySumSkip = false;
+
+        DenseServerSim a(skip, makeScheduler(goldenScheduler(g.name)));
+        DenseServerSim b(resum, makeScheduler(goldenScheduler(g.name)));
+        const SimMetrics ma = a.run();
+        const SimMetrics mb = b.run();
+        EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+        EXPECT_EQ(ma.jobsCompleted, mb.jobsCompleted);
+        EXPECT_EQ(ma.jobsUnfinished, mb.jobsUnfinished);
+        EXPECT_EQ(ma.migrations, mb.migrations);
+        EXPECT_EQ(ma.energyJ, mb.energyJ);
+        EXPECT_EQ(ma.makespanS, mb.makespanS);
+        EXPECT_EQ(ma.totalWork, mb.totalWork);
+        EXPECT_EQ(ma.totalBusyTime, mb.totalBusyTime);
+        EXPECT_EQ(ma.totalFreqTime, mb.totalFreqTime);
+        EXPECT_EQ(ma.boostTimeS, mb.boostTimeS);
+        EXPECT_EQ(ma.maxChipTempC, mb.maxChipTempC);
+        EXPECT_EQ(ma.runtimeExpansion.mean(),
+                  mb.runtimeExpansion.mean());
+        EXPECT_EQ(ma.serviceExpansion.mean(),
+                  mb.serviceExpansion.mean());
+        EXPECT_EQ(ma.queueDelayS.mean(), mb.queueDelayS.mean());
+        EXPECT_EQ(ma.chipTempC.mean(), mb.chipTempC.mean());
+        EXPECT_EQ(ma.front.workDone, mb.front.workDone);
+        EXPECT_EQ(ma.back.workDone, mb.back.workDone);
+        EXPECT_EQ(ma.even.workDone, mb.even.workDone);
+    }
+}
+
 TEST(PerfEquivalence, AmbientBatchCrossoverStaysClose)
 {
     // The batched ambient-target refresh is a documented tolerance

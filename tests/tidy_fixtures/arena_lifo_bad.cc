@@ -1,0 +1,22 @@
+// Known-bad fixture for densim-arena-lifo: an early return that
+// crosses an outstanding mark, and an out-of-LIFO release order.
+#include "util/arena.hh"
+
+int leakyReturn(densim::Arena &arena, bool flag)
+{
+    const densim::Arena::Marker m = arena.mark();
+    int *scratch = arena.alloc<int>(16);
+    scratch[0] = 1;
+    if (flag)
+        return scratch[0]; // BAD: crosses the outstanding mark.
+    arena.release(m);
+    return 0;
+}
+
+void outOfOrder(densim::Arena &arena)
+{
+    const densim::Arena::Marker a = arena.mark();
+    const densim::Arena::Marker b = arena.mark();
+    arena.release(a); // BAD: 'b' (marked later) is still outstanding.
+    arena.release(b);
+}

@@ -1,0 +1,32 @@
+// Known-good fixture for densim-arena-lifo: lexically paired LIFO
+// mark/release, including the optional-arena conditional-marker idiom
+// used by sched/coupling_predictor.cc.
+#include "util/arena.hh"
+
+double conditionalMarker(densim::Arena *arena, int n)
+{
+    const densim::Arena::Marker marker =
+        arena != nullptr ? arena->mark() : densim::Arena::Marker{};
+    const double best = static_cast<double>(n);
+    if (arena != nullptr)
+        arena->release(marker);
+    return best;
+}
+
+void nestedScopes(densim::Arena &arena)
+{
+    const densim::Arena::Marker outer = arena.mark();
+    {
+        const densim::Arena::Marker inner = arena.mark();
+        arena.release(inner); // LIFO: inner before outer.
+    }
+    arena.release(outer);
+}
+
+int reviewedEscape(densim::Arena &arena)
+{
+    // A deliberately held mark, suppressed as a reviewed decision.
+    const densim::Arena::Marker m = arena.mark(); // NOLINT(densim-arena-lifo)
+    (void)m;
+    return 0; // NOLINT(densim-arena-lifo)
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for densim-hot-layout: bit-packed vector<bool>
+// and a node-based list in what stands in for SoA hot-path state.
+#include <list>
+#include <vector>
+
+struct HotState
+{
+    std::vector<bool> busy;        // BAD: proxy references, no .data().
+    std::list<double> completions; // BAD: non-contiguous nodes.
+};

@@ -1,0 +1,13 @@
+// Known-good fixture for densim-hot-layout: flat byte flags and
+// contiguous arrays, with one reviewed legacy suppression.
+#include <cstdint>
+#include <vector>
+
+struct HotState
+{
+    std::vector<std::uint8_t> busy;  // Flat flags: vectorizable.
+    std::vector<double> completions; // Contiguous.
+};
+
+// NOLINTNEXTLINE(densim-hot-layout)
+inline std::vector<bool> legacyMask() { return {}; }

@@ -1,0 +1,26 @@
+// Known-bad fixture for densim-nondeterministic-iteration: both
+// functions walk an unordered container and fold into state that
+// outlives the loop, so the result depends on hash iteration order.
+#include <string>
+#include <unordered_map>
+
+double totalEnergy(
+    const std::unordered_map<std::string, double> &perSocket)
+{
+    double sum = 0.0;
+    for (const auto &kv : perSocket)
+        sum += kv.second; // Order-dependent rounding.
+    return sum;
+}
+
+struct Registry
+{
+    std::unordered_map<int, double> rates;
+    double lastSum = 0.0;
+
+    void accumulate()
+    {
+        for (auto &kv : rates)
+            lastSum += kv.second; // Writes a member: sim-visible.
+    }
+};

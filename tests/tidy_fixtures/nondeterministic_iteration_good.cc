@@ -1,0 +1,39 @@
+// Known-good fixture for densim-nondeterministic-iteration: the
+// unordered containers are either snapshot-and-sorted before the
+// order-sensitive fold, or only read through body-local state.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+double totalEnergySorted(
+    const std::unordered_map<std::string, double> &perSocket)
+{
+    std::vector<std::pair<std::string, double>> rows(perSocket.begin(),
+                                                     perSocket.end());
+    std::sort(rows.begin(), rows.end());
+    double sum = 0.0;
+    for (const auto &kv : rows)
+        sum += kv.second; // Deterministic: rows is sorted.
+    return sum;
+}
+
+bool anyHot(const std::unordered_map<int, double> &tempC)
+{
+    for (const auto &kv : tempC) {
+        const bool hot = kv.second > 90.0;
+        if (hot)
+            return true; // Order-independent predicate, local state.
+    }
+    return false;
+}
+
+double legacyFold(const std::unordered_map<int, double> &m)
+{
+    double sum = 0.0;
+    // Reviewed suppression keeps the hazard visible at the loop.
+    for (const auto &kv : m) // NOLINT(densim-nondeterministic-iteration)
+        sum += kv.second;
+    return sum;
+}

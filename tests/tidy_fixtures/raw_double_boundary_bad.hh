@@ -1,0 +1,13 @@
+// Known-bad fixture for densim-raw-double-boundary: unit-carrying
+// names crossing a header API boundary as raw doubles.
+#ifndef DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_BAD_HH
+#define DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_BAD_HH
+
+namespace densim_fixture {
+
+void setAmbient(double ambient_c);         // BAD: Celsius in disguise.
+double powerBudget(double power_w, int n); // BAD: Watts in disguise.
+
+} // namespace densim_fixture
+
+#endif // DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_BAD_HH

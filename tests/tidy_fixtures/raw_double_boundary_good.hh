@@ -1,0 +1,19 @@
+// Known-good fixture for densim-raw-double-boundary: typed quantities
+// for unit-carrying values, raw doubles only for dimensionless ones,
+// plus one reviewed suppression.
+#ifndef DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_GOOD_HH
+#define DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_GOOD_HH
+
+#include "core/units.hh"
+
+namespace densim_fixture {
+
+void setAmbient(densim::Celsius ambient);   // Typed quantity.
+double scale(double factor, double ratio);  // Dimensionless: fine.
+
+// NOLINTNEXTLINE(densim-raw-double-boundary)
+void legacySetAmbient(double ambient_c);    // Reviewed suppression.
+
+} // namespace densim_fixture
+
+#endif // DENSIM_TESTS_TIDY_FIXTURES_RAW_DOUBLE_BOUNDARY_GOOD_HH

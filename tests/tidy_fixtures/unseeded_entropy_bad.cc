@@ -1,0 +1,23 @@
+// Known-bad fixture for densim-unseeded-entropy: every classic way of
+// smuggling wall-clock or address-space entropy into the model.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Chip;
+
+double jitterSeed()
+{
+    std::random_device rd;  // Ambient hardware entropy.
+    std::mt19937 gen(rd()); // Unseeded std engine.
+    const auto t = std::chrono::steady_clock::now(); // Wall clock.
+    (void)t;
+    (void)gen;
+    return static_cast<double>(std::rand()) +
+           static_cast<double>(std::time(nullptr));
+}
+
+// Pointer keys iterate in allocation-address order — ASLR entropy.
+std::map<Chip *, double> residuals;

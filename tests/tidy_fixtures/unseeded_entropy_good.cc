@@ -1,0 +1,23 @@
+// Known-good fixture for densim-unseeded-entropy: randomness comes
+// from an explicitly seeded densim::Rng stream, containers key on
+// stable ids, and the one wall-clock reader is a reviewed NOLINT.
+#include <cstdint>
+#include <ctime>
+#include <map>
+
+#include "util/rng.hh"
+
+double drawService(densim::Rng &rng)
+{
+    return rng.exponential(1.0);
+}
+
+densim::Rng makeStream(std::uint64_t seed)
+{
+    return densim::Rng(seed); // Explicit seed: deterministic.
+}
+
+std::map<std::uint64_t, double> residualsById; // Stable integer key.
+
+// NOLINTNEXTLINE(densim-unseeded-entropy)
+inline long wallClockForLogsOnly() { return std::time(nullptr); }

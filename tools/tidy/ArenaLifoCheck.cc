@@ -1,0 +1,179 @@
+#include "ArenaLifoCheck.hh"
+
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+namespace {
+
+struct Event
+{
+    enum Kind
+    {
+        Mark,
+        Release,
+        Return,
+    };
+    Kind kind;
+    const VarDecl *marker; // Mark: the assigned variable (may be null);
+                           // Release: the argument's decl.
+    int depth;
+    SourceLocation loc;
+};
+
+bool
+isArenaCall(const CXXMemberCallExpr *call, llvm::StringRef method)
+{
+    const CXXMethodDecl *decl = call->getMethodDecl();
+    if (decl == nullptr || decl->getName() != method)
+        return false;
+    const CXXRecordDecl *record = decl->getParent();
+    return record != nullptr && record->getName() == "Arena";
+}
+
+/// Walks a function body in source order collecting mark/release/
+/// return events with their CompoundStmt nesting depth.
+void
+collectEvents(const Stmt *stmt, int depth, const VarDecl *decl_target,
+              std::vector<Event> &events)
+{
+    if (stmt == nullptr)
+        return;
+    if (const auto *ret = dyn_cast<ReturnStmt>(stmt)) {
+        events.push_back({Event::Return, nullptr, depth,
+                          ret->getReturnLoc()});
+        // Still descend: the return value may contain calls.
+    }
+    if (const auto *decl_stmt = dyn_cast<DeclStmt>(stmt)) {
+        for (const Decl *d : decl_stmt->decls()) {
+            if (const auto *var = dyn_cast<VarDecl>(d)) {
+                if (const Expr *init = var->getInit()) {
+                    collectEvents(init, depth, var, events);
+                }
+            }
+        }
+        return;
+    }
+    if (const auto *call = dyn_cast<CXXMemberCallExpr>(stmt)) {
+        if (isArenaCall(call, "mark")) {
+            events.push_back({Event::Mark, decl_target, depth,
+                              call->getExprLoc()});
+            return;
+        }
+        if (isArenaCall(call, "release")) {
+            const VarDecl *arg = nullptr;
+            for (const Expr *a : call->arguments()) {
+                if (const auto *ref = dyn_cast<DeclRefExpr>(
+                        a->IgnoreParenImpCasts()))
+                    arg = dyn_cast<VarDecl>(ref->getDecl());
+            }
+            events.push_back({Event::Release, arg, depth,
+                              call->getExprLoc()});
+            return;
+        }
+    }
+    const int child_depth =
+        isa<CompoundStmt>(stmt) ? depth + 1 : depth;
+    for (const Stmt *child : stmt->children())
+        collectEvents(child, child_depth, decl_target, events);
+}
+
+std::string
+markerName(const VarDecl *marker)
+{
+    return marker != nullptr ? marker->getNameAsString()
+                             : std::string("<unnamed>");
+}
+
+} // namespace
+
+void
+ArenaLifoCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(functionDecl(isDefinition(), hasBody(stmt()))
+                           .bind("func"),
+                       this);
+}
+
+void
+ArenaLifoCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *func = result.Nodes.getNodeAs<FunctionDecl>("func");
+    if (func == nullptr)
+        return;
+    std::vector<Event> events;
+    collectEvents(func->getBody(), 0, nullptr, events);
+    bool any = false;
+    for (const Event &e : events)
+        any = any || e.kind != Event::Return;
+    if (!any)
+        return;
+
+    // (marker decl, depth, loc)
+    std::vector<Event> stack;
+    int prev_depth = 0;
+    for (const Event &e : events) {
+        if (e.depth < prev_depth) {
+            while (!stack.empty() && stack.back().depth > e.depth) {
+                const Event mark = stack.back();
+                stack.pop_back();
+                diag(mark.loc,
+                     "Arena mark '%0' is not released before its "
+                     "scope ends; mark/release must be lexically "
+                     "paired")
+                    << markerName(mark.marker);
+            }
+        }
+        prev_depth = e.depth;
+        switch (e.kind) {
+        case Event::Mark:
+            stack.push_back(e);
+            break;
+        case Event::Release:
+            if (stack.empty()) {
+                diag(e.loc, "Arena release without an outstanding "
+                            "mark in this function");
+            } else if (e.marker != nullptr &&
+                       stack.back().marker != nullptr &&
+                       e.marker != stack.back().marker) {
+                diag(e.loc,
+                     "out-of-LIFO-order Arena release: '%0' released "
+                     "while '%1' (marked later) is still outstanding")
+                    << markerName(e.marker)
+                    << markerName(stack.back().marker);
+                for (std::size_t j = stack.size(); j-- > 0;) {
+                    if (stack[j].marker == e.marker) {
+                        stack.erase(stack.begin() +
+                                    static_cast<std::ptrdiff_t>(j));
+                        break;
+                    }
+                }
+            } else {
+                stack.pop_back();
+            }
+            break;
+        case Event::Return:
+            if (!stack.empty()) {
+                diag(e.loc,
+                     "return crosses %0 outstanding Arena mark(s); "
+                     "release before every exit path")
+                    << static_cast<unsigned>(stack.size());
+            }
+            break;
+        }
+    }
+    for (const Event &mark : stack) {
+        diag(mark.loc,
+             "Arena mark '%0' is never released in this function")
+            << markerName(mark.marker);
+    }
+}
+
+} // namespace densim::tidy

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * densim-arena-lifo: Arena::mark()/release() pairs must be lexically
+ * scoped and unwind LIFO within one function (DESIGN.md Sec. 12):
+ * every mark released in the scope that made it, in reverse order of
+ * marking, and no return may cross an outstanding mark.
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_ARENA_LIFO_CHECK_HH
+#define DENSIM_TOOLS_TIDY_ARENA_LIFO_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class ArenaLifoCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_ARENA_LIFO_CHECK_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * densim clang-tidy plugin module: registers the five project checks
+ * under the `densim-` prefix. Built as a shared module and loaded
+ * with `clang-tidy -load libdensim_tidy_module.so
+ * -checks='densim-*'`; tools/tidy/run_densim_tidy.py implements the
+ * same rules without LLVM dev headers and is the portable fallback
+ * driver CI relies on when this module cannot be built (DESIGN.md
+ * Sec. 13).
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "ArenaLifoCheck.hh"
+#include "HotLayoutCheck.hh"
+#include "NondeterministicIterationCheck.hh"
+#include "RawDoubleBoundaryCheck.hh"
+#include "UnseededEntropyCheck.hh"
+
+namespace densim::tidy {
+
+class DensimTidyModule : public clang::tidy::ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(clang::tidy::ClangTidyCheckFactories &factories)
+        override
+    {
+        factories.registerCheck<NondeterministicIterationCheck>(
+            "densim-nondeterministic-iteration");
+        factories.registerCheck<UnseededEntropyCheck>(
+            "densim-unseeded-entropy");
+        factories.registerCheck<ArenaLifoCheck>("densim-arena-lifo");
+        factories.registerCheck<HotLayoutCheck>("densim-hot-layout");
+        factories.registerCheck<RawDoubleBoundaryCheck>(
+            "densim-raw-double-boundary");
+    }
+};
+
+} // namespace densim::tidy
+
+namespace clang::tidy {
+
+static ClangTidyModuleRegistry::Add<densim::tidy::DensimTidyModule>
+    X("densim-module", "densim determinism & lifetime checks");
+
+// Anchor so `-load` keeps the module linked in.
+volatile int DensimTidyModuleAnchorSource = 0; // NOLINT
+
+} // namespace clang::tidy

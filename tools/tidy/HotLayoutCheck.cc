@@ -1,0 +1,50 @@
+#include "HotLayoutCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+void
+HotLayoutCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(
+                      classTemplateSpecializationDecl(
+                          hasName("::std::vector"),
+                          hasTemplateArgument(
+                              0, refersToType(booleanType())))))))
+            .bind("vector-bool"),
+        this);
+    finder->addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(namedDecl(
+                      hasAnyName("::std::list",
+                                 "::std::forward_list"))))))
+            .bind("node-list"),
+        this);
+}
+
+void
+HotLayoutCheck::check(const MatchFinder::MatchResult &result)
+{
+    if (const auto *decl =
+            result.Nodes.getNodeAs<ValueDecl>("vector-bool")) {
+        diag(decl->getLocation(),
+             "std::vector<bool> is a bit-packed proxy container (no "
+             ".data(), no vectorizable loads); hot-path flags use "
+             "std::vector<std::uint8_t>");
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<ValueDecl>("node-list")) {
+        diag(decl->getLocation(),
+             "%0 is a non-contiguous node container; SoA hot-path "
+             "state must live in flat arrays")
+            << decl->getType();
+    }
+}
+
+} // namespace densim::tidy

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * densim-hot-layout: flag std::vector<bool> (bit-packed proxy
+ * references, no .data(), no vectorizable loads) and non-contiguous
+ * node containers (std::list / std::forward_list) in SoA hot-path
+ * code. Hot-path flags are std::vector<std::uint8_t> and state lives
+ * in flat arrays (DESIGN.md Sec. 12).
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_HOT_LAYOUT_CHECK_HH
+#define DENSIM_TOOLS_TIDY_HOT_LAYOUT_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class HotLayoutCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_HOT_LAYOUT_CHECK_HH

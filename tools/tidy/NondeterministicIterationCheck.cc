@@ -1,0 +1,142 @@
+#include "NondeterministicIterationCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+namespace {
+
+/// Collects writes whose target is declared outside the loop body.
+class ExternalWriteVisitor
+    : public RecursiveASTVisitor<ExternalWriteVisitor>
+{
+  public:
+    explicit ExternalWriteVisitor(const Stmt *body) : body_(body)
+    {
+        collectLocals(body);
+    }
+
+    bool found() const { return found_; }
+    SourceLocation where() const { return where_; }
+
+    bool VisitBinaryOperator(const BinaryOperator *op)
+    {
+        if (op->isAssignmentOp() || op->isCompoundAssignmentOp())
+            noteTarget(op->getLHS(), op->getOperatorLoc());
+        return true;
+    }
+
+    bool VisitUnaryOperator(const UnaryOperator *op)
+    {
+        if (op->isIncrementDecrementOp())
+            noteTarget(op->getSubExpr(), op->getOperatorLoc());
+        return true;
+    }
+
+    bool VisitCXXMemberCallExpr(const CXXMemberCallExpr *call)
+    {
+        const CXXMethodDecl *method = call->getMethodDecl();
+        if (method == nullptr || method->isConst())
+            return true;
+        noteTarget(call->getImplicitObjectArgument(),
+                   call->getExprLoc());
+        return true;
+    }
+
+    bool VisitCXXOperatorCallExpr(const CXXOperatorCallExpr *call)
+    {
+        if (call->isAssignmentOp() && call->getNumArgs() > 0)
+            noteTarget(call->getArg(0), call->getOperatorLoc());
+        return true;
+    }
+
+  private:
+    void collectLocals(const Stmt *stmt)
+    {
+        if (stmt == nullptr)
+            return;
+        if (const auto *decl = dyn_cast<DeclStmt>(stmt)) {
+            for (const Decl *d : decl->decls())
+                if (const auto *var = dyn_cast<VarDecl>(d))
+                    locals_.insert(var);
+        }
+        for (const Stmt *child : stmt->children())
+            collectLocals(child);
+    }
+
+    void noteTarget(const Expr *target, SourceLocation loc)
+    {
+        if (found_ || target == nullptr)
+            return;
+        target = target->IgnoreParenImpCasts();
+        if (const auto *member = dyn_cast<MemberExpr>(target)) {
+            const Expr *base =
+                member->getBase()->IgnoreParenImpCasts();
+            if (isa<CXXThisExpr>(base)) {
+                found_ = true;
+                where_ = loc;
+                return;
+            }
+            noteTarget(base, loc);
+            return;
+        }
+        if (const auto *sub = dyn_cast<ArraySubscriptExpr>(target)) {
+            noteTarget(sub->getBase(), loc);
+            return;
+        }
+        if (const auto *ref = dyn_cast<DeclRefExpr>(target)) {
+            const auto *var = dyn_cast<VarDecl>(ref->getDecl());
+            if (var != nullptr && locals_.count(var) == 0) {
+                found_ = true;
+                where_ = loc;
+            }
+        }
+    }
+
+    const Stmt *body_;
+    llvm::SmallPtrSet<const VarDecl *, 16> locals_;
+    bool found_ = false;
+    SourceLocation where_;
+};
+
+} // namespace
+
+void
+NondeterministicIterationCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        cxxForRangeStmt(
+            hasRangeInit(expr(hasType(qualType(hasDeclaration(
+                namedDecl(hasAnyName("::std::unordered_map",
+                                     "::std::unordered_set",
+                                     "::std::unordered_multimap",
+                                     "::std::unordered_multiset"))))))))
+            .bind("loop"),
+        this);
+}
+
+void
+NondeterministicIterationCheck::check(
+    const MatchFinder::MatchResult &result)
+{
+    const auto *loop = result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+    if (loop == nullptr)
+        return;
+    ExternalWriteVisitor visitor(loop->getBody());
+    visitor.TraverseStmt(const_cast<Stmt *>(loop->getBody()));
+    if (!visitor.found())
+        return;
+    diag(loop->getForLoc(),
+         "iteration over an unordered container writes sim-visible "
+         "state; iteration order is unspecified — iterate a sorted "
+         "snapshot or use std::map/std::set");
+    diag(visitor.where(), "state escaping the loop is written here",
+         DiagnosticIDs::Note);
+}
+
+} // namespace densim::tidy

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * densim-nondeterministic-iteration: flag range-for loops over
+ * std::unordered_{map,set} whose body writes state declared outside
+ * the loop. Hash iteration order is unspecified, so any such write
+ * breaks the bit-identical determinism contract the golden tests pin
+ * (DESIGN.md Sec. 13).
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH
+#define DENSIM_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class NondeterministicIterationCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH

@@ -1,0 +1,119 @@
+#include "RawDoubleBoundaryCheck.hh"
+
+#include <fstream>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+namespace {
+
+// Keep in sync with UNIT_NAME_RE in tools/lint/densim_lint.py — the
+// shared vocabulary of unit-carrying parameter names.
+const char kUnitNamePattern[] =
+    "^(.*(_c|_k|_w|_j|_cfm|_m3s|_kpw|_jpk)"
+    "|.*(celsius|kelvin|watt|joule|cfm)"
+    "|(t|temp|temperature)(_.*)?"
+    "|.*(ambient|inlet|entry)(_c)?"
+    "|.*(power|leak|heat|energy)(_w|_j)?"
+    "|.*(air)?flow"
+    "|.*(rise|delta_t)"
+    "|(r_int|r_ext|theta|kappa.*|resistance))$";
+
+// Keep in sync with DIMENSIONLESS in tools/lint/densim_lint.py.
+bool
+isDimensionless(llvm::StringRef name)
+{
+    static const char *const kNames[] = {
+        "frac",       "fraction",      "scale",
+        "slope_per_c", "gated_frac_tdp", "frac_at_ref",
+        "hot_fraction", "leakage_frac", "quant",
+        "quant_c",
+    };
+    for (const char *n : kNames)
+        if (name == n)
+            return true;
+    return false;
+}
+
+/// Repo-relative key prefix: everything from the trailing "src/".
+std::string
+repoRelative(llvm::StringRef path)
+{
+    const std::size_t pos = path.rfind("src/");
+    return pos == llvm::StringRef::npos
+               ? path.str()
+               : path.substr(pos).str();
+}
+
+} // namespace
+
+RawDoubleBoundaryCheck::RawDoubleBoundaryCheck(
+    llvm::StringRef name, clang::tidy::ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      allowlistPath_(Options.get("Allowlist", ""))
+{
+    if (allowlistPath_.empty())
+        return;
+    std::ifstream in(allowlistPath_);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        while (!line.empty() &&
+               (line.back() == ' ' || line.back() == '\t' ||
+                line.back() == '\r'))
+            line.pop_back();
+        std::size_t start = 0;
+        while (start < line.size() &&
+               (line[start] == ' ' || line[start] == '\t'))
+            ++start;
+        if (start < line.size())
+            allow_.insert(line.substr(start));
+    }
+}
+
+void
+RawDoubleBoundaryCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        parmVarDecl(hasType(asString("double"))).bind("param"), this);
+}
+
+void
+RawDoubleBoundaryCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *param = result.Nodes.getNodeAs<ParmVarDecl>("param");
+    if (param == nullptr || param->getName().empty())
+        return;
+    const SourceManager &sm = *result.SourceManager;
+    const SourceLocation loc = param->getLocation();
+    if (loc.isInvalid())
+        return;
+    const llvm::StringRef file = sm.getFilename(sm.getSpellingLoc(loc));
+    if (!file.endswith(".hh"))
+        return;
+    const llvm::StringRef name = param->getName();
+    if (isDimensionless(name))
+        return;
+    static llvm::Regex unitName(kUnitNamePattern);
+    if (!unitName.match(name))
+        return;
+    const std::string key = repoRelative(file) + ":" + name.str();
+    if (allow_.count(key) != 0)
+        return;
+    diag(loc,
+         "raw `double %0` parameter crosses a header API boundary; "
+         "use a typed quantity from core/units.hh or add '%1' to "
+         "tools/lint/raw_double_allowlist.txt with a review")
+        << name << key;
+}
+
+} // namespace densim::tidy

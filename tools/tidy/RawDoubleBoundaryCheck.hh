@@ -1,0 +1,43 @@
+/**
+ * @file
+ * densim-raw-double-boundary: a `double` function parameter with a
+ * unit-carrying name (ambient_c, power_w, flow_cfm, ...) declared in
+ * a header must be a typed quantity from core/units.hh (DESIGN.md
+ * Sec. 9), unless the reviewed allowlist carries it. Grounded on real
+ * ParmVarDecls, so header locals and members never false-positive —
+ * the reason the allowlist shrank when this replaced the regex scan.
+ *
+ * Options:
+ *   densim-raw-double-boundary.Allowlist — path to
+ *   tools/lint/raw_double_allowlist.txt (keys `src/...hh:param`).
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_RAW_DOUBLE_BOUNDARY_CHECK_HH
+#define DENSIM_TOOLS_TIDY_RAW_DOUBLE_BOUNDARY_CHECK_HH
+
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class RawDoubleBoundaryCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    RawDoubleBoundaryCheck(llvm::StringRef name,
+                           clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+
+  private:
+    std::string allowlistPath_;
+    std::set<std::string> allow_;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_RAW_DOUBLE_BOUNDARY_CHECK_HH

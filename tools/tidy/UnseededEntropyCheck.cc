@@ -1,0 +1,81 @@
+#include "UnseededEntropyCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+void
+UnseededEntropyCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::rand", "::srand", "::time", "::clock",
+                     "::gettimeofday", "::timespec_get", "::std::rand",
+                     "::std::srand", "::std::time", "::std::clock"))))
+            .bind("entropy-call"),
+        this);
+    finder->addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(matchesName("_clock$")))))
+            .bind("clock-now"),
+        this);
+    finder->addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(namedDecl(hasAnyName(
+                      "::std::random_device", "::std::mt19937",
+                      "::std::mt19937_64", "::std::minstd_rand",
+                      "::std::minstd_rand0", "::std::knuth_b"))))))
+            .bind("std-engine"),
+        this);
+    finder->addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(classTemplateSpecializationDecl(
+                      hasAnyName("::std::map", "::std::set",
+                                 "::std::multimap", "::std::multiset"),
+                      hasTemplateArgument(
+                          0, refersToType(pointerType())))))))
+            .bind("ptr-key"),
+        this);
+}
+
+void
+UnseededEntropyCheck::check(const MatchFinder::MatchResult &result)
+{
+    if (const auto *call =
+            result.Nodes.getNodeAs<CallExpr>("entropy-call")) {
+        diag(call->getExprLoc(),
+             "call draws wall-clock/ambient entropy; use a seeded "
+             "densim::Rng stream or simulated time");
+        return;
+    }
+    if (const auto *call =
+            result.Nodes.getNodeAs<CallExpr>("clock-now")) {
+        diag(call->getExprLoc(),
+             "std::chrono clock ::now() reads the wall clock inside "
+             "engine code; simulation time must come from the event "
+             "loop");
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<ValueDecl>("std-engine")) {
+        diag(decl->getLocation(),
+             "std entropy source %0 is banned in engine code; all "
+             "randomness flows through explicitly seeded densim::Rng "
+             "streams")
+            << decl->getType();
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<ValueDecl>("ptr-key")) {
+        diag(decl->getLocation(),
+             "pointer key in an ordered container (%0): address order "
+             "is allocation (ASLR) entropy and varies run to run; key "
+             "on a stable id instead")
+            << decl->getType();
+    }
+}
+
+} // namespace densim::tidy

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * densim-unseeded-entropy: flag wall-clock and ambient entropy in
+ * engine code — rand/srand/time/clock/gettimeofday, std::
+ * random_device, unseeded std random engines, std::chrono
+ * *_clock::now(), and pointer keys in ordered containers (address
+ * order is ASLR entropy). All randomness must flow through
+ * explicitly seeded densim::Rng streams (DESIGN.md Sec. 13).
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_UNSEEDED_ENTROPY_CHECK_HH
+#define DENSIM_TOOLS_TIDY_UNSEEDED_ENTROPY_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class UnseededEntropyCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_UNSEEDED_ENTROPY_CHECK_HH

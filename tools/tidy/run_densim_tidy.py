@@ -1,0 +1,1256 @@
+#!/usr/bin/env python3
+"""densim AST-grounded determinism & lifetime analyzer — portable driver.
+
+Runs the same five project rules as the clang-tidy plugin module in
+tools/tidy/ (DensimTidyModule, loaded with `clang-tidy -load`), so CI
+keeps full coverage on machines where the plugin cannot be built:
+
+  densim-nondeterministic-iteration
+      Range-for / iterator walks over std::unordered_{map,set} in
+      engine code whose body writes state outside the loop. Iteration
+      order is unspecified and varies across standard libraries and
+      even across runs (pointer-salted hashing), so any such write can
+      break the bit-identical-across-configurations contract the
+      golden tests pin. Fix: iterate a sorted snapshot, or use
+      std::map/std::set.
+
+  densim-unseeded-entropy
+      Wall-clock and ambient entropy in engine code: rand/srand,
+      std::random_device, time/clock/gettimeofday, std::chrono
+      *_clock::now, std:: random engines, and pointer keys in ordered
+      containers (address order is ASLR entropy). All randomness must
+      come from an explicitly seeded densim::Rng stream; all timing
+      from simulated time. The obs phase profiler's steady_clock is
+      the one blessed wall-clock reader (it never feeds back into the
+      model) and sits on the allowlist below.
+
+  densim-arena-lifo
+      Arena::mark()/release() pairs must be lexically scoped and
+      unwind LIFO within one function (DESIGN.md Sec. 12): every mark
+      is released in the scope that made it, in reverse order of
+      marking, and no return may cross an outstanding mark.
+
+  densim-hot-layout
+      std::vector<bool> (bit-packed proxy references, no .data(), no
+      vectorizable loads) and non-contiguous node containers
+      (std::list / std::forward_list) in SoA hot-path code. Use
+      std::vector<std::uint8_t> and flat arrays.
+
+  densim-raw-double-boundary
+      The typed-quantity boundary rule (DESIGN.md Sec. 9) grounded on
+      real function *parameters*: a `double` parameter with a
+      unit-carrying name in a header must be a typed quantity from
+      core/units.hh, unless the reviewed allowlist
+      (tools/lint/raw_double_allowlist.txt) carries it. Unlike the
+      retired regex scan, locals and members never false-positive, so
+      the allowlist only holds entries the AST actually needs.
+
+Frontends (``--frontend auto|clang|builtin``):
+
+  clang     parse each file with `clang -Xclang -ast-dump=json` and
+            run the rules over the real AST (used when a clang
+            binary is on PATH).
+  builtin   a dependency-free scope-aware token frontend: comments
+            and strings stripped, brace/paren/template nesting and
+            declarations tracked. Less precise than the AST (it can
+            miss aliased containers) but runs everywhere python3
+            runs, so the gate never silently loses coverage.
+
+Suppression: `// NOLINT(densim-<check>)` on the flagged line or
+`// NOLINTNEXTLINE(densim-<check>)` on the line above. Bare NOLINT
+suppresses every densim check on that line. Every suppression is a
+reviewed decision, same policy as the raw-double allowlist.
+
+Usage:
+    tools/tidy/run_densim_tidy.py [--repo DIR] [--frontend F]
+                                  [--checks a,b] [files...]
+    tools/tidy/run_densim_tidy.py --self-test
+    tools/tidy/run_densim_tidy.py --list-checks
+
+With no file arguments the whole tree is scanned, each check over its
+scope (see CHECK_SCOPES). `--self-test` runs every fixture TU in
+tests/tidy_fixtures/ and asserts each known-bad file is flagged by
+exactly its check and each known-good file is clean — on every
+frontend the machine can run. Exits non-zero on findings or self-test
+failure.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                    "lint"))
+import densim_lint  # noqa: E402  (UNIT_NAME_RE / DIMENSIONLESS / allowlist)
+
+ALL_CHECKS = (
+    "densim-nondeterministic-iteration",
+    "densim-unseeded-entropy",
+    "densim-arena-lifo",
+    "densim-hot-layout",
+    "densim-raw-double-boundary",
+)
+
+# Directories each check scans in a whole-tree run. Explicit file
+# arguments (and the self-test fixtures) bypass the scope filter.
+ENGINE_DIRS = ("src/core", "src/sched", "src/thermal", "src/power",
+               "src/fault")
+HOT_DIRS = ("src/core", "src/thermal", "src/sched")
+CHECK_SCOPES = {
+    "densim-nondeterministic-iteration": ENGINE_DIRS,
+    "densim-unseeded-entropy": ENGINE_DIRS,
+    "densim-arena-lifo": ("src",),
+    "densim-hot-layout": HOT_DIRS,
+    "densim-raw-double-boundary": ("src",),
+}
+
+# Blessed entropy readers (path prefixes, repo-relative): the seeded
+# RNG streams themselves and the obs wall-clock phase timers, which
+# only ever *observe* the simulation (DESIGN.md Sec. 10).
+ENTROPY_ALLOW_PREFIXES = (
+    "src/util/rng.",
+    "src/obs/phase_profiler.",
+)
+
+ENTROPY_FUNCS = {"rand", "srand", "time", "clock", "gettimeofday",
+                 "timespec_get"}
+ENTROPY_TYPES = {"random_device", "mt19937", "mt19937_64",
+                 "minstd_rand", "minstd_rand0", "default_random_engine",
+                 "ranlux24", "ranlux48", "knuth_b"}
+CLOCK_NAMES = {"steady_clock", "system_clock", "high_resolution_clock"}
+
+MUTATING_CALLS = {"push_back", "emplace_back", "push_front",
+                  "emplace_front", "insert", "emplace", "erase",
+                  "clear", "pop_back", "pop_front", "resize", "assign",
+                  "add", "inc", "store", "reset"}
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+              "<<=", ">>="}
+TYPE_KEYWORDS = {"auto", "int", "long", "unsigned", "signed", "short",
+                 "double", "float", "bool", "char", "size_t",
+                 "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+                 "int8_t", "int16_t", "int32_t", "int64_t",
+                 "ptrdiff_t", "uintptr_t"}
+
+
+class Finding:
+    def __init__(self, check, path, line, message):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "{}:{}: [{}] {}".format(self.path, self.line, self.check,
+                                       self.message)
+
+
+# --------------------------------------------------------------------
+# NOLINT suppression (shared by both frontends)
+
+NOLINT_RE = re.compile(
+    r"//\s*NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+
+
+def nolint_lines(text):
+    """Map line number -> set of suppressed check names ('*' = all)."""
+    out = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = NOLINT_RE.search(line)
+        if not m:
+            continue
+        target = lineno + 1 if m.group(1) else lineno
+        checks = out.setdefault(target, set())
+        if m.group(2):
+            checks.update(c.strip() for c in m.group(2).split(","))
+        else:
+            checks.add("*")
+    return out
+
+
+def suppressed(finding, nolint):
+    checks = nolint.get(finding.line)
+    return bool(checks) and ("*" in checks or finding.check in checks)
+
+
+# --------------------------------------------------------------------
+# Builtin frontend: tokenizer
+
+TOKEN_RE = re.compile(r"""
+      [A-Za-z_][A-Za-z0-9_]*
+    | 0[xX][0-9a-fA-F'.pP+-]+ | \.?\d[\d'.eEpPfFuUlL+-]*
+    | <<= | >>= | ->\* | \.\.\. | :: | -> | \+\+ | -- | << | >>
+    | <= | >= | == | != | && | \|\| | [+\-*/%&|^!=]=
+    | [{}()\[\];:,<>.?~!+\-*/%&|^=]
+""", re.X)
+
+
+class Tok:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "Tok({!r}@{})".format(self.text, self.line)
+
+
+def strip_preserving_lines(text):
+    """Remove comments, string and char literals, keeping newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c == '"':
+            if text[i - 1:i].isalnum() and text[max(0, i - 2):i] == 'R"':
+                # Raw string: R"delim( ... )delim"
+                m = re.match(r'"([^(]*)\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    j = text.find(close, i)
+                    j = n if j < 0 else j + len(close)
+                    out.append("\n" * text.count("\n", i, j))
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text):
+    clean = strip_preserving_lines(text)
+    toks = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(clean):
+        line += clean.count("\n", pos, m.start())
+        pos = m.start()
+        toks.append(Tok(m.group(0), line))
+    return toks
+
+
+def skip_template_args(toks, i):
+    """toks[i] == '<': return index just past the matching '>'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif t in (";", "{"):
+            return i  # Not a template argument list after all.
+        i += 1
+    return i
+
+
+def match_paren(toks, i):
+    """toks[i] == '(': return index of the matching ')'."""
+    depth = 0
+    while i < len(toks):
+        if toks[i].text == "(":
+            depth += 1
+        elif toks[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def match_brace(toks, i):
+    """toks[i] == '{': return index of the matching '}'."""
+    depth = 0
+    while i < len(toks):
+        if toks[i].text == "{":
+            depth += 1
+        elif toks[i].text == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def is_ident(tok):
+    return bool(tok) and re.match(r"[A-Za-z_]", tok.text)
+
+
+# --------------------------------------------------------------------
+# Builtin frontend: the five checks over the token stream
+
+
+def builtin_unordered_names(toks):
+    """Names (variables and aliases) declared with an unordered type."""
+    names, aliases = set(), set()
+    for i, t in enumerate(toks):
+        if t.text == "using" and i + 2 < len(toks) and \
+                toks[i + 2].text == "=":
+            j = i + 3
+            end = j
+            while end < len(toks) and toks[end].text != ";":
+                end += 1
+            if any(x.text in ("unordered_map", "unordered_set")
+                   or x.text in aliases
+                   for x in toks[j:end]):
+                aliases.add(toks[i + 1].text)
+        if t.text in ("unordered_map", "unordered_set") or \
+                t.text in aliases:
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                j = skip_template_args(toks, j)
+            while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and is_ident(toks[j]) and (
+                    j + 1 >= len(toks)
+                    or toks[j + 1].text in (";", "=", "{", ",", ")")):
+                names.add(toks[j].text)
+    return names, aliases
+
+
+def body_local_names(body):
+    """Names declared inside a loop body (declaration heuristics)."""
+    locals_ = set()
+    for i, t in enumerate(body):
+        if not is_ident(t):
+            continue
+        k = i - 1
+        while k >= 0 and body[k].text in ("&", "*", "const"):
+            k -= 1
+        if k >= 0 and (body[k].text in TYPE_KEYWORDS
+                       or body[k].text == ">"):
+            nxt = body[i + 1].text if i + 1 < len(body) else ";"
+            if nxt in ("=", ";", "{", "(", ",", ")"):
+                locals_.add(t.text)
+    return locals_
+
+
+def write_base(body, i):
+    """Base identifier of the lvalue chain ending before body[i]."""
+    k = i - 1
+    while k >= 0:
+        t = body[k].text
+        if t == "]":
+            depth = 0
+            while k >= 0:
+                if body[k].text == "]":
+                    depth += 1
+                elif body[k].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            k -= 1
+        elif t == ")":
+            depth = 0
+            while k >= 0:
+                if body[k].text == ")":
+                    depth += 1
+                elif body[k].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            k -= 1
+        elif t in TYPE_KEYWORDS or t == "const":
+            break  # `const bool hot = ...` — chain starts after type.
+        elif is_ident(body[k]) or t in (".", "->", "::", "*"):
+            k -= 1
+        else:
+            break
+    # First identifier after position k is the chain base.
+    for j in range(k + 1, i):
+        if is_ident(body[j]):
+            return body[j].text
+    return None
+
+
+def body_writes_external(body, loop_vars):
+    """Line of the first write to state declared outside the body."""
+    locals_ = body_local_names(body) | set(loop_vars)
+    for i, t in enumerate(body):
+        base = None
+        if t.text in ASSIGN_OPS:
+            base = write_base(body, i)
+        elif t.text in ("++", "--"):
+            if i + 1 < len(body) and is_ident(body[i + 1]):
+                base = body[i + 1].text
+            else:
+                base = write_base(body, i)
+        elif t.text in (".", "->") and i + 2 < len(body) and \
+                body[i + 1].text in MUTATING_CALLS and \
+                body[i + 2].text == "(":
+            base = write_base(body, i)
+        if base is None:
+            continue
+        if base == "this":
+            return body[i].line
+        if base not in locals_:
+            return body[i].line
+    return None
+
+
+def check_nondeterministic_iteration_builtin(toks, path):
+    findings = []
+    unordered, aliases = builtin_unordered_names(toks)
+    i = 0
+    while i < len(toks):
+        if toks[i].text != "for":
+            i += 1
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            i += 1
+            continue
+        close = match_paren(toks, i + 1)
+        head = toks[i + 2:close]
+        # Range-for: a ':' at top nesting level inside the head.
+        colon = None
+        depth = 0
+        for k, t in enumerate(head):
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            elif t.text == ":" and depth == 0:
+                colon = k
+                break
+        over_unordered = False
+        loop_vars = []
+        if colon is not None:
+            range_expr = head[colon + 1:]
+            over_unordered = any(
+                t.text in ("unordered_map", "unordered_set")
+                or t.text in unordered or t.text in aliases
+                for t in range_expr)
+            loop_vars = [t.text for t in head[:colon]
+                         if is_ident(t) and t.text not in TYPE_KEYWORDS]
+        else:
+            # Classic for: iterator walk `for (auto it = c.begin(); ...`
+            for k, t in enumerate(head):
+                if t.text == "begin" and k >= 2 and \
+                        head[k - 1].text in (".", "->") and \
+                        head[k - 2].text in unordered:
+                    over_unordered = True
+            loop_vars = [t.text for t in head
+                         if is_ident(t) and t.text not in TYPE_KEYWORDS]
+        if not over_unordered:
+            i = close + 1
+            continue
+        if close + 1 < len(toks) and toks[close + 1].text == "{":
+            body_end = match_brace(toks, close + 1)
+            body = toks[close + 2:body_end]
+        else:
+            body_end = close + 1
+            while body_end < len(toks) and \
+                    toks[body_end].text != ";":
+                body_end += 1
+            body = toks[close + 1:body_end]
+        wline = body_writes_external(body, loop_vars)
+        if wline is not None:
+            findings.append(Finding(
+                "densim-nondeterministic-iteration", path, toks[i].line,
+                "iteration over an unordered container writes "
+                "sim-visible state (write at line {}); iteration order "
+                "is unspecified — iterate a sorted snapshot or use "
+                "std::map/std::set".format(wline)))
+        i = close + 1
+    return findings
+
+
+def check_unseeded_entropy_builtin(toks, path):
+    findings = []
+    for i, t in enumerate(toks):
+        prev = toks[i - 1].text if i > 0 else ""
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        qualified_std = prev == "::" and i >= 2 and \
+            toks[i - 2].text == "std"
+        plain = prev not in (".", "->", "::")
+        if t.text in ENTROPY_FUNCS and nxt == "(" and \
+                (plain or qualified_std):
+            findings.append(Finding(
+                "densim-unseeded-entropy", path, t.line,
+                "call to {}() draws wall-clock/ambient entropy; use a "
+                "seeded densim::Rng stream or simulated time".format(
+                    t.text)))
+        elif t.text in ENTROPY_TYPES and (plain or qualified_std):
+            findings.append(Finding(
+                "densim-unseeded-entropy", path, t.line,
+                "std::{} is banned in engine code; all randomness "
+                "flows through explicitly seeded densim::Rng "
+                "streams".format(t.text)))
+        elif t.text in CLOCK_NAMES and nxt == "::" and \
+                i + 2 < len(toks) and toks[i + 2].text == "now":
+            findings.append(Finding(
+                "densim-unseeded-entropy", path, t.line,
+                "std::chrono::{}::now() reads the wall clock inside "
+                "engine code; simulation time must come from the "
+                "event loop".format(t.text)))
+        elif t.text in ("map", "set") and qualified_std and nxt == "<":
+            end = skip_template_args(toks, i + 1)
+            arg = toks[i + 2:end - 1]
+            depth = 0
+            first_arg = []
+            for a in arg:
+                if a.text == "<":
+                    depth += 1
+                elif a.text in (">", ">>"):
+                    depth -= 1 if a.text == ">" else 2
+                elif a.text == "," and depth == 0:
+                    break
+                first_arg.append(a)
+            if any(a.text == "*" for a in first_arg):
+                findings.append(Finding(
+                    "densim-unseeded-entropy", path, t.line,
+                    "pointer key in an ordered container: address "
+                    "order is allocation (ASLR) entropy and varies "
+                    "run to run; key on a stable id instead"))
+    return findings
+
+
+def builtin_function_bodies(toks):
+    """Yield (start, end) token ranges of probable function bodies."""
+    i = 0
+    while i < len(toks):
+        if toks[i].text != "{":
+            i += 1
+            continue
+        # Look back past modifiers/ctor-initializers for a ')'.
+        k = i - 1
+        hops = 0
+        is_func = False
+        while k >= 0 and hops < 24:
+            t = toks[k].text
+            if t == ")":
+                is_func = True
+                break
+            if t in ("const", "noexcept", "override", "final",
+                     "mutable", "->", "::", ",", "(", "&", "*",
+                     ">", "<") or is_ident(toks[k]):
+                k -= 1
+                hops += 1
+                continue
+            break
+        if is_func:
+            end = match_brace(toks, i)
+            yield i, end
+            i = end + 1
+        else:
+            i += 1
+
+
+def check_arena_lifo_builtin(toks, path):
+    findings = []
+    for start, end in builtin_function_bodies(toks):
+        body = toks[start:end + 1]
+        stack = []  # (marker name or None, depth, line)
+        depth = 0
+        i = 0
+        while i < len(body):
+            t = body[i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                while stack and stack[-1][1] > depth:
+                    name, _, mline = stack.pop()
+                    findings.append(Finding(
+                        "densim-arena-lifo", path, mline,
+                        "Arena mark '{}' is not released before its "
+                        "scope ends; mark/release must be lexically "
+                        "paired (DESIGN.md Sec. 12)".format(
+                            name or "<unnamed>")))
+            elif t.text == "return" and stack:
+                findings.append(Finding(
+                    "densim-arena-lifo", path, t.line,
+                    "return crosses {} outstanding Arena mark(s) "
+                    "(first marked at line {}); release before every "
+                    "exit path".format(len(stack), stack[0][2])))
+            elif t.text == "mark" and i >= 1 and \
+                    body[i - 1].text in (".", "->") and \
+                    i + 2 < len(body) and body[i + 1].text == "(" and \
+                    body[i + 2].text == ")":
+                # Assignment target: first '=' LHS in this statement.
+                k = i
+                name = None
+                while k >= 0 and body[k].text not in (";", "{", "}"):
+                    if body[k].text == "=" and is_ident(body[k - 1]):
+                        name = body[k - 1].text
+                        break
+                    k -= 1
+                stack.append((name, depth, t.line))
+            elif t.text == "release" and i >= 1 and \
+                    body[i - 1].text in (".", "->") and \
+                    i + 1 < len(body) and body[i + 1].text == "(":
+                argend = match_paren(body, i + 1)
+                argname = next((a.text for a in body[i + 2:argend]
+                                if is_ident(a)), None)
+                if not stack:
+                    findings.append(Finding(
+                        "densim-arena-lifo", path, t.line,
+                        "Arena release without an outstanding mark in "
+                        "this function"))
+                else:
+                    top = stack[-1]
+                    if argname is not None and top[0] is not None and \
+                            argname != top[0]:
+                        findings.append(Finding(
+                            "densim-arena-lifo", path, t.line,
+                            "out-of-LIFO-order Arena release: '{}' "
+                            "released while '{}' (marked later, line "
+                            "{}) is still outstanding".format(
+                                argname, top[0], top[2])))
+                        # Pop the named marker if it is on the stack.
+                        for j in range(len(stack) - 1, -1, -1):
+                            if stack[j][0] == argname:
+                                stack.pop(j)
+                                break
+                    else:
+                        stack.pop()
+            i += 1
+        for name, _, mline in stack:
+            findings.append(Finding(
+                "densim-arena-lifo", path, mline,
+                "Arena mark '{}' is never released in this "
+                "function".format(name or "<unnamed>")))
+    return findings
+
+
+def check_hot_layout_builtin(toks, path):
+    findings = []
+    for i, t in enumerate(toks):
+        if t.text == "vector" and i + 3 < len(toks) and \
+                toks[i + 1].text == "<" and \
+                toks[i + 2].text == "bool" and \
+                toks[i + 3].text in (">", ">>"):
+            findings.append(Finding(
+                "densim-hot-layout", path, t.line,
+                "std::vector<bool> is a bit-packed proxy container "
+                "(no .data(), no vectorizable loads); hot-path flags "
+                "use std::vector<std::uint8_t> (DESIGN.md Sec. 12)"))
+        elif t.text in ("list", "forward_list") and i >= 2 and \
+                toks[i - 1].text == "::" and \
+                toks[i - 2].text == "std" and \
+                i + 1 < len(toks) and toks[i + 1].text == "<":
+            findings.append(Finding(
+                "densim-hot-layout", path, t.line,
+                "std::{} is a non-contiguous node container; SoA "
+                "hot-path state must live in flat arrays".format(
+                    t.text)))
+    return findings
+
+
+def check_raw_double_boundary_builtin(toks, path, allow):
+    if not path.endswith(".hh"):
+        return []
+    findings = []
+    paren = 0
+    for i, t in enumerate(toks):
+        if t.text == "(":
+            paren += 1
+        elif t.text == ")":
+            paren -= 1
+        if t.text != "double" or paren <= 0:
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        if prev == "<":  # template argument, e.g. vector<double>
+            continue
+        if i + 1 >= len(toks) or not is_ident(toks[i + 1]):
+            continue
+        name = toks[i + 1].text
+        after = toks[i + 2].text if i + 2 < len(toks) else ""
+        if after not in (",", ")", "="):
+            continue
+        if name in densim_lint.DIMENSIONLESS:
+            continue
+        if not densim_lint.UNIT_NAME_RE.match(name):
+            continue
+        if "{}:{}".format(path, name) in allow:
+            continue
+        findings.append(Finding(
+            "densim-raw-double-boundary", path, t.line,
+            "raw `double {}` parameter crosses a header API boundary; "
+            "use a typed quantity from core/units.hh or add "
+            "'{}:{}' to tools/lint/raw_double_allowlist.txt with a "
+            "review".format(name, path, name)))
+    return findings
+
+
+def run_builtin(path, rel, checks, allow):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    toks = tokenize(text)
+    nolint = nolint_lines(text)
+    findings = []
+    if "densim-nondeterministic-iteration" in checks:
+        findings += check_nondeterministic_iteration_builtin(toks, rel)
+    if "densim-unseeded-entropy" in checks and \
+            not rel.startswith(ENTROPY_ALLOW_PREFIXES):
+        findings += check_unseeded_entropy_builtin(toks, rel)
+    if "densim-arena-lifo" in checks:
+        findings += check_arena_lifo_builtin(toks, rel)
+    if "densim-hot-layout" in checks:
+        findings += check_hot_layout_builtin(toks, rel)
+    if "densim-raw-double-boundary" in checks:
+        findings += check_raw_double_boundary_builtin(toks, rel, allow)
+    return [f for f in findings if not suppressed(f, nolint)]
+
+
+# --------------------------------------------------------------------
+# Clang AST-JSON frontend
+
+def find_clang():
+    for name in ("clang++", "clang", "clang++-19", "clang++-18",
+                 "clang++-17", "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+class AstWalker:
+    """Streams clang's -ast-dump=json nodes in source order, tracking
+    the current file/line (clang omits both when unchanged)."""
+
+    def __init__(self, main_file):
+        self.main_file = os.path.abspath(main_file)
+        self.file = None
+        self.line = 0
+
+    def upd(self, loc):
+        if not isinstance(loc, dict):
+            return
+        for key in ("spellingLoc", "expansionLoc"):
+            if key in loc:
+                self.upd(loc[key])
+                return
+        if "file" in loc:
+            self.file = loc["file"]
+        if "line" in loc:
+            self.line = loc["line"]
+
+    def touch(self, node):
+        self.upd(node.get("loc"))
+        self.upd(node.get("range", {}).get("begin"))
+
+    def in_main(self):
+        if self.file is None:
+            return True  # clang leaves the main file implicit.
+        return os.path.abspath(self.file) == self.main_file
+
+
+def walk_nodes(node, walker, visit):
+    """DFS in emission (source) order, calling visit(node, walker)."""
+    if not isinstance(node, dict):
+        return
+    walker.touch(node)
+    line_here = walker.line
+    prune = visit(node, walker, line_here)
+    if prune:
+        return
+    for child in node.get("inner", []) or []:
+        walk_nodes(child, walker, visit)
+
+
+def subtree_nodes(node):
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, dict):
+            yield n
+            stack.extend(n.get("inner", []) or [])
+
+
+def qual_type(node):
+    return (node.get("type") or {}).get("qualType", "")
+
+
+UNORDERED_TYPE_RE = re.compile(r"unordered_(map|set)\b")
+PTR_KEY_RE = re.compile(r"\bstd::(map|set)<[^,<>]*\*")
+LIST_TYPE_RE = re.compile(r"\bstd::(__cxx11::)?(forward_)?list<")
+
+
+def clang_body_writes_external(body):
+    local_ids = {n.get("id") for n in subtree_nodes(body)
+                 if n.get("kind") in ("VarDecl",)}
+
+    def target_external(lhs):
+        for n in subtree_nodes(lhs):
+            if n.get("kind") == "CXXThisExpr":
+                return True
+            if n.get("kind") == "DeclRefExpr":
+                ref = n.get("referencedDecl") or {}
+                if ref.get("kind") in ("VarDecl", "ParmVarDecl",
+                                       "FieldDecl") and \
+                        ref.get("id") not in local_ids:
+                    return True
+        return False
+
+    for n in subtree_nodes(body):
+        kind = n.get("kind")
+        inner = n.get("inner") or []
+        if kind == "BinaryOperator" and n.get("opcode") == "=" and inner:
+            if target_external(inner[0]):
+                return True
+        elif kind == "CompoundAssignOperator" and inner:
+            if target_external(inner[0]):
+                return True
+        elif kind == "UnaryOperator" and \
+                n.get("opcode") in ("++", "--") and inner:
+            if target_external(inner[0]):
+                return True
+        elif kind == "CXXOperatorCallExpr" and inner and \
+                "operator=" in json.dumps(inner[0])[:400]:
+            if len(inner) > 1 and target_external(inner[1]):
+                return True
+        elif kind == "CXXMemberCallExpr" and inner:
+            member = inner[0]
+            if member.get("kind") == "MemberExpr" and \
+                    member.get("name") in MUTATING_CALLS:
+                if target_external(member):
+                    return True
+    return False
+
+
+def clang_collect_arena_events(body, walker):
+    """(kind, name, depth, line) events in source order."""
+    events = []
+
+    def rec(node, depth):
+        if not isinstance(node, dict):
+            return
+        walker.touch(node)
+        line = walker.line
+        kind = node.get("kind")
+        if kind == "ReturnStmt":
+            events.append(("return", None, depth, line))
+        if kind == "VarDecl":
+            for n in subtree_nodes(node):
+                if n.get("kind") == "CXXMemberCallExpr":
+                    mem = (n.get("inner") or [{}])[0]
+                    if mem.get("kind") == "MemberExpr" and \
+                            mem.get("name") == "mark" and \
+                            "Arena" in json.dumps(
+                                n.get("inner"))[:600]:
+                        events.append(("mark", node.get("name"),
+                                       depth, line))
+                        return  # Children handled; avoid double count.
+        if kind == "CXXMemberCallExpr":
+            inner = node.get("inner") or []
+            mem = inner[0] if inner else {}
+            if mem.get("kind") == "MemberExpr" and \
+                    mem.get("name") in ("mark", "release") and \
+                    "Arena" in json.dumps(inner)[:600]:
+                if mem.get("name") == "mark":
+                    events.append(("mark", None, depth, line))
+                else:
+                    arg = None
+                    for n in subtree_nodes(node):
+                        if n.get("kind") == "DeclRefExpr":
+                            ref = n.get("referencedDecl") or {}
+                            if ref.get("kind") == "VarDecl":
+                                arg = ref.get("name")
+                                break
+                    events.append(("release", arg, depth, line))
+                return
+        child_depth = depth + 1 if kind == "CompoundStmt" else depth
+        for child in node.get("inner", []) or []:
+            rec(child, child_depth)
+
+    rec(body, 0)
+    return events
+
+
+def arena_rule(events, path, func_line):
+    findings = []
+    stack = []
+    prev_depth = 0
+    for kind, name, depth, line in events:
+        if depth < prev_depth:
+            while stack and stack[-1][1] > depth:
+                mname, _, mline = stack.pop()
+                findings.append(Finding(
+                    "densim-arena-lifo", path, mline,
+                    "Arena mark '{}' is not released before its scope "
+                    "ends; mark/release must be lexically paired "
+                    "(DESIGN.md Sec. 12)".format(mname or "<unnamed>")))
+        prev_depth = depth
+        if kind == "mark":
+            stack.append((name, depth, line))
+        elif kind == "release":
+            if not stack:
+                findings.append(Finding(
+                    "densim-arena-lifo", path, line,
+                    "Arena release without an outstanding mark in "
+                    "this function"))
+            else:
+                top = stack[-1]
+                if name is not None and top[0] is not None and \
+                        name != top[0]:
+                    findings.append(Finding(
+                        "densim-arena-lifo", path, line,
+                        "out-of-LIFO-order Arena release: '{}' "
+                        "released while '{}' (marked later, line {}) "
+                        "is still outstanding".format(
+                            name, top[0], top[2])))
+                    for j in range(len(stack) - 1, -1, -1):
+                        if stack[j][0] == name:
+                            stack.pop(j)
+                            break
+                else:
+                    stack.pop()
+        elif kind == "return" and stack:
+            findings.append(Finding(
+                "densim-arena-lifo", path, line,
+                "return crosses {} outstanding Arena mark(s) (first "
+                "marked at line {}); release before every exit "
+                "path".format(len(stack), stack[0][2])))
+    for name, _, mline in stack:
+        findings.append(Finding(
+            "densim-arena-lifo", path, mline,
+            "Arena mark '{}' is never released in this function "
+            "(function at line {})".format(name or "<unnamed>",
+                                           func_line)))
+    return findings
+
+
+def run_clang(clang, path, rel, repo, checks, allow):
+    cmd = [clang, "-std=c++20", "-x", "c++", "-fsyntax-only",
+           "-I", os.path.join(repo, "src"),
+           "-Xclang", "-ast-dump=json", path]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          check=False)
+    if proc.returncode != 0 or not proc.stdout.strip():
+        print("run_densim_tidy: NOTE: clang could not parse {} — "
+              "falling back to the builtin frontend for this file"
+              .format(rel), file=sys.stderr)
+        return run_builtin(path, rel, checks, allow)
+    try:
+        root = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        print("run_densim_tidy: NOTE: unparsable AST JSON for {} — "
+              "falling back to the builtin frontend".format(rel),
+              file=sys.stderr)
+        return run_builtin(path, rel, checks, allow)
+
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    nolint = nolint_lines(text)
+    findings = []
+    walker = AstWalker(path)
+    entropy_on = "densim-unseeded-entropy" in checks and \
+        not rel.startswith(ENTROPY_ALLOW_PREFIXES)
+
+    def visit(node, w, line):
+        if not w.in_main():
+            return False
+        kind = node.get("kind")
+        qt = qual_type(node)
+        if kind == "CXXForRangeStmt" and \
+                "densim-nondeterministic-iteration" in checks:
+            range_type = ""
+            for n in subtree_nodes(node):
+                if n.get("kind") == "VarDecl" and \
+                        n.get("name") == "__range1":
+                    range_type = qual_type(n)
+                    break
+            if UNORDERED_TYPE_RE.search(range_type):
+                body = (node.get("inner") or [None])[-1]
+                if body and clang_body_writes_external(body):
+                    findings.append(Finding(
+                        "densim-nondeterministic-iteration", rel, line,
+                        "iteration over {} writes sim-visible state; "
+                        "iteration order is unspecified — iterate a "
+                        "sorted snapshot or use std::map/std::set"
+                        .format(range_type)))
+        if entropy_on:
+            if kind == "DeclRefExpr":
+                ref = node.get("referencedDecl") or {}
+                if ref.get("kind") == "FunctionDecl" and \
+                        ref.get("name") in ENTROPY_FUNCS:
+                    findings.append(Finding(
+                        "densim-unseeded-entropy", rel, line,
+                        "call to {}() draws wall-clock/ambient "
+                        "entropy; use a seeded densim::Rng stream or "
+                        "simulated time".format(ref.get("name"))))
+                if ref.get("name") == "now" and \
+                        "clock" in (ref.get("mangledName") or ""):
+                    findings.append(Finding(
+                        "densim-unseeded-entropy", rel, line,
+                        "std::chrono clock ::now() reads the wall "
+                        "clock inside engine code; simulation time "
+                        "must come from the event loop"))
+            if kind in ("VarDecl", "FieldDecl", "ParmVarDecl"):
+                if any(t in qt for t in ENTROPY_TYPES):
+                    findings.append(Finding(
+                        "densim-unseeded-entropy", rel, line,
+                        "type {} is banned in engine code; all "
+                        "randomness flows through explicitly seeded "
+                        "densim::Rng streams".format(qt)))
+                if PTR_KEY_RE.search(qt):
+                    findings.append(Finding(
+                        "densim-unseeded-entropy", rel, line,
+                        "pointer key in an ordered container ({}): "
+                        "address order is allocation (ASLR) entropy "
+                        "and varies run to run; key on a stable id "
+                        "instead".format(qt)))
+        if kind in ("VarDecl", "FieldDecl", "ParmVarDecl") and \
+                "densim-hot-layout" in checks:
+            if "vector<bool" in qt.replace(" ", ""):
+                findings.append(Finding(
+                    "densim-hot-layout", rel, line,
+                    "std::vector<bool> is a bit-packed proxy "
+                    "container; hot-path flags use "
+                    "std::vector<std::uint8_t> (DESIGN.md Sec. 12)"))
+            if LIST_TYPE_RE.search(qt):
+                findings.append(Finding(
+                    "densim-hot-layout", rel, line,
+                    "{} is a non-contiguous node container; SoA "
+                    "hot-path state must live in flat arrays"
+                    .format(qt)))
+        if kind == "ParmVarDecl" and \
+                "densim-raw-double-boundary" in checks and \
+                rel.endswith(".hh"):
+            name = node.get("name")
+            if qt == "double" and name and \
+                    name not in densim_lint.DIMENSIONLESS and \
+                    densim_lint.UNIT_NAME_RE.match(name) and \
+                    "{}:{}".format(rel, name) not in allow:
+                findings.append(Finding(
+                    "densim-raw-double-boundary", rel, line,
+                    "raw `double {}` parameter crosses a header API "
+                    "boundary; use a typed quantity from "
+                    "core/units.hh or add '{}:{}' to "
+                    "tools/lint/raw_double_allowlist.txt with a "
+                    "review".format(name, rel, name)))
+        if kind in ("FunctionDecl", "CXXMethodDecl",
+                    "CXXConstructorDecl", "CXXDestructorDecl") and \
+                "densim-arena-lifo" in checks:
+            body = None
+            for child in node.get("inner", []) or []:
+                if isinstance(child, dict) and \
+                        child.get("kind") == "CompoundStmt":
+                    body = child
+            if body is not None:
+                # Collect with a cloned walker so the main DFS keeps
+                # its own file/line state (clang omits "line" when
+                # unchanged, so the tracker must advance in step with
+                # the emission order of the main walk).
+                sub = AstWalker(path)
+                sub.file, sub.line = w.file, w.line
+                events = clang_collect_arena_events(body, sub)
+                if any(e[0] in ("mark", "release") for e in events):
+                    findings.extend(arena_rule(events, rel, line))
+        return False
+
+    walk_nodes(root, walker, visit)
+    return [f for f in findings if not suppressed(f, nolint)]
+
+
+# --------------------------------------------------------------------
+# Driver
+
+def tree_files(repo, check):
+    out = []
+    for scope in CHECK_SCOPES[check]:
+        root = os.path.join(repo, scope)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".hh")):
+                    full = os.path.join(dirpath, name)
+                    rel = os.path.relpath(full, repo).replace(
+                        os.sep, "/")
+                    out.append((full, rel))
+    return out
+
+
+def scan(repo, files, checks, frontend):
+    """Run `checks` over `files` [(full, rel)]; return findings."""
+    allow = densim_lint.load_allowlist(repo)
+    clang = find_clang() if frontend in ("auto", "clang") else None
+    if frontend == "clang" and clang is None:
+        print("run_densim_tidy: ERROR: --frontend=clang but no clang "
+              "binary on PATH", file=sys.stderr)
+        sys.exit(2)
+    findings = []
+    for full, rel in files:
+        if clang is not None:
+            findings += run_clang(clang, full, rel, repo, checks, allow)
+        else:
+            findings += run_builtin(full, rel, checks, allow)
+    return findings
+
+
+def run_tree(repo, checks, frontend):
+    # Each check has its own scope; group so each file is parsed once.
+    per_file = {}
+    for check in checks:
+        for full, rel in tree_files(repo, check):
+            per_file.setdefault((full, rel), set()).add(check)
+    allow = densim_lint.load_allowlist(repo)
+    clang = find_clang() if frontend in ("auto", "clang") else None
+    findings = []
+    for (full, rel), file_checks in sorted(per_file.items()):
+        if clang is not None:
+            findings += run_clang(clang, full, rel, repo, file_checks,
+                                  allow)
+        else:
+            findings += run_builtin(full, rel, file_checks, allow)
+    return findings
+
+
+# --------------------------------------------------------------------
+# Self-test over the fixture TUs
+
+FIXTURE_CHECKS = {
+    "nondeterministic_iteration": "densim-nondeterministic-iteration",
+    "unseeded_entropy": "densim-unseeded-entropy",
+    "arena_lifo": "densim-arena-lifo",
+    "hot_layout": "densim-hot-layout",
+    "raw_double_boundary": "densim-raw-double-boundary",
+}
+
+
+def self_test(repo, frontend="auto"):
+    fixdir = os.path.join(repo, "tests", "tidy_fixtures")
+    if not os.path.isdir(fixdir):
+        print("run_densim_tidy: SELF-TEST FAILED — fixture directory "
+              "{} is missing".format(fixdir))
+        return 1
+    if frontend == "auto":
+        frontends = ["builtin"]
+        if find_clang() is not None:
+            frontends.append("clang")
+    elif frontend == "clang" and find_clang() is None:
+        print("run_densim_tidy: SELF-TEST FAILED — --frontend=clang "
+              "but no clang binary on PATH")
+        return 1
+    else:
+        frontends = [frontend]
+    failures = 0
+    for frontend in frontends:
+        for stem, check in sorted(FIXTURE_CHECKS.items()):
+            for flavor in ("bad", "good"):
+                matches = [n for n in sorted(os.listdir(fixdir))
+                           if n.startswith(
+                               "{}_{}".format(stem, flavor))]
+                if not matches:
+                    print("run_densim_tidy: SELF-TEST FAILED — no "
+                          "{}_{} fixture".format(stem, flavor))
+                    failures += 1
+                    continue
+                for name in matches:
+                    full = os.path.join(fixdir, name)
+                    rel = "tests/tidy_fixtures/" + name
+                    got = scan(repo, [(full, rel)], set(ALL_CHECKS),
+                               frontend)
+                    hits = [f for f in got if f.check == check]
+                    if flavor == "bad" and not hits:
+                        print("run_densim_tidy: SELF-TEST FAILED "
+                              "[{}] — known-bad fixture {} was NOT "
+                              "flagged by {}".format(frontend, name,
+                                                     check))
+                        failures += 1
+                    elif flavor == "good" and hits:
+                        print("run_densim_tidy: SELF-TEST FAILED "
+                              "[{}] — known-good fixture {} was "
+                              "flagged:".format(frontend, name))
+                        for f in hits:
+                            print("    {}".format(f))
+                        failures += 1
+    if failures == 0:
+        print("run_densim_tidy: self-test passed — every known-bad "
+              "fixture flagged, every known-good fixture clean "
+              "(frontends: {})".format(", ".join(frontends)))
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="densim AST-grounded determinism & lifetime "
+                    "analyzer (portable driver)")
+    parser.add_argument("--repo", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "clang", "builtin"))
+    parser.add_argument("--checks", default=",".join(ALL_CHECKS),
+                        help="comma-separated subset of checks")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("files", nargs="*",
+                        help="specific files (default: tree scope scan)")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for check in ALL_CHECKS:
+            print(check)
+        return 0
+
+    repo = os.path.abspath(args.repo)
+    if args.self_test:
+        return self_test(repo, args.frontend)
+
+    checks = set()
+    for name in args.checks.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in ALL_CHECKS:
+            print("run_densim_tidy: unknown check '{}'".format(name),
+                  file=sys.stderr)
+            return 2
+        checks.add(name)
+
+    if args.files:
+        files = [(os.path.abspath(f),
+                  os.path.relpath(os.path.abspath(f), repo).replace(
+                      os.sep, "/"))
+                 for f in args.files]
+        findings = scan(repo, files, checks, args.frontend)
+    else:
+        findings = run_tree(repo, checks, args.frontend)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print("run_densim_tidy: {} finding(s)".format(len(findings)),
+              file=sys.stderr)
+        return 1
+    frontend = "clang" if (args.frontend in ("auto", "clang")
+                           and find_clang()) else "builtin"
+    print("run_densim_tidy: clean ({} checks, {} frontend)".format(
+        len(checks), frontend))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
