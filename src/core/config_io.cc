@@ -258,6 +258,7 @@ keyTable()
          boolf(&SimConfig::schedPredictionCache)},
         {"ambientBatchFrac", dbl(&SimConfig::ambientBatchFrac)},
         {"busySumSkip", boolf(&SimConfig::busySumSkip)},
+        {"pmDecisionPrune", boolf(&SimConfig::pmDecisionPrune)},
         {"warmStart", boolf(&SimConfig::warmStart)},
         {"seed",
          {[](SimConfig &c, const std::string &k, const std::string &v) {

@@ -137,6 +137,8 @@ DenseServerSim::registerObs()
         &obsRegistry_.counter("engine.schedDecisions");
     count_.dvfsMemoHits = &obsRegistry_.counter("dvfs.memoHits");
     count_.dvfsMemoMisses = &obsRegistry_.counter("dvfs.memoMisses");
+    count_.dvfsRedecisionsPruned =
+        &obsRegistry_.counter("dvfs.redecisionsPruned");
     count_.ambientRefreshes =
         &obsRegistry_.counter("thermal.ambientRefreshes");
     count_.ambientDeltas =
@@ -609,10 +611,36 @@ DenseServerSim::powerManage(double now)
 {
     DENSIM_OBS_PHASE(profiler_, obs::Phase::PowerManage);
     const std::size_t n = topo_.numSockets();
+    // With faults armed chooseDvfs consumes fault RNG draws (sensor
+    // perturbation), so the decision must be re-run even when every
+    // clean input matches — the prune would desynchronize the stream.
+    const bool prune = config_.pmDecisionPrune && !faultsEnabled_;
     for (std::size_t s = 0; s < n; ++s) {
         if (!busyFlag_[s])
             continue;
         syncProgress(s, now);
+        if (prune) {
+            const DvfsDecision *hit = dvfsMemo_.lookup(
+                s, runningSet_[s], dvfsCap(s),
+                Celsius(ambientC_[s]), config_.dvfsMemoQuantC);
+            if (hit != nullptr && hit->pstate == pstate_[s] &&
+                hit->power.value() == powerW_[s]) {
+                // The memo would hand back this exact decision and
+                // every field setSocketRate derives from it (rate,
+                // relative frequency, boost flag, frequency) is a
+                // pure function of the unchanged P-state and
+                // workload set — already applied bitwise. Only the
+                // completion time depends on `now`; recompute it
+                // exactly as setSocketRate would. The prediction
+                // fast-path snapshot is left stale, which is
+                // conservative, never wrong (sched/prediction.hh).
+                count_.dvfsRedecisionsPruned->inc();
+                completionS_[s] =
+                    now + jobRemainingS_[s] / rateCache_[s];
+                completionHeap_.upsert(s, completionS_[s]);
+                continue;
+            }
+        }
         const DvfsDecision d =
             chooseDvfs(s, runningSet_[s], dvfsCap(s));
         setSocketRate(s, d.pstate, d.power.value(), now);
@@ -1212,14 +1240,21 @@ DenseServerSim::applyFaultEvent(const FaultEvent &event, double now)
         recoverSocket(s, now);
         break;
     case FaultKind::AbortRun:
-        recordFault(FaultKind::AbortRun, kFaultNoSocket, now, 0.0);
-        throw std::runtime_error(
-            "fault.abortRunS: injected harness fault at t=" +
-            std::to_string(now) + " s");
+        abortRun(now);
+        break;
     default:
         // Response kinds never appear in a timeline.
         break;
     }
+}
+
+void
+DenseServerSim::abortRun(double now)
+{
+    recordFault(FaultKind::AbortRun, kFaultNoSocket, now, 0.0);
+    throw std::runtime_error(
+        "fault.abortRunS: injected harness fault at t=" +
+        std::to_string(now) + " s");
 }
 
 void

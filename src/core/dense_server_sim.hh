@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/dvfs_memo.hh"
+#include "core/effects.hh"
 #include "core/event_heap.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
@@ -113,8 +114,11 @@ class DenseServerSim
     void resetState();
     void warmStart();
     SimMetrics runJobs(const std::vector<Job> &jobs);
-    void thermalStep(double dt);
-    void powerManage(double now);
+    DENSIM_HOT void thermalStep(double dt);
+    DENSIM_HOT void powerManage(double now);
+    DENSIM_HOT DENSIM_ALLOCATES(
+        "job admission pushes onto the deque backlog; freed blocks "
+        "are reused, so steady state adds no heap traffic")
     void processWindow(const std::vector<Job> &jobs,
                        std::size_t &next_job, double t0, double t1);
 
@@ -127,10 +131,10 @@ class DenseServerSim
 
     // --- fault injection & graceful degradation (DESIGN.md Sec. 11) --
     /** Apply every timeline event due at or before @p now. */
-    void applyFaultEvents(double now);
+    DENSIM_HOT void applyFaultEvents(double now);
     void applyFaultEvent(const FaultEvent &event, double now);
     /** Advance the escalation ladder and act on its verdicts. */
-    void emergencyResponse(double now);
+    DENSIM_HOT void emergencyResponse(double now);
     /** Take @p socket offline; its running job goes back in queue. */
     void failSocket(std::size_t socket, double now);
     /** Readmit a failed socket to the idle pool. */
@@ -138,16 +142,26 @@ class DenseServerSim
     /** Quarantine an over-temperature socket (escalation stage 2). */
     void quarantineSocket(std::size_t socket, double now);
     /** Push the running job of @p socket back onto the queue front. */
+    DENSIM_ALLOCATES(
+        "requeue is a rare fault-transition edge; the deque reuses "
+        "blocks freed by normal dispatch")
     void requeueJob(std::size_t socket, double now);
-    /** Rebuild coupling_ for the fan bank capped at @p flow_frac. */
-    void applyFanFlowFraction(double flow_frac);
+    /** Rebuild coupling_ for the fan bank capped at @p flow_frac.
+     *  Cold by design: a fan fault rebuilds the whole coupling
+     *  operator, deliberately outside the epoch heap contract. */
+    DENSIM_COLD void applyFanFlowFraction(double flow_frac);
     /** Delivered-flow fraction for a bank speed cap (affinity laws). */
     double fanFlowFraction(double speed_cap) const;
     /** Boost cap for powerManage/placeJob, honoring the throttle. */
     std::size_t dvfsCap(std::size_t socket) const;
-    /** Record (log + trace + counter hook) one fault event. */
-    void recordFault(FaultKind kind, std::size_t socket, double now,
-                     double value);
+    /** Record (log + trace + counter hook) one fault event.
+     *  Cold diagnostic endpoint: the capped log and trace sink never
+     *  feed back into the model. */
+    DENSIM_COLD void recordFault(FaultKind kind, std::size_t socket,
+                                 double now, double value);
+    /** Deliberate harness escape for fault.abortRunS (cold: the one
+     *  sanctioned throw on a hot-reachable path). */
+    [[noreturn]] DENSIM_COLD void abortRun(double now);
 
     // --- bookkeeping -------------------------------------------------
     void syncProgress(std::size_t socket, double now);
@@ -167,6 +181,9 @@ class DenseServerSim
                             std::size_t cap);
 
     /** Record that powerW_[socket] diverged from the target field. */
+    DENSIM_ALLOCATES(
+        "dirty list reaches socket-count capacity in the first "
+        "epochs and is clear()ed, never shrunk")
     void markPowerDirty(std::size_t socket);
 
     /** Recompute the ambient-target field from scratch. */
@@ -184,6 +201,9 @@ class DenseServerSim
     void checkEpochInvariants() const;
 
     /** Keep idleList_ sorted ascending under O(log n) lookup. */
+    DENSIM_ALLOCATES(
+        "idle list capacity reaches socket count during warmup; the "
+        "sorted insert then shifts within capacity")
     void idleInsert(std::size_t s);
     void idleRemove(std::size_t s);
 
@@ -256,6 +276,7 @@ class DenseServerSim
         obs::Counter *schedDecisions = nullptr;
         obs::Counter *dvfsMemoHits = nullptr;
         obs::Counter *dvfsMemoMisses = nullptr;
+        obs::Counter *dvfsRedecisionsPruned = nullptr;
         obs::Counter *ambientRefreshes = nullptr;
         obs::Counter *ambientDeltas = nullptr;
         obs::Counter *timelineSamples = nullptr;

@@ -25,6 +25,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/effects.hh"
 #include "core/invariant.hh"
 #include "util/logging.hh"
 
@@ -72,6 +73,9 @@ class EventHeap
     }
 
     /** Insert @p id with @p key, or re-key it if already present. */
+    DENSIM_ALLOCATES(
+        "heap vector reaches socket-count capacity during warmup; "
+        "upsert then reuses the freed slots in place")
     void upsert(std::size_t id, double key)
     {
         if (id >= pos_.size())

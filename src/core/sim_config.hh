@@ -175,6 +175,26 @@ struct SimConfig
      * bank). The knob exists for the differential test.
      */
     bool busySumSkip = true;
+    /**
+     * Prune redundant powerManage re-decisions: when the DVFS memo
+     * already holds this socket's decision for the exact (workload
+     * set, boost cap, ambient) inputs AND the applied state (P-state,
+     * socket power) bitwise-equals that decision, skip chooseDvfs and
+     * setSocketRate entirely — only the progress sync and the
+     * completion-time recompute (which depend on `now`) still run.
+     * Exact by construction: every field setSocketRate would write is
+     * a pure function of inputs that did not move, and the piecewise
+     * sums are rebuilt from scratch at the end of the epoch
+     * (rebuildScalars). At the exact memo default (dvfsMemoQuantC =
+     * 0) the prune only fires at a bitwise thermal fixed point; its
+     * payoff is the quantized-memo design-space sweeps, where most
+     * epochs confirm the previous decision. Auto-disabled while
+     * faults are armed, where chooseDvfs consumes fault RNG draws
+     * that must not be skipped.
+     * Bit-identical either way (pinned by the perf-equivalence bank);
+     * the knob exists for the differential test.
+     */
+    bool pmDecisionPrune = true;
 
     /**
      * Fault injection and graceful degradation (src/fault, DESIGN.md

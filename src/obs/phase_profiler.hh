@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "core/effects.hh"
 #include "obs/trace.hh"
 
 namespace densim::obs {
@@ -75,7 +76,10 @@ class PhaseProfiler
     /** @name PhaseScope internals */
     ///@{
     void begin(Phase phase);
-    void end(Phase phase);
+    /** Cold observability endpoint: timers and the trace sink only
+     *  ever observe the simulation, never feed back (DESIGN.md
+     *  Sec. 10). */
+    DENSIM_COLD void end(Phase phase);
     ///@}
 
   private:

@@ -18,6 +18,9 @@ class BalancedLocations : public Scheduler
 {
   public:
     const char *name() const override { return "Balanced-L"; }
+    DENSIM_ALLOCATES(
+        "per-row occupancy scratch resized to topology size on first "
+        "use; no steady-state growth")
     std::size_t pick(const Job &job, const SchedContext &ctx) override;
 
   private:

@@ -20,7 +20,13 @@ CoolestNeighbors::pick(const Job &job, const SchedContext &ctx)
         const int zone = topo.zoneIndexOf(s);
         double acc = 0.0;
         int count = 0;
-        for (std::size_t other : topo.socketsInRow(row)) {
+        // A row's sockets are the contiguous range [base, base+per):
+        // iterating indices directly avoids materializing the
+        // socketsInRow() vector on every pick (densim-hot-effects).
+        const std::size_t per =
+            static_cast<std::size_t>(topo.socketsPerRow());
+        const std::size_t base = static_cast<std::size_t>(row) * per;
+        for (std::size_t other = base; other < base + per; ++other) {
             if (other == s)
                 continue;
             const int dz = topo.zoneIndexOf(other) - zone;

@@ -45,6 +45,9 @@ class CouplingPredictor : public Scheduler
                                bool global_search = false);
 
     const char *name() const override { return "CP"; }
+    DENSIM_ALLOCATES(
+        "arena-miss fallback scratch resized to the idle count; the "
+        "arena fast path allocates nothing")
     std::size_t pick(const Job &job, const SchedContext &ctx) override;
 
     double downstreamWeight() const { return downstreamWeight_; }

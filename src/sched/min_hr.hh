@@ -23,6 +23,9 @@ class MinHr : public Scheduler
 {
   public:
     const char *name() const override { return "MinHR"; }
+    DENSIM_ALLOCATES(
+        "impact cache resized once per coupling generation, not per "
+        "decision")
     std::size_t pick(const Job &job, const SchedContext &ctx) override;
 
   private:

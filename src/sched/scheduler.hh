@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/effects.hh"
 #include "obs/registry.hh"
 #include "power/leakage.hh"
 #include "power/power_manager.hh"
@@ -111,8 +112,8 @@ class Scheduler
      * Choose one socket from ctx.idle for @p job. Must return an
      * element of *ctx.idle.
      */
-    virtual std::size_t pick(const Job &job,
-                             const SchedContext &ctx) = 0;
+    DENSIM_HOT virtual std::size_t pick(const Job &job,
+                                        const SchedContext &ctx) = 0;
 
     /** Reset internal state between runs (default: nothing). */
     virtual void reset() {}

@@ -35,6 +35,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/effects.hh"
+
 namespace densim {
 
 /** Chained-block bump allocator with LIFO mark/release. */
@@ -134,6 +136,9 @@ class Arena
         std::size_t size = 0;
     };
 
+    DENSIM_ALLOCATES(
+        "the arena's own backing store; post-reserve growth is "
+        "counted and asserted zero per epoch under DENSIM_CHECKS")
     void addBlock(std::size_t bytes, bool is_growth)
     {
         Block b;

@@ -393,6 +393,61 @@ TEST(PerfEquivalence, BusySumSkipIsBitIdentical)
     }
 }
 
+TEST(PerfEquivalence, PmDecisionPruneIsBitIdentical)
+{
+    // powerManage skips chooseDvfs + setSocketRate for a socket whose
+    // memoized decision matches the memo-predicate inputs AND is
+    // already applied bitwise. The skip must be *exact* relative to
+    // the same memo setting: everything setSocketRate would write is
+    // a pure function of inputs that did not move, the completion
+    // time is recomputed with the same expression, and the busy sums
+    // are rebuilt from scratch at the end of the epoch. The quantized
+    // pass is the one where the prune actually fires (at quant 0 a
+    // bitwise-equal ambient across thermal steps is vanishingly
+    // rare); the exact pass pins that it stays inert there. With
+    // faults armed the prune turns itself off (chooseDvfs consumes
+    // fault RNG draws), so those goldens pin the auto-disable path.
+    // Every metric must match EXPECT_EQ on doubles.
+    for (const GoldenRow &g : kGoldens) {
+    for (const double quant : {0.0, 0.25}) {
+        SCOPED_TRACE(std::string(g.name) + " quant=" +
+                     std::to_string(quant));
+        SimConfig pruned = goldenConfig(g.name);
+        pruned.dvfsMemoQuantC = quant;
+        SimConfig redecide = goldenConfig(g.name);
+        redecide.dvfsMemoQuantC = quant;
+        redecide.pmDecisionPrune = false;
+
+        DenseServerSim a(pruned,
+                         makeScheduler(goldenScheduler(g.name)));
+        DenseServerSim b(redecide,
+                         makeScheduler(goldenScheduler(g.name)));
+        const SimMetrics ma = a.run();
+        const SimMetrics mb = b.run();
+        EXPECT_EQ(ma.jobsArrived, mb.jobsArrived);
+        EXPECT_EQ(ma.jobsCompleted, mb.jobsCompleted);
+        EXPECT_EQ(ma.jobsUnfinished, mb.jobsUnfinished);
+        EXPECT_EQ(ma.migrations, mb.migrations);
+        EXPECT_EQ(ma.energyJ, mb.energyJ);
+        EXPECT_EQ(ma.makespanS, mb.makespanS);
+        EXPECT_EQ(ma.totalWork, mb.totalWork);
+        EXPECT_EQ(ma.totalBusyTime, mb.totalBusyTime);
+        EXPECT_EQ(ma.totalFreqTime, mb.totalFreqTime);
+        EXPECT_EQ(ma.boostTimeS, mb.boostTimeS);
+        EXPECT_EQ(ma.maxChipTempC, mb.maxChipTempC);
+        EXPECT_EQ(ma.runtimeExpansion.mean(),
+                  mb.runtimeExpansion.mean());
+        EXPECT_EQ(ma.serviceExpansion.mean(),
+                  mb.serviceExpansion.mean());
+        EXPECT_EQ(ma.queueDelayS.mean(), mb.queueDelayS.mean());
+        EXPECT_EQ(ma.chipTempC.mean(), mb.chipTempC.mean());
+        EXPECT_EQ(ma.front.workDone, mb.front.workDone);
+        EXPECT_EQ(ma.back.workDone, mb.back.workDone);
+        EXPECT_EQ(ma.even.workDone, mb.even.workDone);
+    }
+    }
+}
+
 TEST(PerfEquivalence, AmbientBatchCrossoverStaysClose)
 {
     // The batched ambient-target refresh is a documented tolerance

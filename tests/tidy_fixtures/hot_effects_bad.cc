@@ -1,0 +1,71 @@
+// Known-bad fixture for densim-hot-effects (conservative-resolution
+// coverage, ISSUE 8): every hot-reachable effect here is unsanctioned
+// and must be flagged —
+//   1. an allocation hiding THREE calls deep under a hot root,
+//   2. an allocation behind a VIRTUAL override (the DENSIM_HOT mark
+//      on the base method roots the whole override family),
+//   3. a call through a FUNCTION POINTER, which the analyzer cannot
+//      resolve and therefore flags in itself.
+// The macros are stand-ins for src/core/effects.hh (fixtures are
+// self-contained TUs; the analyzer reads the marker tokens).
+#include <cstddef>
+#include <vector>
+
+#define DENSIM_HOT
+#define DENSIM_COLD
+#define DENSIM_ALLOCATES(reason)
+
+namespace fixture {
+
+// --- 1. allocation three calls deep --------------------------------
+
+void leafAllocates(std::vector<double> &v)
+{
+    v.push_back(1.0); // Flagged: hot-reachable, unsanctioned.
+}
+
+void middleB(std::vector<double> &v)
+{
+    leafAllocates(v);
+}
+
+void middleA(std::vector<double> &v)
+{
+    middleB(v);
+}
+
+DENSIM_HOT void hotRoot(std::vector<double> &v)
+{
+    middleA(v);
+}
+
+// --- 2. allocation behind a virtual override ------------------------
+
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+    DENSIM_HOT virtual std::size_t pick(std::size_t n) = 0;
+};
+
+class GreedyPolicy : public Policy
+{
+  public:
+    std::size_t pick(std::size_t n) override
+    {
+        scratch_.resize(n); // Flagged via the override family.
+        return scratch_.size();
+    }
+
+  private:
+    std::vector<std::size_t> scratch_;
+};
+
+// --- 3. unresolvable indirect call ----------------------------------
+
+DENSIM_HOT double hotIndirect(double (*fn)(double), double x)
+{
+    return fn(x); // Flagged: effects of *fn are unknowable here.
+}
+
+} // namespace fixture

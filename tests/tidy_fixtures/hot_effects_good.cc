@@ -1,0 +1,76 @@
+// Known-good twin of hot_effects_bad.cc: the same three shapes pass
+// once each effect is sanctioned by DENSIM_ALLOCATES(reason) on the
+// function that owns it, or cut by DENSIM_COLD. A sanction covers the
+// function's OWN effects only — that is why the deep-allocation case
+// annotates the leaf, not the root.
+#include <cstddef>
+#include <vector>
+
+#define DENSIM_HOT
+#define DENSIM_COLD
+#define DENSIM_ALLOCATES(reason)
+
+namespace fixture {
+
+DENSIM_ALLOCATES("fixture: scratch pre-reserved by every caller")
+void leafAllocates(std::vector<double> &v)
+{
+    v.push_back(1.0);
+}
+
+void middleB(std::vector<double> &v)
+{
+    leafAllocates(v);
+}
+
+void middleA(std::vector<double> &v)
+{
+    middleB(v);
+}
+
+DENSIM_HOT void hotRoot(std::vector<double> &v)
+{
+    middleA(v);
+}
+
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+    DENSIM_HOT virtual std::size_t pick(std::size_t n) = 0;
+};
+
+class GreedyPolicy : public Policy
+{
+  public:
+    DENSIM_ALLOCATES("fixture: resized once to the socket count")
+    std::size_t pick(std::size_t n) override
+    {
+        scratch_.resize(n);
+        return scratch_.size();
+    }
+
+  private:
+    std::vector<std::size_t> scratch_;
+};
+
+DENSIM_HOT DENSIM_ALLOCATES("fixture: reviewed fixed callback table")
+double hotIndirect(double (*fn)(double), double x)
+{
+    return fn(x);
+}
+
+// A DENSIM_COLD endpoint stops propagation: its effects never reach
+// the hot caller's summary.
+DENSIM_COLD void coldDiagnostic()
+{
+    std::vector<double> dump;
+    dump.push_back(42.0);
+}
+
+DENSIM_HOT void hotCallsCold()
+{
+    coldDiagnostic();
+}
+
+} // namespace fixture

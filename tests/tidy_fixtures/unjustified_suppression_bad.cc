@@ -1,0 +1,20 @@
+// Known-bad fixture for densim-unjustified-suppression: suppression
+// markers that carry no justification prose, neither in the same
+// comment nor on the preceding line (DESIGN.md Sec. 13 policy).
+#include <vector>
+
+namespace fixture {
+
+void namedButNaked()
+{
+    std::vector<bool> flags; // NOLINT(densim-hot-layout)
+    (void)flags;
+}
+
+void bareAndNaked()
+{
+    std::vector<bool> more; // NOLINT
+    (void)more;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Known-good fixture for densim-unjustified-suppression: every
+// suppression carries its why — as prose in the same comment, or as a
+// comment on the line directly above.
+#include <vector>
+
+namespace fixture {
+
+void precedingLineJustified()
+{
+    // Bit-packed is fine here: this table is cold config state that
+    // no SoA kernel ever touches.
+    std::vector<bool> flags; // NOLINT(densim-hot-layout)
+    (void)flags;
+}
+
+void sameCommentJustified()
+{
+    std::vector<bool> more; // NOLINT(densim-hot-layout): cold config bitmap, reviewed
+    (void)more;
+}
+
+} // namespace fixture

@@ -220,9 +220,13 @@ stage_lint() {
 
 stage_tidy() {
     # Portable driver: fixture self-test, then a clean tree scan.
-    # The builtin frontend gates everywhere python3 runs.
+    # The builtin frontend gates everywhere python3 runs. The tree
+    # scan also emits SARIF so the 2.1.0 structure is validated on
+    # every run, not just when CI uploads it.
     python3 tools/tidy/run_densim_tidy.py --frontend builtin --self-test
-    python3 tools/tidy/run_densim_tidy.py --frontend builtin
+    mkdir -p build-checks
+    python3 tools/tidy/run_densim_tidy.py --frontend builtin \
+        --sarif build-checks/densim-tidy.sarif
     # The clang AST-JSON frontend gates wherever a clang binary
     # exists — same rules over the real AST.
     if command -v clang++ >/dev/null 2>&1 || \

@@ -1,6 +1,6 @@
 /**
  * @file
- * densim clang-tidy plugin module: registers the five project checks
+ * densim clang-tidy plugin module: registers the project checks
  * under the `densim-` prefix. Built as a shared module and loaded
  * with `clang-tidy -load libdensim_tidy_module.so
  * -checks='densim-*'`; tools/tidy/run_densim_tidy.py implements the
@@ -13,6 +13,7 @@
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
 #include "ArenaLifoCheck.hh"
+#include "HotEffectsCheck.hh"
 #include "HotLayoutCheck.hh"
 #include "NondeterministicIterationCheck.hh"
 #include "RawDoubleBoundaryCheck.hh"
@@ -35,6 +36,11 @@ class DensimTidyModule : public clang::tidy::ClangTidyModule
         factories.registerCheck<HotLayoutCheck>("densim-hot-layout");
         factories.registerCheck<RawDoubleBoundaryCheck>(
             "densim-raw-double-boundary");
+        // Intra-TU slice of the interprocedural contract; the full
+        // bottom-up effect propagation is the portable driver's
+        // hot_effects.py link step (DESIGN.md Sec. 14).
+        factories.registerCheck<HotEffectsCheck>(
+            "densim-hot-effects");
     }
 };
 

@@ -1,0 +1,137 @@
+#include "HotEffectsCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace densim::tidy {
+
+namespace {
+
+/** Annotation payloads of src/core/effects.hh, if any. */
+struct EffectMarks
+{
+    bool hot = false;
+    bool cold = false;
+    bool allocates = false;
+};
+
+EffectMarks
+marksOf(const FunctionDecl *fn)
+{
+    EffectMarks m;
+    if (fn == nullptr)
+        return m;
+    for (const auto *attr : fn->specific_attrs<AnnotateAttr>()) {
+        const StringRef ann = attr->getAnnotation();
+        if (ann == "densim::hot")
+            m.hot = true;
+        else if (ann == "densim::cold")
+            m.cold = true;
+        else if (ann.starts_with("densim::allocates:"))
+            m.allocates = true;
+    }
+    return m;
+}
+
+/** The hot contract applies to a function that is marked hot itself
+ *  or overrides a hot virtual (the family-rooting rule), and is not
+ *  cut cold. */
+bool
+underHotContract(const FunctionDecl *fn)
+{
+    const EffectMarks m = marksOf(fn);
+    if (m.cold)
+        return false;
+    if (m.hot)
+        return true;
+    if (const auto *method = dyn_cast<CXXMethodDecl>(fn))
+        for (const CXXMethodDecl *base : method->overridden_methods())
+            if (underHotContract(base))
+                return true;
+    return false;
+}
+
+} // namespace
+
+void
+HotEffectsCheck::registerMatchers(MatchFinder *finder)
+{
+    const auto inHotFn =
+        hasAncestor(functionDecl().bind("enclosing"));
+    finder->addMatcher(cxxNewExpr(inHotFn).bind("new"), this);
+    finder->addMatcher(cxxDeleteExpr(inHotFn).bind("delete"), this);
+    finder->addMatcher(cxxThrowExpr(inHotFn).bind("throw"), this);
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::malloc", "::calloc", "::realloc", "::free",
+                     "::aligned_alloc", "::strdup",
+                     "::std::make_unique", "::std::make_shared",
+                     "::std::to_string"))),
+                 inHotFn)
+            .bind("alloc-call"),
+        this);
+    finder->addMatcher(
+        declRefExpr(to(varDecl(hasAnyName("::std::cout", "::std::cerr",
+                                          "::std::clog"))),
+                    inHotFn)
+            .bind("io"),
+        this);
+}
+
+void
+HotEffectsCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *fn =
+        result.Nodes.getNodeAs<FunctionDecl>("enclosing");
+    if (fn == nullptr || !underHotContract(fn))
+        return;
+    const EffectMarks m = marksOf(fn);
+    if (const auto *e = result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+        if (!m.allocates)
+            diag(e->getExprLoc(),
+                 "operator new in hot function %0; sanction with "
+                 "DENSIM_ALLOCATES(reason) or hoist the allocation")
+                << fn;
+        return;
+    }
+    if (const auto *e =
+            result.Nodes.getNodeAs<CXXDeleteExpr>("delete")) {
+        if (!m.allocates)
+            diag(e->getExprLoc(),
+                 "operator delete in hot function %0; sanction with "
+                 "DENSIM_ALLOCATES(reason) or hoist the free")
+                << fn;
+        return;
+    }
+    if (const auto *e =
+            result.Nodes.getNodeAs<CXXThrowExpr>("throw")) {
+        // A sanction never covers throw: only DENSIM_COLD (checked
+        // above) or restructuring removes it from the hot contract.
+        diag(e->getThrowLoc(),
+             "throw in hot function %0; hot paths report via the "
+             "return value or panic(), or the function is DENSIM_COLD")
+            << fn;
+        return;
+    }
+    if (const auto *e =
+            result.Nodes.getNodeAs<CallExpr>("alloc-call")) {
+        if (!m.allocates)
+            diag(e->getExprLoc(),
+                 "allocating call in hot function %0; sanction with "
+                 "DENSIM_ALLOCATES(reason) or hoist the allocation")
+                << fn;
+        return;
+    }
+    if (const auto *e = result.Nodes.getNodeAs<DeclRefExpr>("io")) {
+        diag(e->getExprLoc(),
+             "iostream I/O in hot function %0; route output through "
+             "the observability sinks (DESIGN.md Sec. 10)")
+            << fn;
+    }
+}
+
+} // namespace densim::tidy

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * densim-hot-effects (plugin form): flag unsanctioned effects inside
+ * functions annotated `[[clang::annotate("densim::hot")]]` — heap
+ * allocation, throw, iostream I/O — unless the function also carries
+ * a `densim::allocates:` sanction (covers allocation only) or a
+ * `densim::cold` cut.
+ *
+ * A clang-tidy check sees one TU at a time, so this is the intra-
+ * procedural slice of the contract: effects written directly in the
+ * body of a hot-annotated function. The full interprocedural proof —
+ * bottom-up effect propagation from leaves to the hot roots, with
+ * conservative virtual/function-pointer resolution — lives in the
+ * portable driver (tools/tidy/hot_effects.py), which every build can
+ * run; this check is the in-editor early warning for the same rule
+ * (DESIGN.md Sec. 14).
+ */
+
+#ifndef DENSIM_TOOLS_TIDY_HOT_EFFECTS_CHECK_HH
+#define DENSIM_TOOLS_TIDY_HOT_EFFECTS_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace densim::tidy {
+
+class HotEffectsCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder)
+        override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult
+                   &result) override;
+};
+
+} // namespace densim::tidy
+
+#endif // DENSIM_TOOLS_TIDY_HOT_EFFECTS_CHECK_HH

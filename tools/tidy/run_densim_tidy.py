@@ -45,6 +45,25 @@ keeps full coverage on machines where the plugin cannot be built:
       retired regex scan, locals and members never false-positive, so
       the allowlist only holds entries the AST actually needs.
 
+  densim-hot-effects
+      The interprocedural pass (DESIGN.md Sec. 14, engine in
+      tools/tidy/hot_effects.py): per-function summaries over the
+      effect lattice {allocates, throws, io, entropy, unordered} are
+      computed per TU (cached by content hash) and merged in a link
+      step; any unsanctioned effect reachable from a DENSIM_HOT root
+      (src/core/effects.hh) is a finding, with the witness call
+      path. Virtual calls resolve to the whole override family;
+      function-pointer calls are findings in themselves unless the
+      caller carries DENSIM_ALLOCATES(reason).
+
+  densim-unjustified-suppression
+      DESIGN.md Sec. 13's suppression policy, enforced: a
+      `// NOLINT(densim-*)` (or bare NOLINT, which suppresses every
+      densim check) without a justification — prose in the same
+      comment or a comment on the preceding line — is itself a
+      finding. This check ignores NOLINT markers entirely: a policy
+      violation cannot suppress the policy.
+
 Frontends (``--frontend auto|clang|builtin``):
 
   clang     parse each file with `clang -Xclang -ast-dump=json` and
@@ -63,9 +82,18 @@ reviewed decision, same policy as the raw-double allowlist.
 
 Usage:
     tools/tidy/run_densim_tidy.py [--repo DIR] [--frontend F]
-                                  [--checks a,b] [files...]
+                                  [--checks a,b] [--sarif OUT.sarif]
+                                  [--changed-only [--changed-base R]]
+                                  [files...]
     tools/tidy/run_densim_tidy.py --self-test
     tools/tidy/run_densim_tidy.py --list-checks
+
+`--sarif` additionally writes the findings as a SARIF 2.1.0 run (for
+GitHub code scanning). `--changed-only` restricts the per-file checks
+to files `git diff --name-only <base>` reports; the interprocedural
+densim-hot-effects link still covers the whole tree (its per-TU
+summaries come from the content-hash cache, so only changed files are
+re-parsed — that is what keeps the CI tidy stage's wall-clock flat).
 
 With no file arguments the whole tree is scanned, each check over its
 scope (see CHECK_SCOPES). `--self-test` runs every fixture TU in
@@ -88,13 +116,35 @@ sys.path.insert(
                     "lint"))
 import densim_lint  # noqa: E402  (UNIT_NAME_RE / DIMENSIONLESS / allowlist)
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import hot_effects  # noqa: E402  (densim-hot-effects engine)
+
 ALL_CHECKS = (
     "densim-nondeterministic-iteration",
     "densim-unseeded-entropy",
     "densim-arena-lifo",
     "densim-hot-layout",
     "densim-raw-double-boundary",
+    "densim-hot-effects",
+    "densim-unjustified-suppression",
 )
+
+RULE_DESCRIPTIONS = {
+    "densim-nondeterministic-iteration":
+        "Unordered-container iteration writes sim-visible state",
+    "densim-unseeded-entropy":
+        "Wall-clock or ambient entropy in engine code",
+    "densim-arena-lifo":
+        "Arena mark/release must pair lexically and unwind LIFO",
+    "densim-hot-layout":
+        "Bit-packed or node-based container in SoA hot-path code",
+    "densim-raw-double-boundary":
+        "Raw double with a unit-carrying name crosses a header API",
+    "densim-hot-effects":
+        "Unsanctioned effect reachable from a DENSIM_HOT root",
+    "densim-unjustified-suppression":
+        "NOLINT(densim-*) without a justification comment",
+}
 
 # Directories each check scans in a whole-tree run. Explicit file
 # arguments (and the self-test fixtures) bypass the scope filter.
@@ -107,7 +157,16 @@ CHECK_SCOPES = {
     "densim-arena-lifo": ("src",),
     "densim-hot-layout": HOT_DIRS,
     "densim-raw-double-boundary": ("src",),
+    # The interprocedural link needs every function the hot roots can
+    # reach, so its scope is the whole src tree.
+    "densim-hot-effects": ("src",),
+    "densim-unjustified-suppression": ("src",),
 }
+
+# densim-hot-effects is a whole-program link, not a per-file scan; the
+# per-file loops below exclude it and scan()/run_tree() run the link
+# once over the full file list.
+INTERPROCEDURAL_CHECKS = {"densim-hot-effects"}
 
 # Blessed entropy readers (path prefixes, repo-relative): the seeded
 # RNG streams themselves and the obs wall-clock phase timers, which
@@ -175,6 +234,82 @@ def nolint_lines(text):
 def suppressed(finding, nolint):
     checks = nolint.get(finding.line)
     return bool(checks) and ("*" in checks or finding.check in checks)
+
+
+# --------------------------------------------------------------------
+# densim-unjustified-suppression (frontend-independent; DESIGN §13's
+# "every suppression is a reviewed decision", enforced)
+
+def _has_prose(s):
+    """At least two real words beyond the NOLINT machinery itself."""
+    words = [w for w in re.findall(r"[A-Za-z]{2,}", s)
+             if w not in ("NOLINT", "NOLINTNEXTLINE", "densim")]
+    return len(words) >= 2
+
+
+def check_unjustified_suppression(text, rel):
+    findings = []
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        m = NOLINT_RE.search(line)
+        if not m:
+            continue
+        targets = [c.strip() for c in (m.group(2) or "").split(",")
+                   if c.strip()]
+        if targets and not any(t.startswith("densim-") or t == "*"
+                               for t in targets):
+            continue  # Suppresses only non-densim checks — not ours.
+        cpos = line.find("//")
+        comment = line[cpos:] if cpos >= 0 else line
+        justified = _has_prose(comment.replace(m.group(0), " "))
+        if not justified and lineno >= 2:
+            prev = lines[lineno - 2].strip()
+            if prev.startswith(("//", "*", "/*")) and \
+                    "NOLINT" not in prev and _has_prose(prev):
+                justified = True
+        if not justified:
+            findings.append(Finding(
+                "densim-unjustified-suppression", rel, lineno,
+                "NOLINT suppression of a densim check without a "
+                "justification; add the why in the same comment or on "
+                "the preceding line — every suppression is a reviewed "
+                "decision (DESIGN.md Sec. 13)"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# densim-hot-effects bridge (engine in hot_effects.py)
+
+def default_cache_dir(repo, use_cache):
+    if not use_cache:
+        return None
+    return os.path.join(repo, ".densim-cache", "effects")
+
+
+def hot_effects_findings(repo, files, frontend, use_cache=True,
+                         override=None):
+    """Run the interprocedural link over `files` [(full, rel)] and
+    return NOLINT-filtered Finding objects."""
+    clang = find_clang() if frontend in ("auto", "clang") else None
+    raw = hot_effects.analyze(
+        repo, files, frontend, clang,
+        default_cache_dir(repo, use_cache), override=override)
+    findings = []
+    nolint_by_file = {}
+    for rel, line, message in raw:
+        f = Finding("densim-hot-effects", rel, line, message)
+        nolint = nolint_by_file.get(rel)
+        if nolint is None:
+            try:
+                with open(os.path.join(repo, rel),
+                          encoding="utf-8") as fh:
+                    nolint = nolint_lines(fh.read())
+            except OSError:
+                nolint = {}
+            nolint_by_file[rel] = nolint
+        if not suppressed(f, nolint):
+            findings.append(f)
+    return findings
 
 
 # --------------------------------------------------------------------
@@ -722,7 +857,12 @@ def run_builtin(path, rel, checks, allow):
         findings += check_hot_layout_builtin(toks, rel)
     if "densim-raw-double-boundary" in checks:
         findings += check_raw_double_boundary_builtin(toks, rel, allow)
-    return [f for f in findings if not suppressed(f, nolint)]
+    findings = [f for f in findings if not suppressed(f, nolint)]
+    # Appended after the NOLINT filter: a suppression-policy violation
+    # cannot suppress the policy check.
+    if "densim-unjustified-suppression" in checks:
+        findings += check_unjustified_suppression(text, rel)
+    return findings
 
 
 # --------------------------------------------------------------------
@@ -1073,7 +1213,11 @@ def run_clang(clang, path, rel, repo, checks, allow):
         return False
 
     walk_nodes(root, walker, visit)
-    return [f for f in findings if not suppressed(f, nolint)]
+    findings = [f for f in findings if not suppressed(f, nolint)]
+    # Text-based and NOLINT-exempt by design (see run_builtin).
+    if "densim-unjustified-suppression" in checks:
+        findings += check_unjustified_suppression(text, rel)
+    return findings
 
 
 # --------------------------------------------------------------------
@@ -1093,7 +1237,7 @@ def tree_files(repo, check):
     return out
 
 
-def scan(repo, files, checks, frontend):
+def scan(repo, files, checks, frontend, use_cache=True):
     """Run `checks` over `files` [(full, rel)]; return findings."""
     allow = densim_lint.load_allowlist(repo)
     clang = find_clang() if frontend in ("auto", "clang") else None
@@ -1101,20 +1245,34 @@ def scan(repo, files, checks, frontend):
         print("run_densim_tidy: ERROR: --frontend=clang but no clang "
               "binary on PATH", file=sys.stderr)
         sys.exit(2)
+    per_file_checks = checks - INTERPROCEDURAL_CHECKS
     findings = []
-    for full, rel in files:
-        if clang is not None:
-            findings += run_clang(clang, full, rel, repo, checks, allow)
-        else:
-            findings += run_builtin(full, rel, checks, allow)
+    if per_file_checks:
+        for full, rel in files:
+            if clang is not None:
+                findings += run_clang(clang, full, rel, repo,
+                                      per_file_checks, allow)
+            else:
+                findings += run_builtin(full, rel, per_file_checks,
+                                        allow)
+    if "densim-hot-effects" in checks:
+        findings += hot_effects_findings(repo, files, frontend,
+                                         use_cache)
     return findings
 
 
-def run_tree(repo, checks, frontend):
-    # Each check has its own scope; group so each file is parsed once.
+def run_tree(repo, checks, frontend, use_cache=True, only_files=None):
+    """only_files: optional set of repo-relative paths the per-file
+    checks are restricted to (--changed-only). The hot-effects link
+    always covers its whole scope — the summary cache keeps that
+    cheap."""
     per_file = {}
     for check in checks:
+        if check in INTERPROCEDURAL_CHECKS:
+            continue
         for full, rel in tree_files(repo, check):
+            if only_files is not None and rel not in only_files:
+                continue
             per_file.setdefault((full, rel), set()).add(check)
     allow = densim_lint.load_allowlist(repo)
     clang = find_clang() if frontend in ("auto", "clang") else None
@@ -1125,7 +1283,90 @@ def run_tree(repo, checks, frontend):
                                   allow)
         else:
             findings += run_builtin(full, rel, file_checks, allow)
+    if "densim-hot-effects" in checks:
+        findings += hot_effects_findings(
+            repo, tree_files(repo, "densim-hot-effects"), frontend,
+            use_cache)
     return findings
+
+
+def changed_files(repo, base):
+    """Repo-relative paths changed vs `base` (committed and working
+    tree), or None if git cannot answer (full scan then)."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", repo, "diff", "--name-only", base, "--"],
+            capture_output=True, text=True, check=True)
+        return {line.strip() for line in proc.stdout.splitlines()
+                if line.strip()}
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+# --------------------------------------------------------------------
+# SARIF 2.1.0 output (GitHub code scanning)
+
+def sarif_report(findings, repo):
+    rules = []
+    for check in ALL_CHECKS:
+        rules.append({
+            "id": check,
+            "shortDescription": {"text": RULE_DESCRIPTIONS[check]},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.check,
+            "ruleIndex": ALL_CHECKS.index(f.check),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(f.line))},
+                },
+            }],
+        })
+    return {
+        "$schema": "https://docs.oasis-open.org/sarif/sarif/v2.1.0/"
+                   "os/schemas/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "densim-tidy",
+                    "informationUri":
+                        "https://example.invalid/densim/tools/tidy",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file://" + repo.rstrip("/") + "/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(doc):
+    """Structural sanity of the emitted SARIF (used by check.sh)."""
+    assert doc["version"] == "2.1.0"
+    assert isinstance(doc["runs"], list) and doc["runs"]
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "densim-tidy"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    for res in run["results"]:
+        assert res["ruleId"] in rule_ids
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"]
+        assert loc["region"]["startLine"] >= 1
+        assert res["message"]["text"]
+    return True
 
 
 # --------------------------------------------------------------------
@@ -1137,7 +1378,53 @@ FIXTURE_CHECKS = {
     "arena_lifo": "densim-arena-lifo",
     "hot_layout": "densim-hot-layout",
     "raw_double_boundary": "densim-raw-double-boundary",
+    "hot_effects": "densim-hot-effects",
+    "unjustified_suppression": "densim-unjustified-suppression",
 }
+
+# The reason string may wrap across lines as adjacent literals, so
+# match one-or-more quoted pieces inside the macro parens.
+HOT_MUTATION_RE = re.compile(
+    r"DENSIM_ALLOCATES\s*\(\s*(?:\"[^\"]*\"\s*)+\)")
+
+
+def hot_effects_negative_test(repo, frontend):
+    """The gate must FAIL when a DENSIM_ALLOCATES sanction is deleted
+    from a known allocating path: strip every DENSIM_ALLOCATES from a
+    real src file (in memory) and assert the whole-tree link reports
+    findings. Returns the number of failures (0 or 1)."""
+    files = tree_files(repo, "densim-hot-effects")
+    candidates = []
+    for full, rel in files:
+        if rel.endswith("core/effects.hh"):
+            continue  # The macro definitions, not a use.
+        try:
+            with open(full, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError:
+            continue
+        if HOT_MUTATION_RE.search(text):
+            candidates.append((rel, text))
+    if not candidates:
+        print("run_densim_tidy: SELF-TEST FAILED [{}] — no src file "
+              "carries a DENSIM_ALLOCATES sanction to mutate"
+              .format(frontend))
+        return 1
+    for rel, text in candidates:
+        mutated = HOT_MUTATION_RE.sub("", text)
+        got = hot_effects_findings(repo, files, frontend,
+                                   override={rel: mutated})
+        if got:
+            print("run_densim_tidy: negative self-test passed [{}] — "
+                  "stripping DENSIM_ALLOCATES from {} produced {} "
+                  "hot-effects finding(s)".format(frontend, rel,
+                                                  len(got)))
+            return 0
+    print("run_densim_tidy: SELF-TEST FAILED [{}] — stripping every "
+          "DENSIM_ALLOCATES sanction (tried {} file(s)) produced no "
+          "findings; the hot-effects gate is not actually gating"
+          .format(frontend, len(candidates)))
+    return 1
 
 
 def self_test(repo, frontend="auto"):
@@ -1187,6 +1474,9 @@ def self_test(repo, frontend="auto"):
                         for f in hits:
                             print("    {}".format(f))
                         failures += 1
+        if os.path.isfile(os.path.join(repo, "src", "core",
+                                       "effects.hh")):
+            failures += hot_effects_negative_test(repo, frontend)
     if failures == 0:
         print("run_densim_tidy: self-test passed — every known-bad "
               "fixture flagged, every known-good fixture clean "
@@ -1206,6 +1496,17 @@ def main():
                         help="comma-separated subset of checks")
     parser.add_argument("--list-checks", action="store_true")
     parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--sarif", metavar="OUT",
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="per-file checks scan only files changed "
+                             "vs --changed-base; the hot-effects link "
+                             "still covers the whole tree (cached)")
+    parser.add_argument("--changed-base", default="HEAD",
+                        help="git ref for --changed-only (default "
+                             "HEAD)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the hot-effects summary cache")
     parser.add_argument("files", nargs="*",
                         help="specific files (default: tree scope scan)")
     args = parser.parse_args()
@@ -1230,14 +1531,36 @@ def main():
             return 2
         checks.add(name)
 
+    use_cache = not args.no_cache
     if args.files:
         files = [(os.path.abspath(f),
                   os.path.relpath(os.path.abspath(f), repo).replace(
                       os.sep, "/"))
                  for f in args.files]
-        findings = scan(repo, files, checks, args.frontend)
+        findings = scan(repo, files, checks, args.frontend, use_cache)
     else:
-        findings = run_tree(repo, checks, args.frontend)
+        only = None
+        if args.changed_only:
+            only = changed_files(repo, args.changed_base)
+            if only is None:
+                print("run_densim_tidy: NOTE: git could not resolve "
+                      "--changed-base {}; falling back to a full "
+                      "scan".format(args.changed_base),
+                      file=sys.stderr)
+            else:
+                print("run_densim_tidy: incremental mode — {} changed "
+                      "file(s) vs {}".format(len(only),
+                                             args.changed_base))
+        findings = run_tree(repo, checks, args.frontend, use_cache,
+                            only_files=only)
+
+    if args.sarif:
+        doc = sarif_report(findings, repo)
+        validate_sarif(doc)
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+        print("run_densim_tidy: SARIF written to {}".format(
+            args.sarif))
 
     for f in findings:
         print(f)
