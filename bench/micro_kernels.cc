@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/dense_server_sim.hh"
+#include "fleet/fleet_sim.hh"
 #include "power/leakage.hh"
 #include "sched/factory.hh"
 #include "sched/prediction.hh"
@@ -280,6 +281,38 @@ BM_SimulatedServerSecond(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedServerSecond)->Unit(benchmark::kMillisecond);
+
+void
+BM_FleetServerSecond(benchmark::State &state)
+{
+    // A 16-chassis fleet simulating one server-second per shard,
+    // swept over worker-thread counts: the lockstep-barrier scaling
+    // number. Results are bit-identical across the Arg values (the
+    // fleet determinism contract), so this measures pure wall-clock
+    // scaling.
+    const auto threads = static_cast<unsigned>(state.range(0));
+    SimConfig config;
+    config.load = 0.7;
+    config.simTimeS = 1.0;
+    config.warmupS = 0.2;
+    config.socketTauS = 3.0;
+    config.fleet.chassis = 16;
+    // Construction (16 topology + coupling-map builds) is one-time
+    // setup; the timed section is the lockstep run itself.
+    FleetSim fleet(config, "CP");
+    for (auto _ : state) {
+        auto metrics = fleet.run(threads);
+        benchmark::DoNotOptimize(metrics);
+    }
+}
+BENCHMARK(BM_FleetServerSecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_PowerManageRedecision(benchmark::State &state)

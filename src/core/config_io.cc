@@ -338,6 +338,47 @@ keyTable()
               c.fault.logPath = v;
           },
           [](const SimConfig &c) { return c.fault.logPath; }}},
+        {"fleet.chassis",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              const int n = parseInt(k, v);
+              if (n < 0)
+                  fatal("config: key '", k, "' must be >= 0, got ",
+                        n);
+              c.fleet.chassis = static_cast<std::size_t>(n);
+          },
+          [](const SimConfig &c) {
+              return std::to_string(c.fleet.chassis);
+          }}},
+        {"fleet.epochS",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.fleet.epochS = parseDouble(k, v);
+          },
+          [](const SimConfig &c) {
+              std::ostringstream os;
+              os << c.fleet.epochS;
+              return os.str();
+          }}},
+        {"fleet.dispatcher",
+         {[](SimConfig &c, const std::string &, const std::string &v) {
+              c.fleet.dispatcher = v;
+          },
+          [](const SimConfig &c) { return c.fleet.dispatcher; }}},
+        {"fleet.powerBudgetW",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.fleet.powerBudgetW = parseDouble(k, v);
+          },
+          [](const SimConfig &c) {
+              std::ostringstream os;
+              os << c.fleet.powerBudgetW;
+              return os.str();
+          }}},
+        {"fleet.seed",
+         {[](SimConfig &c, const std::string &k, const std::string &v) {
+              c.fleet.seed = parseU64(k, v);
+          },
+          [](const SimConfig &c) {
+              return std::to_string(c.fleet.seed);
+          }}},
         {"coupling.mixFactor", coup_dbl(&CouplingParams::mixFactor)},
         {"coupling.decayLengthInch",
          coup_dbl(&CouplingParams::decayLengthInch)},

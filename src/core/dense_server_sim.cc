@@ -330,6 +330,20 @@ DenseServerSim::run(const std::vector<Job> &jobs)
 SimMetrics
 DenseServerSim::runJobs(const std::vector<Job> &jobs)
 {
+    // The one-shot run is the streamed run with the full arrival list
+    // submitted up front: same epoch bodies, in the same order, so
+    // the pre-streaming hex-float goldens still pin this path.
+    beginRun();
+    submitJobs(jobs);
+    closeArrivals();
+    while (epochPending())
+        advanceEpoch();
+    return finishRun();
+}
+
+void
+DenseServerSim::beginRun()
+{
     resetState();
     if (config_.warmStart)
         warmStart();
@@ -347,41 +361,117 @@ DenseServerSim::runJobs(const std::vector<Job> &jobs)
 #endif
     }
 
-    const double epoch = config_.pmEpochS;
-    const double hard_stop = config_.simTimeS * config_.drainFactor;
-    std::size_t next_job = 0;
+    streamJobs_.clear();
+    streamNext_ = 0;
+    streamNowS_ = 0.0;
+    streamHardStopS_ = config_.simTimeS * config_.drainFactor;
+    streamOpen_ = true;
+    arrivalsClosed_ = false;
+}
 
-    double t0 = 0.0;
-    while (t0 < hard_stop) {
-        const bool arrivals_left = next_job < jobs.size();
-        if (!arrivals_left && queue_.empty() && busyTotal_ == 0)
-            break;
-
-        count_.epochs->inc();
-        if (faultsEnabled_)
-            applyFaultEvents(t0);
-        thermalStep(epoch);
-        sampleTimeline(t0);
-        if (faultsEnabled_)
-            emergencyResponse(t0);
-        powerManage(t0);
-        if (config_.migrationEnabled) {
-            const auto stride = static_cast<std::size_t>(
-                config_.migrationIntervalS / epoch);
-            const auto tick =
-                static_cast<std::size_t>(t0 / epoch + 0.5);
-            if (stride <= 1 || tick % stride == 0)
-                attemptMigrations(t0);
-        }
-        processWindow(jobs, next_job, t0, t0 + epoch);
-        checkEpochInvariants();
-        t0 += epoch;
+void
+DenseServerSim::submitJobs(const std::vector<Job> &jobs)
+{
+    if (!streamOpen_)
+        fatal("DenseServerSim::submitJobs: no open run (beginRun?)");
+    if (arrivalsClosed_)
+        fatal("DenseServerSim::submitJobs: arrivals already closed");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const double prev =
+            i > 0 ? jobs[i - 1].arrivalS
+                  : (streamJobs_.empty() ? -std::numeric_limits<
+                                               double>::infinity()
+                                         : streamJobs_.back().arrivalS);
+        if (jobs[i].arrivalS < prev)
+            fatal("DenseServerSim: job arrivals must be sorted");
     }
-    accumulate(t0);
+    // Compact the consumed backlog prefix before it dominates: a
+    // fleet shard streaming millions of arrivals holds only the
+    // outstanding tail.
+    if (streamNext_ > 4096 && streamNext_ * 2 > streamJobs_.size()) {
+        streamJobs_.erase(streamJobs_.begin(),
+                          streamJobs_.begin() +
+                              static_cast<std::ptrdiff_t>(streamNext_));
+        streamNext_ = 0;
+    }
+    streamJobs_.insert(streamJobs_.end(), jobs.begin(), jobs.end());
+}
 
-    metrics_.measuredS = std::max(t0 - config_.warmupS, 0.0);
+void
+DenseServerSim::closeArrivals()
+{
+    if (!streamOpen_)
+        fatal("DenseServerSim::closeArrivals: no open run");
+    arrivalsClosed_ = true;
+}
+
+bool
+DenseServerSim::epochPending() const
+{
+    if (!streamOpen_ || streamNowS_ >= streamHardStopS_)
+        return false;
+    // With arrivals still open the shard must keep integrating: a
+    // lockstep peer may dispatch work to it at the next barrier.
+    if (!arrivalsClosed_)
+        return true;
+    return streamNext_ < streamJobs_.size() || !queue_.empty() ||
+           busyTotal_ != 0;
+}
+
+double
+DenseServerSim::thermalHeadroomC() const
+{
+    double hottest = -std::numeric_limits<double>::infinity();
+    const std::size_t n = topo_.numSockets();
+    for (std::size_t s = 0; s < n; ++s) {
+        if (faultsEnabled_ && faultState_.offline(s))
+            continue;
+        hottest = std::max(hottest, chipTempC_[s]);
+    }
+    if (hottest == -std::numeric_limits<double>::infinity())
+        return 0.0; // Every socket offline: no headroom to offer.
+    return config_.tLimitC - hottest;
+}
+
+void
+DenseServerSim::advanceEpoch()
+{
+    if (!streamOpen_)
+        fatal("DenseServerSim::advanceEpoch: no open run (beginRun?)");
+    const double epoch = config_.pmEpochS;
+    const double t0 = streamNowS_;
+
+    count_.epochs->inc();
+    if (faultsEnabled_)
+        applyFaultEvents(t0);
+    thermalStep(epoch);
+    sampleTimeline(t0);
+    if (faultsEnabled_)
+        emergencyResponse(t0);
+    powerManage(t0);
+    if (config_.migrationEnabled) {
+        const auto stride = static_cast<std::size_t>(
+            config_.migrationIntervalS / epoch);
+        const auto tick = static_cast<std::size_t>(t0 / epoch + 0.5);
+        if (stride <= 1 || tick % stride == 0)
+            attemptMigrations(t0);
+    }
+    processWindow(streamJobs_, streamNext_, t0, t0 + epoch);
+    checkEpochInvariants();
+    streamNowS_ = t0 + epoch;
+}
+
+SimMetrics
+DenseServerSim::finishRun()
+{
+    if (!streamOpen_)
+        fatal("DenseServerSim::finishRun: no open run (beginRun?)");
+    accumulate(streamNowS_);
+
+    metrics_.measuredS = std::max(streamNowS_ - config_.warmupS, 0.0);
     metrics_.jobsUnfinished = queue_.size() + busyTotal_;
     writeObsOutputs();
+    streamOpen_ = false;
     return metrics_;
 }
 

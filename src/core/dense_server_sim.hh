@@ -87,6 +87,70 @@ class DenseServerSim
     /** Run a fixed job list (trace replay); arrivals must ascend. */
     SimMetrics run(const std::vector<Job> &jobs);
 
+    // --- streaming (epoch-stepped) interface -------------------------
+    // The one-shot run() entry points are implemented on top of these,
+    // in the exact operation order of the historical monolithic loop,
+    // so a streamed run is bit-identical to a one-shot run of the
+    // same arrival sequence (pinned by the fleet suite). FleetSim
+    // drives shards through this interface: submit the dispatcher's
+    // arrivals for the next exchange window, advance epochs to the
+    // barrier, exchange summaries, repeat.
+
+    /** Reset and (optionally warm-)start a new streamed run. */
+    void beginRun();
+
+    /**
+     * Append arrivals to the open run. Must ascend within the batch
+     * and from batch to batch; may be called any time between
+     * beginRun() and closeArrivals(). The consumed prefix of the
+     * backlog is compacted periodically, so a long-running fleet
+     * shard holds O(outstanding), not O(history), jobs.
+     */
+    void submitJobs(const std::vector<Job> &jobs);
+
+    /**
+     * Declare that no further submitJobs() calls will follow. Until
+     * arrivals are closed, epochPending() stays true even when the
+     * shard is idle — lockstep shards must keep integrating their
+     * thermal state while peers still produce work.
+     */
+    void closeArrivals();
+
+    /** True while advanceEpoch() still has work (or open arrivals). */
+    bool epochPending() const;
+
+    /** Simulated time of the next epoch to run, seconds. */
+    double nowS() const { return streamNowS_; }
+
+    /** Jobs queued + running right now (dispatcher headroom input). */
+    std::size_t backlog() const { return queue_.size() + busyTotal_; }
+
+    /** Idle (placeable) sockets right now. */
+    std::size_t idleSockets() const { return idleList_.size(); }
+
+    /** Instantaneous total socket power, W. */
+    double totalPowerW() const { return totalPowerW_; }
+
+    /**
+     * Minimum instantaneous thermal headroom over online sockets:
+     * tLimitC minus the hottest chip temperature, C. Negative when a
+     * socket is over the limit; the cluster dispatcher's primary
+     * routing signal.
+     */
+    double thermalHeadroomC() const;
+
+    /** Post-warmup completions so far (streaming progress signal). */
+    std::size_t jobsCompletedSoFar() const
+    {
+        return metrics_.jobsCompleted;
+    }
+
+    /** Run one power-management epoch (arrivals, thermal, DVFS). */
+    void advanceEpoch();
+
+    /** Finalize the streamed run and return its metrics. */
+    SimMetrics finishRun();
+
     const ServerTopology &topology() const { return topo_; }
     const CouplingMap &coupling() const { return coupling_; }
     const Scheduler &policy() const { return *policy_; }
@@ -406,6 +470,14 @@ class DenseServerSim
 
     SimMetrics metrics_;
     std::size_t decisions_ = 0;
+
+    // --- streaming-run state (beginRun .. finishRun) ------------------
+    std::vector<Job> streamJobs_; //!< Arrival backlog, ascending.
+    std::size_t streamNext_ = 0;  //!< First unconsumed backlog entry.
+    double streamNowS_ = 0.0;     //!< Start time of the next epoch.
+    double streamHardStopS_ = 0.0; //!< simTimeS * drainFactor.
+    bool streamOpen_ = false;      //!< beginRun .. finishRun.
+    bool arrivalsClosed_ = false;  //!< closeArrivals() seen.
 };
 
 } // namespace densim

@@ -146,6 +146,16 @@ runAllOutcomes(const std::vector<RunSpec> &specs,
             if (outcome.ok && manifest.is_open()) {
                 const std::lock_guard<std::mutex> lock(manifest_mu);
                 manifest << outcome.digest << '\n' << std::flush;
+                // An unchecked append (full disk, closed fd) would
+                // silently drop the digest and the cell would
+                // silently re-run on resume — a durability bug, not
+                // a per-cell simulation failure, so it escapes the
+                // keep-going containment.
+                if (!manifest) {
+                    fatal("experiment: cannot append digest ",
+                          outcome.digest, " to resume manifest '",
+                          options.resumePath, "'");
+                }
             }
         });
     }

@@ -72,6 +72,7 @@ SimConfig::validate() const
     checkSinkPath("obs.timelinePath", obsTimelinePath);
     checkSinkPath("fault.logPath", fault.logPath);
     fault.validate(tLimit());
+    fleet.validate(pmEpochS);
 }
 
 } // namespace densim

@@ -24,6 +24,7 @@
 
 #include "core/units.hh"
 #include "fault/fault_config.hh"
+#include "fleet/fleet_config.hh"
 #include "server/topology.hh"
 #include "thermal/coupling_map.hh"
 #include "workload/benchmark.hh"
@@ -204,6 +205,13 @@ struct SimConfig
      * build (pinned by tests/fault_test.cc).
      */
     FaultConfig fault{};
+
+    /**
+     * Fleet-scale sharded simulation (src/fleet, DESIGN.md Sec. 15),
+     * set via the "fleet.*" config keys. Off by default
+     * (fleet.chassis = 0); a plain run never constructs a FleetSim.
+     */
+    FleetConfig fleet{};
 
     // Run control.
     std::uint64_t seed = 42;    //!< Drives workload and policy RNG.

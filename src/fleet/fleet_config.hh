@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Configuration of fleet-scale sharded simulation (DESIGN.md Sec. 15).
+ *
+ * A fleet run stands up `chassis` independent DenseServerSim shards —
+ * each a full density-optimized chassis with its own thermal field,
+ * fault timeline and RNG streams — and routes one cluster-level job
+ * arrival stream across them through a pluggable dispatcher. Shards
+ * advance in lockstep exchange windows of `epochS` simulated seconds
+ * and trade headroom/backlog summaries at each barrier, so the fleet
+ * result is bit-identical for any worker-thread count.
+ *
+ * Every knob maps to a "fleet.*" config key (core/config_io.cc). The
+ * default `chassis = 0` leaves fleet mode off: a plain run never
+ * constructs a FleetSim and is untouched by this subsystem.
+ */
+
+#ifndef DENSIM_FLEET_FLEET_CONFIG_HH
+#define DENSIM_FLEET_FLEET_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace densim {
+
+/** Full description of one fleet-scale run. */
+struct FleetConfig
+{
+    /** Chassis shards in the fleet; 0 (default) disables fleet mode. */
+    std::size_t chassis = 0;
+
+    /**
+     * Lockstep exchange window, simulated seconds. Shards advance
+     * round(epochS / pmEpochS) power-management epochs between
+     * barriers; validate() requires the window to be an integral
+     * multiple of the pm epoch so every shard takes the same number
+     * of steps per window.
+     */
+    double epochS = 0.05;
+
+    /** Dispatcher policy name; see knownFleetDispatchers(). */
+    std::string dispatcher = "headroom";
+
+    /**
+     * Fleet-wide power budget, watts; 0 (default) means unlimited.
+     * Only the "power" dispatcher consults it: shards drawing at
+     * least their fair share (budget / chassis) are passed over
+     * while any shard remains below its share.
+     */
+    double powerBudgetW = 0.0;
+
+    /**
+     * Seed of the fleet RNG domain (per-shard streams, arrival
+     * stream). 0 (default) derives it from the run seed; any other
+     * value pins the fleet streams independently. Per-shard stream
+     * seeds come from domainSeed(effectiveSeed(run), shard, tag) —
+     * never from xor-ing constants — so no shard stream can collide
+     * with another shard's or with any fault stream.
+     */
+    std::uint64_t seed = 0;
+
+    /** Is fleet mode on? */
+    bool enabled() const { return chassis > 0; }
+
+    /** Fleet RNG domain seed for a run seeded with @p runSeed. */
+    std::uint64_t effectiveSeed(std::uint64_t runSeed) const;
+
+    /**
+     * Validate ranges; fatal() on nonsense. @p pmEpochS is the
+     * engine's power-management epoch, which the exchange window
+     * must tile exactly.
+     */
+    void validate(double pmEpochS) const;
+};
+
+/** Dispatcher names accepted by FleetConfig::dispatcher. */
+const std::vector<std::string> &knownFleetDispatchers();
+
+} // namespace densim
+
+#endif // DENSIM_FLEET_FLEET_CONFIG_HH

@@ -1,0 +1,166 @@
+#include "fleet/fleet_dispatcher.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace densim {
+
+namespace {
+
+/**
+ * The summary with the given shard id. Dispatchers address shards by
+ * id, never by vector position, which is what makes every policy
+ * below invariant to summary order.
+ */
+const ShardSummary &
+byId(const std::vector<ShardSummary> &summaries, std::size_t shard)
+{
+    for (const auto &summary : summaries)
+        if (summary.shard == shard)
+            return summary;
+    panic("FleetDispatcher: no summary for shard ", shard);
+}
+
+/**
+ * Headroom preference order: prefer a shard with an idle socket;
+ * among those, the most thermal headroom; when nothing is idle, the
+ * smallest backlog; always tie-break on the lower shard id so the
+ * choice is total.
+ */
+bool
+headroomBetter(const ShardSummary &a, const ShardSummary &b)
+{
+    const bool aIdle = a.idleSockets > 0;
+    const bool bIdle = b.idleSockets > 0;
+    if (aIdle != bIdle)
+        return aIdle;
+    if (aIdle) {
+        if (a.headroomC != b.headroomC)
+            return a.headroomC > b.headroomC;
+    } else if (a.backlog != b.backlog) {
+        return a.backlog < b.backlog;
+    }
+    return a.shard < b.shard;
+}
+
+const ShardSummary &
+bestByHeadroom(const std::vector<ShardSummary> &summaries)
+{
+    const ShardSummary *best = &summaries.front();
+    for (const auto &summary : summaries)
+        if (headroomBetter(summary, *best))
+            best = &summary;
+    return *best;
+}
+
+class RoundRobinDispatcher final : public FleetDispatcher
+{
+  public:
+    const char *name() const override { return "roundrobin"; }
+
+    std::size_t
+    pick(const Job &, const std::vector<ShardSummary> &summaries)
+        override
+    {
+        const std::size_t target = next_ % summaries.size();
+        ++next_;
+        return byId(summaries, target).shard;
+    }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+class HeadroomDispatcher final : public FleetDispatcher
+{
+  public:
+    const char *name() const override { return "headroom"; }
+
+    std::size_t
+    pick(const Job &, const std::vector<ShardSummary> &summaries)
+        override
+    {
+        return bestByHeadroom(summaries).shard;
+    }
+};
+
+class LocalityDispatcher final : public FleetDispatcher
+{
+  public:
+    const char *name() const override { return "locality"; }
+
+    std::size_t
+    pick(const Job &, const std::vector<ShardSummary> &summaries)
+        override
+    {
+        if (sticky_ < summaries.size()) {
+            const ShardSummary &last = byId(summaries, sticky_);
+            if (last.idleSockets > 0)
+                return last.shard;
+        }
+        sticky_ = bestByHeadroom(summaries).shard;
+        return sticky_;
+    }
+
+  private:
+    std::size_t sticky_ = std::numeric_limits<std::size_t>::max();
+};
+
+class PowerDispatcher final : public FleetDispatcher
+{
+  public:
+    explicit PowerDispatcher(double budgetW) : budgetW_(budgetW) {}
+
+    const char *name() const override { return "power"; }
+
+    std::size_t
+    pick(const Job &, const std::vector<ShardSummary> &summaries)
+        override
+    {
+        const double share =
+            budgetW_ > 0.0
+                ? budgetW_ / static_cast<double>(summaries.size())
+                : std::numeric_limits<double>::infinity();
+        const ShardSummary *best = nullptr;
+        const ShardSummary *bestOver = nullptr;
+        for (const auto &summary : summaries) {
+            auto &slot = summary.powerW < share ? best : bestOver;
+            if (slot == nullptr || powerBetter(summary, *slot))
+                slot = &summary;
+        }
+        // Every shard over budget: least-loaded shard anyway — the
+        // budget shapes routing, it never drops work.
+        return (best != nullptr ? best : bestOver)->shard;
+    }
+
+  private:
+    static bool
+    powerBetter(const ShardSummary &a, const ShardSummary &b)
+    {
+        if (a.powerW != b.powerW)
+            return a.powerW < b.powerW;
+        return a.shard < b.shard;
+    }
+
+    double budgetW_;
+};
+
+} // namespace
+
+std::unique_ptr<FleetDispatcher>
+makeFleetDispatcher(const FleetConfig &config)
+{
+    if (config.dispatcher == "roundrobin")
+        return std::make_unique<RoundRobinDispatcher>();
+    if (config.dispatcher == "headroom")
+        return std::make_unique<HeadroomDispatcher>();
+    if (config.dispatcher == "locality")
+        return std::make_unique<LocalityDispatcher>();
+    if (config.dispatcher == "power")
+        return std::make_unique<PowerDispatcher>(config.powerBudgetW);
+    fatal("makeFleetDispatcher: unknown dispatcher '",
+          config.dispatcher, "' (FleetConfig::validate missed it?)");
+}
+
+} // namespace densim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cluster-level job routing across chassis shards (DESIGN.md
+ * Sec. 15.2).
+ *
+ * At every exchange-window barrier FleetSim gathers one ShardSummary
+ * per shard — thermal headroom, backlog, idle capacity, power draw —
+ * and the dispatcher routes each job arriving in the next window to a
+ * shard using only those summaries. Dispatchers select by summary
+ * *fields keyed on shard id*, never by position in the summary
+ * vector, so any permutation of the same summaries yields the same
+ * routing (pinned by tests/fleet_test.cc); that is what makes the
+ * fleet invariant to shard evaluation order.
+ *
+ * Policies:
+ *  - "roundrobin": shard (k mod N) for the k-th dispatched job; the
+ *    locality-free baseline.
+ *  - "headroom": the shard with the most thermal headroom among
+ *    those with an idle socket (least backlog when none is idle) —
+ *    the paper's observation that inlet-coupled chassis should
+ *    absorb work where the thermal field is coolest.
+ *  - "locality": sticky — keep the previous shard while it has an
+ *    idle socket, else fall over to the headroom rule. Models
+ *    rack-locality-preserving placement.
+ *  - "power": the shard drawing the least power; with a fleet power
+ *    budget, shards at or above their fair share (budget / N) are
+ *    passed over while any shard remains below it.
+ */
+
+#ifndef DENSIM_FLEET_FLEET_DISPATCHER_HH
+#define DENSIM_FLEET_FLEET_DISPATCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet_config.hh"
+#include "workload/job_generator.hh"
+
+namespace densim {
+
+/**
+ * One shard's state as seen at an exchange-window barrier. All
+ * fields are snapshots from the *previous* window's end — the
+ * dispatcher never peeks inside a shard mid-window.
+ */
+struct ShardSummary
+{
+    std::size_t shard = 0;           //!< Shard id (stable, 0-based).
+    double headroomC = 0.0;          //!< tLimit minus hottest chip.
+    double powerW = 0.0;             //!< Total socket power draw.
+    std::size_t backlog = 0;         //!< Queued + running jobs.
+    std::size_t idleSockets = 0;     //!< Sockets ready for work.
+    std::uint64_t jobsCompleted = 0; //!< Completions so far.
+};
+
+/** Routing policy interface; see file comment for the contract. */
+class FleetDispatcher
+{
+  public:
+    virtual ~FleetDispatcher() = default;
+
+    /** Policy name, as accepted by FleetConfig::dispatcher. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Route @p job to a shard. @p summaries holds one entry per
+     * shard, in unspecified order; implementations must return the
+     * same shard id for any permutation of the same entries.
+     */
+    virtual std::size_t pick(const Job &job,
+                             const std::vector<ShardSummary>
+                                 &summaries) = 0;
+};
+
+/** Construct the dispatcher named by @p config (validated). */
+std::unique_ptr<FleetDispatcher>
+makeFleetDispatcher(const FleetConfig &config);
+
+} // namespace densim
+
+#endif // DENSIM_FLEET_FLEET_DISPATCHER_HH

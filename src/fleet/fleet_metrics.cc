@@ -1,0 +1,153 @@
+#include "fleet/fleet_metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace densim {
+
+namespace {
+
+void
+appendStats(std::ostringstream &out, const char *label,
+            const RunningStats &stats)
+{
+    out << label << ":n=" << stats.count() << ",mean=" << stats.mean()
+        << ",var=" << stats.variance() << ",min=" << stats.min()
+        << ",max=" << stats.max() << '\n';
+}
+
+void
+appendStatsJson(std::string &out, const char *label,
+                const RunningStats &stats)
+{
+    using obs::json::appendNumber;
+    using obs::json::appendString;
+    appendString(out, label);
+    out += ":{\"count\":";
+    out += std::to_string(stats.count());
+    out += ",\"mean\":";
+    appendNumber(out, stats.mean());
+    out += ",\"stddev\":";
+    appendNumber(out, stats.stddev());
+    out += '}';
+}
+
+} // namespace
+
+void
+rollUpFleetMetrics(FleetMetrics &metrics)
+{
+    metrics.jobsCompleted = 0;
+    metrics.jobsUnfinished = 0;
+    metrics.migrations = 0;
+    metrics.runtimeExpansion = RunningStats();
+    metrics.serviceExpansion = RunningStats();
+    metrics.queueDelayS = RunningStats();
+    metrics.energyJ = 0.0;
+    metrics.makespanS = 0.0;
+    metrics.maxChipTempC = 0.0;
+    for (const SimMetrics &shard : metrics.perShard) {
+        metrics.jobsCompleted += shard.jobsCompleted;
+        metrics.jobsUnfinished += shard.jobsUnfinished;
+        metrics.migrations += shard.migrations;
+        metrics.runtimeExpansion.merge(shard.runtimeExpansion);
+        metrics.serviceExpansion.merge(shard.serviceExpansion);
+        metrics.queueDelayS.merge(shard.queueDelayS);
+        metrics.energyJ += shard.energyJ;
+        metrics.makespanS =
+            std::max(metrics.makespanS, shard.makespanS);
+        metrics.maxChipTempC =
+            std::max(metrics.maxChipTempC, shard.maxChipTempC);
+    }
+}
+
+std::string
+serializeFleetMetrics(const FleetMetrics &metrics)
+{
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << "chassis=" << metrics.chassis << '\n'
+        << "jobsArrived=" << metrics.jobsArrived << '\n'
+        << "jobsDispatched=" << metrics.jobsDispatched << '\n'
+        << "jobsCompleted=" << metrics.jobsCompleted << '\n'
+        << "jobsUnfinished=" << metrics.jobsUnfinished << '\n'
+        << "migrations=" << metrics.migrations << '\n'
+        << "energyJ=" << metrics.energyJ << '\n'
+        << "makespanS=" << metrics.makespanS << '\n'
+        << "maxChipTempC=" << metrics.maxChipTempC << '\n';
+    appendStats(out, "runtimeExpansion", metrics.runtimeExpansion);
+    appendStats(out, "serviceExpansion", metrics.serviceExpansion);
+    appendStats(out, "queueDelayS", metrics.queueDelayS);
+    for (std::size_t s = 0; s < metrics.perShard.size(); ++s) {
+        const SimMetrics &shard = metrics.perShard[s];
+        out << "shard" << s << ":dispatched="
+            << (s < metrics.dispatchedPerShard.size()
+                    ? metrics.dispatchedPerShard[s]
+                    : 0)
+            << ",arrived=" << shard.jobsArrived << ",completed="
+            << shard.jobsCompleted << ",unfinished="
+            << shard.jobsUnfinished << ",migrations="
+            << shard.migrations << ",energyJ=" << shard.energyJ
+            << ",measuredS=" << shard.measuredS << ",makespanS="
+            << shard.makespanS << ",maxChipTempC="
+            << shard.maxChipTempC << ",boostTimeS="
+            << shard.boostTimeS << ",totalWork=" << shard.totalWork
+            << ",totalBusyTime=" << shard.totalBusyTime << '\n';
+        appendStats(out, "  runtimeExpansion",
+                    shard.runtimeExpansion);
+        appendStats(out, "  serviceExpansion",
+                    shard.serviceExpansion);
+        appendStats(out, "  queueDelayS", shard.queueDelayS);
+        appendStats(out, "  chipTempC", shard.chipTempC);
+    }
+    return out.str();
+}
+
+std::string
+fleetMetricsToJson(const FleetMetrics &metrics)
+{
+    using obs::json::appendNumber;
+    std::string out = "{\"chassis\":";
+    out += std::to_string(metrics.chassis);
+    out += ",\"jobsArrived\":";
+    out += std::to_string(metrics.jobsArrived);
+    out += ",\"jobsDispatched\":";
+    out += std::to_string(metrics.jobsDispatched);
+    out += ",\"jobsCompleted\":";
+    out += std::to_string(metrics.jobsCompleted);
+    out += ",\"jobsUnfinished\":";
+    out += std::to_string(metrics.jobsUnfinished);
+    out += ",\"migrations\":";
+    out += std::to_string(metrics.migrations);
+    out += ",\"energyJ\":";
+    appendNumber(out, metrics.energyJ);
+    out += ",\"makespanS\":";
+    appendNumber(out, metrics.makespanS);
+    out += ",\"maxChipTempC\":";
+    appendNumber(out, metrics.maxChipTempC);
+    out += ',';
+    appendStatsJson(out, "runtimeExpansion", metrics.runtimeExpansion);
+    out += ',';
+    appendStatsJson(out, "serviceExpansion", metrics.serviceExpansion);
+    out += ',';
+    appendStatsJson(out, "queueDelayS", metrics.queueDelayS);
+    out += ",\"dispatchedPerShard\":[";
+    for (std::size_t s = 0; s < metrics.dispatchedPerShard.size();
+         ++s) {
+        if (s > 0)
+            out += ',';
+        out += std::to_string(metrics.dispatchedPerShard[s]);
+    }
+    out += "],\"completedPerShard\":[";
+    for (std::size_t s = 0; s < metrics.perShard.size(); ++s) {
+        if (s > 0)
+            out += ',';
+        out += std::to_string(metrics.perShard[s].jobsCompleted);
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace densim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fleet-level results: per-shard SimMetrics plus deterministic
+ * roll-ups (DESIGN.md Sec. 15.3).
+ *
+ * The roll-up is computed by merging shard accumulators in shard-id
+ * order after the lockstep loop finishes, so it is a pure function
+ * of the per-shard results — bit-identical across worker-thread
+ * counts whenever the shards are. serializeFleetMetrics() renders
+ * every float in hexfloat precisely so tests can EXPECT_EQ two
+ * fleet runs without a tolerance.
+ */
+
+#ifndef DENSIM_FLEET_FLEET_METRICS_HH
+#define DENSIM_FLEET_FLEET_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+
+namespace densim {
+
+/** Results of one fleet run. */
+struct FleetMetrics
+{
+    std::size_t chassis = 0;         //!< Shards simulated.
+    std::uint64_t jobsArrived = 0;   //!< Cluster arrivals generated.
+    std::uint64_t jobsDispatched = 0; //!< Arrivals routed to shards.
+    std::size_t jobsCompleted = 0;   //!< Sum over shards.
+    std::size_t jobsUnfinished = 0;  //!< Sum over shards.
+    std::size_t migrations = 0;      //!< Sum over shards.
+
+    RunningStats runtimeExpansion;   //!< Merged in shard order.
+    RunningStats serviceExpansion;   //!< Merged in shard order.
+    RunningStats queueDelayS;        //!< Merged in shard order.
+
+    double energyJ = 0.0;            //!< Sum over shards.
+    double makespanS = 0.0;          //!< Max over shards.
+    double maxChipTempC = 0.0;       //!< Max over shards.
+
+    std::vector<SimMetrics> perShard;           //!< By shard id.
+    std::vector<std::uint64_t> dispatchedPerShard; //!< By shard id.
+};
+
+/**
+ * Fold @p perShard (indexed by shard id) into the fleet roll-up of
+ * @p metrics. Deterministic: iterates shards in id order and uses
+ * RunningStats::merge, so the result depends only on the inputs.
+ */
+void rollUpFleetMetrics(FleetMetrics &metrics);
+
+/**
+ * Canonical full-precision rendering (hexfloat) of every field,
+ * including the per-shard breakdown. Two FleetMetrics serialize
+ * equal iff they are bit-identical — the determinism tests compare
+ * these strings directly.
+ */
+std::string serializeFleetMetrics(const FleetMetrics &metrics);
+
+/** Strict-JSON object for the CLI / CI smoke checks (no trailing \n). */
+std::string fleetMetricsToJson(const FleetMetrics &metrics);
+
+} // namespace densim
+
+#endif // DENSIM_FLEET_FLEET_METRICS_HH

@@ -1,0 +1,173 @@
+#include "fleet/fleet_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/invariant.hh"
+#include "obs/trace.hh"
+#include "sched/factory.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "workload/job_generator.hh"
+
+namespace densim {
+
+FleetSim::FleetSim(const SimConfig &config,
+                   const std::string &scheduler)
+    : base_(config)
+{
+    if (!config.fleet.enabled())
+        fatal("FleetSim: fleet.chassis is 0 — fleet mode is off "
+              "(set fleet.chassis or run DenseServerSim directly)");
+    config.fleet.validate(config.pmEpochS);
+    fleetSeed_ = config.fleet.effectiveSeed(config.seed);
+
+    shards_.reserve(config.fleet.chassis);
+    for (std::size_t shard = 0; shard < config.fleet.chassis;
+         ++shard) {
+        SimConfig shardConfig = config;
+        // Every shard stream descends from domainSeed, never from
+        // xor-ing a shard index into the user seed: the engine's
+        // internal streams (policy, sensor, fault) are derived from
+        // this already-avalanched value, so no shard's stream can
+        // alias another shard's or any fault stream.
+        shardConfig.seed = domainSeed(fleetSeed_, shard,
+                                      fleet_stream::kShardEngine);
+        // One obs sink per shard, following the Experiment per-run
+        // path convention.
+        if (!shardConfig.obsTracePath.empty())
+            shardConfig.obsTracePath =
+                obs::perRunPath(shardConfig.obsTracePath, shard);
+        if (!shardConfig.obsTimelinePath.empty())
+            shardConfig.obsTimelinePath =
+                obs::perRunPath(shardConfig.obsTimelinePath, shard);
+        shards_.push_back(std::make_unique<DenseServerSim>(
+            shardConfig, makeScheduler(scheduler)));
+    }
+    dispatcher_ = makeFleetDispatcher(config.fleet);
+}
+
+FleetSim::~FleetSim() = default;
+
+std::size_t
+FleetSim::totalSockets() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->topology().numSockets();
+    return total;
+}
+
+std::vector<ShardSummary>
+FleetSim::gatherSummaries() const
+{
+    std::vector<ShardSummary> summaries;
+    summaries.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const DenseServerSim &shard = *shards_[s];
+        ShardSummary summary;
+        summary.shard = s;
+        summary.headroomC = shard.thermalHeadroomC();
+        summary.powerW = shard.totalPowerW();
+        summary.backlog = shard.backlog();
+        summary.idleSockets = shard.idleSockets();
+        summary.jobsCompleted = shard.jobsCompletedSoFar();
+        summaries.push_back(summary);
+    }
+    return summaries;
+}
+
+FleetMetrics
+FleetSim::run(unsigned threads)
+{
+    const std::size_t n = shards_.size();
+    const double windowS = base_.fleet.epochS;
+    const auto epochsPerWindow = static_cast<std::size_t>(
+        std::round(windowS / base_.pmEpochS));
+
+    // The cluster arrival stream: one Poisson process sized for the
+    // whole fleet's sockets, fanned out window by window.
+    JobGenerator arrivals(base_.workload, base_.load,
+                          static_cast<int>(totalSockets()),
+                          domainSeed(fleetSeed_, 0,
+                                     fleet_stream::kArrivals));
+
+    registry_.resetValues();
+    obs::Counter &windowsCtr = registry_.counter("fleet/windows");
+    obs::Counter &dispatchedCtr =
+        registry_.counter("fleet/jobsDispatched");
+
+    FleetMetrics metrics;
+    metrics.chassis = n;
+    metrics.dispatchedPerShard.assign(n, 0);
+
+    for (auto &shard : shards_)
+        shard->beginRun();
+
+    std::vector<std::vector<Job>> batches(n);
+    bool arrivalsOpen = true;
+    std::size_t window = 0;
+    for (;;) {
+        // --- barrier: serial, shard-id order --------------------------
+        const std::vector<ShardSummary> summaries = gatherSummaries();
+
+        if (arrivalsOpen) {
+            // Windows end at (k+1) * epochS by multiplication, not
+            // accumulation, so the fan-out boundaries do not drift
+            // from float addition however many windows run.
+            const double w1 = static_cast<double>(window + 1) * windowS;
+            const double horizonS = std::min(w1, base_.simTimeS);
+            for (const Job &job : arrivals.nextWindow(horizonS)) {
+                const std::size_t target =
+                    dispatcher_->pick(job, summaries);
+                DENSIM_CHECK(target < n, "dispatcher picked shard ",
+                             target, " of ", n);
+                batches[target].push_back(job);
+                ++metrics.dispatchedPerShard[target];
+                ++metrics.jobsArrived;
+                ++metrics.jobsDispatched;
+                dispatchedCtr.inc();
+            }
+            for (std::size_t s = 0; s < n; ++s) {
+                if (!batches[s].empty()) {
+                    shards_[s]->submitJobs(batches[s]);
+                    batches[s].clear();
+                }
+            }
+            if (w1 >= base_.simTimeS) {
+                arrivalsOpen = false;
+                for (auto &shard : shards_)
+                    shard->closeArrivals();
+            }
+        }
+
+        bool anyPending = false;
+        for (const auto &shard : shards_)
+            anyPending = anyPending || shard->epochPending();
+        if (!anyPending)
+            break;
+
+        // --- parallel section: disjoint shard state only --------------
+        parallelFor(n, threads, [&](std::size_t s) {
+            DenseServerSim &shard = *shards_[s];
+            for (std::size_t e = 0;
+                 e < epochsPerWindow && shard.epochPending(); ++e)
+                shard.advanceEpoch();
+        });
+        windowsCtr.inc();
+        ++window;
+    }
+
+    // --- finalization: serial, shard-id order -------------------------
+    metrics.perShard.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        metrics.perShard.push_back(shards_[s]->finishRun());
+        registry_.mergePrefixed(shards_[s]->observability(),
+                                "shard" + std::to_string(s) + "/");
+    }
+    rollUpFleetMetrics(metrics);
+    return metrics;
+}
+
+} // namespace densim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fleet-scale sharded simulation (DESIGN.md Sec. 15).
+ *
+ * FleetSim owns N chassis shards — each a full DenseServerSim with
+ * its own config, fault timeline and RNG streams — and advances them
+ * in lockstep exchange windows on a util/parallel.hh worker pool:
+ *
+ *   per window:  gather summaries (serial, shard-id order)
+ *             -> dispatch the window's cluster arrivals (serial)
+ *             -> advance every shard through the window's pm epochs
+ *                (parallelFor; each work item touches only its own
+ *                shard)
+ *
+ * Determinism: everything order-sensitive — summary gathering,
+ * dispatching, metric roll-up, registry merging — runs serially in
+ * shard-id order at the barrier; the parallel section is embarrass-
+ * ingly parallel over disjoint shard state. FleetMetrics is
+ * therefore bit-identical for any worker-thread count (pinned by
+ * tests/fleet_test.cc).
+ *
+ * RNG domain separation: every fleet stream seed is
+ * domainSeed(fleetSeed, shard, tag) with the tags below, so a
+ * shard's streams can never collide with another shard's — or with
+ * any engine-internal stream, which are derived from the (already
+ * avalanched) per-shard seed.
+ */
+
+#ifndef DENSIM_FLEET_FLEET_SIM_HH
+#define DENSIM_FLEET_FLEET_SIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dense_server_sim.hh"
+#include "core/sim_config.hh"
+#include "fleet/fleet_dispatcher.hh"
+#include "fleet/fleet_metrics.hh"
+#include "obs/registry.hh"
+
+namespace densim {
+
+/** Stream tags for domainSeed() under the fleet seed domain. */
+namespace fleet_stream {
+/** Per-shard engine seed (shard coordinate = shard id). */
+constexpr std::uint64_t kShardEngine = 0x5eed0f5aadULL;
+/** Cluster arrival stream (shard coordinate fixed at 0). */
+constexpr std::uint64_t kArrivals = 0xa44174a15ULL;
+} // namespace fleet_stream
+
+/** A fleet of chassis shards driven in lockstep exchange windows. */
+class FleetSim
+{
+  public:
+    /**
+     * Build a fleet from @p config (which must have
+     * config.fleet.enabled()): one DenseServerSim per chassis, each
+     * under its own instance of the scheduling policy named
+     * @p scheduler, plus the configured dispatcher.
+     */
+    FleetSim(const SimConfig &config, const std::string &scheduler);
+
+    ~FleetSim();
+    FleetSim(const FleetSim &) = delete;
+    FleetSim &operator=(const FleetSim &) = delete;
+
+    /**
+     * Run the fleet to completion on up to @p threads workers
+     * (0 = hardware concurrency). The result is bit-identical for
+     * every value of @p threads.
+     */
+    FleetMetrics run(unsigned threads = 1);
+
+    /** Shards in the fleet. */
+    std::size_t chassis() const { return shards_.size(); }
+
+    /** Sockets across the whole fleet. */
+    std::size_t totalSockets() const;
+
+    /** The dispatcher routing cluster arrivals. */
+    const FleetDispatcher &dispatcher() const { return *dispatcher_; }
+
+    /**
+     * Fleet-level counters plus every shard's registry merged under
+     * "shard<N>/" after run() — one namespace per chassis, no shared
+     * instrument storage during the run.
+     */
+    const obs::Registry &observability() const { return registry_; }
+
+  private:
+    std::vector<ShardSummary> gatherSummaries() const;
+
+    SimConfig base_;
+    std::uint64_t fleetSeed_ = 0;
+    std::vector<std::unique_ptr<DenseServerSim>> shards_;
+    std::unique_ptr<FleetDispatcher> dispatcher_;
+    obs::Registry registry_;
+};
+
+} // namespace densim
+
+#endif // DENSIM_FLEET_FLEET_SIM_HH

@@ -32,6 +32,15 @@ Registry::resetValues()
         entry.gauge.reset();
 }
 
+void
+Registry::mergePrefixed(const Registry &other, const std::string &prefix)
+{
+    for (const auto &[name, ctr] : other.counters_)
+        counters_[prefix + name].inc(ctr.value());
+    for (const auto &[name, entry] : other.gauges_)
+        gauge(prefix + name, entry.unit).set(entry.gauge.value());
+}
+
 std::vector<CounterSample>
 Registry::counters() const
 {

@@ -120,6 +120,17 @@ class Registry
     /** Zero every value; registrations (and addresses) survive. */
     void resetValues();
 
+    /**
+     * Fold every instrument of @p other into this registry under
+     * names prefixed with @p prefix: counters add their values,
+     * gauges overwrite (last merge wins, keeping their unit).
+     * FleetSim uses this to roll per-shard registries up into one
+     * fleet registry as "shard<N>/<name>" without the shards ever
+     * sharing instrument storage (each shard stays single-threaded
+     * on its own worker).
+     */
+    void mergePrefixed(const Registry &other, const std::string &prefix);
+
     /** Counters in name order. */
     std::vector<CounterSample> counters() const;
 

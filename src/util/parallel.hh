@@ -1,16 +1,20 @@
 /**
  * @file
  * Minimal parallel-for over an index range with exception
- * propagation — the worker pool behind Experiment::runAll.
+ * propagation — the worker pool behind Experiment::runAll and the
+ * fleet shard barrier (fleet/fleet_sim.hh).
  *
  * Work items are claimed from an atomic counter, so any number of
  * items runs on a bounded pool. An exception thrown by a work item
  * used to escape its std::thread and take the whole process down via
- * std::terminate; here the first one is captured, remaining items are
- * abandoned (workers drain the counter without running them), and the
- * exception is rethrown on the calling thread once every worker has
- * joined — a failed cell surfaces as an ordinary exception instead of
- * a lost process.
+ * std::terminate; here every worker's first exception is captured in
+ * a per-worker slot, remaining items are abandoned (workers drain the
+ * counter without running them), every captured failure is reported
+ * on stderr (worker index, item index, what()) once the pool has
+ * joined, and the first-captured exception is rethrown on the calling
+ * thread — a failed cell surfaces as an ordinary exception instead of
+ * a lost process, and a second concurrent failure is reported instead
+ * of silently swallowed.
  */
 
 #ifndef DENSIM_UTIL_PARALLEL_HH
@@ -23,14 +27,37 @@
 #include <thread>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace densim {
+
+namespace detail {
+
+/** what() of a captured exception, or a placeholder for non-std. */
+inline std::string
+describeException(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "(non-standard exception)";
+    }
+}
+
+} // namespace detail
 
 /**
  * Invoke fn(i) for every i in [0, count) on up to @p threads workers
  * (0 = hardware concurrency). Completion order is unspecified; fn
  * must handle its own synchronization for shared state (writing to
- * distinct per-index slots is safe). The first exception any call
- * throws is rethrown here after all workers join.
+ * distinct per-index slots is safe). When work items throw, every
+ * captured exception is reported via warn() — worker index, work-item
+ * index and what() — and the first-captured one is rethrown here
+ * after all workers join, so a secondary concurrent failure (e.g. a
+ * second fleet shard dying in the same barrier window) is never
+ * silently swallowed.
  */
 template <typename Fn>
 void
@@ -43,11 +70,18 @@ parallelFor(std::size_t count, unsigned threads, Fn &&fn)
     if (static_cast<std::size_t>(threads) > count)
         threads = static_cast<unsigned>(count);
 
+    struct WorkerFailure
+    {
+        std::exception_ptr error; //!< First exception of this worker.
+        std::size_t item = 0;     //!< Work item that threw it.
+    };
+
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error; // Written once by the failed.exchange
+    std::exception_ptr first; // Written once by the failed.exchange
                               // winner, read after the joins.
-    auto worker = [&]() {
+    std::vector<WorkerFailure> failures(threads);
+    auto worker = [&](unsigned w) {
         for (;;) {
             if (failed.load(std::memory_order_acquire))
                 return;
@@ -58,8 +92,11 @@ parallelFor(std::size_t count, unsigned threads, Fn &&fn)
             try {
                 fn(i);
             } catch (...) {
+                failures[w].error = std::current_exception();
+                failures[w].item = i;
                 if (!failed.exchange(true, std::memory_order_acq_rel))
-                    error = std::current_exception();
+                    first = failures[w].error;
+                return;
             }
         }
     };
@@ -67,11 +104,22 @@ parallelFor(std::size_t count, unsigned threads, Fn &&fn)
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, t);
     for (std::thread &t : pool)
         t.join();
-    if (error)
-        std::rethrow_exception(error);
+    if (!first)
+        return;
+    // Report every captured failure — not just the one about to be
+    // rethrown — so a second worker dying in the same window leaves a
+    // diagnostic instead of vanishing.
+    for (unsigned w = 0; w < threads; ++w) {
+        if (failures[w].error) {
+            warn("parallelFor: worker ", w, ": item ",
+                 failures[w].item, " failed: ",
+                 detail::describeException(failures[w].error));
+        }
+    }
+    std::rethrow_exception(first);
 }
 
 } // namespace densim

@@ -132,4 +132,20 @@ Rng::split()
     return Rng(nextU64());
 }
 
+std::uint64_t
+domainSeed(std::uint64_t run_seed, std::uint64_t shard_id,
+           std::uint64_t stream_tag)
+{
+    // Chain of SplitMix64 avalanche steps, folding one coordinate in
+    // per step. The intermediate state is fully mixed before the next
+    // coordinate lands, so no xor/add of the inputs alone can
+    // reproduce another triple's output.
+    std::uint64_t x = run_seed;
+    x = splitmix64(x); // Avalanche the run seed itself.
+    x ^= shard_id;
+    x = splitmix64(x);
+    x ^= stream_tag;
+    return splitmix64(x);
+}
+
 } // namespace densim

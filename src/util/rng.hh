@@ -68,6 +68,22 @@ class Rng
     double spare_ = 0.0;
 };
 
+/**
+ * Domain-separated stream seed: a SplitMix64 chain over
+ * (run_seed, shard_id, stream_tag). Each argument passes through a
+ * full avalanche step before the next is folded in, so
+ * (seed, shard, tag) triples that differ in any coordinate yield
+ * unrelated 64-bit seeds — unlike the engine's historical
+ * `seed ^ constant` stream derivation, which two shards could
+ * collide by choosing seeds that differ by the constant. Fleet
+ * shards derive every per-shard stream through this (stream tags in
+ * fleet/fleet_sim.hh), which is what guarantees a shard's workload
+ * stream can never alias another shard's — or any shard's fault
+ * stream.
+ */
+std::uint64_t domainSeed(std::uint64_t run_seed, std::uint64_t shard_id,
+                         std::uint64_t stream_tag);
+
 } // namespace densim
 
 #endif // DENSIM_UTIL_RNG_HH

@@ -73,4 +73,25 @@ JobGenerator::generateUntil(double horizon_s)
     }
 }
 
+std::vector<Job>
+JobGenerator::nextWindow(double horizon_s)
+{
+    std::vector<Job> jobs;
+    if (hasPending_) {
+        if (pending_.arrivalS >= horizon_s)
+            return jobs;
+        jobs.push_back(pending_);
+        hasPending_ = false;
+    }
+    for (;;) {
+        Job job = next();
+        if (job.arrivalS >= horizon_s) {
+            pending_ = job;
+            hasPending_ = true;
+            return jobs;
+        }
+        jobs.push_back(job);
+    }
+}
+
 } // namespace densim

@@ -55,6 +55,18 @@ class JobGenerator
     /** Generate all jobs arriving before @p horizon_s. */
     std::vector<Job> generateUntil(double horizon_s);
 
+    /**
+     * Incremental variant of generateUntil(): returns the jobs
+     * arriving in [previous horizon, @p horizon_s), buffering the
+     * first overshooting draw so it is delivered by the *next* call
+     * instead of being discarded. Calling nextWindow() with an
+     * increasing sequence of horizons yields exactly the stream a
+     * single generateUntil() over the union would have produced —
+     * this is what lets FleetSim fan arrivals out one exchange
+     * window at a time without perturbing the workload stream.
+     */
+    std::vector<Job> nextWindow(double horizon_s);
+
     /** Poisson arrival rate, jobs per second. */
     double arrivalRate() const { return rate_; }
 
@@ -68,6 +80,8 @@ class JobGenerator
     Rng rng_;
     double clockS_ = 0.0;
     std::uint64_t nextId_ = 0;
+    Job pending_{};          //!< Lookahead buffer for nextWindow().
+    bool hasPending_ = false;
 };
 
 } // namespace densim

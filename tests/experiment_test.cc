@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -67,6 +68,45 @@ TEST(Parallel, RethrowsFirstWorkerException)
     // workers notice the failure at their next claim), so only the
     // upper bound is deterministic.
     EXPECT_LE(ran.load(), 100);
+}
+
+TEST(Parallel, ReportsEveryConcurrentWorkerFailure)
+{
+    // Two workers, two items, both throwing — a latch makes sure
+    // both are mid-flight before either throws, so both exceptions
+    // are captured (neither worker can abandon early). The first
+    // captured one is rethrown; the other must still be reported on
+    // stderr instead of vanishing.
+    std::atomic<int> armed{0};
+    testing::internal::CaptureStderr();
+    try {
+        parallelFor(2, 2, [&](std::size_t i) {
+            ++armed;
+            while (armed.load() < 2) {
+            }
+            throw std::runtime_error(
+                "item " + std::to_string(i) + " exploded");
+        });
+        FAIL() << "worker exception was swallowed";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("exploded"),
+                  std::string::npos);
+    }
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("item 0 exploded"), std::string::npos) << log;
+    EXPECT_NE(log.find("item 1 exploded"), std::string::npos) << log;
+    EXPECT_NE(log.find("parallelFor: worker"), std::string::npos)
+        << log;
+}
+
+TEST(Parallel, ReportsNonStandardExceptionsToo)
+{
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(
+        parallelFor(1, 1, [](std::size_t) { throw 42; }), int);
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("(non-standard exception)"), std::string::npos)
+        << log;
 }
 
 TEST(Parallel, ExceptionOnSingleThreadPropagates)

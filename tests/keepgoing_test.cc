@@ -6,8 +6,10 @@
  * behaviour when keep-going is off.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <sys/resource.h>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -203,6 +205,70 @@ TEST(KeepGoing, EmptyGridYieldsEmptyOutcomes)
     SweepOptions options;
     options.keepGoing = true;
     EXPECT_TRUE(runAllOutcomes({}, options).empty());
+}
+
+/**
+ * Forces every file write to fail with EFBIG for its lifetime by
+ * dropping RLIMIT_FSIZE to zero (and ignoring the SIGXFSZ that would
+ * otherwise kill the process). The cheapest faithful stand-in for a
+ * full disk during a manifest append.
+ */
+class ScopedZeroFileLimit
+{
+  public:
+    ScopedZeroFileLimit()
+    {
+        getrlimit(RLIMIT_FSIZE, &prev_);
+        prevHandler_ = signal(SIGXFSZ, SIG_IGN);
+        struct rlimit zero = prev_;
+        zero.rlim_cur = 0;
+        setrlimit(RLIMIT_FSIZE, &zero);
+    }
+    ~ScopedZeroFileLimit()
+    {
+        setrlimit(RLIMIT_FSIZE, &prev_);
+        signal(SIGXFSZ, prevHandler_);
+    }
+    ScopedZeroFileLimit(const ScopedZeroFileLimit &) = delete;
+    ScopedZeroFileLimit &operator=(const ScopedZeroFileLimit &) =
+        delete;
+
+  private:
+    struct rlimit prev_;
+    void (*prevHandler_)(int) = SIG_DFL;
+};
+
+TEST(KeepGoing, FailedManifestAppendIsFatalNotSilent)
+{
+    // Regression: the manifest append used to go unchecked, so a
+    // full disk silently dropped the digest and the cell silently
+    // re-ran on resume. It must now surface as a FatalError naming
+    // the manifest path — escaping the keep-going containment, which
+    // is for per-cell simulation failures, not durability failures.
+    const std::string manifest =
+        testing::TempDir() + "keepgoing_enospc_manifest.txt";
+    std::remove(manifest.c_str());
+    SweepOptions options;
+    options.keepGoing = true;
+    options.threads = 1;
+    options.resumePath = manifest;
+    std::vector<RunSpec> specs =
+        makeGrid({"CF"}, WorkloadSet::Computation, {0.4},
+                 fastConfig());
+    try {
+        ScopedZeroFileLimit fullDisk;
+        (void)runAllOutcomes(specs, options);
+        FAIL() << "manifest append failure was swallowed";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("resume manifest"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(manifest), std::string::npos) << what;
+        EXPECT_NE(what.find("cannot append digest"),
+                  std::string::npos)
+            << what;
+    }
+    std::remove(manifest.c_str());
 }
 
 } // namespace

@@ -312,6 +312,24 @@ TEST(PerfEquivalence, GoldenMetricsMatchPreRefactorSeed)
     }
 }
 
+TEST(PerfEquivalence, SparsePowerDeltaPrunesNothingOnSutCalibration)
+{
+    // The sparse applyPowerDelta fan-out drops rows whose coupling
+    // coefficient is below kDeltaCoeffTolerance. On the SUT
+    // calibration every coefficient is orders of magnitude above
+    // that floor, so the filtered CSR must equal the full one row
+    // for row — which is exactly why the goldens above (and every
+    // default-topology run) stay bit-identical to the dense
+    // implementation.
+    DenseServerSim sim(SimConfig{}, makeScheduler("CP"));
+    const CouplingMap &map = sim.coupling();
+    const std::size_t n = sim.topology().numSockets();
+    ASSERT_EQ(n, 180u);
+    for (std::size_t s = 0; s < n; ++s)
+        EXPECT_EQ(map.deltaFanoutCount(s), map.downstreamCount(s))
+            << "socket " << s;
+}
+
 TEST(PerfEquivalence, PredictionCacheIsBitIdentical)
 {
     // The prediction cache (placement/penalty memos, the feasibility

@@ -35,6 +35,11 @@
 #             strictly, and a keep-going sweep with a deliberately bad
 #             cell that must finish the rest, exit nonzero, and emit a
 #             strict summary JSON (DESIGN.md Sec. 11)
+#   fleet     ASan+UBSan+DENSIM_CHECKS build + the fleet/streaming
+#             determinism tests, then a CLI smoke: a multi-shard
+#             --fleet run whose JSON summary must parse strictly and
+#             whose metrics must be bit-identical across worker-thread
+#             counts (DESIGN.md Sec. 15)
 #   bench     opt-in (never in the default matrix): Release build,
 #             one short pass of micro_kernels with JSON output, and a
 #             strict parse of that JSON — rot protection for the
@@ -56,7 +61,7 @@ CTEST_PARALLEL="${CTEST_PARALLEL:-$JOBS}"
 
 # Test selection for the TSan stage: the thread pool and everything
 # that runs under it, plus the differential suite it feeds.
-TSAN_FILTER='Parallel|Experiment|PerfEquivalence'
+TSAN_FILTER='Parallel|Experiment|PerfEquivalence|Fleet|Streamed'
 # Paranoid stage: the reduced workloads of the differential suite and
 # the invariant tests themselves (full integration workloads would
 # re-derive the reference field every epoch for 180 sockets).
@@ -176,6 +181,40 @@ print(f"fault smoke: sweep summary {doc['completed']}/{doc['total']} "
 EOF
 }
 
+stage_fleet() {
+    # The fleet layer fans work out across a worker pool and promises
+    # bit-identical metrics at any thread count — run it under ASan
+    # with the invariant bank on, then pin the promise end to end
+    # through the CLI.
+    configure build-fleet "-DDENSIM_SANITIZE=address;undefined" \
+              -DDENSIM_CHECKS=ON
+    build build-fleet
+    run_ctest build-fleet -R 'Fleet|Streamed|DomainSeed|Parallel'
+    local out="build-fleet/fleet-smoke"
+    mkdir -p "$out"
+    # A 4-chassis fleet at two worker counts: both summaries must be
+    # strict JSON, account for every dispatched job, and match byte
+    # for byte.
+    for t in 1 3; do
+        ./build-fleet/tools/densim run --fleet 4 --threads "$t" \
+            --scheduler CF --load 0.7 \
+            --set topo.rows=2 --set simTimeS=1 --set warmupS=0.2 \
+            --json > "$out/fleet-t$t.json"
+    done
+    cmp "$out/fleet-t1.json" "$out/fleet-t3.json"
+    python3 - "$out/fleet-t1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["chassis"] == 4, doc
+assert doc["jobsArrived"] > 0, doc
+assert doc["jobsDispatched"] == doc["jobsArrived"], doc
+assert len(doc["dispatchedPerShard"]) == 4, doc
+assert sum(doc["dispatchedPerShard"]) == doc["jobsDispatched"], doc
+print(f"fleet smoke: {doc['jobsDispatched']} jobs across "
+      f"{doc['chassis']} chassis, bit-identical at 1 and 3 workers")
+EOF
+}
+
 stage_bench() {
     # Opt-in rot protection for the microbenchmarks (not in the
     # default matrix): Release build, one short pass of every bench,
@@ -261,12 +300,12 @@ stage_tidy() {
 if [ "$#" -gt 0 ]; then
     stages=("$@")
 else
-    stages=(plain asan tsan paranoid obs fault lint tidy)
+    stages=(plain asan tsan paranoid obs fault fleet lint tidy)
 fi
 
 for stage in "${stages[@]}"; do
     case "$stage" in
-        plain|asan|tsan|paranoid|obs|fault|lint|tidy|bench) ;;
+        plain|asan|tsan|paranoid|obs|fault|fleet|lint|tidy|bench) ;;
         *)
             echo "check.sh: unknown stage '$stage'" >&2
             exit 2

@@ -26,6 +26,8 @@
 #include "core/dense_server_sim.hh"
 #include "core/experiment.hh"
 #include "core/metrics_io.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/fleet_sim.hh"
 #include "obs/registry.hh"
 #include "sched/factory.hh"
 #include "util/logging.hh"
@@ -63,7 +65,20 @@ usage()
         "  --counters           report observability counters/gauges\n"
         "  --trace FILE         trace path for trace-* commands\n"
         "  --jobs N             jobs to capture (trace-capture)\n"
-        "  --threads N          sweep worker threads (0 = all cores)\n"
+        "  --threads N          sweep/fleet worker threads (0 = all\n"
+        "                       cores)\n"
+        "\n"
+        "fleet-scale runs (DESIGN.md Sec. 15):\n"
+        "  --fleet N            simulate N chassis shards in lockstep\n"
+        "                       (shorthand for --set fleet.chassis=N);\n"
+        "                       results are bit-identical for any\n"
+        "                       --threads value\n"
+        "  --set fleet.dispatcher=P   roundrobin | headroom |\n"
+        "                             locality | power\n"
+        "  --set fleet.epochS=T       exchange window, simulated s\n"
+        "  --set fleet.powerBudgetW=W fleet budget for the power\n"
+        "                             dispatcher (0 = unlimited)\n"
+        "  --set fleet.seed=N         pin the fleet RNG domain\n"
         "\n"
         "keep-going sweeps (DESIGN.md Sec. 11):\n"
         "  --keep-going         capture per-run failures and finish\n"
@@ -172,6 +187,8 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--threads") {
             cli.threads = static_cast<unsigned>(
                 std::atoi(need(i).c_str()));
+        } else if (flag == "--fleet") {
+            applyConfigKey(cli.config, "fleet.chassis", need(i));
         } else if (flag == "--keep-going") {
             cli.keepGoing = true;
         } else if (flag == "--summary") {
@@ -263,9 +280,72 @@ report(const Cli &cli, const SimConfig &config,
         printCounterTable(sim.observability());
 }
 
+void
+printFleetTable(const Cli &cli, const FleetSim &fleet,
+                const FleetMetrics &m)
+{
+    TableWriter table({"Metric", "Value"});
+    table.newRow().cell("chassis").cell(
+        static_cast<long long>(m.chassis));
+    table.newRow().cell("dispatcher").cell(fleet.dispatcher().name());
+    table.newRow().cell("scheduler").cell(cli.scheduler);
+    table.newRow().cell("jobs dispatched").cell(
+        static_cast<long long>(m.jobsDispatched));
+    table.newRow().cell("jobs completed").cell(
+        static_cast<long long>(m.jobsCompleted));
+    table.newRow().cell("jobs unfinished").cell(
+        static_cast<long long>(m.jobsUnfinished));
+    table.newRow().cell("runtime expansion").cell(
+        m.runtimeExpansion.mean(), 4);
+    table.newRow().cell("mean queue delay (ms)").cell(
+        1e3 * m.queueDelayS.mean(), 3);
+    table.newRow().cell("energy (kJ)").cell(m.energyJ / 1e3, 2);
+    table.newRow().cell("makespan (s)").cell(m.makespanS, 3);
+    table.newRow().cell("max chip temp (C)").cell(m.maxChipTempC, 1);
+    table.print(std::cout);
+
+    TableWriter shards({"Shard", "Dispatched", "Completed",
+                        "Energy (kJ)", "Max temp (C)"});
+    for (std::size_t s = 0; s < m.perShard.size(); ++s) {
+        shards.newRow()
+            .cell(static_cast<long long>(s))
+            .cell(static_cast<long long>(m.dispatchedPerShard[s]))
+            .cell(static_cast<long long>(m.perShard[s].jobsCompleted))
+            .cell(m.perShard[s].energyJ / 1e3, 2)
+            .cell(m.perShard[s].maxChipTempC, 1);
+    }
+    shards.print(std::cout);
+}
+
+int
+cmdFleetRun(const Cli &cli)
+{
+    FleetSim fleet(cli.config, cli.scheduler);
+    const FleetMetrics m = fleet.run(cli.threads);
+
+    std::ostringstream out;
+    if (cli.json) {
+        if (cli.counters) {
+            out << "{\"fleet\":" << fleetMetricsToJson(m)
+                << ",\"obs\":"
+                << countersToJson(fleet.observability()) << "}\n";
+        } else {
+            out << fleetMetricsToJson(m) << "\n";
+        }
+        std::cout << out.str();
+        return 0;
+    }
+    printFleetTable(cli, fleet, m);
+    if (cli.counters)
+        printCounterTable(fleet.observability());
+    return 0;
+}
+
 int
 cmdRun(const Cli &cli)
 {
+    if (cli.config.fleet.enabled())
+        return cmdFleetRun(cli);
     DenseServerSim sim(cli.config, makeScheduler(cli.scheduler));
     const SimMetrics m = sim.run();
     report(cli, cli.config, sim, m);

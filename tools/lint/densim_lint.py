@@ -69,6 +69,7 @@ SELFCONTAIN_DIRS = (
     "src/airflow",
     "src/core",
     "src/fault",
+    "src/fleet",
     "src/obs",
     "src/power",
     "src/sched",
