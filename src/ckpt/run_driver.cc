@@ -1,0 +1,184 @@
+#include "ckpt/run_driver.hh"
+
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "ckpt/checkpoint.hh"
+#include "core/dense_server_sim.hh"
+#include "fleet/fleet_sim.hh"
+#include "sched/factory.hh"
+#include "util/logging.hh"
+#include "workload/job_generator.hh"
+
+namespace densim::ckpt {
+
+namespace {
+
+// The only state a signal handler may touch: a lock-free flag polled
+// by the drive loops at epoch/window boundaries.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+/**
+ * Next index on the fixed cadence grid k * every strictly after
+ * @p now_s — floor instead of a running increment, so a resumed run
+ * lands on exactly the grid points the uninterrupted run would.
+ */
+std::uint64_t
+nextCadenceIndex(double now_s, double every)
+{
+    return static_cast<std::uint64_t>(std::floor(now_s / every)) + 1;
+}
+
+} // namespace
+
+void
+installSignalHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+bool
+stopRequested()
+{
+    return g_stop != 0;
+}
+
+void
+requestStop()
+{
+    g_stop = 1;
+}
+
+void
+clearStopRequest()
+{
+    g_stop = 0;
+}
+
+void
+beginEngineRun(DenseServerSim &sim)
+{
+    const SimConfig &config = sim.config();
+    JobGenerator gen(config.workload, config.load,
+                     static_cast<int>(sim.topology().numSockets()),
+                     config.seed);
+    sim.beginRun();
+    sim.submitJobs(gen.generateUntil(config.simTimeS));
+    sim.closeArrivals();
+}
+
+DriveOutcome
+driveEngine(DenseServerSim &sim)
+{
+    const SimConfig &config = sim.config();
+    const double every = config.ckptEveryS;
+    const bool cadence = !config.ckptPath.empty() && every > 0.0;
+    std::uint64_t next_idx =
+        cadence ? nextCadenceIndex(sim.nowS(), every) : 0;
+    while (sim.epochPending()) {
+        if (stopRequested()) {
+            DriveOutcome out;
+            out.nowS = sim.nowS();
+            if (!config.ckptPath.empty()) {
+                writeCheckpointFile(config.ckptPath, saveEngine(sim));
+                out.checkpointed = true;
+            }
+            flushSinks(sim);
+            return out;
+        }
+        sim.advanceEpoch();
+        if (cadence &&
+            sim.nowS() >= static_cast<double>(next_idx) * every) {
+            writeCheckpointFile(config.ckptPath, saveEngine(sim));
+            next_idx = nextCadenceIndex(sim.nowS(), every);
+        }
+    }
+    DriveOutcome out;
+    out.completed = true;
+    out.nowS = sim.nowS();
+    return out;
+}
+
+DriveOutcome
+driveFleet(FleetSim &fleet, unsigned threads)
+{
+    const SimConfig &config = fleet.config();
+    const double window_s = config.fleet.epochS;
+    const double every = config.ckptEveryS;
+    const bool cadence = !config.ckptPath.empty() && every > 0.0;
+    // The fleet clock is the window count; between windows every
+    // shard sits at window_ * windowS.
+    double now_s =
+        static_cast<double>(fleet.windowsRun()) * window_s;
+    std::uint64_t next_idx =
+        cadence ? nextCadenceIndex(now_s, every) : 0;
+    for (;;) {
+        if (stopRequested()) {
+            DriveOutcome out;
+            out.nowS = now_s;
+            if (!config.ckptPath.empty()) {
+                writeCheckpointFile(config.ckptPath, saveFleet(fleet));
+                out.checkpointed = true;
+            }
+            flushSinks(fleet);
+            return out;
+        }
+        if (!fleet.advanceWindow(threads))
+            break;
+        now_s = static_cast<double>(fleet.windowsRun()) * window_s;
+        if (cadence &&
+            now_s >= static_cast<double>(next_idx) * every) {
+            writeCheckpointFile(config.ckptPath, saveFleet(fleet));
+            next_idx = nextCadenceIndex(now_s, every);
+        }
+    }
+    DriveOutcome out;
+    out.completed = true;
+    out.nowS = now_s;
+    return out;
+}
+
+SimMetrics
+runCellCheckpointed(const RunSpec &spec, const std::string &ckpt_dir)
+{
+    const std::string path =
+        ckpt_dir + "/" + runDigest(spec) + ".ckpt";
+    SimConfig config = spec.config;
+    config.ckptPath = path;
+    DenseServerSim sim(config, makeScheduler(spec.scheduler));
+    bool resumed = false;
+    if (std::ifstream(path, std::ios::binary).good()) {
+        try {
+            restoreEngine(sim, readCheckpointFile(path));
+            resumed = true;
+        } catch (const CkptError &err) {
+            // A stale or damaged checkpoint must not sink the cell:
+            // warn, restart from scratch, overwrite on next cadence.
+            warn("ckpt: ignoring unusable checkpoint '", path,
+                 "': ", err.what());
+        }
+    }
+    if (!resumed)
+        beginEngineRun(sim);
+    const DriveOutcome out = driveEngine(sim);
+    if (!out.completed) {
+        throw CkptError(
+            "checkpointed and stopped at t=" + std::to_string(out.nowS) +
+            "s — re-run the sweep to resume this cell");
+    }
+    SimMetrics metrics = sim.finishRun();
+    std::remove(path.c_str());
+    return metrics;
+}
+
+} // namespace densim::ckpt

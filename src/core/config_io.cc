@@ -379,6 +379,8 @@ keyTable()
           [](const SimConfig &c) {
               return std::to_string(c.fleet.seed);
           }}},
+        {"ckpt.path", pathf(&SimConfig::ckptPath)},
+        {"ckpt.everyS", dbl(&SimConfig::ckptEveryS)},
         {"coupling.mixFactor", coup_dbl(&CouplingParams::mixFactor)},
         {"coupling.decayLengthInch",
          coup_dbl(&CouplingParams::decayLengthInch)},

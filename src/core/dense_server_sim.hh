@@ -69,6 +69,8 @@
 
 namespace densim {
 
+class CkptAccess; // Checkpoint serializer (src/ckpt), friend below.
+
 /** One full simulation of a dense server under one policy. */
 class DenseServerSim
 {
@@ -174,6 +176,17 @@ class DenseServerSim
     const obs::PhaseProfiler &phaseProfile() const { return profiler_; }
 
   private:
+    /**
+     * Checkpoint serializer (src/ckpt, DESIGN.md Sec. 16). It reads
+     * and writes the engine's mutable state directly at an epoch
+     * boundary; everything construction-derived (topology, coupling
+     * LU cache, P-state tables, fault timeline) is rebuilt from
+     * SimConfig on restore rather than serialized. Keeping access
+     * here — instead of a wide public state API — means the streaming
+     * interface stays the engine's only behavioral surface.
+     */
+    friend class CkptAccess;
+
     // --- run phases -------------------------------------------------
     void resetState();
     void warmStart();

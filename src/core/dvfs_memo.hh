@@ -109,6 +109,12 @@ class DvfsMemoTable
     }
 
   private:
+    // Checkpoints serialize the entries verbatim (counter-stream
+    // determinism: a restored run must hit/miss exactly like the
+    // uninterrupted one) and re-stamp via reset()/noteTable() — the
+    // raw stamp_ pointer is meaningless across processes.
+    friend class CkptAccess;
+
     struct Entry
     {
         bool valid = false;

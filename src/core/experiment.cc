@@ -11,6 +11,7 @@
 #include "obs/trace.hh"
 #include "sched/factory.hh"
 #include "util/digest.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -132,15 +133,19 @@ runAllOutcomes(const std::vector<RunSpec> &specs,
                 return;
             const RunSpec spec =
                 per_run ? perRunSpec(specs[i], i) : specs[i];
+            const auto runCell = [&](const RunSpec &s) {
+                return options.cellRunner ? options.cellRunner(s)
+                                          : runOne(s).metrics;
+            };
             if (options.keepGoing) {
                 try {
-                    outcome.metrics = runOne(spec).metrics;
+                    outcome.metrics = runCell(spec);
                     outcome.ok = true;
                 } catch (const std::exception &e) {
                     outcome.error = e.what();
                 }
             } else {
-                outcome.metrics = runOne(spec).metrics;
+                outcome.metrics = runCell(spec);
                 outcome.ok = true;
             }
             if (outcome.ok && manifest.is_open()) {
@@ -161,9 +166,10 @@ runAllOutcomes(const std::vector<RunSpec> &specs,
     }
 
     if (!options.summaryPath.empty()) {
-        const std::string doc = sweepSummaryJson(outcomes);
-        std::ofstream out(options.summaryPath, std::ios::trunc);
-        if (!out || !(out << doc) || !out.flush()) {
+        // Atomic replace: a sweep killed mid-write must leave the
+        // previous summary intact, not a torn JSON document.
+        if (!atomicWriteFile(options.summaryPath,
+                             sweepSummaryJson(outcomes))) {
             fatal("experiment: cannot write sweep summary '",
                   options.summaryPath, "'");
         }

@@ -8,6 +8,7 @@
 #ifndef DENSIM_CORE_EXPERIMENT_HH
 #define DENSIM_CORE_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -74,6 +75,16 @@ struct SweepOptions
     bool keepGoing = false;  //!< Capture failures; finish the rest.
     std::string summaryPath; //!< Sweep-summary JSON sink ("" = none).
     std::string resumePath;  //!< Append-as-completed digest manifest.
+    /**
+     * Optional cell-runner override: invoked instead of runOne() for
+     * every non-skipped cell (after per-run sink rewriting).
+     * Installed by checkpoint-aware sweeps (ckpt/run_driver.hh,
+     * runCellCheckpointed) so an interrupted cell resumes mid-run
+     * from its checkpoint instead of restarting; a std::function
+     * here rather than a ckpt type keeps core free of an upward
+     * dependency. Null = runOne().
+     */
+    std::function<SimMetrics(const RunSpec &)> cellRunner;
 };
 
 /**

@@ -213,6 +213,27 @@ struct SimConfig
      */
     FleetConfig fleet{};
 
+    // Crash-safe checkpointing (src/ckpt, DESIGN.md Sec. 16), set via
+    // the "ckpt.*" config keys / --checkpoint. Both knobs are
+    // excluded from the run digest a checkpoint is validated against:
+    // where a snapshot is written — or how often — must not make the
+    // snapshot refuse to load.
+    /**
+     * Checkpoint file path; "" disables checkpointing. The file is
+     * replaced atomically (temp + fsync + rename) on every cadence
+     * hit and on SIGINT/SIGTERM, so it always holds a complete,
+     * loadable snapshot.
+     */
+    std::string ckptPath;
+    /**
+     * Checkpoint cadence in *simulated* seconds; 0 means only on
+     * signal-triggered shutdown. Cadence points lie on the fixed grid
+     * k * ckptEveryS, evaluated at epoch (or fleet-window)
+     * boundaries. Checkpointing is read-only: a run with it enabled
+     * is bit-identical to the same run without.
+     */
+    double ckptEveryS = 0.0;
+
     // Run control.
     std::uint64_t seed = 42;    //!< Drives workload and policy RNG.
     bool warmStart = true;      //!< Analytic steady-state init.

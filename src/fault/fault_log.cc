@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/json.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -32,12 +33,10 @@ void
 writeFaultLogFile(const std::string &path,
                   const std::vector<FaultEvent> &events)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("fault log: cannot open '", path, "' for writing");
-    out << faultLogToJsonl(events);
-    if (!out)
-        fatal("fault log: write to '", path, "' failed");
+    // Atomic replace: postmortem tooling reads this file — it must
+    // hold a complete log or the previous one, never a torn write.
+    if (!atomicWriteFile(path, faultLogToJsonl(events)))
+        fatal("fault log: cannot write '", path, "'");
 }
 
 } // namespace densim

@@ -33,6 +33,8 @@
 
 namespace densim {
 
+class CkptAccess; // Checkpoint serializer (src/ckpt), friend below.
+
 /** Health of one temperature sensor. */
 enum class SensorMode : std::uint8_t
 {
@@ -124,6 +126,10 @@ class FaultState
     double flowFrac() const { return flowFrac_; }
 
   private:
+    // Checkpoints serialize every mutable array plus flowFrac_;
+    // config_/tripC_/limitC_ come back via configure().
+    friend class CkptAccess;
+
     FaultConfig config_;
     double tripC_ = 0.0;  //!< tLimitC + emergencyMarginC.
     double limitC_ = 0.0; //!< tLimitC (throttle-release threshold).

@@ -68,6 +68,14 @@ class RoundRobinDispatcher final : public FleetDispatcher
         return byId(summaries, target).shard;
     }
 
+    std::uint64_t cursor() const override { return next_; }
+
+    void
+    setCursor(std::uint64_t cursor) override
+    {
+        next_ = static_cast<std::size_t>(cursor);
+    }
+
   private:
     std::size_t next_ = 0;
 };
@@ -101,6 +109,14 @@ class LocalityDispatcher final : public FleetDispatcher
         }
         sticky_ = bestByHeadroom(summaries).shard;
         return sticky_;
+    }
+
+    std::uint64_t cursor() const override { return sticky_; }
+
+    void
+    setCursor(std::uint64_t cursor) override
+    {
+        sticky_ = static_cast<std::size_t>(cursor);
     }
 
   private:

@@ -71,6 +71,19 @@ class FleetDispatcher
     virtual std::size_t pick(const Job &job,
                              const std::vector<ShardSummary>
                                  &summaries) = 0;
+
+    /**
+     * Mutable routing cursor, for checkpoint/restore. Stateful
+     * policies (roundrobin's next index, locality's sticky shard)
+     * expose their single word of state here; stateless ones keep
+     * the defaults. A restored dispatcher with its cursor reloaded
+     * must route exactly like the uninterrupted one — this is part
+     * of the fleet bit-identity contract (DESIGN.md Sec. 16).
+     */
+    virtual std::uint64_t cursor() const { return 0; }
+
+    /** Reload a cursor captured by cursor(). */
+    virtual void setCursor(std::uint64_t) {}
 };
 
 /** Construct the dispatcher named by @p config (validated). */

@@ -78,96 +78,124 @@ FleetSim::gatherSummaries() const
     return summaries;
 }
 
-FleetMetrics
-FleetSim::run(unsigned threads)
+void
+FleetSim::beginRun()
 {
+    if (fleetOpen_)
+        fatal("FleetSim::beginRun: run already open (finishRun?)");
+    const std::size_t n = shards_.size();
+
+    // The cluster arrival stream: one Poisson process sized for the
+    // whole fleet's sockets, fanned out window by window.
+    arrivals_ = std::make_unique<JobGenerator>(
+        base_.workload, base_.load, static_cast<int>(totalSockets()),
+        domainSeed(fleetSeed_, 0, fleet_stream::kArrivals));
+
+    registry_.resetValues();
+    windowsCtr_ = &registry_.counter("fleet/windows");
+    dispatchedCtr_ = &registry_.counter("fleet/jobsDispatched");
+
+    metrics_ = FleetMetrics{};
+    metrics_.chassis = n;
+    metrics_.dispatchedPerShard.assign(n, 0);
+
+    for (auto &shard : shards_)
+        shard->beginRun();
+
+    batches_.assign(n, {});
+    arrivalsOpen_ = true;
+    window_ = 0;
+    fleetOpen_ = true;
+}
+
+bool
+FleetSim::advanceWindow(unsigned threads)
+{
+    if (!fleetOpen_)
+        fatal("FleetSim::advanceWindow: no open run (beginRun?)");
     const std::size_t n = shards_.size();
     const double windowS = base_.fleet.epochS;
     const auto epochsPerWindow = static_cast<std::size_t>(
         std::round(windowS / base_.pmEpochS));
 
-    // The cluster arrival stream: one Poisson process sized for the
-    // whole fleet's sockets, fanned out window by window.
-    JobGenerator arrivals(base_.workload, base_.load,
-                          static_cast<int>(totalSockets()),
-                          domainSeed(fleetSeed_, 0,
-                                     fleet_stream::kArrivals));
+    // --- barrier: serial, shard-id order ------------------------------
+    const std::vector<ShardSummary> summaries = gatherSummaries();
 
-    registry_.resetValues();
-    obs::Counter &windowsCtr = registry_.counter("fleet/windows");
-    obs::Counter &dispatchedCtr =
-        registry_.counter("fleet/jobsDispatched");
-
-    FleetMetrics metrics;
-    metrics.chassis = n;
-    metrics.dispatchedPerShard.assign(n, 0);
-
-    for (auto &shard : shards_)
-        shard->beginRun();
-
-    std::vector<std::vector<Job>> batches(n);
-    bool arrivalsOpen = true;
-    std::size_t window = 0;
-    for (;;) {
-        // --- barrier: serial, shard-id order --------------------------
-        const std::vector<ShardSummary> summaries = gatherSummaries();
-
-        if (arrivalsOpen) {
-            // Windows end at (k+1) * epochS by multiplication, not
-            // accumulation, so the fan-out boundaries do not drift
-            // from float addition however many windows run.
-            const double w1 = static_cast<double>(window + 1) * windowS;
-            const double horizonS = std::min(w1, base_.simTimeS);
-            for (const Job &job : arrivals.nextWindow(horizonS)) {
-                const std::size_t target =
-                    dispatcher_->pick(job, summaries);
-                DENSIM_CHECK(target < n, "dispatcher picked shard ",
-                             target, " of ", n);
-                batches[target].push_back(job);
-                ++metrics.dispatchedPerShard[target];
-                ++metrics.jobsArrived;
-                ++metrics.jobsDispatched;
-                dispatchedCtr.inc();
-            }
-            for (std::size_t s = 0; s < n; ++s) {
-                if (!batches[s].empty()) {
-                    shards_[s]->submitJobs(batches[s]);
-                    batches[s].clear();
-                }
-            }
-            if (w1 >= base_.simTimeS) {
-                arrivalsOpen = false;
-                for (auto &shard : shards_)
-                    shard->closeArrivals();
+    if (arrivalsOpen_) {
+        // Windows end at (k+1) * epochS by multiplication, not
+        // accumulation, so the fan-out boundaries do not drift
+        // from float addition however many windows run.
+        const double w1 = static_cast<double>(window_ + 1) * windowS;
+        const double horizonS = std::min(w1, base_.simTimeS);
+        for (const Job &job : arrivals_->nextWindow(horizonS)) {
+            const std::size_t target =
+                dispatcher_->pick(job, summaries);
+            DENSIM_CHECK(target < n, "dispatcher picked shard ",
+                         target, " of ", n);
+            batches_[target].push_back(job);
+            ++metrics_.dispatchedPerShard[target];
+            ++metrics_.jobsArrived;
+            ++metrics_.jobsDispatched;
+            dispatchedCtr_->inc();
+        }
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!batches_[s].empty()) {
+                shards_[s]->submitJobs(batches_[s]);
+                batches_[s].clear();
             }
         }
-
-        bool anyPending = false;
-        for (const auto &shard : shards_)
-            anyPending = anyPending || shard->epochPending();
-        if (!anyPending)
-            break;
-
-        // --- parallel section: disjoint shard state only --------------
-        parallelFor(n, threads, [&](std::size_t s) {
-            DenseServerSim &shard = *shards_[s];
-            for (std::size_t e = 0;
-                 e < epochsPerWindow && shard.epochPending(); ++e)
-                shard.advanceEpoch();
-        });
-        windowsCtr.inc();
-        ++window;
+        if (w1 >= base_.simTimeS) {
+            arrivalsOpen_ = false;
+            for (auto &shard : shards_)
+                shard->closeArrivals();
+        }
     }
 
+    bool anyPending = false;
+    for (const auto &shard : shards_)
+        anyPending = anyPending || shard->epochPending();
+    if (!anyPending)
+        return false;
+
+    // --- parallel section: disjoint shard state only ------------------
+    parallelFor(n, threads, [&](std::size_t s) {
+        DenseServerSim &shard = *shards_[s];
+        for (std::size_t e = 0;
+             e < epochsPerWindow && shard.epochPending(); ++e)
+            shard.advanceEpoch();
+    });
+    windowsCtr_->inc();
+    ++window_;
+    return true;
+}
+
+FleetMetrics
+FleetSim::finishRun()
+{
+    if (!fleetOpen_)
+        fatal("FleetSim::finishRun: no open run (beginRun?)");
+    const std::size_t n = shards_.size();
+
     // --- finalization: serial, shard-id order -------------------------
-    metrics.perShard.reserve(n);
+    metrics_.perShard.reserve(n);
     for (std::size_t s = 0; s < n; ++s) {
-        metrics.perShard.push_back(shards_[s]->finishRun());
+        metrics_.perShard.push_back(shards_[s]->finishRun());
         registry_.mergePrefixed(shards_[s]->observability(),
                                 "shard" + std::to_string(s) + "/");
     }
-    rollUpFleetMetrics(metrics);
-    return metrics;
+    rollUpFleetMetrics(metrics_);
+    fleetOpen_ = false;
+    arrivals_.reset();
+    return std::move(metrics_);
+}
+
+FleetMetrics
+FleetSim::run(unsigned threads)
+{
+    beginRun();
+    while (advanceWindow(threads)) {
+    }
+    return finishRun();
 }
 
 } // namespace densim

@@ -69,12 +69,40 @@ class FleetSim
     /**
      * Run the fleet to completion on up to @p threads workers
      * (0 = hardware concurrency). The result is bit-identical for
-     * every value of @p threads.
+     * every value of @p threads. Implemented as
+     * beginRun() + advanceWindow() to exhaustion + finishRun(), in
+     * the exact operation order of the historical monolithic loop.
      */
     FleetMetrics run(unsigned threads = 1);
 
+    // --- streaming (window-stepped) interface -------------------------
+    // Mirrors the engine's beginRun/advanceEpoch/finishRun: each
+    // advanceWindow() is one exchange window (barrier -> dispatch ->
+    // parallel shard epochs). Between calls every shard sits at an
+    // epoch boundary and all cross-shard state is serial — exactly
+    // the point where a checkpoint captures the whole fleet.
+
+    /** Reset fleet state and open every shard's streamed run. */
+    void beginRun();
+
+    /**
+     * Run one exchange window on up to @p threads workers. Returns
+     * false — without advancing anything — once no shard has pending
+     * work, at which point finishRun() collects the metrics.
+     */
+    bool advanceWindow(unsigned threads = 1);
+
+    /** Finalize all shards and roll up FleetMetrics. */
+    FleetMetrics finishRun();
+
+    /** Exchange windows completed so far in the open run. */
+    std::size_t windowsRun() const { return window_; }
+
     /** Shards in the fleet. */
     std::size_t chassis() const { return shards_.size(); }
+
+    /** The base configuration every shard was derived from. */
+    const SimConfig &config() const { return base_; }
 
     /** Sockets across the whole fleet. */
     std::size_t totalSockets() const;
@@ -90,6 +118,13 @@ class FleetSim
     const obs::Registry &observability() const { return registry_; }
 
   private:
+    /**
+     * Checkpoint serializer (src/ckpt): captures the window cursor,
+     * arrival-stream position, dispatcher cursor, partial metrics
+     * and every shard's engine state at the window barrier.
+     */
+    friend class CkptAccess;
+
     std::vector<ShardSummary> gatherSummaries() const;
 
     SimConfig base_;
@@ -97,6 +132,16 @@ class FleetSim
     std::vector<std::unique_ptr<DenseServerSim>> shards_;
     std::unique_ptr<FleetDispatcher> dispatcher_;
     obs::Registry registry_;
+
+    // --- streaming-run state (beginRun .. finishRun) ------------------
+    std::unique_ptr<JobGenerator> arrivals_; //!< Cluster Poisson stream.
+    FleetMetrics metrics_;        //!< Dispatch counts accumulate here.
+    std::vector<std::vector<Job>> batches_; //!< Per-shard scratch.
+    obs::Counter *windowsCtr_ = nullptr;
+    obs::Counter *dispatchedCtr_ = nullptr;
+    std::size_t window_ = 0;      //!< Next exchange window to run.
+    bool arrivalsOpen_ = true;    //!< Cluster stream still fanning out.
+    bool fleetOpen_ = false;      //!< beginRun .. finishRun.
 };
 
 } // namespace densim

@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "obs/json.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim::obs {
@@ -36,13 +38,12 @@ writeTimelineJsonlFile(const std::string &path,
                        const std::vector<double> &times,
                        const std::vector<std::vector<double>> &zone_rows)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("obs: cannot open timeline file '", path,
-              "' for writing");
+    // Atomic replace, so a crash mid-flush leaves the previous
+    // timeline (or nothing) rather than a torn JSONL tail.
+    std::ostringstream out;
     writeTimelineJsonl(out, times, zone_rows);
-    if (!out)
-        fatal("obs: failed writing timeline file '", path, "'");
+    if (!atomicWriteFile(path, out.str()))
+        fatal("obs: cannot write timeline file '", path, "'");
 }
 
 } // namespace densim::obs

@@ -55,6 +55,12 @@ class TimelineSampler
 
     double periodS() const { return periodS_; }
 
+    /** Index of the next pending grid point (checkpointed). */
+    std::uint64_t nextGridIndex() const { return next_; }
+
+    /** Resume the grid cursor from a checkpoint. */
+    void resumeAt(std::uint64_t next) { next_ = next; }
+
     /**
      * Called once per epoch boundary at simulated time @p now_s
      * (non-decreasing across calls). Returns true when a sample is

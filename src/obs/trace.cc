@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/json.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim::obs {
@@ -95,12 +96,9 @@ TraceSink::toJson() const
 void
 TraceSink::writeFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("obs: cannot open trace file '", path, "' for writing");
-    out << toJson() << "\n";
-    if (!out)
-        fatal("obs: failed writing trace file '", path, "'");
+    // Atomic replace: chrome://tracing must never see a torn JSON.
+    if (!atomicWriteFile(path, toJson() + "\n"))
+        fatal("obs: cannot write trace file '", path, "'");
     if (dropped_ > 0) {
         warn("obs: trace '", path, "' dropped ", dropped_,
              " events past the ", eventCap_, "-event cap");

@@ -27,6 +27,7 @@
 #include <vector>
 
 namespace densim::obs {
+class TraceCkptAccess; // Checkpoint serializer hook, friend below.
 
 /** In-memory Chrome trace_event buffer. */
 class TraceSink
@@ -69,6 +70,10 @@ class TraceSink
     void writeFile(const std::string &path) const;
 
   private:
+    // Checkpoints serialize events_ + dropped_ so a restored run's
+    // trace file equals the uninterrupted run's byte for byte.
+    friend class TraceCkptAccess;
+
     enum class Kind : std::uint8_t { Complete, CounterSample };
 
     struct Event

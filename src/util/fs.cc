@@ -1,7 +1,10 @@
 #include "util/fs.hh"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include <cstdio>
 
 namespace densim {
 
@@ -31,6 +34,38 @@ bool
 pathWritable(const std::string &path)
 {
     return dirWritable(parentDir(path));
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    // The temp file must live in the same directory as the target:
+    // rename(2) is only atomic within one filesystem.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    std::size_t done = 0;
+    while (done < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + done, contents.size() - done);
+        if (n < 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace densim

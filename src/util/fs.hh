@@ -30,6 +30,16 @@ bool dirWritable(const std::string &dir);
  */
 bool pathWritable(const std::string &path);
 
+/**
+ * Crash-safe whole-file write: @p contents goes to a temp file in
+ * the same directory, is fsync'd, and is rename(2)'d over @p path.
+ * Readers therefore see either the old file or the complete new one,
+ * never a torn half-write. Returns false (and leaves no temp file
+ * behind) on any I/O failure. Every durable densim artifact —
+ * checkpoints, sweep summaries, report JSON — goes through this.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &contents);
+
 } // namespace densim
 
 #endif // DENSIM_UTIL_FS_HH

@@ -132,6 +132,26 @@ Rng::split()
     return Rng(nextU64());
 }
 
+Rng::Snapshot
+Rng::snapshot() const
+{
+    Snapshot snap{};
+    for (int i = 0; i < 4; ++i)
+        snap.state[i] = state_[i];
+    snap.hasSpare = hasSpare_;
+    snap.spare = spare_;
+    return snap;
+}
+
+void
+Rng::restore(const Snapshot &snap)
+{
+    for (int i = 0; i < 4; ++i)
+        state_[i] = snap.state[i];
+    hasSpare_ = snap.hasSpare;
+    spare_ = snap.spare;
+}
+
 std::uint64_t
 domainSeed(std::uint64_t run_seed, std::uint64_t shard_id,
            std::uint64_t stream_tag)

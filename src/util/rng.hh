@@ -62,6 +62,25 @@ class Rng
     /** Derive an independent generator (for parallel components). */
     Rng split();
 
+    /**
+     * Complete generator state, exposed for checkpoint/restore. The
+     * Marsaglia spare must round-trip too: normal() draws two values
+     * per polar step and banks one, so dropping it would desync every
+     * stream that has an odd number of normal() calls behind it.
+     */
+    struct Snapshot
+    {
+        std::uint64_t state[4]; //!< xoshiro256** words.
+        bool hasSpare;          //!< A banked normal() value is pending.
+        double spare;           //!< The banked value (when hasSpare).
+    };
+
+    /** Capture the full stream position. */
+    Snapshot snapshot() const;
+
+    /** Resume exactly at a previously captured position. */
+    void restore(const Snapshot &snap);
+
   private:
     std::uint64_t state_[4];
     bool hasSpare_ = false;

@@ -54,6 +54,37 @@ class RunningStats
     /** Largest sample (-inf when empty). */
     double max() const;
 
+    /**
+     * Raw accumulator words for checkpoint/restore. Welford state is
+     * order-sensitive (mean_/m2_ carry the exact FP history of every
+     * add()), so resume must reload these bits verbatim rather than
+     * replay samples.
+     */
+    struct Snapshot
+    {
+        std::size_t count; //!< Samples seen.
+        double mean;       //!< Running mean (raw, 0.0 when empty).
+        double m2;         //!< Sum of squared deviations.
+        double min;        //!< Raw min word (0.0 when empty).
+        double max;        //!< Raw max word (0.0 when empty).
+    };
+
+    /** Capture the raw accumulator state. */
+    Snapshot snapshot() const
+    {
+        return Snapshot{count_, mean_, m2_, min_, max_};
+    }
+
+    /** Reload a previously captured accumulator state verbatim. */
+    void restore(const Snapshot &snap)
+    {
+        count_ = snap.count;
+        mean_ = snap.mean;
+        m2_ = snap.m2;
+        min_ = snap.min;
+        max_ = snap.max;
+    }
+
   private:
     std::size_t count_ = 0;
     double mean_ = 0.0;

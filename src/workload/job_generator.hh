@@ -21,6 +21,8 @@
 
 namespace densim {
 
+class CkptAccess; // Checkpoint serializer (src/ckpt), friend below.
+
 /** One unit of work to schedule. */
 struct Job
 {
@@ -73,6 +75,11 @@ class JobGenerator
     WorkloadSet set() const { return set_; }
 
   private:
+    // Checkpoints serialize the mutable stream position (rng_,
+    // clockS_, nextId_, pending_/hasPending_); the rest is
+    // construction-derived and rebuilt from config.
+    friend class CkptAccess;
+
     WorkloadSet set_;
     std::vector<std::size_t> apps_;
     double rate_;

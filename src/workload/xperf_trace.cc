@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace densim {
@@ -61,10 +62,12 @@ XperfTrace::save(std::ostream &out) const
 void
 XperfTrace::saveFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("xperf trace: cannot open '", path, "' for writing");
+    // Atomic replace: a capture killed mid-write must never leave a
+    // half-written trace where a complete one (or nothing) stood.
+    std::ostringstream out;
     save(out);
+    if (!atomicWriteFile(path, out.str()))
+        fatal("xperf trace: cannot write '", path, "'");
 }
 
 XperfTrace

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Tests for crash-safe checkpoint/restore (DESIGN.md Sec. 16).
+ *
+ * The load-bearing property is *bit-identical resume*: a run
+ * interrupted at any epoch (or fleet-window) boundary and restored
+ * from its checkpoint must produce hex-float-equal metrics and
+ * byte-identical JSONL sinks versus the uninterrupted run — under
+ * faults, under migration, and under every fleet dispatcher. The
+ * robustness half: a truncated, bit-flipped or hostile checkpoint
+ * file must yield one CkptError and an engine that is still fully
+ * usable, and API misuse around restore must hit testable fatal()
+ * guards.
+ */
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/run_driver.hh"
+#include "core/dense_server_sim.hh"
+#include "core/experiment.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/fleet_sim.hh"
+#include "sched/factory.hh"
+#include "util/logging.hh"
+#include "workload/job_generator.hh"
+
+namespace densim {
+namespace {
+
+/** Small config exercising thermals, queueing and DVFS quickly. */
+SimConfig
+fastConfig()
+{
+    SimConfig config;
+    config.topo.rows = 2; // 24 sockets
+    config.simTimeS = 0.6;
+    config.warmupS = 0.1;
+    config.socketTauS = 0.5;
+    config.load = 0.7;
+    config.seed = 11;
+    return config;
+}
+
+/** Hexfloat rendering: equal strings iff bit-identical doubles. */
+void
+hex(std::ostringstream &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a ", v);
+    out << buf;
+}
+
+void
+hex(std::ostringstream &out, const RunningStats &s)
+{
+    const RunningStats::Snapshot snap = s.snapshot();
+    out << snap.count << ' ';
+    hex(out, snap.mean);
+    hex(out, snap.m2);
+    hex(out, snap.min);
+    hex(out, snap.max);
+}
+
+/** Every SimMetrics field, hexfloat — EXPECT_EQ means bit-identical. */
+std::string
+serializeSimMetrics(const SimMetrics &m)
+{
+    std::ostringstream out;
+    out << m.jobsArrived << ' ' << m.jobsCompleted << ' '
+        << m.jobsUnfinished << ' ' << m.migrations << ' ';
+    hex(out, m.runtimeExpansion);
+    hex(out, m.serviceExpansion);
+    hex(out, m.queueDelayS);
+    hex(out, m.energyJ);
+    hex(out, m.measuredS);
+    hex(out, m.makespanS);
+    for (const RegionMetrics *r : {&m.front, &m.back, &m.even}) {
+        hex(out, r->busyTimeS);
+        hex(out, r->freqTime);
+        hex(out, r->workDone);
+    }
+    hex(out, m.totalWork);
+    hex(out, m.totalBusyTime);
+    hex(out, m.totalFreqTime);
+    out << m.timelineS.size() << ' ';
+    for (const double t : m.timelineS)
+        hex(out, t);
+    for (const std::vector<double> &row : m.zoneAmbientC)
+        for (const double c : row)
+            hex(out, c);
+    hex(out, m.chipTempC);
+    hex(out, m.maxChipTempC);
+    hex(out, m.boostTimeS);
+    return out.str();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "densim_ckpt_" + name;
+}
+
+/** The uninterrupted reference run. */
+SimMetrics
+runStraight(const SimConfig &config, const std::string &policy)
+{
+    DenseServerSim sim(config, makeScheduler(policy));
+    return sim.run();
+}
+
+/**
+ * The same run interrupted at the epoch boundary where nowS first
+ * reaches @p stop_at_s: checkpoint to memory, destroy the engine,
+ * restore into a *fresh* engine and drive to completion.
+ */
+SimMetrics
+runInterrupted(const SimConfig &config, const std::string &policy,
+               double stop_at_s)
+{
+    std::string image;
+    {
+        DenseServerSim sim(config, makeScheduler(policy));
+        ckpt::beginEngineRun(sim);
+        while (sim.epochPending() && sim.nowS() < stop_at_s)
+            sim.advanceEpoch();
+        image = ckpt::saveEngine(sim);
+        // The first engine dies here, mid-run, like a killed process.
+    }
+    DenseServerSim sim(config, makeScheduler(policy));
+    ckpt::restoreEngine(sim, image);
+    while (sim.epochPending())
+        sim.advanceEpoch();
+    return sim.finishRun();
+}
+
+// ------------------------------------------------ bit-identity
+
+TEST(BitIdentity, PlainRunResumesExactly)
+{
+    SimConfig config = fastConfig();
+    config.timelineSampleS = 0.01;
+    const SimMetrics straight = runStraight(config, "CP");
+    const SimMetrics resumed = runInterrupted(config, "CP", 0.3);
+    EXPECT_EQ(serializeSimMetrics(straight),
+              serializeSimMetrics(resumed));
+}
+
+TEST(BitIdentity, EveryInterruptPointResumesExactly)
+{
+    // The boundary chosen must not matter: interrupt early (warmup),
+    // mid-arrivals, and deep in the drain tail.
+    SimConfig config = fastConfig();
+    const std::string expected =
+        serializeSimMetrics(runStraight(config, "CP"));
+    for (const double stop_at : {0.05, 0.45, 1.2}) {
+        EXPECT_EQ(expected, serializeSimMetrics(runInterrupted(
+                                config, "CP", stop_at)))
+            << "interrupted at t=" << stop_at;
+    }
+}
+
+TEST(BitIdentity, NoisySensorsAndRandomPolicyResumeExactly)
+{
+    // Consumes both the policy and the sensor RNG streams every
+    // epoch — the streams' saved positions must be exact.
+    SimConfig config = fastConfig();
+    config.sensorNoiseC = 0.8;
+    config.sensorQuantC = 1.0;
+    const SimMetrics straight = runStraight(config, "A-Random");
+    const SimMetrics resumed = runInterrupted(config, "A-Random", 0.3);
+    EXPECT_EQ(serializeSimMetrics(straight),
+              serializeSimMetrics(resumed));
+}
+
+TEST(BitIdentity, FaultedRunResumesExactly)
+{
+    // Fan derate + noisy sensor faults: the fault timeline cursor,
+    // per-socket fault ladders, derated coupling and the fault RNG
+    // must all restore to the exact epoch state.
+    SimConfig config = fastConfig();
+    config.fault.fanFailS = 0.15;
+    config.fault.fanSpeedFrac = 0.55;
+    config.fault.fanRecoverS = 0.45;
+    config.fault.sensorNoisyAtS = 0.2;
+    const SimMetrics straight = runStraight(config, "CP");
+    for (const double stop_at : {0.1, 0.3, 0.6}) {
+        EXPECT_EQ(serializeSimMetrics(straight),
+                  serializeSimMetrics(
+                      runInterrupted(config, "CP", stop_at)))
+            << "interrupted at t=" << stop_at;
+    }
+}
+
+TEST(BitIdentity, MigrationRunResumesExactly)
+{
+    SimConfig config = fastConfig();
+    config.migrationEnabled = true;
+    config.migrationIntervalS = 0.05;
+    config.migrationMinRemainingS = 0.01;
+    const SimMetrics straight = runStraight(config, "CP");
+    const SimMetrics resumed = runInterrupted(config, "CP", 0.3);
+    EXPECT_EQ(straight.migrations, resumed.migrations);
+    EXPECT_EQ(serializeSimMetrics(straight),
+              serializeSimMetrics(resumed));
+}
+
+TEST(BitIdentity, JsonlSinksAreByteIdentical)
+{
+    // The restored run must append exactly the rows the uninterrupted
+    // run would have written — the timeline grid cursor and the trace
+    // event buffer ride in the checkpoint.
+    SimConfig config = fastConfig();
+    config.timelineSampleS = 0.01;
+    config.obsTimelinePath = tempPath("straight.jsonl");
+    config.obsTracePath = tempPath("straight_trace.json");
+    (void)runStraight(config, "CP");
+
+    SimConfig resumedConfig = config;
+    resumedConfig.obsTimelinePath = tempPath("resumed.jsonl");
+    resumedConfig.obsTracePath = tempPath("resumed_trace.json");
+    (void)runInterrupted(resumedConfig, "CP", 0.3);
+
+    EXPECT_EQ(slurp(config.obsTimelinePath),
+              slurp(resumedConfig.obsTimelinePath));
+    EXPECT_EQ(slurp(config.obsTracePath),
+              slurp(resumedConfig.obsTracePath));
+    for (const SimConfig *c : {&config, &resumedConfig}) {
+        std::remove(c->obsTimelinePath.c_str());
+        std::remove(c->obsTracePath.c_str());
+    }
+}
+
+TEST(BitIdentity, SaveRestoreSaveRoundTripsBytes)
+{
+    // restore(save(x)) then save again must reproduce the image byte
+    // for byte — the serializer covers every field the applier reads.
+    SimConfig config = fastConfig();
+    config.fault.sensorNoisyAtS = 0.2;
+    DenseServerSim a(config, makeScheduler("CP"));
+    ckpt::beginEngineRun(a);
+    while (a.epochPending() && a.nowS() < 0.3)
+        a.advanceEpoch();
+    const std::string image = ckpt::saveEngine(a);
+
+    DenseServerSim b(config, makeScheduler("CP"));
+    ckpt::restoreEngine(b, image);
+    EXPECT_EQ(image, ckpt::saveEngine(b));
+}
+
+TEST(BitIdentity, FleetResumesExactlyUnderEveryDispatcher)
+{
+    for (const char *dispatcher :
+         {"roundrobin", "headroom", "locality", "power"}) {
+        SimConfig config = fastConfig();
+        config.fleet.chassis = 3;
+        config.fleet.dispatcher = dispatcher;
+
+        FleetSim straight(config, "CP");
+        const std::string expected =
+            serializeFleetMetrics(straight.run(2));
+
+        std::string image;
+        {
+            FleetSim fleet(config, "CP");
+            fleet.beginRun();
+            for (int w = 0; w < 5; ++w)
+                ASSERT_TRUE(fleet.advanceWindow(2));
+            image = ckpt::saveFleet(fleet);
+        }
+        FleetSim resumed(config, "CP");
+        ckpt::restoreFleet(resumed, image);
+        while (resumed.advanceWindow(2)) {
+        }
+        EXPECT_EQ(expected, serializeFleetMetrics(resumed.finishRun()))
+            << "dispatcher " << dispatcher;
+    }
+}
+
+// ------------------------------------------------ fork mode
+
+TEST(Fork, ReseedsFutureButKeepsState)
+{
+    SimConfig config = fastConfig();
+    config.sensorNoiseC = 0.8; // make the RNG streams consequential
+    std::string image;
+    {
+        DenseServerSim sim(config, makeScheduler("A-Random"));
+        ckpt::beginEngineRun(sim);
+        while (sim.epochPending() && sim.nowS() < 0.3)
+            sim.advanceEpoch();
+        image = ckpt::saveEngine(sim);
+    }
+    const auto finish = [&](ckpt::RestoreMode mode,
+                            std::uint64_t fork_id) {
+        DenseServerSim sim(config, makeScheduler("A-Random"));
+        ckpt::restoreEngine(sim, image, mode, fork_id);
+        while (sim.epochPending())
+            sim.advanceEpoch();
+        return serializeSimMetrics(sim.finishRun());
+    };
+    const std::string exact = finish(ckpt::RestoreMode::Exact, 0);
+    const std::string fork1 = finish(ckpt::RestoreMode::Fork, 1);
+    const std::string fork1Again = finish(ckpt::RestoreMode::Fork, 1);
+    const std::string fork2 = finish(ckpt::RestoreMode::Fork, 2);
+    EXPECT_EQ(fork1, fork1Again); // forks are deterministic...
+    EXPECT_NE(exact, fork1);      // ...but diverge from the original
+    EXPECT_NE(fork1, fork2);      // ...and from each other.
+}
+
+// ------------------------------------------------ hostile input
+
+/** A valid mid-run engine image to corrupt. */
+std::string
+goldenImage(const SimConfig &config)
+{
+    DenseServerSim sim(config, makeScheduler("CP"));
+    ckpt::beginEngineRun(sim);
+    while (sim.epochPending() && sim.nowS() < 0.2)
+        sim.advanceEpoch();
+    return ckpt::saveEngine(sim);
+}
+
+/**
+ * Every corrupted image must throw CkptError with a non-empty
+ * message, leave the engine closed and un-mutated, and leave it
+ * fully usable: a subsequent restore of the intact image succeeds.
+ */
+void
+expectRejected(const SimConfig &config, const std::string &good,
+               const std::string &bad, const std::string &what)
+{
+    DenseServerSim sim(config, makeScheduler("CP"));
+    try {
+        ckpt::restoreEngine(sim, bad);
+        FAIL() << "corrupted image accepted: " << what;
+    } catch (const ckpt::CkptError &err) {
+        EXPECT_FALSE(std::string(err.what()).empty()) << what;
+    }
+    // No partial mutation: the engine still restores cleanly.
+    ckpt::restoreEngine(sim, good);
+    while (sim.epochPending())
+        sim.advanceEpoch();
+    EXPECT_GT(sim.finishRun().jobsCompleted, 0u) << what;
+}
+
+TEST(HostileInput, TruncationsAtEveryRegionAreRejected)
+{
+    const SimConfig config = fastConfig();
+    const std::string good = goldenImage(config);
+    ASSERT_GT(good.size(), 64u);
+    // Truncate inside the header, each section header, and payloads.
+    std::vector<std::size_t> cuts = {0,  1,  7,  8,  11, 12,
+                                     15, 16, 23, 24, 31, 32};
+    for (std::size_t frac = 1; frac < 16; ++frac)
+        cuts.push_back(good.size() * frac / 16);
+    cuts.push_back(good.size() - 1);
+    for (const std::size_t cut : cuts) {
+        expectRejected(config, good, good.substr(0, cut),
+                       "truncated to " + std::to_string(cut));
+    }
+}
+
+TEST(HostileInput, FlippedBytesAreRejected)
+{
+    // A flip anywhere in a section payload breaks that section's
+    // CRC; a flip in the header breaks magic/version/kind/digest or
+    // the section framing. Either way: CkptError, never UB. (A flip
+    // confined to a stored CRC word itself also lands here — the CRC
+    // no longer matches the payload.)
+    const SimConfig config = fastConfig();
+    const std::string good = goldenImage(config);
+    for (std::size_t pos = 0; pos < good.size();
+         pos += 1 + good.size() / 97) {
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+        expectRejected(config, good, bad,
+                       "byte flipped at " + std::to_string(pos));
+    }
+}
+
+TEST(HostileInput, OversizedSectionLengthIsRejected)
+{
+    const SimConfig config = fastConfig();
+    const std::string good = goldenImage(config);
+    // First section header sits at offset 32; its u64 length at +4.
+    std::string bad = good;
+    for (int i = 0; i < 8; ++i)
+        bad[36 + i] = static_cast<char>(0xff);
+    expectRejected(config, good, bad, "section length 2^64-1");
+}
+
+TEST(HostileInput, WrongMagicVersionKindDigestAreRejected)
+{
+    const SimConfig config = fastConfig();
+    const std::string good = goldenImage(config);
+
+    std::string bad = good;
+    bad[0] = 'X';
+    expectRejected(config, good, bad, "bad magic");
+
+    bad = good;
+    bad[8] = static_cast<char>(ckpt::kVersion + 1); // version skew
+    expectRejected(config, good, bad, "newer version");
+
+    bad = good;
+    bad[12] = 2; // engine image claiming to be a fleet snapshot
+    expectRejected(config, good, bad, "kind mismatch");
+
+    bad = good;
+    bad[16] = static_cast<char>(bad[16] ^ 0xff); // digest word
+    expectRejected(config, good, bad, "digest mismatch");
+
+    // A differently-configured engine must refuse the snapshot...
+    SimConfig other = fastConfig();
+    other.load = 0.71;
+    DenseServerSim sim(other, makeScheduler("CP"));
+    EXPECT_THROW(ckpt::restoreEngine(sim, good), ckpt::CkptError);
+    // ...as must the same config under a different policy.
+    DenseServerSim wrongPolicy(config, makeScheduler("A-Random"));
+    EXPECT_THROW(ckpt::restoreEngine(wrongPolicy, good),
+                 ckpt::CkptError);
+    // But moving/re-cadencing the checkpoint itself must not: the
+    // ckpt.* knobs are excluded from the digest.
+    SimConfig recadenced = fastConfig();
+    recadenced.ckptPath = tempPath("elsewhere.ckpt");
+    recadenced.ckptEveryS = 0.125;
+    DenseServerSim moved(recadenced, makeScheduler("CP"));
+    ckpt::restoreEngine(moved, good);
+    while (moved.epochPending())
+        moved.advanceEpoch();
+    EXPECT_GT(moved.finishRun().jobsCompleted, 0u);
+}
+
+TEST(HostileInput, EmptyAndGarbageFilesAreRejected)
+{
+    const SimConfig config = fastConfig();
+    const std::string good = goldenImage(config);
+    expectRejected(config, good, "", "empty file");
+    expectRejected(config, good, std::string(4096, '\0'),
+                   "zero-filled file");
+    expectRejected(config, good, "DSIMCKPT", "header-only file");
+}
+
+// ------------------------------------------------ API misuse
+
+TEST(Misuse, RestoreIntoOpenRunIsFatal)
+{
+    const SimConfig config = fastConfig();
+    const std::string image = goldenImage(config);
+    DenseServerSim sim(config, makeScheduler("CP"));
+    ckpt::beginEngineRun(sim);
+    const ScopedFatalThrows guard;
+    EXPECT_THROW(ckpt::restoreEngine(sim, image), FatalError);
+}
+
+TEST(Misuse, DoubleRestoreIsFatal)
+{
+    const SimConfig config = fastConfig();
+    const std::string image = goldenImage(config);
+    DenseServerSim sim(config, makeScheduler("CP"));
+    ckpt::restoreEngine(sim, image);
+    const ScopedFatalThrows guard;
+    EXPECT_THROW(ckpt::restoreEngine(sim, image), FatalError);
+}
+
+TEST(Misuse, SaveOfClosedRunIsFatal)
+{
+    const SimConfig config = fastConfig();
+    DenseServerSim sim(config, makeScheduler("CP"));
+    const ScopedFatalThrows guard;
+    EXPECT_THROW((void)ckpt::saveEngine(sim), FatalError);
+}
+
+TEST(Misuse, AdvanceAfterFailedRestoreIsFatal)
+{
+    // A failed restore leaves the engine *closed*: stepping it
+    // without beginRun() is the same misuse as never opening it.
+    const SimConfig config = fastConfig();
+    const std::string image = goldenImage(config);
+    DenseServerSim sim(config, makeScheduler("CP"));
+    EXPECT_THROW(ckpt::restoreEngine(sim, image.substr(0, 40)),
+                 ckpt::CkptError);
+    const ScopedFatalThrows guard;
+    EXPECT_THROW(sim.advanceEpoch(), FatalError);
+    EXPECT_THROW((void)sim.finishRun(), FatalError);
+}
+
+TEST(Misuse, FleetGuardsMatchEngineGuards)
+{
+    SimConfig config = fastConfig();
+    config.fleet.chassis = 2;
+    std::string image;
+    {
+        FleetSim fleet(config, "CP");
+        fleet.beginRun();
+        ASSERT_TRUE(fleet.advanceWindow(1));
+        image = ckpt::saveFleet(fleet);
+    }
+    FleetSim fleet(config, "CP");
+    ckpt::restoreFleet(fleet, image);
+    const ScopedFatalThrows guard;
+    EXPECT_THROW(ckpt::restoreFleet(fleet, image), FatalError);
+
+    FleetSim closed(config, "CP");
+    EXPECT_THROW((void)ckpt::saveFleet(closed), FatalError);
+}
+
+// ------------------------------------------------ drivers & files
+
+TEST(Driver, CadenceCheckpointIsReadOnlyAndResumable)
+{
+    // A run with cadence checkpointing enabled must be bit-identical
+    // to the same run without, and the last cadence file must itself
+    // resume to the same result.
+    SimConfig plain = fastConfig();
+    const std::string expected =
+        serializeSimMetrics(runStraight(plain, "CP"));
+
+    SimConfig config = plain;
+    config.ckptPath = tempPath("cadence.ckpt");
+    config.ckptEveryS = 0.25;
+    DenseServerSim sim(config, makeScheduler("CP"));
+    ckpt::beginEngineRun(sim);
+    ckpt::clearStopRequest();
+    const ckpt::DriveOutcome out = ckpt::driveEngine(sim);
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(expected, serializeSimMetrics(sim.finishRun()));
+
+    // The cadence left a loadable snapshot behind.
+    DenseServerSim resumed(config, makeScheduler("CP"));
+    ckpt::restoreEngine(resumed,
+                        ckpt::readCheckpointFile(config.ckptPath));
+    while (resumed.epochPending())
+        resumed.advanceEpoch();
+    EXPECT_EQ(expected, serializeSimMetrics(resumed.finishRun()));
+    std::remove(config.ckptPath.c_str());
+}
+
+TEST(Driver, StopRequestCheckpointsAndReturns)
+{
+    SimConfig config = fastConfig();
+    config.ckptPath = tempPath("stop.ckpt");
+    DenseServerSim sim(config, makeScheduler("CP"));
+    ckpt::beginEngineRun(sim);
+    ckpt::requestStop();
+    const ckpt::DriveOutcome out = ckpt::driveEngine(sim);
+    ckpt::clearStopRequest();
+    EXPECT_FALSE(out.completed);
+    EXPECT_TRUE(out.checkpointed);
+
+    // The stop-path snapshot resumes to the uninterrupted result.
+    DenseServerSim resumed(config, makeScheduler("CP"));
+    ckpt::restoreEngine(resumed,
+                        ckpt::readCheckpointFile(config.ckptPath));
+    const ckpt::DriveOutcome rest = ckpt::driveEngine(resumed);
+    ASSERT_TRUE(rest.completed);
+    EXPECT_EQ(serializeSimMetrics(runStraight(fastConfig(), "CP")),
+              serializeSimMetrics(resumed.finishRun()));
+    std::remove(config.ckptPath.c_str());
+}
+
+TEST(Driver, CheckpointFileRoundTripsAtomically)
+{
+    const SimConfig config = fastConfig();
+    const std::string image = goldenImage(config);
+    const std::string path = tempPath("roundtrip.ckpt");
+    ckpt::writeCheckpointFile(path, image);
+    EXPECT_EQ(image, ckpt::readCheckpointFile(path));
+    // Overwrite is atomic-replace, not append.
+    ckpt::writeCheckpointFile(path, image);
+    EXPECT_EQ(image, ckpt::readCheckpointFile(path));
+    std::remove(path.c_str());
+    EXPECT_THROW((void)ckpt::readCheckpointFile(path),
+                 ckpt::CkptError);
+}
+
+TEST(Driver, SweepCellResumesFromItsCheckpoint)
+{
+    RunSpec spec;
+    spec.scheduler = "CP";
+    spec.config = fastConfig();
+    const std::string dir =
+        testing::TempDir() + "densim_ckpt_cells";
+    (void)::mkdir(dir.c_str(), 0755); // ok if it already exists
+    const std::string cell_path =
+        dir + "/" + runDigest(spec) + ".ckpt";
+
+    // An interrupted invocation: stop pending before the first
+    // epoch, so the cell checkpoints immediately and reports itself
+    // unfinished (the keep-going harness then keeps its digest out
+    // of the resume manifest).
+    ckpt::requestStop();
+    EXPECT_THROW((void)ckpt::runCellCheckpointed(spec, dir),
+                 ckpt::CkptError);
+    ckpt::clearStopRequest();
+    EXPECT_TRUE(std::ifstream(cell_path, std::ios::binary).good());
+
+    // The re-invocation resumes from the file, matches the straight
+    // run bit for bit, and cleans up after itself.
+    const SimMetrics resumed = ckpt::runCellCheckpointed(spec, dir);
+    EXPECT_EQ(serializeSimMetrics(runStraight(spec.config, "CP")),
+              serializeSimMetrics(resumed));
+    EXPECT_FALSE(std::ifstream(cell_path, std::ios::binary).good());
+
+    // Wired through SweepOptions::cellRunner, the whole keep-going
+    // sweep takes the checkpointed path.
+    SweepOptions options;
+    options.threads = 1;
+    options.keepGoing = true;
+    options.cellRunner = [&](const RunSpec &s) {
+        return ckpt::runCellCheckpointed(s, dir);
+    };
+    const std::vector<RunOutcome> outcomes =
+        runAllOutcomes({spec}, options);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(serializeSimMetrics(resumed),
+              serializeSimMetrics(outcomes[0].metrics));
+    (void)::rmdir(dir.c_str());
+}
+
+} // namespace
+} // namespace densim

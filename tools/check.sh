@@ -40,6 +40,11 @@
 #             --fleet run whose JSON summary must parse strictly and
 #             whose metrics must be bit-identical across worker-thread
 #             counts (DESIGN.md Sec. 15)
+#   ckpt      ASan+UBSan+DENSIM_CHECKS build + the checkpoint/restore
+#             bank (bit-identical resume, hostile-input rejection,
+#             misuse guards), then a CLI smoke: SIGTERM a checkpointed
+#             run mid-flight, resume it, and byte-compare the final
+#             JSON against the uninterrupted run (DESIGN.md Sec. 16)
 #   bench     opt-in (never in the default matrix): Release build,
 #             one short pass of micro_kernels with JSON output, and a
 #             strict parse of that JSON — rot protection for the
@@ -215,6 +220,47 @@ print(f"fleet smoke: {doc['jobsDispatched']} jobs across "
 EOF
 }
 
+stage_ckpt() {
+    # Crash-safe checkpoint/restore (DESIGN.md Sec. 16): the unit
+    # bank under ASan, then the end-to-end promise through the CLI —
+    # SIGTERM a run mid-flight, resume from its checkpoint, and the
+    # final JSON must match the uninterrupted run byte for byte.
+    configure build-ckpt "-DDENSIM_SANITIZE=address;undefined" \
+              -DDENSIM_CHECKS=ON
+    build build-ckpt
+    run_ctest build-ckpt -R 'Ckpt|BitIdentity|HostileInput|Misuse|Driver|Fork'
+    local out="build-ckpt/ckpt-smoke"
+    mkdir -p "$out"
+    local args=(run --scheduler CP --load 0.7 --set simTimeS=12
+                --set warmupS=1 --set fault.sensorNoisyAtS=2 --json)
+    ./build-ckpt/tools/densim "${args[@]}" > "$out/straight.json"
+    # Kill mid-flight. ASan builds are slow enough that the signal
+    # lands mid-run; if the run wins the race anyway, fall back to
+    # resuming the cadence checkpoint it left behind.
+    set +e
+    ./build-ckpt/tools/densim "${args[@]}" \
+        --checkpoint "$out/run.ckpt" --ckpt-every 1 \
+        > "$out/killed.json" &
+    local pid=$!
+    sleep 1
+    kill -TERM "$pid" 2> /dev/null
+    wait "$pid"
+    local rc=$?
+    set -e
+    if [ "$rc" -ne 3 ] && [ "$rc" -ne 0 ]; then
+        echo "check.sh: ckpt: killed run exited $rc (want 3 or 0)" >&2
+        exit 1
+    fi
+    if [ ! -f "$out/run.ckpt" ]; then
+        echo "check.sh: ckpt: no checkpoint file written" >&2
+        exit 1
+    fi
+    ./build-ckpt/tools/densim "${args[@]}" \
+        --restore "$out/run.ckpt" > "$out/resumed.json"
+    cmp "$out/straight.json" "$out/resumed.json"
+    echo "ckpt smoke: SIGTERM at exit $rc, resume byte-identical"
+}
+
 stage_bench() {
     # Opt-in rot protection for the microbenchmarks (not in the
     # default matrix): Release build, one short pass of every bench,
@@ -300,12 +346,12 @@ stage_tidy() {
 if [ "$#" -gt 0 ]; then
     stages=("$@")
 else
-    stages=(plain asan tsan paranoid obs fault fleet lint tidy)
+    stages=(plain asan tsan paranoid obs fault fleet ckpt lint tidy)
 fi
 
 for stage in "${stages[@]}"; do
     case "$stage" in
-        plain|asan|tsan|paranoid|obs|fault|fleet|lint|tidy|bench) ;;
+        plain|asan|tsan|paranoid|obs|fault|fleet|ckpt|lint|tidy|bench) ;;
         *)
             echo "check.sh: unknown stage '$stage'" >&2
             exit 2

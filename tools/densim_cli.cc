@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
+#include "ckpt/run_driver.hh"
 #include "core/config_io.hh"
 #include "core/dense_server_sim.hh"
 #include "core/experiment.hh"
@@ -97,6 +99,23 @@ usage()
         "  --set fault.logPath=F         applied + response events as\n"
         "                                JSONL\n"
         "\n"
+        "crash-safe checkpointing (DESIGN.md Sec. 16):\n"
+        "  --checkpoint FILE    write checkpoints to FILE (atomic\n"
+        "                       replace); SIGINT/SIGTERM checkpoint,\n"
+        "                       flush the obs sinks and exit 3\n"
+        "  --ckpt-every S       also checkpoint every S simulated\n"
+        "                       seconds (0 = only on signal)\n"
+        "  --restore FILE       resume a run from FILE; the resumed\n"
+        "                       run is bit-identical to the\n"
+        "                       uninterrupted one\n"
+        "  --fork ID            with --restore: reseed the RNG\n"
+        "                       streams via domainSeed(seed, ID) —\n"
+        "                       same state, divergent future\n"
+        "  --ckpt-dir DIR       sweep: per-cell checkpoints named by\n"
+        "                       run digest in DIR; interrupted cells\n"
+        "                       resume mid-run on the next sweep\n"
+        "                       (best with --keep-going --resume)\n"
+        "\n"
         "observability (DESIGN.md Sec. 10):\n"
         "  --set obs.tracePath=F     write a Chrome trace_event JSON\n"
         "                            (phase events need a DENSIM_OBS\n"
@@ -123,6 +142,10 @@ struct Cli
     bool keepGoing = false;
     std::string summaryPath;
     std::string resumePath;
+    std::string restorePath;
+    std::string ckptDir;
+    bool fork = false;
+    std::uint64_t forkId = 0;
 };
 
 std::vector<std::string>
@@ -189,6 +212,18 @@ parseArgs(int argc, char **argv)
                 std::atoi(need(i).c_str()));
         } else if (flag == "--fleet") {
             applyConfigKey(cli.config, "fleet.chassis", need(i));
+        } else if (flag == "--checkpoint") {
+            applyConfigKey(cli.config, "ckpt.path", need(i));
+        } else if (flag == "--ckpt-every") {
+            applyConfigKey(cli.config, "ckpt.everyS", need(i));
+        } else if (flag == "--restore") {
+            cli.restorePath = need(i);
+        } else if (flag == "--fork") {
+            cli.fork = true;
+            cli.forkId = static_cast<std::uint64_t>(
+                std::strtoull(need(i).c_str(), nullptr, 10));
+        } else if (flag == "--ckpt-dir") {
+            cli.ckptDir = need(i);
         } else if (flag == "--keep-going") {
             cli.keepGoing = true;
         } else if (flag == "--summary") {
@@ -317,11 +352,52 @@ printFleetTable(const Cli &cli, const FleetSim &fleet,
     shards.print(std::cout);
 }
 
+/** Exit code for "checkpointed and stopped by a signal". */
+constexpr int kExitCheckpointed = 3;
+
+/** Does this invocation need the checkpoint-aware drive loop? */
+bool
+wantsCkpt(const Cli &cli)
+{
+    return !cli.config.ckptPath.empty() || !cli.restorePath.empty();
+}
+
+ckpt::RestoreMode
+restoreMode(const Cli &cli)
+{
+    return cli.fork ? ckpt::RestoreMode::Fork
+                    : ckpt::RestoreMode::Exact;
+}
+
 int
 cmdFleetRun(const Cli &cli)
 {
     FleetSim fleet(cli.config, cli.scheduler);
-    const FleetMetrics m = fleet.run(cli.threads);
+    FleetMetrics m;
+    if (wantsCkpt(cli)) {
+        if (cli.restorePath.empty())
+            fleet.beginRun();
+        else
+            ckpt::restoreFleet(
+                fleet, ckpt::readCheckpointFile(cli.restorePath),
+                restoreMode(cli), cli.forkId);
+        ckpt::installSignalHandlers();
+        const ckpt::DriveOutcome out =
+            ckpt::driveFleet(fleet, cli.threads);
+        if (!out.completed) {
+            std::cerr << "densim: stopped at window "
+                      << fleet.windowsRun()
+                      << (out.checkpointed
+                              ? "; checkpoint written to '" +
+                                    cli.config.ckptPath + "'"
+                              : "")
+                      << "\n";
+            return kExitCheckpointed;
+        }
+        m = fleet.finishRun();
+    } else {
+        m = fleet.run(cli.threads);
+    }
 
     std::ostringstream out;
     if (cli.json) {
@@ -347,6 +423,27 @@ cmdRun(const Cli &cli)
     if (cli.config.fleet.enabled())
         return cmdFleetRun(cli);
     DenseServerSim sim(cli.config, makeScheduler(cli.scheduler));
+    if (wantsCkpt(cli)) {
+        if (cli.restorePath.empty())
+            ckpt::beginEngineRun(sim);
+        else
+            ckpt::restoreEngine(
+                sim, ckpt::readCheckpointFile(cli.restorePath),
+                restoreMode(cli), cli.forkId);
+        ckpt::installSignalHandlers();
+        const ckpt::DriveOutcome out = ckpt::driveEngine(sim);
+        if (!out.completed) {
+            std::cerr << "densim: stopped at t=" << out.nowS << "s"
+                      << (out.checkpointed
+                              ? "; checkpoint written to '" +
+                                    cli.config.ckptPath + "'"
+                              : "")
+                      << "\n";
+            return kExitCheckpointed;
+        }
+        report(cli, cli.config, sim, sim.finishRun());
+        return 0;
+    }
     const SimMetrics m = sim.run();
     report(cli, cli.config, sim, m);
     return 0;
@@ -367,14 +464,34 @@ cmdSweep(const Cli &cli)
         makeGrid(schedulers, cli.config.workload, loads, cli.config);
 
     if (cli.keepGoing || !cli.summaryPath.empty() ||
-        !cli.resumePath.empty()) {
+        !cli.resumePath.empty() || !cli.ckptDir.empty()) {
         SweepOptions options;
         options.threads = cli.threads;
         options.keepGoing = cli.keepGoing;
         options.summaryPath = cli.summaryPath;
         options.resumePath = cli.resumePath;
+        if (!cli.ckptDir.empty()) {
+            // Checkpoint-aware cells: a SIGINT/SIGTERM makes every
+            // in-flight cell checkpoint itself and report "not
+            // done"; the next identical sweep resumes each mid-run.
+            const std::string dir = cli.ckptDir;
+            options.cellRunner = [dir](const RunSpec &spec) {
+                return ckpt::runCellCheckpointed(spec, dir);
+            };
+            ckpt::installSignalHandlers();
+        }
         const std::vector<RunOutcome> outcomes =
             runAllOutcomes(specs, options);
+        if (ckpt::stopRequested()) {
+            std::size_t unfinished = 0;
+            for (const RunOutcome &o : outcomes)
+                unfinished += !o.ok;
+            std::cerr << "densim: sweep stopped by signal; "
+                      << unfinished << " of " << outcomes.size()
+                      << " cells checkpointed or pending in '"
+                      << cli.ckptDir << "'\n";
+            return kExitCheckpointed;
+        }
 
         std::ostringstream out;
         std::size_t failed = 0;

@@ -67,6 +67,7 @@ DIMENSIONLESS = {
 
 SELFCONTAIN_DIRS = (
     "src/airflow",
+    "src/ckpt",
     "src/core",
     "src/fault",
     "src/fleet",
